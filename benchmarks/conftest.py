@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures as a text
+table (paper-vs-measured) and checks the *shape* — who wins, by roughly
+what factor, where crossovers fall — not absolute numbers (our substrate
+is a simulator, see DESIGN.md).
+
+Simulations are deterministic, so each measurement runs once inside
+``benchmark.pedantic`` (re-running would measure Python, not the system).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    result = {}
+
+    def wrapper():
+        result["value"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return result["value"]
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+    return _run

@@ -1,0 +1,150 @@
+"""Ablations of Copier's design choices (DESIGN.md experiment index).
+
+Each knob the design section motivates is toggled in isolation:
+
+* segment granularity (§4.1 fine-grained updates);
+* piggybacking (§4.3) — measured as DMA on/off in `test_fig12c`;
+* copy slice (§4.5.3 scheduler) under two competing clients;
+* polling mode (§4.5.1) — latency vs idle-core energy.
+"""
+
+import pytest
+
+from repro.bench.report import ResultTable, size_label
+from repro.kernel import System
+from repro.sim import Compute
+from repro.sim.stats import EnergyModel
+
+
+def _prefix_latency(segment_bytes, n=128 * 1024, prefix=2048):
+    """Submit one big copy and time csync of just a prefix."""
+    system = System(n_cores=3, copier=True, phys_frames=131072)
+    proc = system.create_process("p")
+    src = proc.mmap(n, populate=True, contiguous=True)
+    dst = proc.mmap(n, populate=True, contiguous=True)
+
+    def gen():
+        w = proc.mmap(1024, populate=True)
+        yield from proc.client.amemcpy(w + 512, w, 256)
+        yield from proc.client.csync(w + 512, 256)
+        t0 = system.env.now
+        yield from proc.client.amemcpy(dst, src, n,
+                                       segment_bytes=segment_bytes)
+        yield from proc.client.csync(dst, prefix)
+        return system.env.now - t0
+
+    p = proc.spawn(gen(), affinity=0)
+    system.env.run_until(p.terminated, limit=100_000_000_000)
+    return p.result
+
+
+def test_segment_granularity(once):
+    """Fine segments make the prefix available early; coarse segments
+    force waiting for huge chunks (the §4.1 pipeline argument).  Very
+    fine segments pay per-segment overhead on total completion."""
+    sizes = [512, 1024, 4096, 32768]
+
+    def run():
+        return [(s, _prefix_latency(s)) for s in sizes]
+
+    rows = once(run)
+    table = ResultTable(
+        "Ablation: segment size vs time-to-first-2KB of a 128KB copy",
+        ["segment", "prefix latency (cycles)"])
+    for seg, lat in rows:
+        table.add(size_label(seg), lat)
+    table.show()
+    by = dict(rows)
+    # 1KB segments beat 32KB segments for prefix availability.
+    assert by[1024] < by[32768]
+
+
+def test_copy_slice_fairness(once):
+    """Small copy slices interleave two clients fairly; a huge slice lets
+    one client's 1MB task starve the other's small sync (§4.5.3)."""
+    def run_with_slice(slice_bytes):
+        from repro.mem import AddressSpace
+
+        system = System(n_cores=3, copier=True, phys_frames=262144)
+        system.copier.scheduler.copy_slice_bytes = slice_bytes
+        hog = system.create_process("hog")
+        victim = system.create_process("victim")
+        big = 1 << 20
+        h_src = hog.mmap(big, populate=True)
+        h_dst = hog.mmap(big, populate=True)
+        v_src = victim.mmap(4096, populate=True)
+        v_dst = victim.mmap(4096, populate=True)
+        out = {}
+
+        def hog_gen():
+            yield from hog.client.amemcpy(h_dst, h_src, big)
+            yield from hog.client.csync(h_dst, big)
+
+        def victim_gen():
+            yield Compute(500)  # let the hog submit first
+            t0 = system.env.now
+            yield from victim.client.amemcpy(v_dst, v_src, 2048)
+            yield from victim.client.csync(v_dst, 2048)
+            out["lat"] = system.env.now - t0
+
+        hp = hog.spawn(hog_gen(), affinity=0)
+        vp = victim.spawn(victim_gen(), affinity=1)
+        system.env.run_until(vp.terminated, limit=500_000_000_000)
+        system.env.run_until(hp.terminated, limit=500_000_000_000)
+        return out["lat"]
+
+    small_slice = once(lambda: (run_with_slice(16 * 1024),
+                                run_with_slice(4 << 20)))
+    small, huge = small_slice
+    table = ResultTable(
+        "Ablation: copy slice vs competing small client's latency",
+        ["copy slice", "victim csync latency (cycles)"])
+    table.add("16KB", small)
+    table.add("4MB", huge)
+    table.show()
+    # With bounded slices the victim interleaves quickly; with one giant
+    # slice it waits behind (most of) the 1MB hog round.
+    assert small < huge
+
+
+def test_polling_mode_energy_vs_latency(once):
+    """NAPI answers faster; scenario-driven saves the idle core (§4.5.1).
+
+    An app does one small copy then idles for a long stretch."""
+    def run(polling):
+        system = System(n_cores=3, copier=True, phys_frames=65536,
+                        copier_kwargs={"polling": polling})
+        proc = system.create_process("p")
+        src = proc.mmap(4096, populate=True)
+        dst = proc.mmap(4096, populate=True)
+        out = {}
+
+        def gen():
+            if polling == "scenario":
+                system.copier.scenario_begin()
+            t0 = system.env.now
+            yield from proc.client.amemcpy(dst, src, 2048)
+            yield from proc.client.csync(dst, 2048)
+            out["lat"] = system.env.now - t0
+            if polling == "scenario":
+                system.copier.scenario_end()
+            from repro.sim import Timeout
+            yield Timeout(20_000_000)  # long idle stretch
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=100_000_000_000)
+        energy = EnergyModel().energy(system.env.cores)
+        return out["lat"], energy
+
+    (napi_lat, napi_energy), (scen_lat, scen_energy) = once(
+        lambda: (run("napi"), run("scenario")))
+    table = ResultTable(
+        "Ablation: polling mode (one 2KB copy + 20M idle cycles)",
+        ["mode", "copy latency", "total energy"])
+    table.add("NAPI", napi_lat, napi_energy)
+    table.add("scenario-driven", scen_lat, scen_energy)
+    table.show()
+    # Both complete promptly; the sleeping service never costs more
+    # energy over the idle stretch.
+    assert scen_energy <= napi_energy * 1.02
+    assert napi_lat <= scen_lat * 1.5 + 2000

@@ -1,0 +1,72 @@
+"""§6.1.2 CoW handling: average thread-blocking time per fault.
+
+Paper: Copier reduces blocking time by 71.8 % for 2 MB pages and 8.0 %
+for 4 KB pages (the handler copies the head with ERMS while Copier copies
+the tail in parallel, §5.2).
+"""
+
+import pytest
+
+from repro.bench.report import ResultTable, improvement
+from repro.kernel import System
+from repro.kernel.cow import cow_write
+from repro.mem.phys import PAGE_SIZE
+
+HUGE = 2 * 1024 * 1024
+
+
+def _storm(copier, page_bytes, n_faults=6):
+    """Continuously trigger CoW faults; returns mean blocking cycles."""
+    system = System(n_cores=3, copier=copier,
+                    phys_frames=(HUGE // PAGE_SIZE) * (n_faults + 2) * 2 + 512)
+    proc = system.create_process("forker")
+    length = page_bytes * n_faults
+    va = proc.mmap(length, populate=True)
+    proc.write(va, b"\xee" * length)
+    child = proc.aspace.fork()
+    mode = "copier" if copier else "sync"
+
+    def gen():
+        if copier:
+            w = proc.mmap(1024, populate=True)
+            yield from proc.client.amemcpy(w + 512, w, 256)
+            yield from proc.client.csync(w + 512, 256)
+        blocked = []
+        for i in range(n_faults):
+            b = yield from cow_write(system, proc, va + i * page_bytes,
+                                     b"w", mode=mode, page_bytes=page_bytes)
+            blocked.append(b)
+        return blocked
+
+    p = proc.spawn(gen(), affinity=0)
+    system.env.run_until(p.terminated, limit=500_000_000_000)
+    assert child.read(va, 4) == b"\xee" * 4  # isolation held throughout
+    blocked = p.result
+    return sum(blocked) / len(blocked)
+
+
+def test_cow_blocking_time(once):
+    def run():
+        rows = []
+        for label, page_bytes in (("4KB", PAGE_SIZE), ("2MB", HUGE)):
+            base = _storm(False, page_bytes)
+            cop = _storm(True, page_bytes)
+            rows.append((label, base, cop))
+        return rows
+
+    rows = once(run)
+    table = ResultTable(
+        "CoW fault blocking time (cycles/fault); paper: Copier -8.0% at "
+        "4KB, -71.8% at 2MB",
+        ["page", "baseline", "Copier", "improvement"])
+    gains = {}
+    for label, base, cop in rows:
+        gains[label] = improvement(base, cop)
+        table.add(label, base, cop, "%.1f%%" % (gains[label] * 100))
+    table.show()
+
+    # 2MB pages: the handler/Copier split cuts blocking sharply.
+    assert 0.30 < gains["2MB"] < 0.90, gains
+    # 4KB pages: little to gain (submission overhead vs a 4KB copy).
+    assert gains["4KB"] < 0.35, gains
+    assert gains["2MB"] > gains["4KB"]

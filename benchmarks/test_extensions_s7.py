@@ -1,0 +1,94 @@
+"""Extension benches for the §7 applicability claims.
+
+The discussion names file I/O, device virtualization and tiered-memory
+management as further Copier beneficiaries; each gets a measurement here
+(file I/O's read() path is already exercised by the PNG rows of Fig 2/3).
+"""
+
+import pytest
+
+from repro.bench.report import ResultTable, improvement
+from repro.kernel import System
+from repro.kernel.tiermem import TieredMemoryManager
+from repro.kernel.virtio import VirtQueue, VirtioBackend, guest_io
+from repro.mem.phys import PAGE_SIZE
+
+
+def _tiermem_busy(copier, n_pages=24):
+    system = System(n_cores=3, copier=copier, phys_frames=4096)
+    manager = TieredMemoryManager(system, fast_frames=512)
+    proc = system.create_process("tier-app")
+    from repro.mem.addrspace import PTE
+
+    va = proc.mmap(PAGE_SIZE * n_pages)
+    for i in range(n_pages):
+        vpn = (va + i * PAGE_SIZE) // PAGE_SIZE
+        frame = system.phys.alloc_frame_in(512, system.phys.n_frames)
+        proc.aspace.page_table[vpn] = PTE(frame, writable=True)
+        proc.write(va + i * PAGE_SIZE, bytes([i + 1]) * 32)
+
+    def gen():
+        if copier:
+            w = proc.mmap(1024, populate=True)
+            yield from proc.client.amemcpy(w + 512, w, 256)
+            yield from proc.client.csync(w + 512, 256)
+        vas = [va + i * PAGE_SIZE for i in range(n_pages)]
+        return (yield from manager.migrate_batch(
+            proc, vas, to_fast=True, mode="copier" if copier else "sync"))
+
+    p = proc.spawn(gen(), affinity=0)
+    system.env.run_until(p.terminated, limit=500_000_000_000)
+    for i in range(n_pages):
+        assert proc.read(va + i * PAGE_SIZE, 32) == bytes([i + 1]) * 32
+    return p.result
+
+
+def _virtio_write_latency(mode, n=64 * 1024, rounds=4):
+    system = System(n_cores=3, copier=(mode == "copier"),
+                    phys_frames=65536)
+    guest = system.create_process("guest")
+    queue = VirtQueue(system, guest)
+    backend = VirtioBackend(system, queue, mode=mode)
+    wbuf = guest.mmap(n, populate=True)
+    guest.write(wbuf, b"\x6e" * n)
+    backend.proc.spawn(backend.run(rounds), affinity=1)
+
+    def gen():
+        if mode == "copier":
+            w = backend.proc.mmap(1024, populate=True)
+            yield from backend.proc.client.amemcpy(w + 512, w, 256)
+            yield from backend.proc.client.csync(w + 512, 256)
+        total = 0
+        for i in range(rounds):
+            total += yield from guest_io(system, guest, queue, i, wbuf, n,
+                                         write=True)
+        return total / rounds
+
+    p = system.env.spawn(gen(), name="vcpu", affinity=0)
+    system.env.run_until(p.terminated, limit=500_000_000_000)
+    return p.result
+
+
+def test_s7_tiered_memory_migration(once):
+    sync_busy, copier_busy = once(lambda: (_tiermem_busy(False),
+                                           _tiermem_busy(True)))
+    table = ResultTable(
+        "§7 tiered memory: manager busy cycles migrating 24 pages",
+        ["mode", "busy cycles"])
+    table.add("baseline (sync ERMS)", sync_busy)
+    table.add("Copier (pipelined)", copier_busy)
+    table.show()
+    gain = improvement(sync_busy, copier_busy)
+    assert 0.0 < gain < 0.8, gain
+
+
+def test_s7_virtio_payload_copies(once):
+    sync_lat, copier_lat = once(lambda: (
+        _virtio_write_latency("sync"), _virtio_write_latency("copier")))
+    table = ResultTable(
+        "§7 device virtualization: guest 64KB write latency",
+        ["mode", "latency (cycles)"])
+    table.add("baseline backend", sync_lat)
+    table.add("Copier backend", copier_lat)
+    table.show()
+    assert copier_lat < sync_lat

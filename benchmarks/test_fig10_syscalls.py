@@ -1,0 +1,81 @@
+"""Fig. 10: average send()/recv() syscall latency across optimizations.
+
+Paper's shape: Copier cuts send latency 7-37 % and recv 16-92 % vs normal
+syscalls; io_uring batching helps both and composes with Copier; UB's
+benefit fades as size grows; zero-copy send only wins for large payloads.
+"""
+
+import pytest
+
+from repro.bench.report import ResultTable, improvement, size_label
+from repro.bench.workloads import syscall_latency
+
+SIZES = [1024, 4096, 16384, 65536]
+
+
+def _sweep(op):
+    rows = []
+    for size in SIZES:
+        base = syscall_latency(op, "sync", size)
+        copier = syscall_latency(op, "copier", size)
+        ub = syscall_latency(op, "ub", size)
+        iour = syscall_latency(op, "sync", size, batch=1)  # plain io_uring
+        batch = syscall_latency(op, "sync", size, batch=16)
+        copier_batch = syscall_latency(op, "copier", size, batch=16)
+        row = {"size": size, "base": base, "copier": copier, "ub": ub,
+               "iour": iour, "iour_batch": batch,
+               "copier_batch": copier_batch}
+        if op == "send" and size % 4096 == 0:
+            row["zerocopy"] = syscall_latency(op, "zerocopy", size)
+        rows.append(row)
+    return rows
+
+
+def test_fig10_send_latency(once):
+    rows = once(lambda: _sweep("send"))
+    table = ResultTable(
+        "Fig 10 send(): avg latency (cycles); paper: Copier -7..-37%, "
+        "-27..-59% with batching; io_uring alone doesn't cut execution "
+        "time; zerocopy wins only for large",
+        ["size", "base", "Copier", "UB", "IOR", "IOR-b", "Copier+b", "zc"])
+    for r in rows:
+        table.add(size_label(r["size"]), r["base"], r["copier"], r["ub"],
+                  r["iour"], r["iour_batch"], r["copier_batch"],
+                  r.get("zerocopy", "-"))
+    table.show()
+
+    for r in rows:
+        if r["size"] >= 4096:
+            assert r["copier"] < r["base"], r
+            assert r["copier_batch"] < r["iour_batch"], r
+        # Plain io_uring doesn't reduce the syscall's execution latency
+        # (§6.1.2): within ~one trap's worth of the baseline.
+        assert abs(r["iour"] - r["base"]) < 800, r
+    # UB's advantage shrinks with size (copy dominates).
+    ub_gain = [improvement(r["base"], r["ub"]) for r in rows]
+    assert ub_gain[0] > ub_gain[-1]
+    # Zero-copy send: loses small, wins large (paper: >=32KB).
+    small = next(r for r in rows if r["size"] == 4096)
+    large = next(r for r in rows if r["size"] == 65536)
+    assert small["zerocopy"] > small["base"]
+    assert large["zerocopy"] < large["base"]
+
+
+def test_fig10_recv_latency(once):
+    rows = once(lambda: _sweep("recv"))
+    table = ResultTable(
+        "Fig 10 recv(): avg latency (cycles); paper: Copier -16..-92%, "
+        "-55..-93% with batching",
+        ["size", "base", "Copier", "UB", "IOR", "IOR-b", "Copier+b"])
+    for r in rows:
+        table.add(size_label(r["size"]), r["base"], r["copier"], r["ub"],
+                  r["iour"], r["iour_batch"], r["copier_batch"])
+    table.show()
+
+    for r in rows:
+        if r["size"] >= 4096:
+            assert r["copier"] < r["base"], r
+    # recv benefits more than send at large sizes: the whole copy leaves
+    # the syscall path (paper: up to -92% vs -37%).
+    recv_gain = improvement(rows[-1]["base"], rows[-1]["copier"])
+    assert recv_gain > 0.3

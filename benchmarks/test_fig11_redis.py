@@ -1,0 +1,109 @@
+"""Fig. 11: Redis GET/SET latency, P99 and throughput vs all baselines.
+
+Paper: Copier cuts average latency 2.7-43.4 % (SET) / 4.2-42.5 % (GET),
+P99 5.9-33.4 % / 5.6-47.8 %, lifts throughput 2.4-50 % / 4.2-32 %.  zIO
+only helps GETs (one user copy removed, up to 20 %) and large SETs
+(>=64 KB, page faults from the recycled input buffer otherwise); UB only
+helps small requests; zero-copy send needs >=32 KB.
+"""
+
+import pytest
+
+from repro.apps.rediskv import run_benchmark
+from repro.bench.report import ResultTable, improvement, size_label, speedup
+from repro.kernel import System
+
+SIZES = [4096, 16384, 65536]
+N_REQ = 12
+N_CLIENTS = 4
+
+
+def _run(mode, op, value_len):
+    system = System(n_cores=4, copier=(mode == "copier"),
+                    phys_frames=262144)
+    _server, merged, elapsed = run_benchmark(
+        system, mode, op, value_len, n_requests=N_REQ, n_clients=N_CLIENTS)
+    return merged.mean, merged.p99, merged.count / elapsed
+
+
+@pytest.mark.parametrize("op", ["SET", "GET"])
+def test_fig11_redis(once, op):
+    def run():
+        rows = []
+        for size in SIZES:
+            data = {}
+            for mode in ("sync", "copier", "zio", "ub"):
+                data[mode] = _run(mode, op, size)
+            rows.append((size, data))
+        return rows
+
+    rows = once(run)
+    table = ResultTable(
+        "Fig 11 Redis %s: mean latency (cycles) [paper: Copier "
+        "-2.7..-43.4%% SET / -4.2..-42.5%% GET]" % op,
+        ["size", "baseline", "Copier", "zIO", "UB", "Cop mean", "Cop P99",
+         "Cop tput"])
+    for size, data in rows:
+        base_mean, base_p99, base_tput = data["sync"]
+        cop_mean, cop_p99, cop_tput = data["copier"]
+        table.add(size_label(size), base_mean, cop_mean,
+                  data["zio"][0], data["ub"][0],
+                  "%+.1f%%" % (-improvement(base_mean, cop_mean) * 100),
+                  "%+.1f%%" % (-improvement(base_p99, cop_p99) * 100),
+                  "%+.1f%%" % ((speedup(base_tput, cop_tput) - 1) * 100))
+    table.show()
+
+    for size, data in rows:
+        base_mean, base_p99, base_tput = data["sync"]
+        cop_mean, cop_p99, cop_tput = data["copier"]
+        # Copier wins on all three metrics at every plotted size.
+        assert cop_mean < base_mean, (op, size)
+        assert cop_p99 < base_p99 * 1.05, (op, size)
+        assert cop_tput > base_tput * 0.98, (op, size)
+        # Copier beats zIO and UB (the 1.6x-over-zIO headline).
+        assert cop_mean < data["zio"][0], (op, size)
+        assert cop_mean < data["ub"][0], (op, size)
+    # Peak improvement lands in the paper's band.
+    best = max(improvement(d["sync"][0], d["copier"][0]) for _s, d in rows)
+    assert 0.10 < best < 0.60, best
+
+
+def test_fig11_zio_behaviour(once):
+    """zIO's asymmetry: helps GETs, hurts/neutral on mid-size SETs."""
+    def run():
+        get_base = _run("sync", "GET", 16384)[0]
+        get_zio = _run("zio", "GET", 16384)[0]
+        set_base = _run("sync", "SET", 16384)[0]
+        set_zio = _run("zio", "SET", 16384)[0]
+        return get_base, get_zio, set_base, set_zio
+
+    get_base, get_zio, set_base, set_zio = once(run)
+    table = ResultTable("Fig 11 inset: zIO vs baseline at 16KB",
+                        ["op", "baseline", "zIO", "delta"])
+    table.add("GET", get_base, get_zio,
+              "%+.1f%%" % (-improvement(get_base, get_zio) * 100))
+    table.add("SET", set_base, set_zio,
+              "%+.1f%%" % (-improvement(set_base, set_zio) * 100))
+    table.show()
+    assert get_zio < get_base            # one user copy removed
+    assert set_zio > set_base * 0.97     # no win: input buffer faults
+
+
+def test_fig11_zerocopy_send_threshold(once):
+    """Zero-copy send only pays off for large GET replies (paper: >=32KB)."""
+    def run():
+        small_base = _run("sync", "GET", 16384)[0]
+        small_zc = _run("zerocopy", "GET", 16384)[0]
+        large_base = _run("sync", "GET", 65536)[0]
+        large_zc = _run("zerocopy", "GET", 65536)[0]
+        return small_base, small_zc, large_base, large_zc
+
+    small_base, small_zc, large_base, large_zc = once(run)
+    table = ResultTable("Zero-copy send() on Redis GET replies",
+                        ["size", "baseline", "MSG_ZEROCOPY"])
+    table.add("16KB", small_base, small_zc)
+    table.add("64KB", large_base, large_zc)
+    table.show()
+    assert large_zc < large_base
+    # At 16KB the pin/flush/reap overhead roughly cancels the copy.
+    assert small_zc > large_zc * 0.5

@@ -1,0 +1,148 @@
+"""Fig. 2: cycle proportion of copy across apps and OS scenarios.
+
+Paper: copy consumes 16-66 % of cycles across Redis/zlib/OpenSSL/Nginx/
+libpng/ffmpeg on Linux (Fig. 2-a) and 3-49 % across HarmonyOS scenarios
+(Fig. 2-b).  We regenerate the measurement on the baseline (sync) builds
+of our miniature apps: copy share = (copy + fault-copy cycles) / total
+cycles of the serving process.
+"""
+
+import pytest
+
+from repro.apps.avcodec import VideoDecoder
+from repro.apps.openssllib import SSLReader, encrypt
+from repro.apps.protobuf import ProtobufReceiver, serialize
+from repro.apps.rediskv import run_benchmark
+from repro.apps.tinyproxy import run_forwarding
+from repro.apps.zlibapp import Deflater
+from repro.bench.report import ResultTable, size_label
+from repro.hw.params import phone_params
+from repro.kernel import System
+from repro.kernel.net import send, socket_pair
+
+COPY_TAGS = ("copy",)
+
+
+def _share(system, pid):
+    stats = system.env.stats
+    total = stats.total_cycles(pid=pid)
+    copy = sum(stats.total_cycles(pid=pid, tag=t) for t in COPY_TAGS)
+    return copy / total if total else 0.0
+
+
+def _redis_share(op, value_len):
+    system = System(n_cores=4, copier=False, phys_frames=131072)
+    server, _merged, _elapsed = run_benchmark(system, "sync", op, value_len,
+                                              n_requests=10, n_clients=2)
+    return _share(system, server.proc.sim_proc.pid)
+
+
+def _proxy_share(msg):
+    system = System(n_cores=4, copier=False, phys_frames=131072)
+    _t, _e, proxies, _ = run_forwarding(system, "sync", msg, n_messages=8)
+    return _share(system, proxies[0].proc.sim_proc.pid)
+
+
+def _zlib_share(nbytes):
+    system = System(n_cores=3, copier=False, phys_frames=131072)
+    deflater = Deflater(system, mode="sync")
+    p = deflater.proc.spawn(deflater.deflate(b"a1b2" * (nbytes // 4)),
+                            affinity=0)
+    system.env.run_until(p.terminated, limit=100_000_000_000)
+    return _share(system, p.pid)
+
+
+def _openssl_share(nbytes):
+    system = System(n_cores=3, copier=False, phys_frames=131072)
+    reader = SSLReader(system, mode="sync")
+    sender = system.create_process("s")
+    a, b = socket_pair(system)
+    buf = sender.mmap(nbytes, populate=True)
+    sender.write(buf, encrypt(b"\x00" * nbytes))
+
+    def feed():
+        pos = 0
+        while pos < nbytes:
+            rec = min(16 * 1024, nbytes - pos)
+            yield from send(system, sender, a, buf + pos, rec)
+            pos += rec
+
+    sender.spawn(feed(), affinity=1)
+    p = reader.proc.spawn(reader.ssl_read(b, nbytes), affinity=0)
+    system.env.run_until(p.terminated, limit=100_000_000_000)
+    return _share(system, p.pid)
+
+
+def _png_share(nbytes):
+    from repro.apps.pngapp import PNGDecoder, encode_image
+    from repro.kernel.fileio import FileObject
+
+    system = System(n_cores=3, copier=False, phys_frames=131072)
+    raw = bytes([(i * 7) % 251 for i in range(nbytes)])
+    fobj = FileObject(system, encode_image(raw))
+    decoder = PNGDecoder(system, mode="sync")
+    p = decoder.proc.spawn(decoder.decode_file(fobj), affinity=0)
+    system.env.run_until(p.terminated, limit=100_000_000_000)
+    return _share(system, p.pid)
+
+
+def _avcodec_share():
+    system = System(n_cores=3, params=phone_params(), copier=False,
+                    phys_frames=131072)
+    decoder = VideoDecoder(system, mode="sync", frame_bytes=1 << 20)
+    p = decoder.proc.spawn(decoder.decode_stream(4), affinity=0)
+    system.env.run_until(p.terminated, limit=500_000_000_000)
+    return _share(system, p.pid)
+
+
+def test_fig2a_linux_apps(once):
+    def run():
+        rows = []
+        for size in (16 * 1024, 256 * 1024):
+            rows.append(("Redis SET %s" % size_label(size),
+                         _redis_share("SET", size)))
+            rows.append(("Redis GET %s" % size_label(size),
+                         _redis_share("GET", size)))
+        rows.append(("proxy fwd 16KB", _proxy_share(16 * 1024)))
+        rows.append(("zlib 64KB", _zlib_share(64 * 1024)))
+        rows.append(("OpenSSL 64KB", _openssl_share(64 * 1024)))
+        rows.append(("libpng 64KB", _png_share(64 * 1024)))
+        return rows
+
+    rows = once(run)
+    table = ResultTable(
+        "Fig 2-a: copy cycle share on Linux apps (paper: 16-66%)",
+        ["app", "copy share"])
+    for name, share in rows:
+        table.add(name, "%.0f%%" % (share * 100))
+    table.show()
+    shares = [s for _n, s in rows]
+    # Copy is a major cost: double-digit share for each app...
+    assert all(0.05 < s < 0.85 for s in shares), shares
+    # ...and dominant (>30%) for the most copy-bound ones.
+    assert max(shares) > 0.30
+
+
+def _recorder_share():
+    from repro.apps.avcodec import VideoRecorder
+
+    system = System(n_cores=3, params=phone_params(), copier=False,
+                    phys_frames=131072)
+    recorder = VideoRecorder(system, mode="sync", frame_bytes=1 << 20)
+    p = recorder.proc.spawn(recorder.record(4), affinity=0)
+    system.env.run_until(p.terminated, limit=2_000_000_000_000)
+    return _share(system, p.pid)
+
+
+def test_fig2b_phone_scenario(once):
+    playback, recording = once(lambda: (_avcodec_share(),
+                                        _recorder_share()))
+    table = ResultTable(
+        "Fig 2-b: copy cycle share, HarmonyOS scenarios "
+        "(paper: 3-49% across scenarios; camera recording 6-16%)",
+        ["scenario", "copy share"])
+    table.add("video playback", "%.0f%%" % (playback * 100))
+    table.add("camera recording", "%.0f%%" % (recording * 100))
+    table.show()
+    assert 0.02 < playback < 0.60
+    assert 0.02 < recording < 0.60

@@ -1,0 +1,78 @@
+"""Fig. 7-a: raw copy-engine throughput by size.
+
+Paper's shape: AVX2 > ERMS everywhere; DMA starts far below both (submit
+overhead) and crosses ERMS around 4 KB, remaining below AVX2.
+"""
+
+from repro.bench.report import ResultTable, size_label
+from repro.hw import CopyTimingModel, MachineParams
+
+SIZES = [256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1048576]
+
+
+def test_fig7a_engine_throughput(once):
+    model = CopyTimingModel(MachineParams())
+
+    def run():
+        rows = []
+        for size in SIZES:
+            rows.append((
+                size,
+                model.cpu_throughput(size, "erms"),
+                model.cpu_throughput(size, "avx"),
+                model.dma_throughput(size),
+            ))
+        return rows
+
+    rows = once(run)
+    table = ResultTable(
+        "Fig 7-a: engine throughput (bytes/cycle); paper: DMA 'excels at "
+        "large copies (>=4KB)', slower than AVX2 everywhere",
+        ["size", "ERMS", "AVX2", "DMA"])
+    for size, erms, avx, dma in rows:
+        table.add(size_label(size), erms, avx, dma)
+    table.show()
+
+    by_size = {r[0]: r for r in rows}
+    # AVX2 dominates ERMS at every size.
+    assert all(r[2] > r[1] for r in rows)
+    # DMA loses to AVX2 everywhere (it wins by being off-CPU, not faster).
+    assert all(r[3] < r[2] for r in rows)
+    # DMA below ERMS for small copies, above from ~4KB (the crossover).
+    assert by_size[1024][3] < by_size[1024][1]
+    assert by_size[4096][3] >= by_size[4096][1]
+    crossover = CopyTimingModel(MachineParams()).crossover_size()
+    assert 2048 <= crossover <= 8192
+
+
+def test_fig7b_subtask_division(once):
+    """Fig. 7-b: non-contiguous physical pages divide a task into
+    page-sized subtasks; contiguous pages form multi-page DMA runs."""
+    from repro.copier.deps import PendingTasks, u_order_key
+    from repro.copier.descriptor import Descriptor
+    from repro.copier.dispatch import Dispatcher
+    from repro.copier.task import CopyTask, Region
+    from repro.mem import PAGE_SIZE, AddressSpace, PhysicalMemory
+
+    def plan_for(fragmented):
+        phys = PhysicalMemory(512, fragmented=fragmented)
+        aspace = AddressSpace(phys)
+        n = 64 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=not fragmented)
+        dst = aspace.mmap(n, populate=True, contiguous=not fragmented)
+        task = CopyTask(None, "u", Region(aspace, src, n),
+                        Region(aspace, dst, n), Descriptor(n, 1024))
+        task.order_key = u_order_key(0)
+        pending = PendingTasks()
+        pending.add(task)
+        return Dispatcher(MachineParams()).build_round(pending, n)
+
+    frag, contig = once(lambda: (plan_for(True), plan_for(False)))
+    table = ResultTable("Fig 7-b: hybrid subtasks under fragmentation",
+                        ["layout", "dma runs", "max run", "dma bytes"])
+    for name, plan in (("fragmented", frag), ("contiguous", contig)):
+        max_run = max((r.nbytes for r in plan.dma_runs), default=0)
+        table.add(name, len(plan.dma_runs), max_run, plan.dma_bytes)
+    table.show()
+    assert max((r.nbytes for r in frag.dma_runs), default=0) <= 4096
+    assert max(r.nbytes for r in contig.dma_runs) > 4096

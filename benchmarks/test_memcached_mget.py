@@ -1,0 +1,58 @@
+"""Extension bench: memcached-style multi-get gather (§5.1.1 web servers).
+
+Not a paper figure — an extension exercising the scatter-gather copy
+pattern at the intersection of per-thread queues and absorption: one
+reply concatenates N values, and Copier collapses the N user copies plus
+the send copy into N short-circuits straight to the socket buffer.
+"""
+
+import pytest
+
+from repro.apps.memcachedapp import run_memcached
+from repro.bench.report import ResultTable, improvement
+from repro.kernel import System
+
+
+def test_multiget_latency_and_absorption(once):
+    configs = [(4, 4096), (4, 16384), (8, 16384)]
+
+    def run():
+        rows = []
+        for n_keys, value_len in configs:
+            res = {}
+            for mode in ("sync", "copier"):
+                system = System(n_cores=4, copier=(mode == "copier"),
+                                phys_frames=262144)
+                server, mean, _elapsed = run_memcached(
+                    system, mode, value_len=value_len, n_keys=n_keys,
+                    n_requests=6, n_workers=2)
+                absorbed = 0
+                if mode == "copier":
+                    absorbed = sum(c.stats.bytes_absorbed
+                                   for c in system.copier.clients)
+                res[mode] = (mean, absorbed)
+            rows.append((n_keys, value_len, res))
+        return rows
+
+    rows = once(run)
+    table = ResultTable(
+        "memcached multi-get: gather of N values into one reply",
+        ["keys", "value", "baseline", "Copier", "gain", "absorbed KB"])
+    for n_keys, value_len, res in rows:
+        base, _ = res["sync"]
+        cop, absorbed = res["copier"]
+        table.add(n_keys, value_len, base, cop,
+                  "%.1f%%" % (improvement(base, cop) * 100),
+                  "%.0f" % (absorbed / 1024))
+    table.show()
+
+    for n_keys, value_len, res in rows:
+        base, _ = res["sync"]
+        cop, absorbed = res["copier"]
+        assert cop < base, (n_keys, value_len)
+        # The gather was mostly short-circuited.
+        assert absorbed > 0
+    # Bigger gathers absorb more and keep winning.
+    first_gain = improvement(rows[0][2]["sync"][0], rows[0][2]["copier"][0])
+    last_gain = improvement(rows[-1][2]["sync"][0], rows[-1][2]["copier"][0])
+    assert last_gain > 0.05

@@ -1,0 +1,66 @@
+"""§2.2's motivation: real request-size mixes are dominated by small and
+medium copies, where remap-based zero-copy cannot help.
+
+The paper cites production traces: 95.1 % of Twitter memcached requests
+are ≤10 KB and 69.8 % of AliCloud block requests are ≤10 KB.  We drive
+the Redis server with a synthetic mix matching the Twitter distribution's
+shape and compare Copier against zIO across the *whole mix* — the regime
+argument for why copy needs a general service rather than a large-copy
+special case.
+"""
+
+import pytest
+
+from repro.apps.rediskv import RedisClient, RedisServer
+from repro.bench.report import ResultTable, improvement
+from repro.kernel import System
+from repro.kernel.net import socket_pair
+
+from repro.bench.distributions import TWITTER_CACHE
+
+
+def _mix_ops(n_total):
+    sizes = TWITTER_CACHE.sequence(n_total)
+    return [("SET", b"key-%06d" % (i % 16), size)
+            for i, size in enumerate(sizes)]
+
+
+def _run_mix(mode, n_requests=60):
+    system = System(n_cores=4, copier=(mode == "copier"),
+                    phys_frames=262144)
+    server = RedisServer(system, mode=mode)
+    listen_rx, listen_tx = socket_pair(system)
+    ra, rb = socket_pair(system)
+    client = RedisClient(system, 0, listen_tx, rb)
+    ops = _mix_ops(n_requests)
+    server.proc.spawn(server.serve(listen_rx, {0: ra}, len(ops)),
+                      affinity=0)
+    cp = client.proc.spawn(client.run(ops), affinity=1)
+    system.env.run_until(cp.terminated, limit=2_000_000_000_000)
+    return client.latency.mean, client.latency.p99
+
+
+def test_trace_shaped_mix(once):
+    def run():
+        return {mode: _run_mix(mode) for mode in ("sync", "copier", "zio")}
+
+    results = once(run)
+    table = ResultTable(
+        "Twitter-shaped SET mix (95% <=10KB): mean/P99 latency — why a "
+        "general copy service beats large-copy-only zero-copy (§2.2)",
+        ["mode", "mean", "p99"])
+    for mode, (mean, p99) in results.items():
+        table.add(mode, mean, p99)
+    table.show()
+
+    sync_mean, _ = results["sync"]
+    cop_mean, cop_p99 = results["copier"]
+    zio_mean, _ = results["zio"]
+    # Copier helps the whole mix; zIO cannot (its threshold excludes ~95%
+    # of requests, and input-buffer reuse penalizes the rest).
+    assert cop_mean < sync_mean
+    assert cop_mean < zio_mean
+    # The mix's small-request majority means the aggregate gain is
+    # moderate — but positive, unlike the remap-based baseline.
+    gain = improvement(sync_mean, cop_mean)
+    assert 0.0 < gain < 0.5, gain

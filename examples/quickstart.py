@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: async copy with Copier in five minutes.
+
+Builds a 4-core simulated machine with the Copier service on the last
+core, then walks through the programming model of Fig. 4:
+
+1. ``amemcpy`` — submit an asynchronous copy and keep computing;
+2. ``csync`` — make a prefix of the data consistent right before use;
+3. post-copy handlers — delegate the ``free(src)`` to Copier;
+4. the payoff — the copy ran while your code was busy doing real work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.api import LibCopier
+from repro.kernel import System
+from repro.sim import Compute
+
+
+def main():
+    system = System(n_cores=4, copier=True, phys_frames=65536)
+    proc = system.create_process("quickstart")
+    lib = LibCopier(proc)
+
+    n = 256 * 1024
+    src = proc.mmap(n, populate=True, contiguous=True)
+    dst = proc.mmap(n, populate=True, contiguous=True)
+    proc.write(src, bytes([i % 251 for i in range(n)]))
+    freed = []
+
+    def app():
+        # --- the old, blocking way (for comparison) -------------------
+        t0 = system.env.now
+        yield from system.sync_copy(proc, proc.aspace, src,
+                                    proc.aspace, dst, n, engine="avx")
+        yield Compute(50_000)  # pretend to work on the data
+        sync_total = system.env.now - t0
+
+        # --- the Copier way --------------------------------------------
+        t0 = system.env.now
+        # Submit and immediately continue; a UFUNC will "free" src later.
+        yield from lib._amemcpy(dst, src, n,
+                                func=("ufunc", freed.append, (src,)))
+        yield Compute(50_000)  # the copy overlaps this work
+        # Only sync the prefix we need right now (copy-use pipeline):
+        yield from lib.csync(dst, 4096)
+        first_page = proc.read(dst, 16)
+        # ...and the rest before we finish.
+        yield from lib.csync(dst, n)
+        yield from lib.post_handlers()  # runs the delegated free
+        async_total = system.env.now - t0
+        return sync_total, async_total, first_page
+
+    p = proc.spawn(app(), affinity=0)
+    system.env.run_until(p.terminated, limit=10_000_000_000)
+    sync_total, async_total, first_page = p.result
+
+    print("payload intact:      %s" % (proc.read(dst, n) == proc.read(src, n)))
+    print("handler ran (freed): %s" % (freed == [src]))
+    print("first bytes:         %s..." % first_page.hex()[:16])
+    print("sync  copy + work:   %7d cycles" % sync_total)
+    print("async copy + work:   %7d cycles  (%.0f%% faster)"
+          % (async_total, (1 - async_total / sync_total) * 100))
+    print("bytes via DMA:       %d" % system.copier.dma.bytes_copied)
+
+
+if __name__ == "__main__":
+    main()

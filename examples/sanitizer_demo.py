@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CopierSanitizer finding a missing csync (§5.1.2) + CopierGen fixing it.
+
+Shows the toolchain workflow the paper describes for porting:
+
+1. a buggy port reads an async-copy destination without csync;
+2. CopierSanitizer's shadow memory catches both the premature read and
+   the free-before-csync of the source (the Fig. 4 copyUse bug);
+3. CopierGen's csync-insertion pass ports the same program mechanically,
+   and the sanitizer comes back clean.
+
+Run:  python examples/sanitizer_demo.py
+"""
+
+from repro.tools.copiergen import Program, port_program
+from repro.tools.copiergen.ir import op
+from repro.tools.sanitizer import CopierSanitizer
+
+
+def main():
+    # The buggy program: copy, then use dst and free src with no csync.
+    buggy = Program([
+        op("memcpy", ("B", 0), ("A", 0), 4096),
+        op("load", "x", ("B", 100), 8),    # BUG: dst read before csync
+        op("free", ("A", 0), 4096),        # BUG: src freed before csync
+    ])
+
+    print("1) Running the buggy port under CopierSanitizer:")
+    san = CopierSanitizer()
+    _simulate(buggy, san)
+    for report in san.summary():
+        print("   REPORT:", report)
+    assert len(san.reports) == 2
+
+    print("\n2) CopierGen ports the program (csync insertion pass):")
+    ported = port_program(buggy)
+    for operation in ported:
+        print("   ", operation)
+
+    print("\n3) Sanitizer on the ported program:")
+    san2 = CopierSanitizer()
+    _simulate(ported, san2)
+    print("   reports: %d (clean)" % len(san2.reports))
+    assert not san2.reports
+
+
+def _simulate(program, san):
+    """Feed the IR's accesses through the sanitizer's shadow memory."""
+    base = {"A": 0x10000, "B": 0x20000, "C": 0x30000}
+
+    def addr(a):
+        return base[a[0]] + a[1]
+
+    for operation in program:
+        kind = operation[0]
+        if kind in ("memcpy", "amemcpy"):
+            _k, dst, src, n = operation
+            san.on_amemcpy(addr(dst), addr(src), n)
+        elif kind == "csync":
+            _k, a, n = operation
+            san.on_csync(addr(a), n)
+            # csync through the dst also releases the matching src bytes.
+            san.release_source(base["A"] + a[1], n)
+        elif kind == "load":
+            _k, _var, a, n = operation
+            san.read(addr(a), n)
+        elif kind == "store":
+            _k, a, n = operation
+            san.write(addr(a), n)
+        elif kind == "free":
+            _k, a, n = operation
+            san.free(addr(a), n)
+
+
+if __name__ == "__main__":
+    main()

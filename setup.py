@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools 65.5 without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets ``python setup.py develop`` (and pip's legacy
+editable path) work offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Copier: coordinated asynchronous memory copy as a first-class OS service.
+
+A complete executable reproduction of He et al., SOSP 2025, on a
+discrete-event machine simulator.  The three objects most users need:
+
+>>> from repro import System, LibCopier, Compute
+>>> system = System(n_cores=4, copier=True)
+>>> proc = system.create_process("app")
+>>> lib = LibCopier(proc)
+
+then write application logic as a generator using ``lib.amemcpy`` /
+``lib.csync`` and run it with ``proc.spawn`` + ``system.env.run_until``.
+See README.md for the full tour and DESIGN.md for how the simulated
+substrate maps onto the paper's systems.
+"""
+
+from repro.api import LibCopier
+from repro.kernel import System
+from repro.sim import Compute, Timeout, WaitEvent
+
+__version__ = "1.0.0"
+
+__all__ = ["System", "LibCopier", "Compute", "Timeout", "WaitEvent",
+           "__version__"]

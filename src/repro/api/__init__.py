@@ -1,0 +1,6 @@
+"""libCopier: the developer-facing toolkit API (§5.1, Table 2)."""
+
+from repro.api.libcopier import LibCopier
+from repro.api.shm_bind import ShmBinding
+
+__all__ = ["LibCopier", "ShmBinding"]

@@ -1,0 +1,163 @@
+"""libCopier: high-level and low-level developer APIs (Table 2).
+
+High level — ``amemcpy``/``amemmove``/``csync``/``csync_all`` on the
+process's default queues, with pooled descriptors managed internally.
+
+Low level — ``_amemcpy``/``_csync`` for framework authors: custom
+descriptor reuse, lazy tasks, post-copy FUNCs, and per-thread queues
+(``copier_create_queue`` returns an fd naming an extra queue set whose
+dependency domain is independent of the default one, §5.1.1).
+
+All time-consuming methods are generators: invoke with ``yield from``
+inside a simulator process.
+"""
+
+from repro.sim import Compute
+
+_BOUNCE_BYTES = 256 * 1024
+
+
+class LibCopier:
+    """Per-process library state bound to one OS process."""
+
+    def __init__(self, process):
+        if process.client is None:
+            raise ValueError("process has no Copier client (copier disabled?)")
+        self.process = process
+        self.service = process.client.service
+        self._fd_clients = {-1: process.client}
+        self._next_fd = 3
+        self._bounce_va = None
+        self._bounce_len = 0
+
+    @property
+    def client(self):
+        return self._fd_clients[-1]
+
+    def _client_for(self, fd):
+        try:
+            return self._fd_clients[fd]
+        except KeyError:
+            raise ValueError("unknown Copier queue fd %d" % fd) from None
+
+    # ----------------------------------------------------------- high level
+
+    def amemcpy(self, dst, src, size):
+        """Async memcpy on the default queues; returns the descriptor."""
+        return (yield from self.client.amemcpy(dst, src, size))
+
+    def amemmove(self, dst, src, size):
+        """Async memmove: overlap-safe (§3 footnote).
+
+        Non-overlapping ranges degrade to one task.  Overlapping ranges
+        bounce through a recycled intermediate buffer as two chained tasks;
+        WAR tracking orders them, and copy absorption keeps the bounce off
+        the critical path.
+        """
+        if size == 0 or dst == src:
+            return None
+        if dst + size <= src or src + size <= dst:
+            return (yield from self.client.amemcpy(dst, src, size))
+        bounce = self._get_bounce(size)
+        yield from self.client.amemcpy(bounce, src, size)
+        return (yield from self.client.amemcpy(dst, bounce, size))
+
+    def _get_bounce(self, size):
+        if self._bounce_len < size:
+            self._bounce_va = self.process.aspace.mmap(
+                max(size, _BOUNCE_BYTES), name="libcopier-bounce")
+            self._bounce_len = max(size, _BOUNCE_BYTES)
+        return self._bounce_va
+
+    def csync(self, addr, size):
+        """Ensure prior async copies covering [addr, addr+size) landed."""
+        yield from self.client.csync(addr, size)
+
+    def csync_all(self):
+        """Ensure all async copies and FUNCs of this process finished."""
+        for client in self._fd_clients.values():
+            yield from client.csync_all()
+
+    def post_handlers(self):
+        """Run queued UFUNC handlers (call periodically, Fig. 4)."""
+        for client in self._fd_clients.values():
+            yield from client.post_handlers()
+
+    # ------------------------------------------------------------ low level
+
+    def _amemcpy(self, dst, src, size, fd=-1, func=None, desc=None,
+                 lazy=False, segment_bytes=None):
+        """Expert amemcpy: custom queue (fd), descriptor reuse, FUNC, lazy.
+
+        Reusing a descriptor for a recycled I/O buffer skips allocation
+        and the csync table lookup (§5.1.1).
+        """
+        client = self._client_for(fd)
+        if desc is not None:
+            desc.reset()
+        return (yield from client.amemcpy(
+            dst, src, size, handler=func, descriptor=desc, lazy=lazy,
+            segment_bytes=segment_bytes))
+
+    def _csync(self, offset, size, fd=-1, descriptor=None):
+        """Expert csync: with ``descriptor`` the bitmap is checked directly
+        (no address-index lookup); otherwise falls back to address lookup
+        on the fd's queues."""
+        client = self._client_for(fd)
+        if descriptor is None:
+            yield from client.csync(offset, size)
+            return
+        params = self.service.params
+        yield Compute(params.csync_check_cycles, tag="csync")
+        if descriptor.range_ready(offset, size):
+            return
+        spin = params.csync_spin_cycles
+        while not descriptor.range_ready(offset, size):
+            if descriptor.aborted:
+                from repro.copier.errors import CopyAborted
+                raise CopyAborted("descriptor aborted during _csync")
+            yield Compute(spin, tag="csync")
+            spin = min(spin * 2, 800)
+
+    def aabort(self, addr, size, fd=-1):
+        """Submit an abort Sync Task discarding queued copies (§4.4)."""
+        yield from self._client_for(fd).abort(addr, size)
+
+    # ----------------------------------------------------- queue management
+
+    def copier_create_queue(self, capacity=1024):
+        """Create an extra queue set (its own dependency domain); returns fd.
+
+        Maps to the paper's per-thread queues: web-server-style apps whose
+        threads have no cross-thread copy dependencies give each thread its
+        own fd to avoid serializing through one ring (§5.1.1).
+        """
+        fd = self._next_fd
+        self._next_fd += 1
+        client = self.service.create_client(
+            self.process.aspace,
+            name="%s-q%d" % (self.process.name, fd),
+            queue_capacity=capacity)
+        client.process = self.process.sim_proc
+        self._fd_clients[fd] = client
+        return fd
+
+    def copier_create_mapped_queue(self, capacity=1024):
+        """Table 2's mapped-queue variant: create queues and map the
+        u-mode set into the process.  In this substrate queues are plain
+        objects, so creation and mapping coincide; the distinct entry
+        point is kept for API parity."""
+        return self.copier_create_queue(capacity)
+
+    def set_copier_opt(self, **opts):
+        """Global knobs (copy slice, lazy period)."""
+        if "copy_slice_bytes" in opts:
+            self.service.scheduler.copy_slice_bytes = opts.pop("copy_slice_bytes")
+        if "lazy_period_cycles" in opts:
+            self.service.lazy_period_cycles = opts.pop("lazy_period_cycles")
+        if opts:
+            raise ValueError("unknown Copier options: %s" % sorted(opts))
+
+    def copier_awaken(self, fd=-1):
+        """Wake a sleeping Copier thread (scenario mode)."""
+        self.service.awaken()

@@ -1,0 +1,75 @@
+"""Shared-memory descriptor binding (§5.1.1).
+
+Processes exchanging data through shared memory establish a dedicated
+descriptor region (*Dshm*) bound to the segment; a consumer csyncs by the
+data's offset into the segment, locating the producer's descriptor without
+any channel of its own.  Binder's Parcel is the flagship user (§5.2).
+"""
+
+from repro.copier.task import Region, SyncTask
+from repro.sim import Compute
+
+_MAX_SPIN = 800
+
+
+class ShmBinding:
+    """The Dshm: offset-indexed descriptors for copies into one segment."""
+
+    def __init__(self, service, segment):
+        self.service = service
+        self.segment = segment
+        # offset -> (length, descriptor, owner_client, dst_region)
+        self._entries = {}
+
+    def record(self, offset, length, descriptor, owner_client, dst_region):
+        """Producer side: publish the descriptor for a copy into
+        [offset, offset+length) of the segment."""
+        self._entries[offset] = (length, descriptor, owner_client, dst_region)
+
+    def entries_covering(self, offset, length):
+        out = []
+        end = offset + length
+        for off, (ln, desc, owner, dst) in self._entries.items():
+            if off < end and offset < off + ln:
+                out.append((off, ln, desc, owner, dst))
+        return out
+
+    def csync(self, offset, length, env=None):
+        """Consumer side: wait for [offset, offset+length) of the segment.
+
+        Spins on the bound descriptors; submits Sync Tasks to the producer's
+        k-mode queue to promote the needed segments.  Generator.
+        """
+        params = self.service.params
+        yield Compute(params.csync_check_cycles, tag="csync")
+        entries = self.entries_covering(offset, length)
+        if self._ready(entries, offset, length):
+            return
+        for off, ln, desc, owner, dst in entries:
+            lo = max(offset, off)
+            hi = min(offset + length, off + ln)
+            if desc.range_ready(lo - off, hi - lo):
+                continue
+            sync = SyncTask(owner, "k",
+                            Region(dst.aspace, dst.start + (lo - off), hi - lo))
+            sync.submitted_at = self.service.env.now
+            owner.k_queues.sync.submit(sync)
+            self.service.notify_submit(owner)
+        spin = params.csync_spin_cycles
+        while not self._ready(entries, offset, length):
+            yield Compute(spin, tag="csync")
+            spin = min(spin * 2, _MAX_SPIN)
+
+    @staticmethod
+    def _ready(entries, offset, length):
+        for off, ln, desc, _owner, _dst in entries:
+            lo = max(offset, off)
+            hi = min(offset + length, off + ln)
+            if hi > lo and not desc.range_ready(lo - off, hi - lo):
+                return False
+        return True
+
+
+def shm_descr_bind(service, segment):
+    """Create the binding for a segment (Table 2's shm_descr_bind)."""
+    return ShmBinding(service, segment)

@@ -1,0 +1,10 @@
+"""Workload-faithful miniature applications (§6.2).
+
+Each app reproduces the copy sequence and compute interleaving of its
+real-world counterpart so that Copy-Use windows — and hence Copier's
+benefit — emerge from the same mechanics the paper measured.
+"""
+
+from repro.apps.common import LatencyRecorder, percentile
+
+__all__ = ["LatencyRecorder", "percentile"]

@@ -1,0 +1,163 @@
+"""HarmonyOS Avcodec video decode pipeline on the phone profile (§6.2.4).
+
+Per frame: decode into internal buffers, copy the decoded picture to the
+frame buffer handed to rendering, then run post-processing/submission
+logic before the renderer consumes the pixels.  Copier (scenario-driven —
+the service sleeps between bursts, §5.3) overlaps the frame copy with the
+post-decode logic; the renderer csyncs before reading.
+
+Metrics: per-frame latency, dropped frames (deadline misses) and energy
+(per-core power integration) — Fig. 13-c's axes.
+"""
+
+from repro.sim import Compute, Timeout
+from repro.sim.stats import EnergyModel
+
+#: 30 fps deadline at a notional 2.9 GHz.
+FRAME_DEADLINE_CYCLES = int(2.9e9 / 30)
+
+DECODE_CYCLES_PER_BYTE = 1.4   # entropy decode + reconstruction
+POST_CYCLES_PER_BYTE = 0.35    # color conversion setup, fence plumbing
+RENDER_SUBMIT_CYCLES = 20_000
+
+
+class VideoDecoder:
+    """Decodes ``n_frames`` of ``frame_bytes`` each."""
+
+    def __init__(self, system, mode="sync", frame_bytes=1 << 20,
+                 name="avcodec"):
+        self.system = system
+        self.mode = mode
+        self.frame_bytes = frame_bytes
+        self.proc = system.create_process(name)
+        self.inner = self.proc.mmap(frame_bytes, populate=True,
+                                    name="avc-inner")
+        self.framebuf = self.proc.mmap(frame_bytes, populate=True,
+                                       name="avc-fb")
+        self.latencies = []
+        self.dropped = 0
+
+    def decode_stream(self, n_frames, deadline=FRAME_DEADLINE_CYCLES):
+        system, proc = self.system, self.proc
+        lib = proc.client if self.mode == "copier" else None
+        if lib is not None and system.copier.polling == "scenario":
+            system.copier.scenario_begin()
+        for _frame in range(n_frames):
+            t0 = system.env.now
+            # Decode into the internal buffer.
+            yield system.app_compute(
+                proc, int(self.frame_bytes * DECODE_CYCLES_PER_BYTE))
+            # Copy decoded picture to the frame buffer...
+            if lib is not None:
+                yield from lib.amemcpy(self.framebuf, self.inner,
+                                       self.frame_bytes)
+            else:
+                yield from system.sync_copy(
+                    proc, proc.aspace, self.inner, proc.aspace,
+                    self.framebuf, self.frame_bytes, engine="avx")
+            # ...overlapped with post-decode logic under Copier.
+            yield system.app_compute(
+                proc, int(self.frame_bytes * POST_CYCLES_PER_BYTE))
+            if lib is not None:
+                # Renderer consumes the pixels: sync before handing over.
+                yield from lib.csync(self.framebuf, self.frame_bytes)
+            yield Compute(RENDER_SUBMIT_CYCLES, tag="app")
+            latency = system.env.now - t0
+            self.latencies.append(latency)
+            if latency > deadline:
+                self.dropped += 1
+            else:
+                # Pace to the display clock.
+                yield Timeout(deadline - latency)
+        if lib is not None and system.copier.polling == "scenario":
+            # Idle: the scenario ends and the Copier thread sleeps (§5.3).
+            system.copier.scenario_end()
+
+    @property
+    def mean_latency(self):
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0
+
+
+def measure_energy(system):
+    """Total energy (arbitrary units) consumed so far on all cores."""
+    return EnergyModel().energy(system.env.cores)
+
+
+CAPTURE_CYCLES_PER_BYTE = 0.15   # ISP post-processing per captured byte
+ENCODE_CYCLES_PER_BYTE = 1.8     # H.265-class encoding
+MUX_SUBMIT_CYCLES = 15_000       # container muxing + writeback submit
+
+
+class VideoRecorder:
+    """Camera-recording pipeline (Fig. 2-b's other copy-heavy scenario).
+
+    Per frame: the camera ISP delivers a capture buffer, the frame is
+    copied into the encoder's input ring, encoded, and the bitstream
+    copied out to the muxer.  Copier overlaps the capture→encoder copy
+    with ISP post-processing and the bitstream copy with muxing — the
+    recording mirror of :class:`VideoDecoder`.
+    """
+
+    def __init__(self, system, mode="sync", frame_bytes=1 << 20,
+                 name="camera"):
+        self.system = system
+        self.mode = mode
+        self.frame_bytes = frame_bytes
+        self.proc = system.create_process(name)
+        self.capture = self.proc.mmap(frame_bytes, populate=True,
+                                      name="cam-capture")
+        self.enc_in = self.proc.mmap(frame_bytes, populate=True,
+                                     name="cam-encin")
+        self.bitstream = self.proc.mmap(frame_bytes // 4, populate=True,
+                                        name="cam-bits")
+        self.mux_buf = self.proc.mmap(frame_bytes // 4, populate=True,
+                                      name="cam-mux")
+        self.latencies = []
+
+    def record(self, n_frames, deadline=FRAME_DEADLINE_CYCLES):
+        system, proc = self.system, self.proc
+        lib = proc.client if self.mode == "copier" else None
+        if lib is not None and system.copier.polling == "scenario":
+            system.copier.scenario_begin()
+        bits = self.frame_bytes // 4
+        for frame in range(n_frames):
+            t0 = system.env.now
+            proc.write(self.capture, bytes([frame % 251]) * 64)
+            # Stage 1: capture buffer -> encoder input, overlapping the
+            # ISP post-processing under Copier.
+            if lib is not None:
+                yield from lib.amemcpy(self.enc_in, self.capture,
+                                       self.frame_bytes)
+                yield system.app_compute(
+                    proc, int(self.frame_bytes * CAPTURE_CYCLES_PER_BYTE))
+                yield from lib.csync(self.enc_in, self.frame_bytes)
+            else:
+                yield from system.sync_copy(
+                    proc, proc.aspace, self.capture, proc.aspace,
+                    self.enc_in, self.frame_bytes, engine="avx")
+                yield system.app_compute(
+                    proc, int(self.frame_bytes * CAPTURE_CYCLES_PER_BYTE))
+            # Stage 2: encode.
+            yield system.app_compute(
+                proc, int(self.frame_bytes * ENCODE_CYCLES_PER_BYTE))
+            proc.write(self.bitstream, bytes([frame % 199]) * 32)
+            # Stage 3: bitstream -> muxer, overlapping mux bookkeeping.
+            if lib is not None:
+                yield from lib.amemcpy(self.mux_buf, self.bitstream, bits)
+                yield Compute(MUX_SUBMIT_CYCLES, tag="app")
+                yield from lib.csync(self.mux_buf, bits)
+            else:
+                yield from system.sync_copy(
+                    proc, proc.aspace, self.bitstream, proc.aspace,
+                    self.mux_buf, bits, engine="avx")
+                yield Compute(MUX_SUBMIT_CYCLES, tag="app")
+            latency = system.env.now - t0
+            self.latencies.append(latency)
+            if latency < deadline:
+                yield Timeout(deadline - latency)
+        if lib is not None and system.copier.polling == "scenario":
+            system.copier.scenario_end()
+
+    @property
+    def mean_latency(self):
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0

@@ -1,0 +1,66 @@
+"""Shared plumbing for the miniature applications."""
+
+
+class LatencyRecorder:
+    """Collects per-request latencies (cycles) and summarizes them."""
+
+    def __init__(self):
+        self.samples = []
+
+    def record(self, latency):
+        self.samples.append(latency)
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    @property
+    def mean(self):
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def p(self, q):
+        return percentile(self.samples, q)
+
+    @property
+    def p99(self):
+        return self.p(99)
+
+    def throughput(self, elapsed_cycles, hz=2.9e9):
+        """Requests per second given total elapsed virtual cycles."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.count / (elapsed_cycles / hz)
+
+
+def percentile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+# Request framing used by the Redis-like protocol.
+HEADER_LEN = 64
+KEY_LEN = 16
+
+
+def encode_set(key, value_len):
+    header = b"SET" + b"\x00" * (HEADER_LEN - 3 - 8)
+    header += value_len.to_bytes(8, "little")
+    return header + key.ljust(KEY_LEN, b"\x00")
+
+
+def encode_get(key):
+    header = b"GET" + b"\x00" * (HEADER_LEN - 3 - 8) + (0).to_bytes(8, "little")
+    return header + key.ljust(KEY_LEN, b"\x00")
+
+
+def decode_header(data):
+    op = data[:3].decode("ascii")
+    value_len = int.from_bytes(data[HEADER_LEN - 8:HEADER_LEN], "little")
+    key = data[HEADER_LEN:HEADER_LEN + KEY_LEN].rstrip(b"\x00")
+    return op, key, value_len

@@ -1,0 +1,168 @@
+"""memcached-style cache server with multi-get (§5.1.1's web-server case).
+
+Differs from the Redis miniature in two paper-relevant ways:
+
+* **worker threads** — memcached is threaded; each worker owns a
+  per-thread queue fd so independent connections never share a ring
+  (§5.1.1 multi-queue support);
+* **multi-get** — one request fetches N keys and the reply concatenates
+  N values: a scatter-gather of user copies into the output buffer that
+  Copier's absorption collapses into N short-circuit copies straight to
+  the socket buffer.
+
+Protocol: requests are ``op(1) nkeys(1) key_ids(nkeys)``; SETs append
+``value_len(4) + value``.  Key ids are single bytes (a 256-slot cache).
+"""
+
+from repro.api import LibCopier
+from repro.kernel.net import recv, send, socket_pair
+
+OP_SET = 1
+OP_MGET = 2
+PARSE_CYCLES = 350
+HASH_CYCLES_PER_KEY = 250
+
+
+def encode_set(key_id, value):
+    return bytes([OP_SET, 1, key_id]) + len(value).to_bytes(4, "little") \
+        + value
+
+
+def encode_mget(key_ids):
+    return bytes([OP_MGET, len(key_ids)]) + bytes(key_ids)
+
+
+class MemcachedServer:
+    """A threaded cache; workers share the value store."""
+
+    def __init__(self, system, mode="sync", name="memcached",
+                 arena_bytes=1 << 24):
+        self.system = system
+        self.mode = mode
+        self.proc = system.create_process(name)
+        self.lib = LibCopier(self.proc) if mode == "copier" else None
+        self.arena = self.proc.mmap(arena_bytes, name="mc-arena")
+        self._arena_cursor = 0
+        self._arena_bytes = arena_bytes
+        self.slots = {}  # key_id -> (va, length)
+        self.requests = 0
+
+    def _alloc(self, length):
+        aligned = (length + 4095) & ~4095
+        if self._arena_cursor + aligned > self._arena_bytes:
+            self._arena_cursor = 0
+        va = self.arena + self._arena_cursor
+        self._arena_cursor += aligned
+        return va
+
+    def worker(self, sock, reply_sock, n_requests):
+        """One worker loop (generator) with its own queue fd."""
+        system, proc = self.system, self.proc
+        params = system.params
+        rx = proc.mmap(1 << 20, populate=True)
+        tx = proc.mmap(1 << 20, populate=True)
+        client = None
+        if self.lib is not None:
+            client = self.lib._client_for(self.lib.copier_create_queue())
+        for _ in range(n_requests):
+            use_async = client is not None
+            got = yield from recv(system, proc, sock, rx, 1 << 20,
+                                  mode="copier" if use_async else "sync",
+                                  lazy=use_async, client=client)
+            if use_async:
+                yield from client.csync(rx, min(got, 64))
+            yield system.app_compute(proc, PARSE_CYCLES)
+            header = proc.read(rx, min(got, 64))
+            op, nkeys = header[0], header[1]
+            key_ids = list(header[2:2 + nkeys])
+            yield system.app_compute(proc, nkeys * HASH_CYCLES_PER_KEY)
+            if op == OP_SET:
+                value_len = int.from_bytes(header[2 + nkeys:6 + nkeys],
+                                           "little")
+                src = rx + 2 + nkeys + 4
+                va = self._alloc(value_len)
+                if (use_async and value_len
+                        >= params.copier_user_min_bytes):
+                    yield from client.amemcpy(va, src, value_len)
+                    yield from client.csync(va, value_len)
+                    yield from client.abort(src, value_len)
+                else:
+                    if use_async:
+                        yield from client.csync(src, value_len)
+                    yield from system.sync_copy(proc, proc.aspace, src,
+                                                proc.aspace, va, value_len,
+                                                engine="avx")
+                self.slots[key_ids[0]] = (va, value_len)
+                proc.write(tx, b"OK")
+                yield from send(system, proc, reply_sock, tx, 2,
+                                client=client)
+            else:
+                # Multi-get: gather every value into the reply buffer.
+                cursor = 8
+                gathered = []
+                for key_id in key_ids:
+                    va, length = self.slots[key_id]
+                    if (use_async and length
+                            >= params.copier_user_min_bytes):
+                        yield from client.amemcpy(tx + cursor, va, length,
+                                                  lazy=True)
+                        gathered.append((tx + cursor, length))
+                    else:
+                        yield from system.sync_copy(
+                            proc, proc.aspace, va, proc.aspace,
+                            tx + cursor, length, engine="avx")
+                    cursor += length
+                proc.write(tx, cursor.to_bytes(8, "little"))
+                yield from send(system, proc, reply_sock, tx, cursor,
+                                mode="copier" if use_async else "sync",
+                                client=client)
+                for dst, length in gathered:
+                    yield from client.abort(dst, length)
+            self.requests += 1
+
+
+def run_memcached(system, mode, value_len, n_keys, n_requests,
+                  n_workers=2, limit=500_000_000_000):
+    """Workers serve closed-loop clients doing multi-gets.
+
+    Returns (server, mean latency, elapsed).
+    """
+    server = MemcachedServer(system, mode=mode)
+    n_app_cores = max(1, system.env.cores.n_cores - 1)
+    client_procs = []
+    latencies = []
+    for w in range(n_workers):
+        c2s_tx, c2s_rx = socket_pair(system, "mc-c2s-%d" % w)
+        s2c_tx, s2c_rx = socket_pair(system, "mc-s2c-%d" % w)
+        system.env.spawn(
+            server.worker(c2s_rx, s2c_tx, n_requests + n_keys),
+            name="mc-worker-%d" % w, affinity=w % n_app_cores)
+        client = system.create_process("mc-client-%d" % w)
+        tx = client.mmap(1 << 20, populate=True)
+        rx = client.mmap(1 << 20, populate=True)
+
+        def client_gen(client=client, tx=tx, rx=rx, w=w,
+                       to_srv=c2s_tx, from_srv=s2c_rx):
+            key_base = w * n_keys
+            # Populate this worker's keys.
+            for k in range(n_keys):
+                msg = encode_set(key_base + k, bytes([k + 1]) * value_len)
+                client.write(tx, msg)
+                yield from send(system, client, to_srv, tx, len(msg))
+                yield from recv(system, client, from_srv, rx, 1 << 20)
+            for _ in range(n_requests):
+                msg = encode_mget([key_base + k for k in range(n_keys)])
+                client.write(tx, msg)
+                t0 = system.env.now
+                yield from send(system, client, to_srv, tx, len(msg))
+                yield from recv(system, client, from_srv, rx, 1 << 20)
+                latencies.append(system.env.now - t0)
+
+        client_procs.append(system.env.spawn(
+            client_gen(), name="mc-client-%d" % w,
+            affinity=(w + 1) % n_app_cores))
+    t0 = system.env.now
+    for p in client_procs:
+        system.env.run_until(p.terminated, limit=limit)
+    elapsed = system.env.now - t0
+    return server, sum(latencies) / len(latencies), elapsed

@@ -1,0 +1,54 @@
+"""libpng-style image decode from a file (§2, Fig. 2/3's PNG rows).
+
+The decoder read()s the compressed image from the page cache and
+decompresses it row by row — a sequential, one-time-use access pattern
+with a Copy-Use window between read() returning and each row being
+inflated (the file-I/O sibling of the recv() pipeline).
+"""
+
+from repro.kernel.fileio import file_read
+
+ROW_BYTES = 2048
+INFLATE_CYCLES_PER_BYTE = 1.0   # zlib inflate + defilter per row
+IMAGE_SETUP_CYCLES = 1200       # header parse, palette, buffers
+
+
+class PNGDecoder:
+    """Reads and decodes one image per call."""
+
+    def __init__(self, system, mode="sync", name="libpng"):
+        self.system = system
+        self.mode = mode
+        self.proc = system.create_process(name)
+        self.io_buf = self.proc.mmap(1 << 20, populate=True, name="png-io")
+        self.decoded = self.proc.mmap(1 << 20, populate=True,
+                                      name="png-out")
+
+    def decode_file(self, fobj):
+        """Generator; returns (latency_cycles, decoded_bytes)."""
+        system, proc = self.system, self.proc
+        n = fobj.length
+        use_async = (self.mode == "copier"
+                     and n >= system.params.copier_kernel_min_bytes)
+        t0 = system.env.now
+        got = yield from file_read(system, proc, fobj, 0, self.io_buf, n,
+                                   mode="copier" if use_async else "sync")
+        yield system.app_compute(proc, IMAGE_SETUP_CYCLES)
+        pos = 0
+        while pos < got:
+            row = min(ROW_BYTES, got - pos)
+            if use_async:
+                # Inflate consumes rows in order: sync just this row.
+                yield from proc.client.csync(self.io_buf + pos, row)
+            yield system.app_compute(proc,
+                                     int(row * INFLATE_CYCLES_PER_BYTE))
+            # "Decode" = involutive transform so tests can verify content.
+            data = proc.read(self.io_buf + pos, row)
+            proc.write(self.decoded + pos, bytes(b ^ 0xFF for b in data))
+            pos += row
+        return system.env.now - t0, proc.read(self.decoded, got)
+
+
+def encode_image(raw):
+    """The inverse of the decoder's transform (for test fixtures)."""
+    return bytes(b ^ 0xFF for b in raw)

@@ -1,0 +1,70 @@
+"""Protobuf-style receive + deserialize pipeline (§6.2.3, Fig. 13-a).
+
+An app receives a length-delimited serialized message and decodes it into
+fields.  Deserialization walks the buffer sequentially, so with Copier the
+recv copy streams in parallel with decoding: each field chunk is csynced
+just before it is parsed (the copy-use pipeline of §4.1).
+"""
+
+from repro.kernel.net import recv
+
+FIELD_BYTES = 1024
+DECODE_CYCLES_PER_BYTE = 0.8  # varint+utf8 validation etc.
+MSG_INIT_CYCLES = 900         # arena/message object setup
+
+
+def serialize(fields):
+    """Length-delimited encoding: [u32 len][bytes]..."""
+    out = bytearray()
+    for field in fields:
+        out += len(field).to_bytes(4, "little")
+        out += field
+    return bytes(out)
+
+
+def deserialize_bytes(data):
+    fields = []
+    pos = 0
+    while pos + 4 <= len(data):
+        ln = int.from_bytes(data[pos:pos + 4], "little")
+        pos += 4
+        if ln == 0 or pos + ln > len(data):
+            break
+        fields.append(data[pos:pos + ln])
+        pos += ln
+    return fields
+
+
+class ProtobufReceiver:
+    """Receives one serialized message and deserializes it."""
+
+    def __init__(self, system, mode="sync", name="protobuf"):
+        self.system = system
+        self.mode = mode
+        self.proc = system.create_process(name)
+        self.buf = self.proc.mmap(1 << 20, populate=True, name="pb-buf")
+        self.messages = []
+
+    def recv_and_deserialize(self, sock, msg_bytes):
+        """Generator; returns (latency_cycles, fields)."""
+        system, proc = self.system, self.proc
+        use_async = (self.mode == "copier"
+                     and msg_bytes >= system.params.copier_kernel_min_bytes)
+        t0 = system.env.now
+        got = yield from recv(system, proc, sock, self.buf, 1 << 20,
+                              mode="copier" if use_async else "sync")
+        yield system.app_compute(proc, MSG_INIT_CYCLES)
+        fields = []
+        pos = 0
+        while pos < got:
+            chunk = min(FIELD_BYTES, got - pos)
+            if use_async:
+                yield from proc.client.csync(self.buf + pos, chunk)
+            yield system.app_compute(
+                proc, int(chunk * DECODE_CYCLES_PER_BYTE))
+            pos += chunk
+        data = proc.read(self.buf, got)
+        fields = deserialize_bytes(data)
+        latency = system.env.now - t0
+        self.messages.append(fields)
+        return latency, fields

@@ -1,0 +1,131 @@
+"""TinyProxy-like HTTP forwarding proxy (§6.2.2, Fig. 12).
+
+The proxy reads a message, inspects only the request line + headers to
+pick an upstream, "organizes" the message (an internal copy in TinyProxy),
+and sends it on.  Copier collapses the three copies (kernel→in, in→out,
+out→kernel) into one short-circuit copy via lazy tasks + absorption and
+discards the leftovers with abort — the §4.4 proxy case, verbatim.
+"""
+
+from repro.baselines.zio import ZIO
+from repro.kernel.net import recv, send, socket_pair
+
+HEADER_BYTES = 128
+ROUTE_CYCLES = 700       # parse request line + pick upstream
+ORGANIZE_CYCLES = 350    # header rewrite bookkeeping
+
+
+class TinyProxy:
+    """One proxy worker forwarding from a downstream to an upstream."""
+
+    def __init__(self, system, mode="sync", name="tinyproxy",
+                 buf_bytes=1 << 20):
+        self.system = system
+        self.mode = mode
+        self.proc = system.create_process(name)
+        self.buf_in = self.proc.mmap(buf_bytes, populate=True,
+                                     name="proxy-in")
+        self.buf_out = self.proc.mmap(buf_bytes, populate=True,
+                                      name="proxy-out")
+        self.zio = ZIO(system, self.proc) if mode == "zio" else None
+        self.forwarded = 0
+
+    def run(self, downstream, upstream, n_messages, msg_bytes):
+        system, proc, mode = self.system, self.proc, self.mode
+        params = system.params
+        use_async = (mode == "copier"
+                     and msg_bytes >= params.copier_user_min_bytes)
+        for _ in range(n_messages):
+            if mode == "zio":
+                yield from self.zio.before_write(self.buf_in, msg_bytes)
+                yield from self.zio.before_write(self.buf_out, msg_bytes)
+            got = yield from recv(system, proc, downstream, self.buf_in,
+                                  1 << 20,
+                                  mode="copier" if use_async else "sync",
+                                  lazy=use_async)
+            if use_async:
+                # Only the request line + headers are examined.
+                yield from proc.client.csync(self.buf_in, HEADER_BYTES)
+            yield system.app_compute(proc, ROUTE_CYCLES)
+            proc.read(self.buf_in, min(HEADER_BYTES, got))
+            # "Organize the message": TinyProxy's internal copy.
+            if use_async:
+                yield from proc.client.amemcpy(self.buf_out, self.buf_in,
+                                               got, lazy=True)
+            elif mode == "zio":
+                yield from self.zio.copy(self.buf_out, self.buf_in, got)
+                yield from self.zio.touch_read(self.buf_out, HEADER_BYTES)
+            else:
+                yield from system.sync_copy(proc, proc.aspace, self.buf_in,
+                                            proc.aspace, self.buf_out, got,
+                                            engine="avx")
+            yield system.app_compute(proc, ORGANIZE_CYCLES)
+            if mode == "zio":
+                # zIO interposes send: transmit from the original buffer.
+                src_va, ind = self.zio.send_source(self.buf_out, got)
+                if ind is not None:
+                    proc.write(self.buf_out, proc.read(src_va, got))
+                    self.zio.drop(ind)
+                yield from send(system, proc, upstream, self.buf_out, got)
+            else:
+                yield from send(system, proc, upstream, self.buf_out, got,
+                                mode="copier" if use_async else "sync")
+            if use_async:
+                # Retire the absorbed intermediates (§4.4).
+                yield from proc.client.abort(self.buf_out, got)
+                yield from proc.client.abort(self.buf_in, got)
+            self.forwarded += 1
+
+
+def run_forwarding(system, mode, msg_bytes, n_messages, n_workers=1,
+                   limit=50_000_000_000):
+    """Echo client → proxy → echo server pipeline; returns MPS stats.
+
+    Returns ``(throughput_mps_proxy_cycles, elapsed_cycles, proxies)``.
+    With ``n_workers > 1`` each worker gets its own connection pair and
+    (in copier mode) its own per-process default queues — the Fig. 12-b
+    scalability setup.
+    """
+    proxies = []
+    worker_procs = []
+    payload = bytes([0x42]) * msg_bytes
+    for w in range(n_workers):
+        down_tx, down_rx = socket_pair(system, "down-%d" % w)
+        up_tx, up_rx = socket_pair(system, "up-%d" % w)
+        proxy = TinyProxy(system, mode=mode, name="proxy-%d" % w)
+        proxies.append(proxy)
+
+        def feeder(tx=down_tx, w=w):
+            feeder_proc = system.create_process("feeder-%d" % w)
+            buf = feeder_proc.mmap(msg_bytes, populate=True)
+            feeder_proc.write(buf, payload)
+
+            def gen():
+                for _ in range(n_messages):
+                    yield from send(system, feeder_proc, tx, buf, msg_bytes)
+            return feeder_proc.spawn(gen(), affinity=None)
+
+        def sink(rx=up_rx, w=w):
+            sink_proc = system.create_process("sink-%d" % w)
+            buf = sink_proc.mmap(1 << 20, populate=True)
+
+            def gen():
+                for _ in range(n_messages):
+                    yield from recv(system, sink_proc, rx, buf, 1 << 20)
+                return sink_proc.read(buf, msg_bytes)
+            return sink_proc.spawn(gen(), affinity=None)
+
+        feeder()
+        sink_p = sink()
+        n_app_cores = max(1, system.env.cores.n_cores - 1)
+        wp = proxy.proc.spawn(
+            proxy.run(down_rx, up_tx, n_messages, msg_bytes),
+            affinity=w % n_app_cores)
+        worker_procs.append((wp, sink_p))
+
+    t0 = system.env.now
+    for wp, sink_p in worker_procs:
+        system.env.run_until(sink_p.terminated, limit=limit)
+    elapsed = system.env.now - t0
+    total = n_messages * n_workers
+    return total, elapsed, proxies, worker_procs

@@ -1,0 +1,83 @@
+"""zlib deflate_fast with a sliding window (§6.2.3).
+
+deflate's pattern matcher searches a 32 KB sliding window; advancing the
+window slides its contents down with a copy (fill_window's
+``memcpy(window, window+wsize, wsize)``).  Copier turns the slide into an
+async amemmove overlapped with pattern matching on the current block,
+csynced only when the matcher next consults the slid region — up to 18.8 %
+on ≤256 KB inputs in the paper.
+"""
+
+import zlib as _zlib
+
+
+WINDOW_BYTES = 32 * 1024
+BLOCK_BYTES = 16 * 1024
+MATCH_CYCLES_PER_BYTE = 2.4   # hash-chain search in deflate_fast
+BLOCK_SETUP_CYCLES = 500
+
+
+class Deflater:
+    """Compresses an input buffer block by block."""
+
+    def __init__(self, system, mode="sync", name="zlib"):
+        self.system = system
+        self.mode = mode
+        self.proc = system.create_process(name)
+        self.window = self.proc.mmap(WINDOW_BYTES * 2, populate=True,
+                                     name="zlib-window")
+        self.input = self.proc.mmap(1 << 20, populate=True, name="zlib-in")
+
+    def deflate(self, data):
+        """Generator; returns (latency_cycles, compressed_bytes)."""
+        system, proc = self.system, self.proc
+        lib = proc.client if self.mode == "copier" else None
+        proc.write(self.input, data)
+        t0 = system.env.now
+        pos = 0
+        pending_slide = False
+        while pos < len(data):
+            block = min(BLOCK_BYTES, len(data) - pos)
+            yield system.app_compute(proc, BLOCK_SETUP_CYCLES)
+            if pending_slide:
+                # The matcher consults the slid window: sync it first.
+                if lib is not None:
+                    yield from lib.csync(self.window, WINDOW_BYTES)
+                pending_slide = False
+            # Load the block into the upper window half, then match.
+            if lib is not None and block >= system.params.copier_user_min_bytes:
+                yield from lib.amemcpy(self.window + WINDOW_BYTES,
+                                       self.input + pos, block)
+                # Matching proceeds in chunks; each chunk csyncs its bytes
+                # just before use (copy-use pipeline).
+                done = 0
+                while done < block:
+                    chunk = min(4096, block - done)
+                    yield from lib.csync(self.window + WINDOW_BYTES + done,
+                                         chunk)
+                    yield system.app_compute(
+                        proc, int(chunk * MATCH_CYCLES_PER_BYTE))
+                    done += chunk
+            else:
+                yield from system.sync_copy(
+                    proc, proc.aspace, self.input + pos,
+                    proc.aspace, self.window + WINDOW_BYTES, block,
+                    engine="avx")
+                yield system.app_compute(
+                    proc, int(block * MATCH_CYCLES_PER_BYTE))
+            # Slide the window: async under Copier, overlapping the next
+            # block's matching.
+            if lib is not None:
+                yield from lib.amemcpy(self.window,
+                                       self.window + WINDOW_BYTES,
+                                       WINDOW_BYTES)
+                pending_slide = True
+            else:
+                yield from system.sync_copy(
+                    proc, proc.aspace, self.window + WINDOW_BYTES,
+                    proc.aspace, self.window, WINDOW_BYTES, engine="avx")
+            pos += block
+        if lib is not None:
+            yield from lib.csync_all()
+        latency = system.env.now - t0
+        return latency, _zlib.compress(data, 1)

@@ -1,0 +1,15 @@
+"""Baseline copy-optimization systems the paper compares against (§6).
+
+* :mod:`repro.baselines.synccopy` — plain user-mode AVX memcpy (glibc).
+* :mod:`repro.baselines.zio` — zIO's transparent zero-copy IO (OSDI '22).
+* :mod:`repro.baselines.ub` — Userspace Bypass (OSDI '23).
+
+Zero-copy sockets (MSG_ZEROCOPY) and io_uring (plain + batched) are
+syscall modes in :mod:`repro.kernel.net`.
+"""
+
+from repro.baselines.synccopy import user_memcpy
+from repro.baselines.zio import ZIO
+from repro.baselines.ub import ub_compute
+
+__all__ = ["user_memcpy", "ZIO", "ub_compute"]

@@ -1,0 +1,7 @@
+"""Baseline user-mode synchronous memcpy (glibc AVX)."""
+
+
+def user_memcpy(system, proc, dst, src, nbytes, warm=False):
+    """glibc-style memcpy: AVX2 rate, in-context, pollutes the app cache."""
+    yield from system.sync_copy(proc, proc.aspace, src, proc.aspace, dst,
+                                nbytes, engine="avx", warm=warm)

@@ -1,0 +1,20 @@
+"""Userspace Bypass (UB) model.
+
+Zhou et al. (OSDI '23): syscall-intensive code is translated to run inside
+the kernel, eliminating most privilege-crossing cost; the price is
+instrumented (slower) memory access in the bypassed region.  The paper's
+evaluation finds UB only helps small payloads — once copy dominates, the
+cheap traps stop mattering and the slowdown hurts (§6.1.2, §6.2.1).
+
+Usage: pass ``mode="ub"`` to the syscall wrappers (cheap traps) and wrap
+app-side compute with :func:`ub_compute` (the slowdown).
+"""
+
+from repro.sim import Compute
+
+
+def ub_compute(system, proc, cycles, tag="app"):
+    """App computation under UB's instrumented memory access."""
+    inflated = int(cycles * system.params.ub_slowdown_factor)
+    return Compute(system.cache.charge(proc.cache_key, inflated), tag=tag,
+                   instructions=cycles)

@@ -1,0 +1,133 @@
+"""zIO: transparent zero-copy IO via on-demand page-fault copies.
+
+Model of Stamler et al. (OSDI '22) as the paper characterizes it (§2.2,
+§6): user-mode only, intercepts large intra-process copies and replaces
+them with an indirection; data materializes on access through a page
+fault, or is lost work when the *source* is overwritten first (Redis's
+recycled input buffer, §6.2.1).  Fully page-aligned large transfers can
+steal pages outright and never copy.
+
+The paper's evaluation sets zIO's threshold to 4 KB (§6 Baselines).
+"""
+
+from repro.mem.phys import PAGE_SIZE
+from repro.sim import Compute
+
+
+class _Indirection:
+    __slots__ = ("dst", "src", "nbytes")
+
+    def __init__(self, dst, src, nbytes):
+        self.dst = dst
+        self.src = src
+        self.nbytes = nbytes
+
+
+class ZIO:
+    """Per-process zIO runtime."""
+
+    #: Minimum size where ownership transfer (page stealing) applies.
+    STEAL_MIN = 64 * 1024
+
+    def __init__(self, system, proc, threshold=None):
+        self.system = system
+        self.proc = proc
+        self.threshold = (system.params.zio_threshold_bytes
+                          if threshold is None else threshold)
+        self._indirections = []
+        self.stats = {"sync": 0, "indirect": 0, "steal": 0,
+                      "fault_copies": 0, "dropped": 0}
+
+    # ------------------------------------------------------------------ API
+
+    def copy(self, dst, src, nbytes):
+        """Intercepted memcpy (generator)."""
+        params = self.system.params
+        if nbytes < self.threshold:
+            self.stats["sync"] += 1
+            yield from self.system.sync_copy(
+                self.proc, self.proc.aspace, src, self.proc.aspace, dst,
+                nbytes, engine="avx")
+            return
+        pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        if (nbytes >= self.STEAL_MIN and dst % PAGE_SIZE == 0
+                and src % PAGE_SIZE == 0 and nbytes % PAGE_SIZE == 0):
+            # Ownership transfer: remap the source pages into dst, give the
+            # source fresh pages.  No copy, ever.
+            self.stats["steal"] += 1
+            yield Compute(pages * params.zio_remap_cycles_per_page
+                          + params.zio_tlb_flush_cycles, tag="copy")
+            data = self.proc.read(src, nbytes)
+            self.proc.write(dst, data)  # the remap's observable effect
+            return
+        if nbytes >= self.STEAL_MIN:
+            # Partial steal ("Partial" alignment support in Table 1):
+            # copy the unaligned head/tail pages, remap the aligned middle.
+            self.stats["steal"] += 1
+            head = (-src) % PAGE_SIZE
+            tail = (src + nbytes) % PAGE_SIZE
+            middle_pages = (nbytes - head - tail) // PAGE_SIZE
+            edge = head + tail
+            if edge:
+                yield Compute(params.cpu_copy_cycles(edge, engine="avx"),
+                              tag="copy")
+            yield Compute(middle_pages * params.zio_remap_cycles_per_page
+                          + params.zio_tlb_flush_cycles, tag="copy")
+            data = self.proc.read(src, nbytes)
+            self.proc.write(dst, data)
+            return
+        # Deferred copy: record the indirection; only cheap metadata
+        # tracking is paid now — remap/fault costs land on whoever
+        # materializes it (zIO's page-fault path).
+        self.stats["indirect"] += 1
+        yield Compute(params.zio_track_cycles, tag="copy")
+        self._indirections.append(_Indirection(dst, src, nbytes))
+
+    def touch_read(self, va, nbytes):
+        """App is about to read [va, va+nbytes): materialize if indirected."""
+        for ind in list(self._indirections):
+            if va < ind.dst + ind.nbytes and ind.dst < va + nbytes:
+                yield from self._materialize(ind)
+
+    def before_write(self, va, nbytes):
+        """App is about to overwrite [va, va+nbytes).
+
+        Overwriting an indirection's *source* forces materialization (the
+        deferred copy must happen now — zIO's page-fault path); overwriting
+        its *destination* just drops the bookkeeping.
+        """
+        for ind in list(self._indirections):
+            if va < ind.src + ind.nbytes and ind.src < va + nbytes:
+                yield from self._materialize(ind)
+            elif va <= ind.dst and ind.dst + ind.nbytes <= va + nbytes:
+                self._indirections.remove(ind)
+                self.stats["dropped"] += 1
+
+    def send_source(self, va, nbytes):
+        """Resolve the buffer send() should transmit from.
+
+        zIO interposes on send: a fully-indirected buffer is transmitted
+        straight from its original source, skipping materialization —
+        this is how it removes one userspace copy on the Redis GET path.
+        Returns ``(va, consumed_indirection_or_None)``.
+        """
+        for ind in self._indirections:
+            if ind.dst == va and ind.nbytes >= nbytes:
+                return ind.src, ind
+        return va, None
+
+    def drop(self, ind):
+        if ind in self._indirections:
+            self._indirections.remove(ind)
+            self.stats["dropped"] += 1
+
+    # -------------------------------------------------------------- helpers
+
+    def _materialize(self, ind):
+        params = self.system.params
+        self._indirections.remove(ind)
+        self.stats["fault_copies"] += 1
+        yield Compute(params.zio_fault_cycles, tag="copy")
+        yield from self.system.sync_copy(
+            self.proc, self.proc.aspace, ind.src, self.proc.aspace, ind.dst,
+            ind.nbytes, engine="avx")

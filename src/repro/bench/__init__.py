@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite."""
+
+from repro.bench.report import ResultTable, improvement
+
+__all__ = ["ResultTable", "improvement"]

@@ -1,0 +1,66 @@
+"""Result tables printed by every benchmark, paper-vs-measured style."""
+
+
+def improvement(baseline, measured):
+    """Relative improvement of ``measured`` over ``baseline`` for a
+    lower-is-better metric (latency): positive = faster."""
+    if baseline == 0:
+        return 0.0
+    return 1.0 - measured / baseline
+
+
+def speedup(baseline, measured):
+    """Throughput-style ratio: measured / baseline."""
+    if baseline == 0:
+        return 0.0
+    return measured / baseline
+
+
+class ResultTable:
+    """A fixed-column text table, printed under a caption.
+
+    Every benchmark emits one of these so the regenerated figure/table can
+    be eyeballed against the paper (EXPERIMENTS.md records both).
+    """
+
+    def __init__(self, caption, columns):
+        self.caption = caption
+        self.columns = list(columns)
+        self.rows = []
+
+    def add(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError("row width mismatch")
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = ["", "== %s ==" % self.caption]
+        lines.append("  ".join(c.ljust(w) for c, w in
+                               zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self):
+        print(self.render())
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if abs(value) < 10:
+            return "%.3f" % value
+        return "%.1f" % value
+    return str(value)
+
+
+def size_label(nbytes):
+    if nbytes >= 1 << 20:
+        return "%dMB" % (nbytes >> 20)
+    if nbytes >= 1024:
+        return "%dKB" % (nbytes >> 10)
+    return "%dB" % nbytes

@@ -1,0 +1,137 @@
+"""Reusable workload drivers for the benchmark suite."""
+
+from repro.kernel import System
+from repro.kernel.net import recv, send, socket_pair
+
+
+def raw_copy_throughput(mode, task_bytes, n_tasks, repetition=0.0,
+                        atcache=True, n_cores=3):
+    """Fig. 9 driver: submit ``n_tasks`` copies, measure bytes/cycle.
+
+    ``mode``: ``"copier"``, ``"erms"`` or ``"avx"`` (sync baselines).
+    ``repetition``: fraction of tasks reusing the same buffer pair (the
+    paper's 0 % / 75 % settings) — reuse warms TLB/caches for baselines
+    and the ATCache for Copier.
+    """
+    copier = mode == "copier"
+    kwargs = {}
+    if copier and not atcache:
+        kwargs = {"copier_kwargs": {}}
+    system = System(n_cores=n_cores, copier=copier, phys_frames=262144)
+    if copier and not atcache:
+        system.copier.atcache.capacity = 0
+    proc = system.create_process("tput")
+    n_buffers = max(1, int(round(n_tasks * (1.0 - repetition))))
+    pairs = []
+    for _ in range(n_buffers):
+        src = proc.mmap(task_bytes, populate=True, contiguous=True)
+        dst = proc.mmap(task_bytes, populate=True, contiguous=True)
+        pairs.append((src, dst))
+
+    def gen():
+        # Warm-up: one small copy to absorb one-time activation costs.
+        if copier:
+            w = proc.mmap(1024, populate=True)
+            yield from proc.client.amemcpy(w + 512, w, 256)
+            yield from proc.client.csync(w + 512, 256)
+        t0 = system.env.now
+        for i in range(n_tasks):
+            src, dst = pairs[i % n_buffers]
+            warm = repetition > 0 and i >= n_buffers
+            if copier:
+                yield from proc.client.amemcpy(dst, src, task_bytes)
+            else:
+                yield from system.sync_copy(proc, proc.aspace, src,
+                                            proc.aspace, dst, task_bytes,
+                                            engine=mode, warm=warm)
+        if copier:
+            yield from proc.client.csync_all()
+        return system.env.now - t0
+
+    p = proc.spawn(gen(), affinity=0)
+    system.env.run_until(p.terminated, limit=500_000_000_000)
+    cycles = p.result
+    return (n_tasks * task_bytes) / cycles if cycles else 0.0
+
+
+def syscall_latency(op, mode, nbytes, n_ops=12, batch=None, n_cores=3):
+    """Fig. 10 driver: average send()/recv() latency in cycles."""
+    from repro.kernel.net import iouring_submit, recv_body, send_body
+
+    copier = mode == "copier"
+    system = System(n_cores=n_cores, copier=copier, phys_frames=262144)
+    a, b = socket_pair(system)
+    actor = system.create_process("actor")
+    peer = system.create_process("peer")
+    buf = actor.mmap(max(nbytes, 4096) * (batch or 1) + (1 << 16),
+                     populate=True)
+    peer_buf = peer.mmap(1 << 20, populate=True)
+    total_msgs = n_ops * (batch or 1)
+
+    if op == "send":
+        def peer_gen():
+            for _ in range(total_msgs):
+                yield from recv(system, peer, b, peer_buf, 1 << 20)
+
+        def actor_gen():
+            if copier:
+                yield from actor.client.amemcpy(buf + 256, buf, 256)
+                yield from actor.client.csync(buf + 256, 256)
+            t0 = system.env.now
+            for _ in range(n_ops):
+                if batch:
+                    bodies = [send_body(system, actor, a, buf + i * nbytes,
+                                        nbytes, mode=mode if copier else "sync")
+                              for i in range(batch)]
+                    yield from iouring_submit(system, actor, bodies)
+                else:
+                    yield from send(system, actor, a, buf, nbytes, mode=mode)
+            return (system.env.now - t0) / total_msgs
+    else:
+        def peer_gen():
+            # Flood: data is already queued when the actor recvs, so the
+            # measurement is syscall execution, not wire waiting (the
+            # paper's echo-generated load).
+            src = peer.mmap(nbytes, populate=True)
+            for _ in range(total_msgs):
+                yield from send(system, peer, b, src, nbytes)
+
+        def actor_gen():
+            from repro.sim import Timeout, WaitEvent
+
+            if copier:
+                yield from actor.client.amemcpy(buf + 256, buf, 256)
+                yield from actor.client.csync(buf + 256, 256)
+            in_syscall = 0
+            done_msgs = 0
+            while done_msgs < total_msgs:
+                while len(a.rx) < min(batch or 1, total_msgs - done_msgs):
+                    yield WaitEvent(a.wait_data())
+                    yield Timeout(100)
+                t0 = system.env.now
+                if batch:
+                    n_now = min(batch, total_msgs - done_msgs)
+                    bodies = [recv_body(system, actor, a, buf, 1 << 20,
+                                        mode=mode if copier else "sync")
+                              for _ in range(n_now)]
+                    yield from iouring_submit(system, actor, bodies)
+                    done_msgs += n_now
+                else:
+                    yield from recv(system, actor, a, buf, 1 << 20,
+                                    mode=mode)
+                    done_msgs += 1
+                in_syscall += system.env.now - t0
+                if copier:
+                    # The app uses the data afterwards; not part of the
+                    # syscall latency the figure reports.
+                    yield from actor.client.csync(buf, nbytes)
+            return in_syscall / total_msgs
+
+    if op == "send":
+        pp = peer.spawn(peer_gen(), affinity=1)
+        ap = actor.spawn(actor_gen(), affinity=0)
+    else:
+        pp = peer.spawn(peer_gen(), affinity=1)
+        ap = actor.spawn(actor_gen(), affinity=0)
+    system.env.run_until(ap.terminated, limit=500_000_000_000)
+    return ap.result

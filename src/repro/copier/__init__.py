@@ -1,0 +1,39 @@
+"""Copier: the coordinated asynchronous copy OS service (the paper's §4).
+
+Subpackage map:
+
+- :mod:`repro.copier.task` — Copy/Sync/Barrier tasks and memory regions.
+- :mod:`repro.copier.descriptor` — segment bitmaps + descriptor pool (§4.1).
+- :mod:`repro.copier.queues` — CSH ring queues, u-mode and k-mode (§4.1).
+- :mod:`repro.copier.deps` — order & data dependency tracking (§4.2).
+- :mod:`repro.copier.atcache` — address-translation cache (§4.3).
+- :mod:`repro.copier.dispatch` — hybrid subtasks + piggyback dispatcher (§4.3).
+- :mod:`repro.copier.absorption` — layered copy absorption (§4.4).
+- :mod:`repro.copier.sched` — copy-length CFS + cgroup copier controller (§4.5).
+- :mod:`repro.copier.service` — Copier threads, polling modes, auto-scaling,
+  proactive fault handling (§4.5).
+"""
+
+from repro.copier.task import CopyTask, SyncTask, BarrierTask, Region
+from repro.copier.descriptor import Descriptor, DescriptorPool
+from repro.copier.queues import RingQueue, ClientQueues, QueueFull
+from repro.copier.atcache import ATCache
+from repro.copier.sched import CopierScheduler, CopierCgroup
+from repro.copier.service import CopierService, CopierClient
+
+__all__ = [
+    "CopyTask",
+    "SyncTask",
+    "BarrierTask",
+    "Region",
+    "Descriptor",
+    "DescriptorPool",
+    "RingQueue",
+    "ClientQueues",
+    "QueueFull",
+    "ATCache",
+    "CopierScheduler",
+    "CopierCgroup",
+    "CopierService",
+    "CopierClient",
+]

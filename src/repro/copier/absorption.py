@@ -1,0 +1,124 @@
+"""Layered copy absorption (§4.4).
+
+When task T (B→C) reads a range that an earlier *pending* task E (A→B)
+writes, the untouched part of B need never be materialized on T's critical
+path: Copier short-circuits those bytes straight from A.  The segment
+descriptor decides which layer holds the freshest data:
+
+* a *marked* segment of E was already copied (and the client, having
+  csynced it, may have modified B) → read from B;
+* an *unmarked* segment cannot have been client-accessed (csync would have
+  forced the copy) → read from A, recursively resolving A's own producer.
+
+The resolver returns "source spans": concrete (aspace, va, nbytes) pieces
+whose concatenation equals the bytes T must write, plus a flag telling
+whether the span was absorbed (for accounting and the Fig. 12-c ablation).
+"""
+
+
+class SourceSpan:
+    """One resolved piece of a copy's source."""
+
+    __slots__ = ("aspace", "va", "nbytes", "absorbed")
+
+    def __init__(self, aspace, va, nbytes, absorbed):
+        self.aspace = aspace
+        self.va = va
+        self.nbytes = nbytes
+        self.absorbed = absorbed
+
+    def __repr__(self):
+        return "SourceSpan(as=%d, 0x%x+%d%s)" % (
+            self.aspace.asid, self.va, self.nbytes,
+            ", absorbed" if self.absorbed else "")
+
+
+def resolve_sources(pending, reader_task, region, enabled=True, _depth=0,
+                    _absorbed=False):
+    """Resolve ``region`` (a source range of ``reader_task``) into spans.
+
+    ``pending`` is the client's merged pending-task list; only tasks
+    strictly earlier than ``reader_task`` are considered producers.  With
+    ``enabled=False`` (the ablation switch) the region is returned as-is.
+
+    Different slices of the region may be fed by different producers
+    (e.g. a gather of several async copies into one buffer): slices not
+    covered by the nearest producer are re-resolved recursively.
+    """
+    direct = [SourceSpan(region.aspace, region.start, region.length,
+                         _absorbed)]
+    if not enabled or _depth > 64:
+        return direct
+    producer = _nearest_producer(pending, reader_task, region)
+    if producer is None:
+        return direct
+
+    spans = []
+    cursor = region.start
+    end = region.start + region.length
+    while cursor < end:
+        if cursor < producer.dst.start or cursor >= producer.dst.end:
+            # Outside this producer's destination — another (earlier)
+            # producer may still cover these bytes: re-resolve the slice
+            # against the remaining producers.
+            if cursor < producer.dst.start:
+                chunk = min(end, producer.dst.start) - cursor
+            else:
+                chunk = end - cursor
+            slice_region = type(region)(region.aspace, cursor, chunk)
+            spans.extend(resolve_sources(
+                pending, reader_task, slice_region, enabled=enabled,
+                _depth=_depth + 1, _absorbed=_absorbed))
+            cursor += chunk
+            continue
+        # Inside the producer's destination: consult its descriptor.
+        offset_in_producer = cursor - producer.dst.start
+        seg_index = offset_in_producer // producer.descriptor.segment_bytes
+        seg_start = producer.dst.start + seg_index * producer.descriptor.segment_bytes
+        seg_end = min(seg_start + producer.descriptor.segment_bytes, producer.dst.end)
+        chunk = min(end, seg_end) - cursor
+        if producer.descriptor.is_ready(seg_index):
+            # Freshest data already lives in the intermediate buffer.
+            spans.append(SourceSpan(region.aspace, cursor, chunk, _absorbed))
+        else:
+            # Absorb: read straight from the producer's source, recursing
+            # through deeper chains (A may itself be fed by a pending task).
+            src_va = producer.src.start + offset_in_producer
+            sub_region = type(region)(producer.src.aspace, src_va, chunk)
+            sub_spans = resolve_sources(
+                pending, producer, sub_region, enabled=enabled,
+                _depth=_depth + 1, _absorbed=True)
+            spans.extend(sub_spans)
+        cursor += chunk
+    return _coalesce(spans)
+
+
+def _nearest_producer(pending, reader_task, region):
+    for other in pending.earlier_than(reader_task):
+        if other.is_finished:
+            continue
+        if region.overlaps(other.dst):
+            return other
+    return None
+
+
+def _coalesce(spans):
+    out = []
+    for span in spans:
+        if (
+            out
+            and out[-1].aspace.asid == span.aspace.asid
+            and out[-1].va + out[-1].nbytes == span.va
+            and out[-1].absorbed == span.absorbed
+        ):
+            out[-1] = SourceSpan(
+                out[-1].aspace, out[-1].va, out[-1].nbytes + span.nbytes,
+                span.absorbed,
+            )
+        else:
+            out.append(span)
+    return out
+
+
+def absorbed_bytes(spans):
+    return sum(s.nbytes for s in spans if s.absorbed)

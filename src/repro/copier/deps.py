@@ -1,0 +1,161 @@
+"""Order and data dependency tracking (§4.2).
+
+Order dependency merges the u-mode and k-mode copy streams of one client
+into a single total order using barrier tasks captured at trap/return
+events (Fig. 6-a).  The merged order is expressed as sort keys:
+
+* a u-mode task acquired at ring position ``p`` gets key ``(p + 1, 0, p)``;
+* a k-mode task submitted after a barrier recording ``c`` acquired u-mode
+  tasks gets key ``(c, 1, seq)``.
+
+Under lexicographic comparison this places each k-mode task after exactly
+the ``c`` u-mode tasks the barrier witnessed and before every later one —
+and, for the racy window where another app thread submits during the
+syscall (U3/U4 in Fig. 6-a), k-mode tasks win, matching the paper's
+"Copier prioritizes tasks in k-mode queues".
+
+Data dependency is computed on demand by walking earlier tasks in reverse
+merged order and comparing regions (both sources and destinations).
+"""
+
+
+def u_order_key(position):
+    return (position + 1, 0, position)
+
+
+def k_order_key(barrier_u_position, sequence):
+    return (barrier_u_position, 1, sequence)
+
+
+class PendingTasks:
+    """Per-client pending Copy Tasks in merged submission order."""
+
+    def __init__(self):
+        self._tasks = []  # kept sorted by order_key
+
+    def __len__(self):
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    def add(self, task):
+        if task.order_key is None:
+            raise ValueError("task has no order key; submit through queues")
+        # Fast path: appends dominate (keys are normally increasing).
+        if not self._tasks or self._tasks[-1].order_key <= task.order_key:
+            self._tasks.append(task)
+            return
+        lo, hi = 0, len(self._tasks)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._tasks[mid].order_key <= task.order_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._tasks.insert(lo, task)
+
+    def remove(self, task):
+        self._tasks.remove(task)
+
+    def head(self):
+        return self._tasks[0] if self._tasks else None
+
+    def runnable_head(self):
+        """First pending non-lazy task (lazy tasks are skipped, §4.4)."""
+        for task in self._tasks:
+            if not task.lazy:
+                return task
+        return None
+
+    def earlier_than(self, task):
+        """Tasks strictly before ``task`` in merged order, nearest first."""
+        result = []
+        for other in self._tasks:
+            if other is task:
+                break
+            if other.order_key < task.order_key:
+                result.append(other)
+        result.reverse()
+        return result
+
+    def dependencies_of(self, task):
+        """Earlier pending tasks ``task`` conflicts with (nearest first).
+
+        A conflict is any region overlap: RAW (task.src vs other.dst),
+        WAR (task.dst vs other.src) or WAW (task.dst vs other.dst).
+        """
+        deps = []
+        for other in self.earlier_than(task):
+            if (
+                task.src.overlaps(other.dst)
+                or task.dst.overlaps(other.src)
+                or task.dst.overlaps(other.dst)
+            ):
+                deps.append(other)
+        return deps
+
+    def raw_source_of(self, task):
+        """Nearest earlier task whose destination feeds ``task``'s source.
+
+        This is the absorbable producer for §4.4 (e.g. A→B when processing
+        B→C).  Returns ``None`` when no such producer is pending.
+        """
+        for other in self.earlier_than(task):
+            if task.src.overlaps(other.dst):
+                return other
+        return None
+
+    def tasks_writing(self, region):
+        """Pending tasks whose destination intersects ``region`` (for csync)."""
+        return [t for t in self._tasks if t.dst.overlaps(region)]
+
+    def transitive_dependencies(self, task):
+        """All pending tasks that must run before ``task`` (topological order).
+
+        Used by task promotion: when a Sync Task raises a task's priority,
+        everything it depends on (recursively) is raised with it (§4.1).
+        """
+        ordered = []
+        seen = {task.task_id}
+        stack = [task]
+        while stack:
+            current = stack.pop()
+            for dep in self.dependencies_of(current):
+                if dep.task_id not in seen:
+                    seen.add(dep.task_id)
+                    ordered.append(dep)
+                    stack.append(dep)
+        ordered.sort(key=lambda t: t.order_key)
+        return ordered
+
+
+class BarrierBookkeeping:
+    """Tracks the k-mode submission context of one client (§4.2.1).
+
+    The kernel calls :meth:`on_trap` when entering a syscall and
+    :meth:`on_return` when leaving; the first k-mode submission after a
+    trap snapshots the paired u-mode Copy Queue position.
+    """
+
+    def __init__(self, u_copy_queue):
+        self.u_copy_queue = u_copy_queue
+        self._current_barrier_pos = 0
+        self._barrier_epoch = 0
+        self._k_sequence = 0
+        self.barriers_recorded = 0
+
+    def on_trap(self):
+        self._snapshot()
+
+    def on_return(self):
+        self._snapshot()
+
+    def _snapshot(self):
+        self._current_barrier_pos = self.u_copy_queue.head
+        self._barrier_epoch = self.u_copy_queue.epoch
+        self.barriers_recorded += 1
+
+    def next_k_key(self):
+        self._k_sequence += 1
+        return k_order_key(self._current_barrier_pos, self._k_sequence)

@@ -1,0 +1,338 @@
+"""Hybrid subtasks and the piggyback-based hardware dispatcher (§4.3).
+
+The dispatcher plans *rounds*: it takes the head of a client's pending
+list, optionally fuses adjacent independent tasks (e-piggyback, for tasks
+below the 12 KB i-piggyback threshold), splits the work into segment jobs,
+finds physically-contiguous DMA-candidate runs, and pairs DMA work with
+AVX work so both units finish together — DMA riding piggyback on the AVX
+copy instead of the CPU waiting for it.
+"""
+
+from repro.copier.absorption import absorbed_bytes, resolve_sources
+from repro.mem.phys import PAGE_SIZE
+
+
+class SegmentJob:
+    """One segment of one task, with resolved source spans."""
+
+    __slots__ = ("task", "seg_index", "dst_va", "nbytes", "spans")
+
+    def __init__(self, task, seg_index, spans):
+        self.task = task
+        self.seg_index = seg_index
+        dst = task.dst_range_of_segment(seg_index)
+        self.dst_va = dst.start
+        self.nbytes = dst.length
+        self.spans = spans
+
+    @property
+    def absorbed(self):
+        return absorbed_bytes(self.spans)
+
+    @property
+    def plain(self):
+        """True when the job copies straight from its own task's source
+        (one unabsorbed span) — the precondition for DMA eligibility."""
+        return len(self.spans) == 1 and not self.spans[0].absorbed
+
+    def __repr__(self):
+        return "SegJob(task=%d seg=%d %dB)" % (
+            self.task.task_id, self.seg_index, self.nbytes)
+
+
+class DMARun:
+    """A physically-contiguous run of consecutive plain segment jobs."""
+
+    __slots__ = ("task", "jobs", "src_va", "dst_va", "nbytes")
+
+    def __init__(self, task, jobs):
+        self.task = task
+        self.jobs = jobs
+        self.src_va = jobs[0].spans[0].va
+        self.dst_va = jobs[0].dst_va
+        self.nbytes = sum(j.nbytes for j in jobs)
+
+    def __repr__(self):
+        return "DMARun(task=%d, %d jobs, %dB)" % (
+            self.task.task_id, len(self.jobs), self.nbytes)
+
+
+class RoundPlan:
+    """The dispatcher's output: what runs where in this round."""
+
+    def __init__(self, tasks, avx_jobs, dma_runs, mode):
+        self.tasks = tasks
+        self.avx_jobs = avx_jobs
+        self.dma_runs = dma_runs
+        self.mode = mode  # "i-piggyback", "e-piggyback" or "avx-only"
+
+    @property
+    def avx_bytes(self):
+        return sum(j.nbytes for j in self.avx_jobs)
+
+    @property
+    def dma_bytes(self):
+        return sum(r.nbytes for r in self.dma_runs)
+
+    @property
+    def total_bytes(self):
+        return self.avx_bytes + self.dma_bytes
+
+
+class Dispatcher:
+    """Builds round plans from a client's pending list."""
+
+    def __init__(self, params, use_dma=True, use_absorption=True, atcache=None):
+        self.params = params
+        self.use_dma = use_dma
+        self.use_absorption = use_absorption
+        self.atcache = atcache
+        self.rounds_planned = 0
+        self.bytes_to_dma = 0
+        self.bytes_to_avx = 0
+        self.bytes_absorbed = 0
+
+    #: Assumed DMA-run size when estimating translation amortization.
+    _EST_RUN_BYTES = 16 * 1024
+
+    def _translate_cost_per_byte(self):
+        """Expected software-translation cycles per DMA byte.
+
+        DMA runs are physically contiguous, so only the run's first page
+        needs a full walk (~240 cyc) — the rest verify at hit cost.  The
+        live ATCache hit rate discounts even the first walk for recycled
+        buffers (the ≥75 % recurrence the paper measures in Redis), which
+        is why DMA's share grows with buffer repetition (Fig. 9)."""
+        p = self.params
+        hit = self.atcache.hit_rate if self.atcache is not None else 0.0
+        first = hit * p.atcache_hit_cycles + (1.0 - hit) * p.page_translate_cycles
+        pages = max(1, self._EST_RUN_BYTES // PAGE_SIZE)
+        per_run = first + (pages - 1) * p.atcache_hit_cycles
+        return 2.0 * per_run / self._EST_RUN_BYTES
+
+    # ------------------------------------------------------------- planning
+
+    def build_round(self, pending, budget_bytes, head=None):
+        """Plan one round starting at ``head`` (default: first runnable task).
+
+        Returns a :class:`RoundPlan` or ``None`` when nothing is runnable.
+        """
+        params = self.params
+        if head is None:
+            head = pending.runnable_head()
+        if head is None:
+            return None
+
+        tasks = self._lazy_prerequisites(pending, head)
+        tasks.append(head)
+        mode = "i-piggyback" if head.length >= params.i_piggyback_threshold \
+            else "e-piggyback"
+        if mode == "e-piggyback":
+            tasks.extend(self._fusable_followers(pending, tasks, budget_bytes))
+
+        jobs = []
+        budget = budget_bytes
+        for task in tasks:
+            for seg_index in task.segments_pending():
+                if budget <= 0:
+                    break
+                region = task.src_range_of_segment(seg_index)
+                spans = resolve_sources(
+                    pending, task, region, enabled=self.use_absorption
+                )
+                job = SegmentJob(task, seg_index, spans)
+                jobs.append(job)
+                budget -= job.nbytes
+            if budget <= 0:
+                break
+        if not jobs:
+            return RoundPlan(tasks, [], [], mode)
+
+        dma_runs = self._assign_dma(jobs) if self.use_dma else []
+        dma_job_ids = {id(j) for run in dma_runs for j in run.jobs}
+        avx_jobs = [j for j in jobs if id(j) not in dma_job_ids]
+
+        self.rounds_planned += 1
+        plan = RoundPlan(tasks, avx_jobs, dma_runs, mode)
+        self.bytes_to_dma += plan.dma_bytes
+        self.bytes_to_avx += plan.avx_bytes
+        self.bytes_absorbed += sum(j.absorbed for j in jobs)
+        return plan
+
+    def _lazy_prerequisites(self, pending, head):
+        """Lazy tasks that must materialize before ``head`` runs.
+
+        With absorption on, RAW producers are read *through* (that is the
+        point of lazy tasks, §4.4) — only WAR/WAW hazards force execution.
+        With absorption off, RAW producers must execute too.
+
+        The closure is transitive: a forced prerequisite may itself have
+        lazy hazards that must run even earlier (e.g. head overwrites the
+        source of lazy L2, and L2 overwrites the source of lazy L1 — L1
+        must read before L2 writes before head writes).
+        """
+        prereqs = []
+        seen = {head.task_id}
+        stack = [head]
+        while stack:
+            current = stack.pop()
+            for dep in pending.dependencies_of(current):
+                if not dep.lazy or dep.is_finished or dep.task_id in seen:
+                    continue
+                war_waw = (current.dst.overlaps(dep.src)
+                           or current.dst.overlaps(dep.dst))
+                raw = current.src.overlaps(dep.dst)
+                if war_waw or (raw and not self.use_absorption):
+                    seen.add(dep.task_id)
+                    prereqs.append(dep)
+                    stack.append(dep)
+        prereqs.sort(key=lambda t: t.order_key)
+        return prereqs
+
+    def _fusable_followers(self, pending, round_tasks, budget_bytes):
+        """e-piggyback: adjacent tasks with no data dependency on the round."""
+        params = self.params
+        fused = []
+        total = sum(t.length for t in round_tasks)
+        for task in pending:
+            if task in round_tasks or task.lazy or task.is_finished:
+                continue
+            if task.order_key < round_tasks[-1].order_key:
+                continue
+            if total + task.length > max(budget_bytes, params.i_piggyback_threshold):
+                break
+            # No data dependency on ANY unfinished earlier task — not just
+            # the round's tasks: fusing would also hop over skipped (lazy)
+            # tasks it conflicts with, reordering a WAR/WAW hazard.
+            if any(not dep.is_finished
+                   for dep in pending.dependencies_of(task)):
+                break
+            fused.append(task)
+            total += task.length
+        return fused
+
+    # ----------------------------------------------------- DMA assignment
+
+    def _assign_dma(self, jobs):
+        """Pick DMA runs from the *latter* candidates, balancing unit times.
+
+        Latter segments/tasks have the longest Copy-Use windows (§4.3), so
+        they tolerate DMA's slower start; the CPU keeps the head of the
+        round where the client will look first.
+        """
+        params = self.params
+        candidates = self._candidate_runs(jobs)
+        if not candidates:
+            return []
+        total_bytes = sum(j.nbytes for j in jobs)
+        avx_rate = params.avx_bytes_per_cycle
+        dma_rate = params.dma_bytes_per_cycle
+        # Completion-time balance (§4.3): choose d so that
+        #   submit + translate(d) + d/dma_rate  ≈  (total - d)/avx_rate,
+        # where translation is paid on the Copier core before AVX starts.
+        tc = self._translate_cost_per_byte()
+        target = (total_bytes / avx_rate - params.dma_submit_cycles) / (
+            1.0 / dma_rate + tc + 1.0 / avx_rate)
+        floor = params.dma_candidate_min_bytes
+        if target < floor:
+            # Balanced split is below the candidacy floor.  A single
+            # floor-sized run may still be profitable (warm ATCache, small
+            # fused copies) as long as DMA does not outlast the AVX stream.
+            dma_time = (params.dma_submit_cycles + tc * floor
+                        + floor / dma_rate)
+            avx_time = (total_bytes - floor) / avx_rate
+            if dma_time <= avx_time:
+                target = floor
+            else:
+                return []
+        chosen = []
+        dma_bytes = 0
+        for run in reversed(candidates):
+            remaining = target - dma_bytes
+            if remaining <= 0:
+                break
+            if run.nbytes <= remaining:
+                chosen.append(run)
+                dma_bytes += run.nbytes
+                continue
+            # Split the run: take its *tail* (longest Copy-Use window),
+            # keeping the partial piece above the DMA candidacy floor.
+            tail = []
+            tail_bytes = 0
+            for job in reversed(run.jobs):
+                if tail_bytes + job.nbytes > remaining:
+                    break
+                tail.insert(0, job)
+                tail_bytes += job.nbytes
+            if tail and tail_bytes >= params.dma_candidate_min_bytes:
+                chosen.append(DMARun(run.task, tail))
+                dma_bytes += tail_bytes
+            break
+        chosen.reverse()
+        return chosen
+
+    def _candidate_runs(self, jobs):
+        """Maximal physically-contiguous runs of plain jobs ≥ the DMA floor."""
+        params = self.params
+        runs = []
+        current = []
+        for job in jobs:
+            if current and self._extends_run(current[-1], job):
+                current.append(job)
+            else:
+                self._close_run(runs, current)
+                current = [job] if self._dma_capable(job) else []
+        self._close_run(runs, current)
+        return [r for r in runs if r.nbytes >= params.dma_candidate_min_bytes]
+
+    def _dma_capable(self, job):
+        if not job.plain:
+            return False
+        span = job.spans[0]
+        try:
+            src_ok = _physically_contiguous(span.aspace, span.va, span.nbytes)
+            dst_ok = _physically_contiguous(
+                job.task.dst.aspace, job.dst_va, job.nbytes, write=True
+            )
+        except Exception:
+            return False
+        return src_ok and dst_ok
+
+    def _extends_run(self, prev, job):
+        if job.task is not prev.task or job.seg_index != prev.seg_index + 1:
+            return False
+        if not self._dma_capable(job):
+            return False
+        # VA-adjacent and physically adjacent across the boundary.
+        prev_span, span = prev.spans[0], job.spans[0]
+        if prev_span.va + prev_span.nbytes != span.va:
+            return False
+        return _boundary_contiguous(
+            span.aspace, prev_span.va + prev_span.nbytes - 1, span.va
+        ) and _boundary_contiguous(
+            job.task.dst.aspace, prev.dst_va + prev.nbytes - 1, job.dst_va
+        )
+
+    @staticmethod
+    def _close_run(runs, current):
+        if current:
+            runs.append(DMARun(current[0].task, list(current)))
+
+
+def _physically_contiguous(aspace, va, nbytes, write=False):
+    spans = aspace.frames_for(va, nbytes, write=write)
+    for (f0, off0, len0), (f1, off1, _l1) in zip(spans, spans[1:]):
+        if f1 != f0 + 1 or off0 + len0 != PAGE_SIZE or off1 != 0:
+            return False
+    return True
+
+
+def _boundary_contiguous(aspace, last_va, next_va):
+    """True if byte ``last_va`` and byte ``next_va`` are physically adjacent."""
+    if last_va + 1 != next_va:
+        return False
+    if last_va // PAGE_SIZE == next_va // PAGE_SIZE:
+        return True
+    f0, _ = aspace.translate(last_va)
+    f1, _ = aspace.translate(next_va)
+    return f1 == f0 + 1

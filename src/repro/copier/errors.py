@@ -1,0 +1,13 @@
+"""Copier error types."""
+
+
+class CopyAborted(Exception):
+    """csync on a region whose pending copy was explicitly aborted (§4.4)."""
+
+
+class CopierSecurityError(Exception):
+    """A submitted task failed the service's security checks (§4.5.4).
+
+    The service drops the task and signals the offending process; this
+    exception is what lands in the process (the simulated SIGSEGV).
+    """

@@ -1,0 +1,100 @@
+"""CSH queues: the Copy/Sync/Handler ring buffers (§4.1, §5.1.1).
+
+Each client owns two sets (u-mode for the app, k-mode for kernel services
+sharing its context, §4.2.1).  Rings follow the paper's lock-free protocol:
+producers *acquire* a slot by fetch-and-add on the head, fill it, then set
+the valid bit; the consumer (a Copier thread) only advances the tail past
+valid slots.  The simulator executes Python atomically between yields, so
+the protocol is exercised logically (acquisition order defines task order)
+rather than against a hardware memory model — see DESIGN.md deviations.
+"""
+
+
+class QueueFull(Exception):
+    pass
+
+
+class _Slot:
+    __slots__ = ("item", "valid")
+
+    def __init__(self):
+        self.item = None
+        self.valid = False
+
+
+class RingQueue:
+    """Fixed-capacity ring with acquire/publish semantics."""
+
+    def __init__(self, capacity=1024, name=""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._slots = [_Slot() for _ in range(capacity)]
+        self.head = 0  # total slots acquired (fetch-and-add counter)
+        self.tail = 0  # total slots consumed
+        self.epoch = 0  # times the ring wrapped (barrier bookkeeping)
+
+    def __len__(self):
+        return self.head - self.tail
+
+    @property
+    def is_empty(self):
+        return self.head == self.tail
+
+    def acquire(self):
+        """Fetch-and-add a slot index; raises :class:`QueueFull` when full."""
+        if self.head - self.tail >= self.capacity:
+            raise QueueFull(self.name or "ring")
+        index = self.head
+        self.head += 1
+        if self.head % self.capacity == 0:
+            self.epoch += 1
+        return index
+
+    def publish(self, index, item):
+        """Fill the acquired slot and set its valid bit."""
+        slot = self._slots[index % self.capacity]
+        slot.item = item
+        slot.valid = True
+
+    def submit(self, item):
+        """acquire + publish in one step; returns the global position."""
+        index = self.acquire()
+        self.publish(index, item)
+        return index
+
+    def pop(self):
+        """Consume the item at the tail; None if tail slot not yet valid."""
+        if self.is_empty:
+            return None
+        slot = self._slots[self.tail % self.capacity]
+        if not slot.valid:
+            return None  # producer acquired but not yet published
+        item, slot.item = slot.item, None
+        slot.valid = False
+        self.tail += 1
+        return item
+
+    def drain(self):
+        """Pop every published item at the tail."""
+        items = []
+        while True:
+            item = self.pop()
+            if item is None:
+                break
+            items.append(item)
+        return items
+
+
+class ClientQueues:
+    """One privilege level's CSH queue triple."""
+
+    def __init__(self, capacity=1024, name=""):
+        self.copy = RingQueue(capacity, name + "-copy")
+        self.sync = RingQueue(capacity, name + "-sync")
+        self.handler = RingQueue(capacity, name + "-handler")
+
+    def __repr__(self):
+        return "<ClientQueues copy=%d sync=%d handler=%d>" % (
+            len(self.copy), len(self.sync), len(self.handler))

@@ -1,0 +1,91 @@
+"""Copier scheduler and the cgroup copier controller (§4.5.2, §4.5.3).
+
+Copy is managed as a first-class resource whose unit is *copy length* —
+bytes copied on behalf of a client — rather than CPU time, because copy
+completion time varies with cache/TLB state.  Scheduling is CFS-like:
+among cgroups, pick the one with the minimum share-weighted total copy
+length; within it, the client with the minimum total.  ``copy_slice``
+bounds how much one scheduling decision may copy.
+"""
+
+
+class CopierCgroup:
+    """A control group with a ``copier.shares`` weight."""
+
+    def __init__(self, name, shares=100):
+        if shares <= 0:
+            raise ValueError("copier.shares must be positive")
+        self.name = name
+        self.shares = shares
+        self.total_copy_length = 0
+        self.clients = []
+
+    @property
+    def weighted_length(self):
+        return self.total_copy_length / self.shares
+
+    def __repr__(self):
+        return "<CopierCgroup %s shares=%d total=%d>" % (
+            self.name, self.shares, self.total_copy_length)
+
+
+class CopierScheduler:
+    def __init__(self, params):
+        self.params = params
+        self.copy_slice_bytes = params.copy_slice_bytes
+        self.root_cgroup = CopierCgroup("root")
+        self.cgroups = {"root": self.root_cgroup}
+        self._client_group = {}
+        self._client_length = {}
+
+    # ---------------------------------------------------------- membership
+
+    def create_cgroup(self, name, shares=100):
+        if name in self.cgroups:
+            raise ValueError("cgroup %r exists" % name)
+        group = CopierCgroup(name, shares)
+        self.cgroups[name] = group
+        return group
+
+    def register(self, client, cgroup="root"):
+        group = self.cgroups[cgroup]
+        group.clients.append(client)
+        self._client_group[client] = group
+        self._client_length[client] = 0
+
+    def unregister(self, client):
+        group = self._client_group.pop(client, None)
+        if group is not None:
+            group.clients.remove(client)
+        self._client_length.pop(client, None)
+
+    def move(self, client, cgroup):
+        self.unregister(client)
+        self.register(client, cgroup)
+
+    # ------------------------------------------------------------- decision
+
+    def pick(self, ready):
+        """Choose the next client to serve from the ``ready`` collection.
+
+        Two-level minimum: share-weighted cgroup totals, then per-client
+        totals — both on copy length, the paper's fairness unit.
+        """
+        ready = [c for c in ready if c in self._client_group]
+        if not ready:
+            return None
+        groups = {}
+        for client in ready:
+            groups.setdefault(self._client_group[client], []).append(client)
+        group = min(groups, key=lambda g: (g.weighted_length, g.name))
+        return min(groups[group], key=lambda c: (self._client_length[c], id(c)))
+
+    def charge(self, client, nbytes):
+        """Account ``nbytes`` of copy done on behalf of ``client``."""
+        self._client_length[client] = self._client_length.get(client, 0) + nbytes
+        group = self._client_group.get(client)
+        if group is not None:
+            group.total_copy_length += nbytes
+
+    def client_total(self, client):
+        return self._client_length.get(client, 0)

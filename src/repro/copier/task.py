@@ -1,0 +1,214 @@
+"""Copier task types and memory regions (§4.1, §4.2).
+
+A Copy Task names a source and destination range, a segment granularity and
+a descriptor; Sync Tasks promote ranges (or abort pending copies); Barrier
+Tasks record cross-queue positions for order-dependency tracking.
+"""
+
+import itertools
+
+# Task lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+ABORTED = "aborted"
+
+# Task types (the paper's `type` field).
+TYPE_NORMAL = "normal"
+TYPE_LAZY = "lazy"
+
+_task_ids = itertools.count(1)
+
+
+class Region:
+    """A byte range inside one address space."""
+
+    __slots__ = ("aspace", "start", "length")
+
+    def __init__(self, aspace, start, length):
+        self.aspace = aspace
+        self.start = start
+        self.length = length
+
+    @property
+    def end(self):
+        return self.start + self.length
+
+    def overlaps(self, other):
+        return (
+            self.aspace.asid == other.aspace.asid
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def contains(self, other):
+        return (
+            self.aspace.asid == other.aspace.asid
+            and self.start <= other.start
+            and other.end <= self.end
+        )
+
+    def intersection(self, other):
+        if not self.overlaps(other):
+            return None
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return Region(self.aspace, start, end - start)
+
+    def __repr__(self):
+        return "Region(as=%d, 0x%x+%d)" % (self.aspace.asid, self.start, self.length)
+
+
+class CopyTask:
+    """An asynchronous copy request.
+
+    ``order_key`` is filled in at submission by the queue layer: a tuple
+    that merges u-mode and k-mode streams into a single per-client order
+    (see :mod:`repro.copier.deps`).  ``handler`` is the post-copy FUNC
+    (§4.1): ``("kfunc", callable, args)`` runs in Copier's context,
+    ``("ufunc", callable, args)`` is delegated to the client's Handler
+    Queue.
+    """
+
+    __slots__ = (
+        "task_id",
+        "client",
+        "queue_kind",
+        "src",
+        "dst",
+        "descriptor",
+        "handler",
+        "task_type",
+        "order_key",
+        "state",
+        "submitted_at",
+        "started_at",
+        "completed_at",
+        "promoted",
+        "pinned",
+        "absorbed_bytes",
+        "lazy_deadline",
+    )
+
+    def __init__(self, client, queue_kind, src, dst, descriptor,
+                 handler=None, task_type=TYPE_NORMAL):
+        if src.length != dst.length:
+            raise ValueError("copy src/dst length mismatch")
+        self.task_id = next(_task_ids)
+        self.client = client
+        self.queue_kind = queue_kind
+        self.src = src
+        self.dst = dst
+        self.descriptor = descriptor
+        self.handler = handler
+        self.task_type = task_type
+        self.order_key = None
+        self.state = PENDING
+        self.submitted_at = None
+        self.started_at = None
+        self.completed_at = None
+        self.promoted = False
+        self.pinned = False
+        self.absorbed_bytes = 0
+        self.lazy_deadline = None
+
+    @property
+    def length(self):
+        return self.src.length
+
+    @property
+    def lazy(self):
+        return self.task_type == TYPE_LAZY
+
+    @property
+    def is_finished(self):
+        return self.state in (DONE, ABORTED)
+
+    def segments_pending(self):
+        """Indices of segments not yet copied."""
+        return [i for i in range(self.descriptor.n_segments)
+                if not self.descriptor.is_ready(i)]
+
+    def dst_range_of_segment(self, index):
+        """The destination byte range covered by segment ``index``."""
+        seg = self.descriptor.segment_bytes
+        start = self.dst.start + index * seg
+        length = min(seg, self.dst.end - start)
+        return Region(self.dst.aspace, start, length)
+
+    def src_range_of_segment(self, index):
+        seg = self.descriptor.segment_bytes
+        offset = index * seg
+        length = min(seg, self.length - offset)
+        return Region(self.src.aspace, self.src.start + offset, length)
+
+    def segments_covering(self, region):
+        """Segment indices whose *destination* range intersects ``region``."""
+        if region.aspace.asid != self.dst.aspace.asid:
+            return []
+        inter = self.dst.intersection(region)
+        if inter is None:
+            return []
+        seg = self.descriptor.segment_bytes
+        first = (inter.start - self.dst.start) // seg
+        last = (inter.end - 1 - self.dst.start) // seg
+        return list(range(first, last + 1))
+
+    def segments_covering_src(self, region):
+        """Segment indices whose *source* range intersects ``region``."""
+        if region.aspace.asid != self.src.aspace.asid:
+            return []
+        inter = self.src.intersection(region)
+        if inter is None:
+            return []
+        seg = self.descriptor.segment_bytes
+        first = (inter.start - self.src.start) // seg
+        last = (inter.end - 1 - self.src.start) // seg
+        return list(range(first, last + 1))
+
+    def __repr__(self):
+        return "<CopyTask #%d %s %s->%s %s%s>" % (
+            self.task_id,
+            self.queue_kind,
+            self.src,
+            self.dst,
+            self.state,
+            " lazy" if self.lazy else "",
+        )
+
+
+class SyncTask:
+    """A promotion (or abort) request for a destination range (§4.1, §4.4)."""
+
+    __slots__ = ("task_id", "client", "queue_kind", "region", "abort", "submitted_at")
+
+    def __init__(self, client, queue_kind, region, abort=False):
+        self.task_id = next(_task_ids)
+        self.client = client
+        self.queue_kind = queue_kind
+        self.region = region
+        self.abort = abort
+        self.submitted_at = None
+
+    def __repr__(self):
+        kind = "abort" if self.abort else "sync"
+        return "<SyncTask #%d %s %s>" % (self.task_id, kind, self.region)
+
+
+class BarrierTask:
+    """Records the paired u-mode Copy Queue position at a trap/return event.
+
+    ``u_position`` is the count of u-mode tasks acquired at the moment the
+    kernel crossed the privilege boundary; k-mode tasks submitted after this
+    barrier depend on exactly those u-mode tasks (§4.2.1, Fig. 6-a).
+    """
+
+    __slots__ = ("task_id", "u_position", "u_epoch")
+
+    def __init__(self, u_position, u_epoch):
+        self.task_id = next(_task_ids)
+        self.u_position = u_position
+        self.u_epoch = u_epoch
+
+    def __repr__(self):
+        return "<Barrier u_pos=%d epoch=%d>" % (self.u_position, self.u_epoch)

@@ -1,0 +1,20 @@
+"""Hardware models: copy engines, DMA device, caches.
+
+Replaces the paper's Xeon E5-2650 v4 (AVX2 + ERMS) and Intel I/OAT DMA with
+calibrated analytic timing models (see ``params.py`` for the calibration
+rationale).  Engines move *real* bytes through :mod:`repro.mem`, so the
+models determine *when* data lands, never *what* lands.
+"""
+
+from repro.hw.params import MachineParams
+from repro.hw.engines import CopyTimingModel, cpu_copy
+from repro.hw.dma import DMAEngine
+from repro.hw.cache import CacheModel
+
+__all__ = [
+    "MachineParams",
+    "CopyTimingModel",
+    "cpu_copy",
+    "DMAEngine",
+    "CacheModel",
+]

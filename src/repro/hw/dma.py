@@ -1,0 +1,93 @@
+"""On-chip DMA engine (I/OAT-style) as a simulated device.
+
+The device drains batches of physically-contiguous subtasks serially at
+``dma_bytes_per_cycle`` without occupying any CPU core — the property the
+piggyback dispatcher (§4.3) exploits by overlapping DMA transfers with AVX
+copies on the Copier core.
+"""
+
+from collections import deque
+
+from repro.mem.phys import PAGE_SIZE
+from repro.sim import Timeout, WaitEvent
+
+
+class DMASubtask:
+    """One physically-contiguous copy unit handed to the device."""
+
+    __slots__ = ("src_as", "src_va", "dst_as", "dst_va", "nbytes", "on_done")
+
+    def __init__(self, src_as, src_va, dst_as, dst_va, nbytes, on_done=None):
+        self.src_as = src_as
+        self.src_va = src_va
+        self.dst_as = dst_as
+        self.dst_va = dst_va
+        self.nbytes = nbytes
+        self.on_done = on_done
+
+    def __repr__(self):
+        return "DMASubtask(%d bytes)" % self.nbytes
+
+
+def is_contiguous(aspace, va, nbytes, write=False):
+    """True if [va, va+nbytes) maps to physically adjacent frames."""
+    spans = aspace.frames_for(va, nbytes, write=write)
+    for (f0, off0, len0), (f1, off1, _len1) in zip(spans, spans[1:]):
+        if f1 != f0 + 1 or off0 + len0 != PAGE_SIZE or off1 != 0:
+            return False
+    return True
+
+
+class DMAEngine:
+    """The device: a background process serially executing submitted batches."""
+
+    def __init__(self, env, params, check_contiguity=True):
+        self.env = env
+        self.params = params
+        self.check_contiguity = check_contiguity
+        self._queue = deque()
+        self._wake = env.event()
+        self.busy_cycles = 0
+        self.bytes_copied = 0
+        self.batches = 0
+        self._proc = env.spawn(self._run(), name="dma-engine")
+
+    def submit(self, subtasks):
+        """Queue a batch; returns an event that triggers when it finishes.
+
+        The *caller* pays ``dma_submit_cycles`` per batch (charged by the
+        dispatcher, not here) — this method is the device-side doorbell.
+        """
+        done = self.env.event()
+        self._queue.append((list(subtasks), done))
+        self.batches += 1
+        if not self._wake.triggered:
+            self._wake.succeed()
+        return done
+
+    @property
+    def pending_batches(self):
+        return len(self._queue)
+
+    def _run(self):
+        while True:
+            if not self._queue:
+                self._wake = self.env.event()
+                yield WaitEvent(self._wake)
+                continue
+            batch, done = self._queue.popleft()
+            for sub in batch:
+                if self.check_contiguity and sub.nbytes > 0:
+                    if not is_contiguous(sub.src_as, sub.src_va, sub.nbytes):
+                        raise RuntimeError("DMA source not physically contiguous")
+                    if not is_contiguous(sub.dst_as, sub.dst_va, sub.nbytes, write=True):
+                        raise RuntimeError("DMA destination not physically contiguous")
+                cycles = self.params.dma_transfer_cycles(sub.nbytes)
+                yield Timeout(cycles)
+                self.busy_cycles += cycles
+                self.bytes_copied += sub.nbytes
+                data = sub.src_as.read(sub.src_va, sub.nbytes)
+                sub.dst_as.write(sub.dst_va, data)
+                if sub.on_done is not None:
+                    sub.on_done(sub)
+            done.succeed()

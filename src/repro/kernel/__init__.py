@@ -1,0 +1,32 @@
+"""Simulated OS kernel substrate.
+
+Provides the pieces Copier-Linux plugs into (§5.2): a machine/kernel bundle
+(:class:`System`), OS processes, the syscall layer with trap/return events,
+an in-memory network stack with socket buffers, the Binder IPC framework,
+and the CoW fault handler.
+"""
+
+from repro.kernel.system import System
+from repro.kernel.process import OSProcess
+from repro.kernel.net import Socket, socket_pair
+from repro.kernel.binder import BinderNode
+from repro.kernel.cow import cow_write
+from repro.kernel.fileio import FileObject, file_read, sendfile, splice_pages
+from repro.kernel.tiermem import TieredMemoryManager
+from repro.kernel.virtio import VirtQueue, VirtioBackend
+
+__all__ = [
+    "System",
+    "OSProcess",
+    "Socket",
+    "socket_pair",
+    "BinderNode",
+    "cow_write",
+    "FileObject",
+    "file_read",
+    "sendfile",
+    "splice_pages",
+    "TieredMemoryManager",
+    "VirtQueue",
+    "VirtioBackend",
+]

@@ -1,0 +1,141 @@
+"""Android Binder IPC with Parcel, baseline and Copier-optimized (§5.2).
+
+Binder's two-step transfer: the driver copies the client's message into a
+kernel binder buffer which is mapped (shared) into the server's address
+space; the server's Parcel reads typed entries out of the mapping.
+
+Copier-Linux places the copy's descriptor at the front of the message
+(shared memory): the binder buffer carries a ``ShmBinding`` (the Dshm of
+§5.1.1) binding descriptors to segment offsets, and Parcel ``_csync``-s
+through it before each read — so the copy overlaps the driver's server
+wakeup and the server's own processing.  Apps above Parcel need no
+changes.
+"""
+
+from collections import deque
+
+from repro.copier.task import Region
+from repro.sim import Compute, WaitEvent
+
+
+class Transaction:
+    __slots__ = ("offset", "length", "has_descriptor", "reply_event",
+                 "reply_data")
+
+    def __init__(self, offset, length, has_descriptor):
+        self.offset = offset
+        self.length = length
+        self.has_descriptor = has_descriptor
+        self.reply_event = None
+        self.reply_data = None
+
+
+class BinderNode:
+    """A server-side binder endpoint with its mapped transaction buffer."""
+
+    def __init__(self, system, server_proc, buffer_bytes=1 << 20):
+        from repro.api.shm_bind import ShmBinding
+        from repro.mem.shm import SharedSegment
+
+        self.system = system
+        self.server_proc = server_proc
+        self.segment = SharedSegment(system.phys, buffer_bytes,
+                                     name="binder-buf", contiguous=True)
+        # Kernel view (the driver's copy destination)...
+        self.kernel_va = system.kernel_as.map_frames(self.segment.frames,
+                                                     name="binder-k")
+        # ...and the server's read-only mapping of the same frames.
+        self.server_va = server_proc.aspace.mmap(
+            buffer_bytes, shared_segment=self.segment, name="binder-map")
+        server_proc.aspace.ensure_mapped(self.server_va, buffer_bytes)
+        self.buffer_bytes = buffer_bytes
+        # The Dshm: descriptors indexed by offset into the binder buffer.
+        self.binding = None
+        if system.copier is not None:
+            self.binding = ShmBinding(system.copier, self.segment)
+        self._cursor = 0
+        self.queue = deque()
+        self._waiters = []
+
+    def _alloc(self, nbytes):
+        if self._cursor + nbytes > self.buffer_bytes:
+            self._cursor = 0  # simple ring reuse
+        offset = self._cursor
+        self._cursor += nbytes
+        return offset
+
+    def _post(self, txn):
+        self.queue.append(txn)
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_transaction(self):
+        event = self.system.env.event()
+        if self.queue:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
+def transact(system, client_proc, node, data_va, nbytes, mode="sync"):
+    """Client side: send ``nbytes`` at ``data_va`` and wait for the reply.
+
+    Returns the reply bytes.  Generator.
+    """
+    params = system.params
+    yield from client_proc.trap()
+    yield Compute(params.binder_txn_cycles, tag="syscall")
+    offset = node._alloc(nbytes)
+    dst = Region(system.kernel_as, node.kernel_va + offset, nbytes)
+    has_descriptor = False
+    if (mode == "copier" and client_proc.client is not None
+            and node.binding is not None):
+        descriptor = yield from client_proc.client.k_amemcpy(
+            Region(client_proc.aspace, data_va, nbytes), dst)
+        # Bind the descriptor at the message's offset (shm_descr_bind).
+        node.binding.record(offset, nbytes, descriptor,
+                            client_proc.client, dst)
+        has_descriptor = True
+    else:
+        yield from system.sync_copy(
+            client_proc, client_proc.aspace, data_va,
+            system.kernel_as, node.kernel_va + offset, nbytes, engine="erms")
+    txn = Transaction(offset, nbytes, has_descriptor)
+    txn.reply_event = system.env.event()
+    # Wake the server thread: the scheduling delay is part of the window
+    # that hides the async copy.
+    yield Compute(params.context_switch_cycles, tag="syscall")
+    node._post(txn)
+    yield from client_proc.sysret()
+    yield WaitEvent(txn.reply_event)
+    return txn.reply_data
+
+
+def parcel_read(system, server_proc, node, txn, offset, length):
+    """Server side: Parcel typed read; ``_csync`` before touching data.
+
+    ``offset`` is relative to the transaction payload.  The sync goes
+    through the binder buffer's ShmBinding, locating the producer's
+    descriptor by the data's offset into the segment (§5.1.1).  Returns
+    the bytes.
+    """
+    params = system.params
+    yield Compute(params.parcel_read_cycles, tag="app")
+    if txn.has_descriptor:
+        yield from node.binding.csync(txn.offset + offset, length)
+    return server_proc.aspace.read(node.server_va + txn.offset + offset,
+                                   length)
+
+
+def reply(system, server_proc, txn, data):
+    """Server side: finish the transaction with a (small, sync) reply."""
+    yield from server_proc.trap()
+    yield Compute(system.params.binder_txn_cycles // 2, tag="syscall")
+    yield Compute(system.params.cpu_copy_cycles(len(data), engine="erms"),
+                  tag="copy")
+    yield Compute(system.params.context_switch_cycles, tag="syscall")
+    yield from server_proc.sysret()
+    txn.reply_data = data
+    txn.reply_event.succeed()

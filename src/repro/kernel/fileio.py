@@ -1,0 +1,99 @@
+"""File I/O path: page cache, read(), and sendfile() (Table 1 rows).
+
+``read()`` is the copy the paper's libpng/PNG-decode case rides on
+(kernel page cache → user buffer, Copier-optimizable like recv).
+``sendfile()`` is the Table 1 "address transfer in kernel" row: file
+pages go straight to the socket without a user-space bounce, but the
+caller still blocks for the kernel-side work and it only helps the
+file→socket direction.
+"""
+
+from repro.copier.task import Region
+from repro.kernel.net import SKB, _transmit
+from repro.sim import Compute
+
+
+class FileObject:
+    """An open file whose contents sit in the (kernel) page cache."""
+
+    def __init__(self, system, data, name="file"):
+        self.system = system
+        self.name = name
+        self.length = len(data)
+        self.cache_va = system.alloc_kernel_buffer(max(len(data), 1))
+        system.kernel_as.write(self.cache_va, data)
+
+    def release(self):
+        self.system.free_kernel_buffer(self.cache_va, max(self.length, 1))
+
+
+def file_read(system, proc, fobj, offset, va, nbytes, mode="sync"):
+    """The read() syscall: page cache → user buffer.
+
+    ``mode="copier"`` submits the copy as a k-mode task (the PNG-decode
+    pattern: decode proceeds while the tail of the file streams in).
+    """
+    params = system.params
+    got = max(0, min(nbytes, fobj.length - offset))
+    yield from proc.trap()
+    yield Compute(200, tag="syscall")  # vfs + page-cache lookup
+    if got:
+        if (mode == "copier" and proc.client is not None
+                and got >= params.copier_kernel_min_bytes):
+            yield from proc.client.k_amemcpy(
+                Region(system.kernel_as, fobj.cache_va + offset, got),
+                Region(proc.aspace, va, got))
+        else:
+            yield from system.sync_copy(
+                proc, system.kernel_as, fobj.cache_va + offset,
+                proc.aspace, va, got, engine="erms")
+    yield from proc.sysret()
+    return got
+
+
+def sendfile(system, proc, fobj, offset, sock, nbytes):
+    """sendfile(2): in-kernel address transfer, no user-space bounce.
+
+    One kernel-side copy into the skb (page references in real kernels;
+    the data still crosses the memory bus once), caller blocks for it —
+    Table 1: avoids the user copy ("Partial" absorb) but is blocking and
+    file→socket only.
+    """
+    params = system.params
+    got = max(0, min(nbytes, fobj.length - offset))
+    yield from proc.trap()
+    yield Compute(300, tag="syscall")  # splice plumbing
+    if got:
+        skb_va = system.alloc_kernel_buffer(got)
+        yield from system.sync_copy(
+            proc, system.kernel_as, fobj.cache_va + offset,
+            system.kernel_as, skb_va, got, engine="erms")
+        yield Compute(params.proto_cycles, tag="syscall")
+        _transmit(system, sock, SKB(skb_va, got))
+    yield from proc.sysret()
+    return got
+
+
+def splice_pages(system, proc, fobj, offset, sock, nbytes):
+    """splice/vmsplice model: *move* page references, no copy at all.
+
+    Requires page-aligned, page-granular ranges (Table 1: alignment
+    constraint) and gives the pages away (single instance — no replicas).
+    """
+    from repro.mem.phys import PAGE_SIZE
+
+    if offset % PAGE_SIZE or nbytes % PAGE_SIZE:
+        raise ValueError("splice requires page-aligned ranges")
+    got = max(0, min(nbytes, fobj.length - offset))
+    yield from proc.trap()
+    n_pages = got // PAGE_SIZE
+    yield Compute(300 + n_pages * 150, tag="syscall")  # pipe page moves
+    if got:
+        # Model: the skb aliases the cache pages (shared frames).
+        spans = system.kernel_as.frames_for(fobj.cache_va + offset, got)
+        frames = [f for f, _o, _l in spans]
+        skb_va = system.kernel_as.map_frames(frames, name="kbuf")
+        yield Compute(system.params.proto_cycles, tag="syscall")
+        _transmit(system, sock, SKB(skb_va, got))
+    yield from proc.sysret()
+    return got

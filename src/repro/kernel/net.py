@@ -1,0 +1,229 @@
+"""In-memory network stack: sockets, skbs, send/recv paths (§5.2).
+
+Each syscall is split into a *wrapper* (trap + body + return) and a *body*
+so io_uring-style batched submission (§6.1.2) can amortize the privilege
+crossings over many bodies.
+
+Copy modes:
+
+* ``"sync"`` — baseline Linux: in-context ERMS copies.
+* ``"copier"`` — Copier-Linux: k-mode Copy Tasks; send syncs in the driver
+  just before NIC TX enqueue, recv returns immediately and the app csyncs
+  before use; a KFUNC reclaims the socket buffer (§5.2).
+* ``"zerocopy"`` — MSG_ZEROCOPY model: page pinning + TLB flush instead of
+  a copy, plus the completion-check syscall the app needs before reuse.
+* ``"ub"`` — Userspace Bypass: cheap kernel entry, same copy work.
+"""
+
+from collections import deque
+
+from repro.copier.task import Region
+from repro.mem.phys import PAGE_SIZE
+from repro.sim import Compute, WaitEvent
+
+
+class SKB:
+    """A socket buffer in flight."""
+
+    __slots__ = ("kernel_va", "length", "zerocopy_src", "completion",
+                 "payload")
+
+    def __init__(self, kernel_va, length, zerocopy_src=None, completion=None):
+        self.kernel_va = kernel_va
+        self.length = length
+        self.zerocopy_src = zerocopy_src  # (aspace, va) for MSG_ZEROCOPY
+        self.completion = completion
+        self.payload = None  # NIC-side snapshot for zerocopy sends
+
+
+class Socket:
+    """One endpoint of a connected pair."""
+
+    def __init__(self, system, name=""):
+        self.system = system
+        self.name = name
+        self.peer = None
+        self.rx = deque()
+        self._waiters = []
+        self.delivered = 0
+
+    def deliver(self, skb):
+        self.rx.append(skb)
+        self.delivered += 1
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_data(self):
+        event = self.system.env.event()
+        if self.rx:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
+def socket_pair(system, name=""):
+    a = Socket(system, name + "-a")
+    b = Socket(system, name + "-b")
+    a.peer, b.peer = b, a
+    return a, b
+
+
+# ------------------------------------------------------------------ send
+
+def send(system, proc, sock, va, nbytes, mode="sync", client=None):
+    """The send() syscall; returns ``nbytes``.
+
+    ``client`` overrides the process's default Copier queues — per-thread
+    queue fds from ``copier_create_queue`` pass their client here
+    (§5.1.1 multi-queue support).
+    """
+    trap_cost = system.params.ub_trap_cycles if mode == "ub" else None
+    yield from proc.trap(cost=trap_cost, client=client)
+    result = yield from send_body(system, proc, sock, va, nbytes, mode=mode,
+                                  client=client)
+    yield from proc.sysret(cost=trap_cost, client=client)
+    return result
+
+
+def send_body(system, proc, sock, va, nbytes, mode="sync", client=None):
+    params = system.params
+    client = client if client is not None else proc.client
+    if mode == "zerocopy":
+        return (yield from _send_zerocopy(system, proc, sock, va, nbytes))
+    yield Compute(params.skb_alloc_cycles, tag="syscall")
+    skb_va = system.alloc_kernel_buffer(nbytes)
+    skb = SKB(skb_va, nbytes)
+    if (mode == "copier" and client is not None
+            and nbytes >= params.copier_kernel_min_bytes):
+        # Submit the user→skb copy and overlap protocol processing with it;
+        # the driver syncs just before handing packets to the NIC (§5.2).
+        yield from client.k_amemcpy(
+            Region(proc.aspace, va, nbytes),
+            Region(system.kernel_as, skb_va, nbytes))
+        yield Compute(params.proto_cycles, tag="syscall")
+        yield from client.csync_region(
+            Region(system.kernel_as, skb_va, nbytes), queue_kind="k")
+    else:
+        yield from system.sync_copy(
+            proc, proc.aspace, va, system.kernel_as, skb_va, nbytes,
+            engine="erms")
+        yield Compute(params.proto_cycles, tag="syscall")
+    _transmit(system, sock, skb)
+    return nbytes
+
+
+def _send_zerocopy(system, proc, sock, va, nbytes):
+    """MSG_ZEROCOPY: pin user pages instead of copying (§2.2).
+
+    Requires page alignment; the returned completion event stands in for
+    the error-queue notification the app must reap before buffer reuse.
+    """
+    params = system.params
+    if va % PAGE_SIZE != 0:
+        raise ValueError("MSG_ZEROCOPY requires page-aligned buffers")
+    n_pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+    yield Compute(
+        n_pages * params.zc_pin_cycles_per_page + params.zc_tlb_flush_cycles,
+        tag="syscall")
+    yield Compute(params.proto_cycles, tag="syscall")
+    completion = system.env.event()
+    skb = SKB(None, nbytes, zerocopy_src=(proc.aspace, va),
+              completion=completion)
+    # The NIC DMAs straight from the pinned user pages; the error-queue
+    # completion fires once the TX ring drains — NOT when the peer recvs.
+    aspace = proc.aspace
+
+    def on_tx_done():
+        skb.payload = aspace.read(va, nbytes)
+        completion.succeed()
+
+    tx_drain = int(nbytes / params.wire_bytes_per_cycle)
+    system.env.schedule(tx_drain, on_tx_done)
+    _transmit(system, sock, skb)
+    return completion
+
+
+def _transmit(system, sock, skb):
+    transit = system.params.wire_latency_cycles + int(
+        skb.length / system.params.wire_bytes_per_cycle)
+    system.env.schedule(transit, lambda: sock.peer.deliver(skb))
+
+
+def zerocopy_reap(system, proc, completion):
+    """Reap a MSG_ZEROCOPY completion before reusing the buffer."""
+    yield from proc.trap()
+    yield Compute(system.params.zc_completion_check_cycles, tag="syscall")
+    if not completion.triggered:
+        yield WaitEvent(completion)
+    yield from proc.sysret()
+
+
+# ------------------------------------------------------------------ recv
+
+def recv(system, proc, sock, va, nbytes, mode="sync", lazy=False,
+         client=None):
+    """The recv() syscall; returns the number of bytes received.
+
+    In ``"copier"`` mode the copy lands asynchronously — the caller must
+    csync before touching the data (libCopier's descriptor covers ``va``).
+    ``lazy=True`` (copier mode only) marks the skb→user copy a Lazy Task:
+    apps that only parse a header and forward/re-copy the payload let
+    absorption short-circuit the bulk and abort the rest (§4.4).
+    """
+    trap_cost = system.params.ub_trap_cycles if mode == "ub" else None
+    yield from proc.trap(cost=trap_cost, client=client)
+    result = yield from recv_body(system, proc, sock, va, nbytes, mode=mode,
+                                  lazy=lazy, client=client)
+    yield from proc.sysret(cost=trap_cost, client=client)
+    return result
+
+
+def recv_body(system, proc, sock, va, nbytes, mode="sync", lazy=False,
+              client=None):
+    params = system.params
+    client = client if client is not None else proc.client
+    if not sock.rx:
+        yield WaitEvent(sock.wait_data())
+    skb = sock.rx.popleft()
+    got = min(nbytes, skb.length)
+    if skb.zerocopy_src is not None:
+        # Receive a zerocopy-sent message: the bytes on the wire are the
+        # NIC's snapshot (taken at TX-drain time).
+        yield Compute(params.cpu_copy_cycles(got, engine="erms"),
+                      tag="copy")
+        proc.aspace.write(va, skb.payload[:got])
+    elif (mode == "copier" and client is not None
+            and got >= params.copier_kernel_min_bytes):
+        # Async skb→user copy; KFUNC reclaims the buffer afterwards (§5.2).
+        yield from client.k_amemcpy(
+            Region(system.kernel_as, skb.kernel_va, got),
+            Region(proc.aspace, va, got),
+            lazy=lazy,
+            handler=("kfunc", system.free_kernel_buffer,
+                     (skb.kernel_va, skb.length)))
+    else:
+        yield from system.sync_copy(
+            proc, system.kernel_as, skb.kernel_va, proc.aspace, va, got,
+            engine="erms")
+        system.free_kernel_buffer(skb.kernel_va, skb.length)
+    yield Compute(params.sock_state_cycles, tag="syscall")
+    return got
+
+
+# ---------------------------------------------------------------- io_uring
+
+def iouring_submit(system, proc, bodies):
+    """Batched async syscalls: one trap covers the whole batch (§6.1.2).
+
+    ``bodies`` are body generators (from ``send_body``/``recv_body``).
+    Returns their results in order.
+    """
+    yield from proc.trap()
+    yield Compute(len(bodies) * 30, tag="syscall")  # SQE processing
+    results = []
+    for body in bodies:
+        results.append((yield from body))
+    yield from proc.sysret()
+    return results

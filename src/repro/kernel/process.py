@@ -1,0 +1,78 @@
+"""OS-level processes: address space + Copier client + syscall context."""
+
+from repro.sim import Compute
+
+
+class OSProcess:
+    """A simulated OS process.
+
+    Wraps the address space and (when Copier is enabled) the process's
+    CopierClient.  :meth:`trap` / :meth:`sysret` charge privilege-crossing
+    costs *and* record the barrier events order-dependency tracking keys
+    off (§4.2.1) — every syscall wrapper in :mod:`repro.kernel` brackets
+    its kernel work with them.
+    """
+
+    _next_pid = [100]
+
+    def __init__(self, system, aspace, client, name=""):
+        self.system = system
+        self.env = system.env
+        self.aspace = aspace
+        self.client = client
+        self.pid = OSProcess._next_pid[0]
+        OSProcess._next_pid[0] += 1
+        self.name = name or ("os-proc-%d" % self.pid)
+        self.sim_proc = None  # set by spawn()
+
+    @property
+    def cache_key(self):
+        return ("proc", self.pid)
+
+    @property
+    def params(self):
+        return self.system.params
+
+    def spawn(self, generator, affinity=None, name=None):
+        self.sim_proc = self.env.spawn(
+            generator, name=name or self.name, affinity=affinity)
+        if self.client is not None:
+            self.client.process = self.sim_proc
+        return self.sim_proc
+
+    # ------------------------------------------------------ syscall costs
+
+    def trap(self, cost=None, client=None):
+        """Enter the kernel: charge the trap and snapshot the barrier.
+
+        ``client`` selects which queue pair's barrier records the event —
+        syscalls issued against a per-thread queue fd pass that fd's
+        client (the kernel pairs barriers with the queues it submits to,
+        §4.2.1/§5.1.1)."""
+        client = client if client is not None else self.client
+        if client is not None:
+            client.on_trap()
+        yield Compute(self.params.syscall_trap_cycles if cost is None else cost,
+                      tag="syscall")
+
+    def sysret(self, cost=None, client=None):
+        """Return to userspace: snapshot the barrier and charge the return."""
+        client = client if client is not None else self.client
+        if client is not None:
+            client.on_return()
+        yield Compute(self.params.syscall_return_cycles if cost is None else cost,
+                      tag="syscall")
+
+    # ------------------------------------------------------- memory helpers
+
+    def mmap(self, length, **kwargs):
+        return self.aspace.mmap(length, **kwargs)
+
+    def write(self, va, data):
+        self.aspace.write(va, data)
+
+    def read(self, va, length):
+        return self.aspace.read(va, length)
+
+    def __repr__(self):
+        return "<OSProcess %s pid=%d>" % (self.name, self.pid)

@@ -1,0 +1,102 @@
+"""The machine + kernel bundle shared by every experiment."""
+
+from repro.copier.service import CopierService
+from repro.hw.cache import CacheModel
+from repro.hw.params import MachineParams
+from repro.kernel.process import OSProcess
+from repro.mem.addrspace import AddressSpace
+from repro.mem.phys import PhysicalMemory
+from repro.sim import Compute, Environment
+
+
+class System:
+    """One simulated machine: cores, memory, kernel, optional Copier.
+
+    ``copier=True`` reserves the machine's last core(s) for the Copier
+    service ("Copier uses one dedicated core to copy", §6); with
+    ``copier=False`` the system is the paper's baseline Linux and every
+    copy is synchronous.
+    """
+
+    def __init__(self, n_cores=4, params=None, phys_frames=65536,
+                 fragmented=False, copier=True, timeslice=100_000,
+                 copier_kwargs=None):
+        self.params = params if params is not None else MachineParams()
+        self.env = Environment(n_cores=n_cores, timeslice=timeslice)
+        self.phys = PhysicalMemory(phys_frames, fragmented=fragmented)
+        self.kernel_as = AddressSpace(self.phys, name="kernel")
+        self.cache = CacheModel(self.params)
+        self.processes = []
+        self.copier = None
+        if copier:
+            kwargs = dict(copier_kwargs or {})
+            kwargs.setdefault("dedicated_cores", [n_cores - 1])
+            self.copier = CopierService(self.env, self.params, **kwargs)
+
+    # ------------------------------------------------------------ processes
+
+    def create_process(self, name, cgroup="root", queue_capacity=1024):
+        aspace = AddressSpace(self.phys, name=name)
+        client = None
+        if self.copier is not None:
+            client = self.copier.create_client(
+                aspace, name=name, cgroup=cgroup,
+                queue_capacity=queue_capacity)
+        proc = OSProcess(self, aspace, client, name=name)
+        self.processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------- timing helpers
+
+    def app_compute(self, proc, cycles, tag="app", instructions=None):
+        """App computation with cache-pollution CPI inflation (§6.3.5)."""
+        inflated = self.cache.charge(proc.cache_key, cycles)
+        return Compute(inflated, tag=tag,
+                       instructions=cycles if instructions is None else instructions)
+
+    def sync_copy(self, proc, src_as, src_va, dst_as, dst_va, nbytes,
+                  engine="erms", warm=False, tag="copy"):
+        """Synchronous in-context copy: charges the caller and pollutes its
+        cache — the baseline path Copier replaces.
+
+        Page faults taken by the copy (demand-zero on fresh buffers, CoW)
+        land on the caller's critical path, unlike Copier's proactive
+        handling which resolves them in the service's context (§4.5.4).
+        """
+        if nbytes:
+            p = self.params
+            fault_cycles = 0
+            resolutions = src_as.ensure_mapped(src_va, nbytes, write=False)
+            resolutions += dst_as.ensure_mapped(dst_va, nbytes, write=True)
+            for kind in resolutions:
+                fault_cycles += (p.fault_entry_cycles + p.page_alloc_cycles
+                                 + p.fault_exit_cycles)
+                if kind == "cow_copy":
+                    fault_cycles += p.cpu_copy_cycles(4096, engine="erms")
+            if fault_cycles:
+                yield Compute(fault_cycles, tag="fault")
+            cycles = p.cpu_copy_cycles(nbytes, engine=engine, warm=warm)
+            yield Compute(cycles, tag=tag)
+            data = src_as.read(src_va, nbytes)
+            dst_as.write(dst_va, data)
+            self.cache.pollute(proc.cache_key, nbytes)
+
+    # ----------------------------------------------------------- skb memory
+
+    def alloc_kernel_buffer(self, nbytes, contiguous=True):
+        """Allocate a kernel buffer (socket buffer, binder buffer...)."""
+        try:
+            return self.kernel_as.mmap(nbytes, populate=True,
+                                       contiguous=contiguous,
+                                       name="kbuf")
+        except Exception:
+            return self.kernel_as.mmap(nbytes, populate=True, name="kbuf")
+
+    def free_kernel_buffer(self, va, nbytes):
+        self.kernel_as.munmap(va, nbytes)
+
+    def run_all(self, procs, limit=None):
+        """Run the event loop until every process in ``procs`` terminates."""
+        for proc in procs:
+            self.env.run_until(proc.terminated, limit=limit)
+        return [p.result for p in procs]

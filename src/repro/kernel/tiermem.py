@@ -1,0 +1,107 @@
+"""Tiered-memory management with Copier-assisted page migration (§7).
+
+The paper's discussion names tiered memory management among the OS
+services Copier generalizes to: page migration between a fast tier (DRAM)
+and a slow tier (CXL/NVM) is exactly a copy + page-table flip, and the
+manager's scan/bookkeeping between migrations is a natural Copy-Use
+window.
+
+Tiers are frame-number bands of the simulated physical memory: frames
+below ``fast_frames`` are the fast tier, the rest the slow tier.  The
+baseline manager copies each page synchronously (ERMS, in its own
+context); the Copier manager submits the page copies as k-mode tasks and
+only csyncs each page right before flipping its PTE — pipelining a batch
+of migrations through the service.
+"""
+
+from repro.copier.task import Region
+from repro.mem.phys import PAGE_SIZE
+from repro.sim import Compute
+
+SCAN_CYCLES_PER_PAGE = 350       # hotness bookkeeping per migrated page
+PTE_FLIP_CYCLES = 180            # page-table update + TLB shootdown share
+
+
+class TieredMemoryManager:
+    """Migrates pages between tiers on behalf of processes."""
+
+    def __init__(self, system, fast_frames):
+        self.system = system
+        self.fast_frames = fast_frames
+        self.promoted = 0
+        self.demoted = 0
+
+    def tier_of(self, frame):
+        return "fast" if frame < self.fast_frames else "slow"
+
+    def frame_of(self, aspace, va):
+        frame, _off = aspace.translate(va)
+        return frame
+
+    def _target_band(self, to_fast):
+        if to_fast:
+            return 0, self.fast_frames
+        return self.fast_frames, self.system.phys.n_frames
+
+    def migrate_batch(self, proc, vas, to_fast, mode="sync"):
+        """Migrate whole pages at ``vas`` of ``proc`` to the target tier.
+
+        Generator; returns the manager's total busy cycles.  Data is
+        preserved; PTEs are flipped only after each page's copy lands
+        (the CoW-handler discipline of §5.2 applied to migration).
+        """
+        system = self.system
+        aspace = proc.aspace
+        kernel_as = system.kernel_as
+        t0 = system.env.now
+        lo, hi = self._target_band(to_fast)
+        staged = []
+        for va in vas:
+            page_va = va - va % PAGE_SIZE
+            aspace.ensure_mapped(page_va, PAGE_SIZE)
+            old_frame, _ = aspace.translate(page_va)
+            if (old_frame < self.fast_frames) == to_fast:
+                continue  # already in the target tier
+            new_frame = system.phys.alloc_frame_in(lo, hi)
+            src_va = kernel_as.map_frames([old_frame], prot="r",
+                                          name="tier-src")
+            dst_va = kernel_as.map_frames([new_frame], prot="rw",
+                                          name="tier-dst")
+            yield Compute(SCAN_CYCLES_PER_PAGE, tag="app")
+            if mode == "copier" and proc.client is not None:
+                yield from proc.client.k_amemcpy(
+                    Region(kernel_as, src_va, PAGE_SIZE),
+                    Region(kernel_as, dst_va, PAGE_SIZE))
+            else:
+                yield from system.sync_copy(
+                    proc, kernel_as, src_va, kernel_as, dst_va, PAGE_SIZE,
+                    engine="erms")
+            staged.append((page_va, old_frame, new_frame, src_va, dst_va))
+        # Flip PTEs in submission order, syncing each page just in time.
+        for page_va, old_frame, new_frame, src_va, dst_va in staged:
+            if mode == "copier" and proc.client is not None:
+                yield from proc.client.csync_region(
+                    Region(kernel_as, dst_va, PAGE_SIZE), queue_kind="k")
+                while _pinned(kernel_as, src_va) or _pinned(kernel_as,
+                                                            dst_va):
+                    yield Compute(system.params.csync_spin_cycles,
+                                  tag="csync")
+            yield Compute(PTE_FLIP_CYCLES, tag="app")
+            vpn = page_va // PAGE_SIZE
+            pte = aspace.page_table[vpn]
+            system.phys.free_frame(pte.frame)
+            pte.frame = new_frame
+            system.phys.share_frame(new_frame)
+            aspace._invalidate(vpn)
+            kernel_as.munmap(src_va, PAGE_SIZE)
+            kernel_as.munmap(dst_va, PAGE_SIZE)
+            if to_fast:
+                self.promoted += 1
+            else:
+                self.demoted += 1
+        return system.env.now - t0
+
+
+def _pinned(aspace, va):
+    pte = aspace.page_table.get(va // PAGE_SIZE)
+    return pte is not None and pte.pin_count > 0

@@ -1,0 +1,142 @@
+"""Virtio-style device virtualization with Copier-assisted copies (§7).
+
+The last of §7's named OS services: a host-side device model (think
+virtio-blk/net backend) moves request/response payloads between guest
+buffers and host device buffers.  Baseline backends copy synchronously in
+the vCPU's exit path; with Copier the backend submits the copy at kick
+time and the device thread csyncs right before touching the payload —
+the guest resumes while the payload streams.
+
+The "guest" is simply another address space; the shared ring is a
+:class:`~repro.mem.shm.SharedSegment`, faithful to virtqueues living in
+guest memory that the host maps.
+"""
+
+from collections import deque
+
+from repro.copier.task import Region
+from repro.sim import Compute, WaitEvent
+
+VMEXIT_CYCLES = 1800       # kick: guest -> host transition
+VMENTER_CYCLES = 1500      # resume the vCPU
+RING_OP_CYCLES = 120       # descriptor ring bookkeeping
+DEVICE_CYCLES_PER_KB = 90  # device-model processing per KB of payload
+
+
+class VirtQueue:
+    """A minimal split-ring: guests post buffers, the backend consumes."""
+
+    def __init__(self, system, guest_proc, name="virtq"):
+        self.system = system
+        self.guest_proc = guest_proc
+        self.name = name
+        self._pending = deque()
+        self._waiters = []
+        self.completions = {}
+
+    def kick(self, req_id, guest_va, nbytes, write):
+        """Guest posts a request (host side is notified)."""
+        self._pending.append((req_id, guest_va, nbytes, write))
+        event = self.system.env.event()
+        self.completions[req_id] = event
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w.succeed()
+        return event
+
+    def wait_request(self):
+        event = self.system.env.event()
+        if self._pending:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def pop(self):
+        return self._pending.popleft() if self._pending else None
+
+
+class VirtioBackend:
+    """Host device model servicing one virtqueue."""
+
+    def __init__(self, system, queue, mode="sync", name="virtio-backend"):
+        self.system = system
+        self.queue = queue
+        self.mode = mode
+        self.proc = system.create_process(name)
+        self.device_buf = self.proc.mmap(1 << 20, populate=True,
+                                         name="virtio-devbuf")
+        self.requests_served = 0
+        self.stored = {}
+
+    def run(self, n_requests):
+        """Backend loop (generator): serve ``n_requests`` then return."""
+        system, proc = self.system, self.proc
+        guest_as = self.queue.guest_proc.aspace
+        for _ in range(n_requests):
+            if not self.queue._pending:
+                yield WaitEvent(self.queue.wait_request())
+            req_id, guest_va, nbytes, write = self.queue.pop()
+            yield Compute(RING_OP_CYCLES, tag="syscall")
+            use_async = (self.mode == "copier" and proc.client is not None
+                         and nbytes
+                         >= system.params.copier_kernel_min_bytes)
+            if write:
+                # Guest -> device (a block write / net TX).
+                if use_async:
+                    yield from proc.client.k_amemcpy(
+                        Region(guest_as, guest_va, nbytes),
+                        Region(proc.aspace, self.device_buf, nbytes))
+                    # Device-model bookkeeping overlaps the copy...
+                    yield system.app_compute(
+                        proc, (nbytes // 1024 + 1) * DEVICE_CYCLES_PER_KB)
+                    # ...and the payload syncs right before the device
+                    # "commits" it.
+                    yield from proc.client.csync(self.device_buf, nbytes)
+                else:
+                    yield from system.sync_copy(
+                        proc, guest_as, guest_va, proc.aspace,
+                        self.device_buf, nbytes, engine="erms")
+                    yield system.app_compute(
+                        proc, (nbytes // 1024 + 1) * DEVICE_CYCLES_PER_KB)
+                self.stored[req_id] = proc.read(self.device_buf, nbytes)
+            else:
+                # Device -> guest (a block read / net RX).
+                payload = self.stored.get(req_id, b"\x00" * nbytes)
+                proc.write(self.device_buf, payload[:nbytes])
+                yield system.app_compute(
+                    proc, (nbytes // 1024 + 1) * DEVICE_CYCLES_PER_KB)
+                if use_async:
+                    yield from proc.client.k_amemcpy(
+                        Region(proc.aspace, self.device_buf, nbytes),
+                        Region(guest_as, guest_va, nbytes))
+                else:
+                    yield from system.sync_copy(
+                        proc, proc.aspace, self.device_buf, guest_as,
+                        guest_va, nbytes, engine="erms")
+            yield Compute(RING_OP_CYCLES, tag="syscall")
+            # The completion carries the copy's owner client so the guest
+            # can csync the in-flight payload (the Binder-descriptor idea
+            # applied to virtqueue used-ring entries).
+            owner = proc.client if (use_async and not write) else None
+            self.queue.completions.pop(req_id).succeed(owner)
+            self.requests_served += 1
+
+
+def guest_io(system, guest_proc, queue, req_id, guest_va, nbytes, write):
+    """Guest-side I/O: kick, vmexit/vmenter costs, wait for completion.
+
+    For reads in copier mode the completion carries the copy's owner
+    client; the guest csyncs its buffer through it before use (the
+    descriptor rides the used-ring entry, like Binder's Parcel).
+    Generator; returns elapsed cycles.
+    """
+    t0 = system.env.now
+    yield Compute(VMEXIT_CYCLES, tag="syscall")
+    completion = queue.kick(req_id, guest_va, nbytes, write)
+    yield Compute(VMENTER_CYCLES, tag="syscall")
+    owner = yield WaitEvent(completion)
+    if not write and owner is not None:
+        yield from owner.csync_region(
+            Region(guest_proc.aspace, guest_va, nbytes), queue_kind="k")
+    return system.env.now - t0

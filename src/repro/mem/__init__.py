@@ -1,0 +1,36 @@
+"""Simulated memory subsystem.
+
+Pure data structures (no simulated time): physical frames backed by real
+``bytearray`` storage, per-process address spaces with page tables, VMAs,
+demand paging, copy-on-write and page pinning.  All *timing* for memory
+operations (page-walk cycles, fault costs) is charged explicitly by the
+execution contexts in :mod:`repro.kernel` and :mod:`repro.copier`, keeping
+this package deterministic and directly unit-testable.
+
+Because frames hold real bytes, every copy the simulated system performs
+actually moves data — correctness properties (csync semantics, absorption,
+CoW isolation) are checked on genuine contents, not on bookkeeping.
+"""
+
+from repro.mem.phys import PAGE_SIZE, PhysicalMemory
+from repro.mem.faults import (
+    MemoryFault,
+    NotPresentFault,
+    ProtectionFault,
+    SegmentationFault,
+)
+from repro.mem.addrspace import AddressSpace
+from repro.mem.vma import VMA
+from repro.mem.shm import SharedSegment
+
+__all__ = [
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "AddressSpace",
+    "VMA",
+    "SharedSegment",
+    "MemoryFault",
+    "NotPresentFault",
+    "ProtectionFault",
+    "SegmentationFault",
+]

@@ -1,0 +1,321 @@
+"""Per-process address spaces: page tables, demand paging, CoW, pinning."""
+
+from repro.mem.faults import NotPresentFault, ProtectionFault, SegmentationFault
+from repro.mem.phys import PAGE_SIZE
+from repro.mem.vma import VMA
+
+_DEFAULT_MMAP_BASE = 0x1000_0000
+
+
+class PTE:
+    """Page-table entry."""
+
+    __slots__ = ("frame", "writable", "cow", "pin_count")
+
+    def __init__(self, frame, writable, cow=False):
+        self.frame = frame
+        self.writable = writable
+        self.cow = cow
+        self.pin_count = 0
+
+    def __repr__(self):
+        return "<PTE frame=%d w=%s cow=%s pins=%d>" % (
+            self.frame,
+            self.writable,
+            self.cow,
+            self.pin_count,
+        )
+
+
+class AddressSpace:
+    """A process's virtual address space.
+
+    Translation is explicit: :meth:`translate` raises the fault a hardware
+    walk would raise, and callers decide who pays for resolution — the
+    in-context kernel fault handler, or Copier's proactive handler (§4.5.4).
+    Convenience accessors :meth:`read`/:meth:`write` resolve legal faults
+    inline (recording them in :attr:`fault_counts`) the way the combination
+    of MMU + kernel does for ordinary application accesses.
+    """
+
+    _next_asid = [1]
+
+    def __init__(self, phys, name=""):
+        self.phys = phys
+        self.asid = AddressSpace._next_asid[0]
+        AddressSpace._next_asid[0] += 1
+        self.name = name or ("as-%d" % self.asid)
+        self.page_table = {}
+        self.vmas = []
+        self._mmap_cursor = _DEFAULT_MMAP_BASE
+        self.fault_counts = {"demand_zero": 0, "cow_copy": 0, "cow_reuse": 0}
+        self._invalidation_hooks = []
+
+    # ------------------------------------------------------------------ VMAs
+
+    def mmap(self, length, prot="rw", populate=False, shared_segment=None, name="", contiguous=False):
+        """Map ``length`` bytes; returns the region's base virtual address.
+
+        ``populate`` eagerly allocates frames (MAP_POPULATE); otherwise
+        pages materialize on first touch (demand paging).  ``contiguous``
+        requests physically-contiguous frames, for DMA-friendly buffers.
+        """
+        n_pages = pages_needed(length)
+        base = self._mmap_cursor
+        self._mmap_cursor += n_pages * PAGE_SIZE + PAGE_SIZE  # guard page gap
+        vma = VMA(base, base + n_pages * PAGE_SIZE, prot=prot,
+                  shared_segment=shared_segment, name=name)
+        self.vmas.append(vma)
+        if shared_segment is not None:
+            shared_segment.attach(self, vma)
+        elif populate:
+            frames = self.phys.alloc_frames(n_pages, contiguous=contiguous)
+            writable = vma.writable
+            for i, frame in enumerate(frames):
+                self.page_table[(base // PAGE_SIZE) + i] = PTE(frame, writable)
+        return base
+
+    def map_frames(self, frames, prot="rw", name=""):
+        """Map existing frames into this space (kmap / shared skb view).
+
+        Shares the frames (refcount++); :meth:`munmap` later drops the
+        references.  Returns the base virtual address.
+        """
+        base = self._mmap_cursor
+        self._mmap_cursor += len(frames) * PAGE_SIZE + PAGE_SIZE
+        vma = VMA(base, base + len(frames) * PAGE_SIZE, prot=prot, name=name)
+        self.vmas.append(vma)
+        for i, frame in enumerate(frames):
+            self.phys.share_frame(frame)
+            self.page_table[(base // PAGE_SIZE) + i] = PTE(frame, vma.writable)
+        return base
+
+    def munmap(self, va, length):
+        vma = self.find_vma(va)
+        if vma is None or not vma.covers(va, length):
+            raise SegmentationFault(va, "munmap outside VMA")
+        for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
+            pte = self.page_table.get(vpn)
+            if pte is not None:
+                if pte.pin_count:
+                    raise RuntimeError("munmap of pinned page vpn=%d" % vpn)
+                self.phys.free_frame(pte.frame)
+                del self.page_table[vpn]
+                self._invalidate(vpn)
+        if vma.start == va and vma.end == va + pages_needed(length) * PAGE_SIZE:
+            self.vmas.remove(vma)
+
+    def find_vma(self, va):
+        for vma in self.vmas:
+            if va in vma:
+                return vma
+        return None
+
+    def check_range(self, va, length, write=False):
+        """Validate [va, va+length) against VMAs (Copier security check)."""
+        end = va + length
+        cursor = va
+        while cursor < end:
+            vma = self.find_vma(cursor)
+            if vma is None:
+                raise SegmentationFault(cursor, "no VMA")
+            if write and not vma.writable:
+                raise SegmentationFault(cursor, "write to read-only VMA")
+            if not write and not vma.readable:
+                raise SegmentationFault(cursor, "read from unreadable VMA")
+            cursor = min(end, vma.end)
+
+    # ----------------------------------------------------------- translation
+
+    def translate(self, va, write=False):
+        """Hardware-style walk: returns ``(frame, offset)`` or raises."""
+        vma = self.find_vma(va)
+        if vma is None:
+            raise SegmentationFault(va)
+        if write and not vma.writable:
+            raise SegmentationFault(va, "write to read-only VMA")
+        pte = self.page_table.get(va // PAGE_SIZE)
+        if pte is None:
+            raise NotPresentFault(va)
+        if write and not pte.writable:
+            raise ProtectionFault(va)
+        return pte.frame, va % PAGE_SIZE
+
+    def resolve_fault(self, va, write=False):
+        """Resolve one legal fault at ``va``; returns the resolution kind.
+
+        Kinds: ``"demand_zero"`` (fresh zero frame), ``"cow_copy"`` (page
+        was shared — allocate and copy), ``"cow_reuse"`` (sole owner — just
+        re-enable write).  Raises :class:`SegmentationFault` for illegal
+        accesses.  The *caller* charges simulated time for the resolution.
+        """
+        vma = self.find_vma(va)
+        if vma is None:
+            raise SegmentationFault(va)
+        if write and not vma.writable:
+            raise SegmentationFault(va, "write to read-only VMA")
+        vpn = va // PAGE_SIZE
+        pte = self.page_table.get(vpn)
+        if pte is None:
+            if vma.shared_segment is not None:
+                frame = vma.shared_segment.frame_for(vma, va)
+                self.phys.share_frame(frame)
+                self.page_table[vpn] = PTE(frame, vma.writable)
+            else:
+                frame = self.phys.alloc_frame()
+                self.page_table[vpn] = PTE(frame, vma.writable)
+            self.fault_counts["demand_zero"] += 1
+            return "demand_zero"
+        if write and not pte.writable:
+            if not pte.cow:
+                raise ProtectionFault(va, "read-only page, not CoW")
+            if self.phys.refcount(pte.frame) == 1:
+                # Last reference: reuse the frame without copying.
+                pte.writable = True
+                pte.cow = False
+                self.fault_counts["cow_reuse"] += 1
+                self._invalidate(vpn)
+                return "cow_reuse"
+            new_frame = self.phys.alloc_frame()
+            self.phys.copy_frame(pte.frame, new_frame)
+            self.phys.free_frame(pte.frame)
+            pte.frame = new_frame
+            pte.writable = True
+            pte.cow = False
+            self.fault_counts["cow_copy"] += 1
+            self._invalidate(vpn)
+            return "cow_copy"
+        raise RuntimeError("resolve_fault called with no fault at 0x%x" % va)
+
+    def ensure_mapped(self, va, length, write=False):
+        """Resolve every fault in [va, va+length); returns resolution kinds.
+
+        This is the core of Copier's *proactive fault handling*: rather
+        than letting the copy trap, the service walks the range up front.
+        """
+        resolutions = []
+        for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
+            page_va = vpn * PAGE_SIZE
+            probe = max(va, page_va)
+            while True:
+                try:
+                    self.translate(probe, write=write)
+                    break
+                except (NotPresentFault, ProtectionFault):
+                    resolutions.append(self.resolve_fault(probe, write=write))
+        return resolutions
+
+    # ------------------------------------------------------------- data path
+
+    def frames_for(self, va, length, write=False):
+        """Return ``[(frame, offset, chunk_len), ...]`` covering the range.
+
+        Requires the range to be fully mapped (use :meth:`ensure_mapped`
+        first); this is what the Copier dispatcher consumes to form
+        physically-contiguous subtasks.
+        """
+        spans = []
+        cursor = va
+        end = va + length
+        while cursor < end:
+            frame, offset = self.translate(cursor, write=write)
+            chunk = min(end - cursor, PAGE_SIZE - offset)
+            spans.append((frame, offset, chunk))
+            cursor += chunk
+        return spans
+
+    def read(self, va, length):
+        """Read bytes, resolving legal faults inline (app direct access)."""
+        out = bytearray()
+        cursor = va
+        end = va + length
+        while cursor < end:
+            try:
+                frame, offset = self.translate(cursor, write=False)
+            except (NotPresentFault, ProtectionFault):
+                self.resolve_fault(cursor, write=False)
+                continue
+            chunk = min(end - cursor, PAGE_SIZE - offset)
+            out += self.phys.read(frame, offset, chunk)
+            cursor += chunk
+        return bytes(out)
+
+    def write(self, va, data):
+        cursor = va
+        pos = 0
+        end = va + len(data)
+        while cursor < end:
+            try:
+                frame, offset = self.translate(cursor, write=True)
+            except (NotPresentFault, ProtectionFault):
+                self.resolve_fault(cursor, write=True)
+                continue
+            chunk = min(end - cursor, PAGE_SIZE - offset)
+            self.phys.write(frame, offset, data[pos : pos + chunk])
+            cursor += chunk
+            pos += chunk
+
+    # ------------------------------------------------------------ pin / fork
+
+    def pin(self, va, length, write=False):
+        """Pin pages so their mapping cannot change during an async copy."""
+        self.ensure_mapped(va, length, write=write)
+        for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
+            self.page_table[vpn].pin_count += 1
+
+    def unpin(self, va, length):
+        for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
+            pte = self.page_table.get(vpn)
+            if pte is None or pte.pin_count == 0:
+                raise RuntimeError("unpin of unpinned page vpn=%d" % vpn)
+            pte.pin_count -= 1
+
+    def fork(self, name=""):
+        """Create a child address space sharing pages copy-on-write."""
+        child = AddressSpace(self.phys, name=name or (self.name + "-child"))
+        child._mmap_cursor = self._mmap_cursor
+        for vma in self.vmas:
+            child_vma = VMA(
+                vma.start,
+                vma.end,
+                prot=("r" if vma.readable else "") + ("w" if vma.writable else ""),
+                shared_segment=vma.shared_segment,
+                name=vma.name,
+            )
+            child.vmas.append(child_vma)
+            if vma.shared_segment is not None:
+                vma.shared_segment.attach(child, child_vma)
+        for vpn, pte in self.page_table.items():
+            vma = self.find_vma(vpn * PAGE_SIZE)
+            if vma is not None and vma.shared_segment is not None:
+                self.phys.share_frame(pte.frame)
+                child.page_table[vpn] = PTE(pte.frame, pte.writable)
+                continue
+            self.phys.share_frame(pte.frame)
+            child.page_table[vpn] = PTE(pte.frame, writable=False, cow=True)
+            if pte.writable:
+                pte.writable = False
+                pte.cow = True
+                self._invalidate(vpn)
+        return child
+
+    # -------------------------------------------------------- ATCache hooks
+
+    def register_invalidation_hook(self, fn):
+        """``fn(asid, vpn)`` fires whenever a mapping changes (§4.3)."""
+        self._invalidation_hooks.append(fn)
+
+    def _invalidate(self, vpn):
+        for fn in self._invalidation_hooks:
+            fn(self.asid, vpn)
+
+
+def pages_needed(length):
+    return max(1, (length + PAGE_SIZE - 1) // PAGE_SIZE)
+
+
+def pages_end(va, length):
+    """Exclusive vpn bound of the range [va, va+length)."""
+    if length == 0:
+        return va // PAGE_SIZE
+    return (va + length - 1) // PAGE_SIZE + 1

@@ -1,0 +1,31 @@
+"""Memory fault taxonomy.
+
+Faults matter to Copier in two ways: the CoW handler experiment (§5.2,
+§6.1.2) measures fault latency directly, and Copier's *proactive fault
+handling* (§4.5.4) resolves these faults in the service's own context
+before they can trap.
+"""
+
+
+class MemoryFault(Exception):
+    """Base class for translation failures."""
+
+    def __init__(self, va, message=None):
+        self.va = va
+        super().__init__(message or "%s at va=0x%x" % (type(self).__name__, va))
+
+
+class NotPresentFault(MemoryFault):
+    """Page is mapped in a VMA but has no frame yet (demand paging)."""
+
+
+class ProtectionFault(MemoryFault):
+    """Write to a read-only mapping — the CoW trigger."""
+
+
+class SegmentationFault(MemoryFault):
+    """Access outside any VMA, or a permission the VMA never grants.
+
+    Unresolvable: Copier drops the offending task and signals the client
+    process (§4.5.4).
+    """

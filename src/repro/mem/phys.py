@@ -1,0 +1,136 @@
+"""Physical memory: frames of real bytes with reference counting.
+
+Frame numbers double as physical addresses (``paddr = frame * PAGE_SIZE``),
+which is what the DMA engine's physical-contiguity requirement (§4.3) is
+checked against when Copier splits tasks into subtasks.
+"""
+
+PAGE_SIZE = 4096
+
+
+class OutOfMemory(Exception):
+    pass
+
+
+class PhysicalMemory:
+    """A pool of ``n_frames`` page frames backed by bytearrays.
+
+    ``fragmented=True`` makes the allocator hand out alternating frames so
+    that multi-page buffers are physically non-contiguous — the worst case
+    for DMA subtask formation (Fig. 7-b assumes all pages non-contiguous).
+    ``fragmented=False`` allocates the lowest free frame, so consecutive
+    allocations tend to be contiguous.
+    """
+
+    def __init__(self, n_frames=65536, fragmented=False):
+        self.n_frames = n_frames
+        self.fragmented = fragmented
+        self._data = {}
+        self._refcount = {}
+        self._free = list(range(n_frames - 1, -1, -1))  # pop() yields frame 0 first
+        self._alloc_parity = 0
+
+    @property
+    def frames_in_use(self):
+        return len(self._refcount)
+
+    @property
+    def frames_free(self):
+        return len(self._free)
+
+    def alloc_frame(self):
+        """Allocate one zeroed frame; returns the frame number."""
+        if not self._free:
+            raise OutOfMemory("no free frames")
+        if self.fragmented and len(self._free) > 1:
+            # Alternate between the two ends of the free list to break up
+            # physically-contiguous runs.
+            self._alloc_parity ^= 1
+            frame = self._free.pop() if self._alloc_parity else self._free.pop(0)
+        else:
+            frame = self._free.pop()
+        self._data[frame] = bytearray(PAGE_SIZE)
+        self._refcount[frame] = 1
+        return frame
+
+    def alloc_frame_in(self, lo, hi):
+        """Allocate a zeroed frame with ``lo <= frame < hi``.
+
+        Tiered-memory managers use frame-number bands as tiers (low band =
+        fast DRAM, high band = slow CXL/NVM).
+        """
+        for i in range(len(self._free) - 1, -1, -1):
+            frame = self._free[i]
+            if lo <= frame < hi:
+                self._free.pop(i)
+                self._data[frame] = bytearray(PAGE_SIZE)
+                self._refcount[frame] = 1
+                return frame
+        raise OutOfMemory("no free frames in [%d, %d)" % (lo, hi))
+
+    def alloc_frames(self, n, contiguous=False):
+        """Allocate ``n`` frames; with ``contiguous=True`` they are adjacent."""
+        if contiguous:
+            free = sorted(self._free)
+            run_start = None
+            run_len = 0
+            start = None
+            for frame in free:
+                if run_start is not None and frame == run_start + run_len:
+                    run_len += 1
+                else:
+                    run_start, run_len = frame, 1
+                if run_len == n:
+                    start = run_start
+                    break
+            if start is None:
+                raise OutOfMemory("no contiguous run of %d frames" % n)
+            frames = list(range(start, start + n))
+            free_set = set(self._free)
+            free_set.difference_update(frames)
+            self._free = sorted(free_set, reverse=True)
+            for frame in frames:
+                self._data[frame] = bytearray(PAGE_SIZE)
+                self._refcount[frame] = 1
+            return frames
+        return [self.alloc_frame() for _ in range(n)]
+
+    def share_frame(self, frame):
+        """Increment the reference count (CoW fork, shared memory)."""
+        self._refcount[frame] += 1
+
+    def refcount(self, frame):
+        return self._refcount.get(frame, 0)
+
+    def free_frame(self, frame):
+        count = self._refcount.get(frame)
+        if count is None:
+            raise ValueError("double free of frame %d" % frame)
+        if count == 1:
+            del self._refcount[frame]
+            del self._data[frame]
+            self._free.append(frame)
+        else:
+            self._refcount[frame] = count - 1
+
+    def read(self, frame, offset, length):
+        """Read ``length`` bytes from ``frame`` starting at ``offset``."""
+        if offset < 0 or offset + length > PAGE_SIZE:
+            raise ValueError("read outside frame: off=%d len=%d" % (offset, length))
+        return bytes(self._data[frame][offset : offset + length])
+
+    def write(self, frame, offset, data):
+        if offset < 0 or offset + len(data) > PAGE_SIZE:
+            raise ValueError("write outside frame: off=%d len=%d" % (offset, len(data)))
+        self._data[frame][offset : offset + len(data)] = data
+
+    def copy_frame(self, src_frame, dst_frame):
+        """Copy a whole frame (the CoW handler's page copy)."""
+        self._data[dst_frame][:] = self._data[src_frame]
+
+    def view(self, frame):
+        """Mutable memoryview of a frame's bytes (engine fast path)."""
+        return memoryview(self._data[frame])
+
+    def paddr(self, frame, offset=0):
+        return frame * PAGE_SIZE + offset

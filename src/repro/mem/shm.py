@@ -1,0 +1,63 @@
+"""Shared memory segments.
+
+Used by the Binder IPC path (§5.2): the Binder driver copies a client's
+message into a kernel buffer, and the server maps that buffer — a shared
+segment — into its own address space.  libCopier's ``shm_descr_bind``
+(§5.1.1) associates a descriptor region with a segment so csync can find
+progress bitmaps by offset.
+"""
+
+from repro.mem.phys import PAGE_SIZE
+from repro.mem.addrspace import pages_needed
+
+
+class SharedSegment:
+    """A run of frames mappable into several address spaces."""
+
+    _next_id = [1]
+
+    def __init__(self, phys, length, name="", contiguous=False):
+        self.phys = phys
+        self.segment_id = SharedSegment._next_id[0]
+        SharedSegment._next_id[0] += 1
+        self.length = length
+        self.name = name or ("shm-%d" % self.segment_id)
+        self.frames = phys.alloc_frames(pages_needed(length), contiguous=contiguous)
+        self._attachments = []  # (addrspace, vma)
+
+    def attach(self, addrspace, vma):
+        self._attachments.append((addrspace, vma))
+
+    def frame_for(self, vma, va):
+        index = (va - vma.start) // PAGE_SIZE
+        return self.frames[index]
+
+    def write(self, offset, data):
+        """Write directly into the segment (kernel-side producer)."""
+        if offset + len(data) > len(self.frames) * PAGE_SIZE:
+            raise ValueError("write beyond segment")
+        pos = 0
+        while pos < len(data):
+            frame = self.frames[(offset + pos) // PAGE_SIZE]
+            in_page = (offset + pos) % PAGE_SIZE
+            chunk = min(len(data) - pos, PAGE_SIZE - in_page)
+            self.phys.write(frame, in_page, data[pos : pos + chunk])
+            pos += chunk
+
+    def read(self, offset, length):
+        if offset + length > len(self.frames) * PAGE_SIZE:
+            raise ValueError("read beyond segment")
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            frame = self.frames[(offset + pos) // PAGE_SIZE]
+            in_page = (offset + pos) % PAGE_SIZE
+            chunk = min(length - pos, PAGE_SIZE - in_page)
+            out += self.phys.read(frame, in_page, chunk)
+            pos += chunk
+        return bytes(out)
+
+    def release(self):
+        for frame in self.frames:
+            self.phys.free_frame(frame)
+        self.frames = []

@@ -1,0 +1,36 @@
+"""Virtual memory areas."""
+
+from repro.mem.phys import PAGE_SIZE
+
+
+class VMA:
+    """A contiguous virtual region with uniform protections.
+
+    Copier's proactive fault handler walks VMAs to validate task addresses
+    before touching page tables (§4.5.4); an address outside every VMA is a
+    security violation and the task is dropped with a SIGSEGV.
+    """
+
+    __slots__ = ("start", "end", "readable", "writable", "shared_segment", "name")
+
+    def __init__(self, start, end, prot="rw", shared_segment=None, name=""):
+        if start % PAGE_SIZE or end % PAGE_SIZE:
+            raise ValueError("VMA bounds must be page aligned")
+        if end <= start:
+            raise ValueError("empty VMA")
+        self.start = start
+        self.end = end
+        self.readable = "r" in prot
+        self.writable = "w" in prot
+        self.shared_segment = shared_segment
+        self.name = name
+
+    def __contains__(self, va):
+        return self.start <= va < self.end
+
+    def covers(self, va, length):
+        return self.start <= va and va + length <= self.end
+
+    def __repr__(self):
+        prot = ("r" if self.readable else "-") + ("w" if self.writable else "-")
+        return "<VMA 0x%x-0x%x %s %s>" % (self.start, self.end, prot, self.name)

@@ -1,0 +1,34 @@
+"""Discrete-event machine simulator.
+
+The simulator models a small multicore machine with a cycle-granularity
+virtual clock.  Application and OS code run as generator-based *processes*
+that yield requests (:class:`Compute`, :class:`Timeout`, :class:`WaitEvent`)
+to the :class:`Environment`.  Simulated time only advances through these
+requests; everything between two yields is instantaneous, exactly as in
+SimPy-style simulation kernels.
+
+This substrate replaces the Xeon servers used by the paper (see DESIGN.md):
+copy engines, syscall traps and the Copier service are all processes or
+timed activities on this machine, so relative performance shapes (who
+overlaps with whom, who waits on which queue) are preserved.
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.requests import Compute, Timeout, WaitEvent
+from repro.sim.cores import CoreSet
+from repro.sim.stats import CycleStats, EnergyModel
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "ProcessKilled",
+    "Compute",
+    "Timeout",
+    "WaitEvent",
+    "CoreSet",
+    "CycleStats",
+    "EnergyModel",
+]

@@ -1,0 +1,74 @@
+"""The simulation environment: virtual clock and event loop."""
+
+import heapq
+
+from repro.sim.cores import CoreSet
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.stats import CycleStats
+
+
+class Environment:
+    """Event loop with a cycle-granularity virtual clock.
+
+    ``n_cores`` and ``timeslice`` configure the CPU model.  All simulated
+    components (Copier service, kernel, apps, copy engines) share one
+    environment, which is what gives Copier its whole-system global view.
+    """
+
+    def __init__(self, n_cores=4, timeslice=100_000):
+        self.now = 0
+        self._heap = []
+        self._seq = 0
+        self.stats = CycleStats()
+        self.cores = CoreSet(self, n_cores, timeslice)
+        self.processes = []
+
+    def schedule(self, delay, fn):
+        """Run ``fn()`` after ``delay`` cycles."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def event(self):
+        return Event(self)
+
+    def spawn(self, generator, name=None, affinity=None):
+        """Create and start a process from ``generator``."""
+        process = Process(self, generator, name=name, affinity=affinity)
+        self.processes.append(process)
+        process.start()
+        return process
+
+    def run(self, until=None):
+        """Run the event loop.
+
+        With ``until=None`` runs until no events remain; otherwise runs
+        until the clock reaches ``until`` cycles (events at exactly
+        ``until`` still execute).
+        """
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = when
+            fn()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until(self, event, limit=None):
+        """Run until ``event`` triggers; raises if the loop drains first."""
+        while not event.triggered:
+            if not self._heap:
+                raise RuntimeError("event loop drained before event triggered")
+            when, _seq, fn = heapq.heappop(self._heap)
+            if limit is not None and when > limit:
+                raise RuntimeError("simulation limit reached at %d" % when)
+            self.now = when
+            fn()
+        if event.exception is not None:
+            raise event.exception
+        return event.value

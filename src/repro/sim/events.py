@@ -1,0 +1,96 @@
+"""One-shot events for process synchronization."""
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts untriggered.  Calling :meth:`succeed` (or :meth:`fail`)
+    triggers it, delivering ``value`` (or raising ``exc``) into every waiting
+    process.  Triggering twice is an error: events are one-shot, mirroring
+    completion notifications in the simulated kernel.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "triggered")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exc = None
+        self.triggered = False
+
+    @property
+    def value(self):
+        if not self.triggered:
+            raise RuntimeError("event value read before trigger")
+        return self._value
+
+    @property
+    def exception(self):
+        return self._exc
+
+    def succeed(self, value=None):
+        if self.triggered:
+            raise RuntimeError("event triggered twice")
+        self.triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc):
+        if self.triggered:
+            raise RuntimeError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def add_callback(self, fn):
+        """Register ``fn(event)``; runs immediately if already triggered."""
+        if self.triggered:
+            self.env.schedule(0, lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def _dispatch(self):
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            self.env.schedule(0, lambda fn=fn: fn(self))
+
+
+def all_of(env, events):
+    """Return an :class:`Event` that triggers once all ``events`` have.
+
+    The composite's value is the list of component values in order.
+    """
+    events = list(events)
+    done = Event(env)
+    if not events:
+        done.succeed([])
+        return done
+    remaining = [len(events)]
+
+    def on_trigger(_ev):
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.succeed([e.value for e in events])
+
+    for ev in events:
+        ev.add_callback(on_trigger)
+    return done
+
+
+def any_of(env, events):
+    """Return an :class:`Event` that triggers when any of ``events`` does."""
+    events = list(events)
+    done = Event(env)
+
+    def on_trigger(ev):
+        if not done.triggered:
+            done.succeed(ev)
+
+    for ev in events:
+        ev.add_callback(on_trigger)
+    return done

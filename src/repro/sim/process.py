@@ -1,0 +1,130 @@
+"""Generator-based simulated processes."""
+
+from repro.sim.events import Event
+from repro.sim.requests import Compute, Timeout, WaitEvent
+
+NEW = "new"
+READY = "ready"
+RUNNING = "running"
+BLOCKED = "blocked"
+DONE = "done"
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process generator when it is killed (e.g. SIGSEGV)."""
+
+
+class Process:
+    """A simulated thread of execution.
+
+    Wraps a generator that yields :mod:`repro.sim.requests` objects.  Code
+    between yields executes instantaneously in simulated time; only
+    :class:`Compute` consumes core cycles.
+
+    ``affinity`` pins the process to a core id (``None`` floats it across
+    all cores) — the Copier service thread uses this to claim its dedicated
+    core, matching the paper's "one dedicated core to copy" setup.
+    """
+
+    _next_pid = [1]
+
+    def __init__(self, env, generator, name=None, affinity=None):
+        self.env = env
+        self.gen = generator
+        self.pid = Process._next_pid[0]
+        Process._next_pid[0] += 1
+        self.name = name or ("proc-%d" % self.pid)
+        self.affinity = affinity
+        self.state = NEW
+        self.terminated = Event(env)
+        self.result = None
+        self._pending_exc = None
+        self._compute_state = None  # set by CoreSet while computing
+
+    def __repr__(self):
+        return "<Process %s pid=%d %s>" % (self.name, self.pid, self.state)
+
+    @property
+    def is_alive(self):
+        return self.state != DONE
+
+    def start(self):
+        if self.state != NEW:
+            raise RuntimeError("process already started")
+        self.state = BLOCKED
+        self.env.schedule(0, lambda: self._resume(None))
+        return self
+
+    def kill(self, exc=None):
+        """Deliver ``exc`` (default :class:`ProcessKilled`) into the process.
+
+        Takes effect at the process's next resumption point; if it is
+        currently blocked the environment forces an immediate resumption.
+        This mirrors asynchronous signal delivery (the paper's sigsegv path
+        in §4.5.4): the signal lands at the next scheduling boundary.
+        """
+        if self.state == DONE:
+            return
+        self._pending_exc = exc if exc is not None else ProcessKilled(self.name)
+        if self.state == BLOCKED:
+            self.env.schedule(0, self._deliver_kill)
+
+    def _deliver_kill(self):
+        # Only force-resume if still blocked with the kill pending; the
+        # process may have resumed (and died) on its own in the meantime.
+        if self.state == BLOCKED and self._pending_exc is not None:
+            self._resume(None)
+
+    def _resume(self, value):
+        if self.state == DONE:
+            return
+        self.state = RUNNING
+        try:
+            if self._pending_exc is not None:
+                exc, self._pending_exc = self._pending_exc, None
+                request = self.gen.throw(exc)
+            elif isinstance(value, BaseException):
+                request = self.gen.throw(value)
+            else:
+                request = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except ProcessKilled as exc:
+            self._finish(None, exc)
+            return
+        self._handle(request)
+
+    def _handle(self, request):
+        env = self.env
+        if isinstance(request, Compute):
+            env.cores.submit(self, request)
+        elif isinstance(request, Timeout):
+            self.state = BLOCKED
+            env.schedule(request.cycles, lambda: self._resume(None))
+        elif isinstance(request, WaitEvent):
+            self.state = BLOCKED
+            request.event.add_callback(self._on_event)
+        elif isinstance(request, Event):
+            # Allow yielding a bare Event as shorthand for WaitEvent.
+            self.state = BLOCKED
+            request.add_callback(self._on_event)
+        else:
+            exc = TypeError("process %s yielded %r" % (self.name, request))
+            self.env.schedule(0, lambda: self._resume(exc))
+
+    def _on_event(self, event):
+        if self.state == DONE:
+            return
+        if event.exception is not None:
+            self._resume(event.exception)
+        else:
+            self._resume(event.value)
+
+    def _finish(self, result, exc):
+        self.state = DONE
+        self.result = result
+        if exc is not None:
+            self.terminated.fail(exc)
+        else:
+            self.terminated.succeed(result)

@@ -1,0 +1,55 @@
+"""Requests a simulated process may yield to the environment.
+
+Yielding one of these suspends the generator until the environment has
+satisfied the request; the generator's ``send`` value is the request's
+result (the triggering event's value for :class:`WaitEvent`, ``None``
+otherwise).
+"""
+
+
+class Compute:
+    """Occupy a CPU core for ``cycles`` cycles of computation.
+
+    ``tag`` categorizes the cycles for accounting (e.g. ``"copy"`` vs
+    ``"app"``), which drives the Fig. 2 copy-cycle-share analysis.
+    ``instructions`` feeds the CPI model of §6.3.5; when omitted it defaults
+    to one instruction per cycle.
+    """
+
+    __slots__ = ("cycles", "tag", "instructions")
+
+    def __init__(self, cycles, tag="app", instructions=None):
+        if cycles < 0:
+            raise ValueError("negative compute cycles: %r" % (cycles,))
+        self.cycles = int(cycles)
+        self.tag = tag
+        self.instructions = self.cycles if instructions is None else int(instructions)
+
+    def __repr__(self):
+        return "Compute(%d, tag=%r)" % (self.cycles, self.tag)
+
+
+class Timeout:
+    """Sleep for ``cycles`` without occupying a core (e.g. DMA wait)."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles):
+        if cycles < 0:
+            raise ValueError("negative timeout: %r" % (cycles,))
+        self.cycles = int(cycles)
+
+    def __repr__(self):
+        return "Timeout(%d)" % self.cycles
+
+
+class WaitEvent:
+    """Block (off-core) until ``event`` triggers."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event):
+        self.event = event
+
+    def __repr__(self):
+        return "WaitEvent(%r)" % (self.event,)

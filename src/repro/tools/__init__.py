@@ -1,0 +1,6 @@
+"""Copier toolchain (§5.1): CopierSanitizer, CopierGen, CopierStat."""
+
+from repro.tools.sanitizer import CopierSanitizer, SanitizerViolation
+from repro.tools import copierstat
+
+__all__ = ["CopierSanitizer", "SanitizerViolation", "copierstat"]

@@ -1,0 +1,12 @@
+"""CopierGen: compiler-assisted porting to async copy (§5.1.3)."""
+
+from repro.tools.copiergen.ir import Program, op
+from repro.tools.copiergen.passes import (
+    CsyncCoalescingPass,
+    CsyncInsertionPass,
+    port_program,
+)
+from repro.tools.copiergen.interp import Interpreter
+
+__all__ = ["Program", "op", "CsyncInsertionPass", "CsyncCoalescingPass",
+           "port_program", "Interpreter"]

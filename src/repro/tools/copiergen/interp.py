@@ -1,0 +1,66 @@
+"""Interpreter executing CopierGen IR programs on the simulator.
+
+Runs a ported (or original) program against a real CopierClient so the
+pass can be *validated*: the async program must produce byte-identical
+buffers to the sync one — CopierGen's correctness criterion.
+"""
+
+from repro.sim import Compute
+
+
+class Interpreter:
+    """Executes IR programs; symbolic buffer bases map to real VAs."""
+
+    def __init__(self, system, proc, buffers):
+        """``buffers``: {base_name: (va, length)} pre-mapped regions."""
+        self.system = system
+        self.proc = proc
+        self.buffers = dict(buffers)
+        self.loads = {}
+        self.external_calls = []
+        self.freed = []
+
+    def _va(self, addr):
+        base, offset = addr
+        va, length = self.buffers[base]
+        if offset < 0 or offset > length:
+            raise ValueError("offset outside buffer %r" % (base,))
+        return va + offset
+
+    def run(self, program):
+        """Generator: execute each op with simulated timing."""
+        system, proc = self.system, self.proc
+        for operation in program:
+            kind = operation[0]
+            if kind == "memcpy":
+                _k, dst, src, n = operation
+                yield from system.sync_copy(
+                    proc, proc.aspace, self._va(src),
+                    proc.aspace, self._va(dst), n, engine="avx")
+            elif kind == "amemcpy":
+                _k, dst, src, n = operation
+                yield from proc.client.amemcpy(self._va(dst),
+                                               self._va(src), n)
+            elif kind == "csync":
+                _k, addr, n = operation
+                yield from proc.client.csync(self._va(addr), n)
+            elif kind == "load":
+                _k, var, addr, n = operation
+                self.loads[var] = proc.read(self._va(addr), n)
+            elif kind == "store":
+                _k, addr, n = operation
+                proc.write(self._va(addr), bytes([0xEE]) * n)
+            elif kind == "call_ext":
+                _k, addr, n = operation
+                self.external_calls.append(proc.read(self._va(addr), n))
+            elif kind == "free":
+                _k, addr, n = operation
+                self.freed.append((addr, n))
+            elif kind == "publish":
+                _k, addr, n = operation
+                # Visibility point: nothing to do data-wise in 1 thread.
+                yield Compute(50, tag="app")
+            elif kind == "compute":
+                yield Compute(operation[1], tag="app")
+            else:
+                raise ValueError("unknown op %r" % (kind,))

@@ -1,0 +1,55 @@
+"""A small SSA-free IR standing in for LLVM/MLIR (§5.1.3).
+
+CopierGen's key insight is that an IR constrains data access to a handful
+of operations (load/store/call), giving well-defined insertion points for
+csync.  This miniature IR has exactly those operations:
+
+* ``("memcpy", dst, src, n)`` — the copy to asyncify.
+* ``("load", var, addr, n)`` / ``("store", addr, n)`` — data accesses.
+* ``("call_ext", addr, n)`` — passing a buffer to an external function
+  (guideline 3: sync before strchr-style consumers).
+* ``("free", addr, n)`` — buffer release (guideline 2).
+* ``("publish", addr, n)`` — making a range visible to another thread
+  (guideline 4: sync before page-table/flag updates).
+* ``("compute", cycles)`` — opaque work.
+
+Addresses are symbolic ``(base, offset)`` pairs; ``base`` names a buffer,
+so the pass can reason about ranges without a points-to analysis — the
+"basic cases like arrays" the paper's CopierGen validates.
+"""
+
+
+class Program:
+    def __init__(self, ops=None):
+        self.ops = list(ops or [])
+
+    def append(self, operation):
+        self.ops.append(operation)
+        return self
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __eq__(self, other):
+        return isinstance(other, Program) and self.ops == other.ops
+
+    def __repr__(self):
+        return "Program(%r)" % (self.ops,)
+
+
+def op(kind, *args):
+    return (kind,) + args
+
+
+OP_KINDS = {"memcpy", "amemcpy", "csync", "load", "store", "call_ext",
+            "free", "publish", "compute"}
+
+
+def validate(program):
+    for operation in program:
+        if operation[0] not in OP_KINDS:
+            raise ValueError("unknown op %r" % (operation[0],))
+    return True

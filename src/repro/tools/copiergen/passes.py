@@ -1,0 +1,176 @@
+"""CopierGen transformation passes (§5.1.3).
+
+``CsyncInsertionPass`` implements the paper's porting recipe mechanically:
+
+1. rewrite every ``memcpy`` into ``amemcpy``;
+2. walking forward, keep the set of *pending* async ranges (dst ranges
+   not yet csynced, and src ranges whose write would race the copy);
+3. before any access that touches a pending range per the §5.1.1
+   guidelines — direct dst access, src write, external call, free,
+   cross-thread publish — insert the narrowest covering ``csync``.
+
+Ranges are symbolic ``(base, offset, length)`` with distinct bases assumed
+disjoint (arrays — the validated "basic cases"; pointer aliasing is the
+paper's future work too).
+"""
+
+from repro.tools.copiergen.ir import Program
+
+
+def _ranges_overlap(a, b):
+    if a[0] != b[0]:
+        return False
+    return a[1] < b[1] + b[2] and b[1] < a[1] + a[2]
+
+
+class _PendingCopy:
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst, src):
+        self.dst = dst
+        self.src = src
+
+
+class CsyncInsertionPass:
+    """The rewrite; stateless between runs."""
+
+    def run(self, program):
+        out = Program()
+        pending = []
+        for operation in program:
+            kind = operation[0]
+            if kind == "memcpy":
+                _k, dst, src, n = operation
+                dst_r = (dst[0], dst[1], n)
+                src_r = (src[0], src[1], n)
+                # Guideline: an amemcpy reading a pending dst, or writing a
+                # pending src/dst, orders through Copier's dependency
+                # tracking — no csync needed (amemcpy is not an access).
+                out.append(("amemcpy", dst, src, n))
+                pending.append(_PendingCopy(dst_r, src_r))
+            elif kind in ("load", "call_ext"):
+                if kind == "load":
+                    _k, _var, addr, n = operation
+                else:
+                    _k, addr, n = operation
+                self._sync_reads(out, pending, (addr[0], addr[1], n))
+                out.append(operation)
+            elif kind == "store":
+                _k, addr, n = operation
+                self._sync_writes(out, pending, (addr[0], addr[1], n))
+                out.append(operation)
+            elif kind in ("free", "publish"):
+                _k, addr, n = operation
+                self._sync_writes(out, pending, (addr[0], addr[1], n))
+                out.append(operation)
+            else:
+                out.append(operation)
+        return out
+
+    # A read must sync pending *destinations* it touches.
+    def _sync_reads(self, out, pending, touched):
+        for copy in list(pending):
+            if _ranges_overlap(copy.dst, touched):
+                lo = max(copy.dst[1], touched[1])
+                hi = min(copy.dst[1] + copy.dst[2], touched[1] + touched[2])
+                out.append(("csync", (copy.dst[0], lo), hi - lo))
+                if lo <= copy.dst[1] and hi >= copy.dst[1] + copy.dst[2]:
+                    pending.remove(copy)
+
+    # A write (or free/publish) must sync pending dsts AND pending srcs.
+    def _sync_writes(self, out, pending, touched):
+        self._sync_reads(out, pending, touched)
+        for copy in list(pending):
+            if _ranges_overlap(copy.src, touched):
+                # Sync via the *destination* address (csync takes the dst).
+                offset = max(copy.src[1], touched[1]) - copy.src[1]
+                length = min(copy.src[1] + copy.src[2],
+                             touched[1] + touched[2]) - \
+                    (copy.src[1] + offset)
+                out.append(("csync",
+                            (copy.dst[0], copy.dst[1] + offset), length))
+                pending.remove(copy)
+
+
+class CsyncCoalescingPass:
+    """Remove redundant csyncs (§5.1.1's over-sync warning, mechanized).
+
+    A csync is redundant when an earlier csync already covers its range
+    and no amemcpy touching that range was submitted in between; adjacent
+    csyncs on contiguous ranges of the same buffer merge into one.  Both
+    situations arise naturally from the insertion pass instrumenting
+    per-access.
+    """
+
+    def run(self, program):
+        out = Program()
+        synced = []  # (base, start, end) ranges known consistent
+        for operation in program:
+            kind = operation[0]
+            if kind == "amemcpy":
+                _k, dst, _src, n = operation
+                synced = [r for r in synced
+                          if not _ranges_overlap(r, (dst[0], dst[1], n))]
+                out.append(operation)
+            elif kind == "csync":
+                _k, addr, n = operation
+                if self._covered(synced, (addr[0], addr[1], n)):
+                    continue  # redundant: drop it
+                merged = self._try_merge(out, addr, n)
+                if not merged:
+                    out.append(operation)
+                synced.append((addr[0], addr[1], n))
+            else:
+                out.append(operation)
+        return out
+
+    @staticmethod
+    def _covered(synced, needed):
+        """True if the union of synced ranges covers ``needed``."""
+        base, start, length = needed
+        remaining = [(start, start + length)]
+        for s_base, s_start, s_len in synced:
+            if s_base != base:
+                continue
+            next_remaining = []
+            for lo, hi in remaining:
+                cut_lo = max(lo, s_start)
+                cut_hi = min(hi, s_start + s_len)
+                if cut_lo >= cut_hi:
+                    next_remaining.append((lo, hi))
+                    continue
+                if lo < cut_lo:
+                    next_remaining.append((lo, cut_lo))
+                if cut_hi < hi:
+                    next_remaining.append((cut_hi, hi))
+            remaining = next_remaining
+            if not remaining:
+                return True
+        return not remaining
+
+    @staticmethod
+    def _try_merge(out, addr, n):
+        """Extend a directly preceding contiguous csync in place."""
+        if not out.ops:
+            return False
+        prev = out.ops[-1]
+        if prev[0] != "csync":
+            return False
+        _k, p_addr, p_n = prev
+        if p_addr[0] != addr[0]:
+            return False
+        if p_addr[1] + p_n == addr[1]:
+            out.ops[-1] = ("csync", p_addr, p_n + n)
+            return True
+        if addr[1] + n == p_addr[1]:
+            out.ops[-1] = ("csync", addr, p_n + n)
+            return True
+        return False
+
+
+def port_program(program, coalesce=True):
+    """One-call porting: insert csyncs, then strip the redundant ones."""
+    ported = CsyncInsertionPass().run(program)
+    if coalesce:
+        ported = CsyncCoalescingPass().run(ported)
+    return ported

@@ -1,0 +1,123 @@
+"""CopierStat: runtime introspection of the Copier service (§5.1's
+"debug tool" companion to CopierSanitizer).
+
+Snapshots the whole service — per-client queue depths, pending tasks,
+copy/absorption counters, scheduler totals, cgroup weights, ATCache and
+dispatcher statistics, thread states — into a plain dict, and renders a
+human-readable report.  Useful both for debugging ports (is my abort
+actually retiring the task?) and for the benchmarks' narratives.
+"""
+
+
+def snapshot(service):
+    """Return a nested dict describing the service's current state."""
+    sched = service.scheduler
+    dispatcher = service.dispatcher
+    atcache = service.atcache
+    snap = {
+        "now": service.env.now,
+        "polling": service.polling,
+        "scenario_active": service.scenario_active,
+        "threads": {
+            "active": service.active_threads,
+            "peak": service.peak_threads,
+            "spawned": len(service.threads),
+            "sleeping": sorted(service._wake_events),
+        },
+        "dispatcher": {
+            "rounds": dispatcher.rounds_planned,
+            "bytes_to_dma": dispatcher.bytes_to_dma,
+            "bytes_to_avx": dispatcher.bytes_to_avx,
+            "use_dma": dispatcher.use_dma,
+            "use_absorption": dispatcher.use_absorption,
+        },
+        "atcache": {
+            "hits": atcache.hits,
+            "misses": atcache.misses,
+            "hit_rate": atcache.hit_rate,
+            "invalidations": atcache.invalidations,
+        },
+        "dma": None,
+        "tasks_dropped": service.tasks_dropped,
+        "cgroups": {
+            name: {"shares": g.shares,
+                   "total_copy_length": g.total_copy_length,
+                   "clients": len(g.clients)}
+            for name, g in sched.cgroups.items()
+        },
+        "clients": {},
+    }
+    if service.dma is not None:
+        snap["dma"] = {
+            "bytes_copied": service.dma.bytes_copied,
+            "batches": service.dma.batches,
+            "busy_cycles": service.dma.busy_cycles,
+        }
+    for client in service.clients:
+        stats = client.stats
+        snap["clients"][client.name] = {
+            "queues": {
+                "u_copy": len(client.u_queues.copy),
+                "u_sync": len(client.u_queues.sync),
+                "u_handler": len(client.u_queues.handler),
+                "k_copy": len(client.k_queues.copy),
+                "k_sync": len(client.k_queues.sync),
+            },
+            "pending_tasks": len(client.pending),
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "aborted": stats.aborted,
+            "dropped": stats.dropped,
+            "sync_tasks": stats.sync_tasks,
+            "bytes_copied": stats.bytes_copied,
+            "bytes_absorbed": stats.bytes_absorbed,
+            "scheduler_total": sched.client_total(client),
+            "descriptor_pool": {"hits": client.desc_pool.hits,
+                                "misses": client.desc_pool.misses},
+        }
+    return snap
+
+
+def render(snap):
+    """Format a snapshot as a text report."""
+    lines = []
+    out = lines.append
+    out("CopierStat @ cycle %d" % snap["now"])
+    out("  polling=%s scenario_active=%s threads=%d/%d (peak %d)" % (
+        snap["polling"], snap["scenario_active"],
+        snap["threads"]["active"], snap["threads"]["spawned"],
+        snap["threads"]["peak"]))
+    d = snap["dispatcher"]
+    out("  dispatcher: %d rounds, %d B via DMA, %d B via AVX "
+        "(dma=%s absorption=%s)" % (d["rounds"], d["bytes_to_dma"],
+                                    d["bytes_to_avx"], d["use_dma"],
+                                    d["use_absorption"]))
+    a = snap["atcache"]
+    out("  atcache: %.1f%% hit rate (%d hits / %d misses, %d invalidations)"
+        % (a["hit_rate"] * 100, a["hits"], a["misses"],
+           a["invalidations"]))
+    if snap["dma"]:
+        out("  dma engine: %d B in %d batches (%d busy cycles)" % (
+            snap["dma"]["bytes_copied"], snap["dma"]["batches"],
+            snap["dma"]["busy_cycles"]))
+    out("  dropped tasks: %d" % snap["tasks_dropped"])
+    for name, group in sorted(snap["cgroups"].items()):
+        out("  cgroup %-12s shares=%-4d total=%-10d clients=%d" % (
+            name, group["shares"], group["total_copy_length"],
+            group["clients"]))
+    for name, c in sorted(snap["clients"].items()):
+        out("  client %-16s pend=%-3d subm=%-4d done=%-4d abrt=%-3d "
+            "absorbed=%dB" % (name, c["pending_tasks"], c["submitted"],
+                              c["completed"], c["aborted"],
+                              c["bytes_absorbed"]))
+        q = c["queues"]
+        if any(q.values()):
+            out("    queues: uC=%d uS=%d uH=%d kC=%d kS=%d" % (
+                q["u_copy"], q["u_sync"], q["u_handler"], q["k_copy"],
+                q["k_sync"]))
+    return "\n".join(lines)
+
+
+def report(service):
+    """snapshot + render in one call."""
+    return render(snapshot(service))

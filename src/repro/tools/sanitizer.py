@@ -1,0 +1,144 @@
+"""CopierSanitizer: shadow-memory detection of missing csyncs (§5.1.2).
+
+Mirrors the AddressSanitizer-based design: when a program amemcpys,
+both the source and destination ranges are *poisoned* in shadow memory;
+csync unpoisons the synced range.  Any instrumented access (read, write,
+free) that touches poisoned bytes is a bug — an access that may observe
+incomplete data — and is recorded (or raised, in strict mode).
+
+In the paper the instrumentation is inserted at compile time; here the
+"compiler" is :mod:`repro.tools.copiergen`, and hand-written apps call
+the ``read``/``write``/``free`` wrappers directly.
+"""
+
+import bisect
+
+
+class SanitizerViolation(Exception):
+    """Raised in strict mode when an access touches poisoned memory."""
+
+    def __init__(self, kind, va, length, overlap):
+        self.kind = kind
+        self.va = va
+        self.length = length
+        self.overlap = overlap
+        super().__init__(
+            "%s of [0x%x, +%d) touches unsynced async-copy range "
+            "[0x%x, +%d): missing csync?" % (kind, va, length,
+                                             overlap[0], overlap[1]))
+
+
+class _ShadowMap:
+    """Interval set of poisoned byte ranges (sorted, non-overlapping)."""
+
+    def __init__(self):
+        self._starts = []
+        self._ends = []
+
+    def poison(self, start, length):
+        if length <= 0:
+            return
+        self.unpoison(start, length)  # normalize overlaps first
+        i = bisect.bisect_left(self._starts, start)
+        self._starts.insert(i, start)
+        self._ends.insert(i, start + length)
+
+    def unpoison(self, start, length):
+        if length <= 0:
+            return
+        end = start + length
+        new_starts, new_ends = [], []
+        for s, e in zip(self._starts, self._ends):
+            if e <= start or s >= end:
+                new_starts.append(s)
+                new_ends.append(e)
+                continue
+            if s < start:
+                new_starts.append(s)
+                new_ends.append(start)
+            if e > end:
+                new_starts.append(end)
+                new_ends.append(e)
+        self._starts, self._ends = new_starts, new_ends
+
+    def overlap(self, start, length):
+        """First poisoned (start, length) intersecting the range, or None."""
+        end = start + length
+        i = bisect.bisect_right(self._ends, start)
+        for s, e in zip(self._starts[i:], self._ends[i:]):
+            if s >= end:
+                return None
+            if e > start:
+                return (s, e - s)
+        return None
+
+    @property
+    def poisoned_bytes(self):
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+
+class CopierSanitizer:
+    """Per-process sanitizer runtime.
+
+    Wrap a client's API: route submissions through :meth:`on_amemcpy` /
+    :meth:`on_csync`, and instrument data accesses with :meth:`read`,
+    :meth:`write` and :meth:`free`.
+    """
+
+    def __init__(self, strict=False):
+        self.strict = strict
+        # dst ranges: no access at all until csynced.
+        self.shadow_dst = _ShadowMap()
+        # src ranges: reads are fine, writes and frees are not (§5.1.1
+        # guideline 1: "sync before ... writing sources").
+        self.shadow_src = _ShadowMap()
+        self.reports = []
+
+    # --------------------------------------------------------- API hooks
+
+    def on_amemcpy(self, dst, src, length):
+        """Poison both ranges with their respective access rules."""
+        self.shadow_dst.poison(dst, length)
+        self.shadow_src.poison(src, length)
+
+    def on_csync(self, addr, length):
+        """csync(addr) legalizes the dst range and releases the matching
+        source bytes (the copy consumed them)."""
+        self.shadow_dst.unpoison(addr, length)
+        self.shadow_src.unpoison(addr, length)
+
+    def release_source(self, src, length):
+        """Explicitly release a source range (e.g. its copy was csynced
+        via the destination address)."""
+        self.shadow_src.unpoison(src, length)
+
+    def on_csync_all(self):
+        self.shadow_dst = _ShadowMap()
+        self.shadow_src = _ShadowMap()
+
+    # --------------------------------------------------- instrumentation
+
+    def read(self, va, length):
+        self._check("read", va, length, self.shadow_dst)
+
+    def write(self, va, length):
+        self._check("write", va, length, self.shadow_dst)
+        self._check("write", va, length, self.shadow_src)
+
+    def free(self, va, length):
+        """Freeing a buffer still involved in an unsynced copy (the
+        copyUse() free-before-csync bug in Fig. 4)."""
+        self._check("free", va, length, self.shadow_dst)
+        self._check("free", va, length, self.shadow_src)
+
+    def _check(self, kind, va, length, shadow):
+        overlap = shadow.overlap(va, length)
+        if overlap is None:
+            return
+        violation = SanitizerViolation(kind, va, length, overlap)
+        self.reports.append(violation)
+        if self.strict:
+            raise violation
+
+    def summary(self):
+        return ["%s" % v for v in self.reports]

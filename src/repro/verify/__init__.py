@@ -1,0 +1,14 @@
+"""Executable check of the Appendix A refinement theorem.
+
+The paper proves (RGSim, Appendix A) that a program using ``amemcpy`` +
+correctly-placed ``csync`` refines the same program using ``memcpy``.  We
+replace the hand proof with a *bounded model checker*: enumerate every
+interleaving of a small multi-threaded program under both semantics and
+check that the set of async outcomes is a subset of the sync outcomes.
+"""
+
+from repro.verify.model import AsyncMachine, SyncMachine, Thread
+from repro.verify.checker import check_refinement, explore
+
+__all__ = ["AsyncMachine", "SyncMachine", "Thread", "check_refinement",
+           "explore"]

@@ -1,0 +1,56 @@
+"""Bounded exploration + refinement check."""
+
+
+def explore(machine, max_states=2_000_000):
+    """DFS over every schedule; returns the set of observable outcomes."""
+    outcomes = set()
+    seen = set()
+    stack = [machine]
+    visited = 0
+    while stack:
+        m = stack.pop()
+        visited += 1
+        if visited > max_states:
+            raise RuntimeError("state-space budget exceeded")
+        if m.done():
+            outcomes.add(m.observable())
+            continue
+        enabled = m.enabled()
+        if not enabled:
+            # Deadlock (e.g. csync waiting on a copy that cannot finish):
+            # record as a distinguished outcome so refinement fails loudly.
+            outcomes.add(("DEADLOCK", m.observable()))
+            continue
+        for tid in enabled:
+            for successor in m.step(tid):
+                key = _state_key(successor)
+                if key not in seen:
+                    seen.add(key)
+                    stack.append(successor)
+    return outcomes
+
+
+def _state_key(m):
+    mem = tuple(sorted(
+        (a, tuple(v) if isinstance(v, list) else v)
+        for a, v in m.memory.items()))
+    copies = tuple(
+        (c.dst, c.src, c.n, c.progress, c.handler_ran)
+        for c in getattr(m, "copies", []))
+    return (mem, tuple(m.pc),
+            tuple(tuple(sorted(r.items())) for r in m.regs),
+            tuple(sorted(m.freed)), copies)
+
+
+def check_refinement(sync_machine, async_machine, max_states=2_000_000):
+    """True iff every async outcome is also a sync outcome.
+
+    This is the observable-behaviour half of the RGSim theorem: with
+    csync placed per the §5.1.1 guidelines, ``P_async`` cannot exhibit a
+    final state ``P_sync`` could not — "Copier will not introduce any new
+    bugs once csync is correctly used".
+    """
+    sync_outcomes = explore(sync_machine, max_states)
+    async_outcomes = explore(async_machine, max_states)
+    rogue = async_outcomes - sync_outcomes
+    return (not rogue), sync_outcomes, async_outcomes, rogue

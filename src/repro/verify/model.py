@@ -1,0 +1,263 @@
+"""Protocol-level state machines for the refinement check (Appendix A).
+
+State model follows the appendix: async memory maps each address to a
+value or a list of ``(value, id)`` pairs when amemcpys are pending; csync
+truncates a list to the value with the largest id.  The async machine adds
+the auxiliary amemcpy status list ``(args, id, csynced, passph, handler)``
+— here: per-copy progress plus handler bookkeeping.
+
+Programs are lists of small-step instructions per thread:
+
+* ``("write", addr, value)`` / ``("read", addr, reg)``
+* ``("memcpy", dst, src, n)`` — sync machine; one byte per step.
+* ``("amemcpy", dst, src, n[, handler])`` — async machine.
+* ``("csync", addr, n)`` / ``("csync_all",)``
+* ``("free", addr, n)`` — models the Fig. 4 handler effect.
+
+The *observable* state is the final memory (minus freed cells) plus each
+thread's registers — exactly what RGSim's consistency relation relates.
+"""
+
+import itertools
+
+
+class Thread:
+    def __init__(self, instructions):
+        self.instructions = list(instructions)
+
+
+class _Copy:
+    """Auxiliary amemcpy record: (args, id, csynced, passph, handler)."""
+
+    __slots__ = ("dst", "src", "n", "copy_id", "progress", "handler",
+                 "handler_ran")
+
+    def __init__(self, dst, src, n, copy_id, handler):
+        self.dst = dst
+        self.src = src
+        self.n = n
+        self.copy_id = copy_id
+        self.progress = 0  # bytes copied so far
+        self.handler = handler
+        self.handler_ran = False
+
+    def clone(self):
+        c = _Copy(self.dst, self.src, self.n, self.copy_id, self.handler)
+        c.progress = self.progress
+        c.handler_ran = self.handler_ran
+        return c
+
+
+class _MachineBase:
+    def __init__(self, memory, threads):
+        self.memory = dict(memory)
+        self.freed = set()
+        self.threads = [list(t.instructions) for t in threads]
+        self.pc = [0] * len(threads)
+        self.regs = [{} for _ in threads]
+
+    def done(self):
+        return all(pc >= len(t) for pc, t in zip(self.pc, self.threads))
+
+    def observable(self):
+        mem = tuple(sorted(
+            (a, self._latest(v)) for a, v in self.memory.items()
+            if a not in self.freed))
+        regs = tuple(tuple(sorted(r.items())) for r in self.regs)
+        return (mem, regs)
+
+    @staticmethod
+    def _latest(value):
+        if isinstance(value, list):
+            return max(value, key=lambda pair: pair[1])[0]
+        return value
+
+    def _read_mem(self, addr):
+        return self._latest(self.memory.get(addr, 0))
+
+
+class SyncMachine(_MachineBase):
+    """memcpy semantics: one byte copied atomically per step."""
+
+    def enabled(self):
+        return [i for i, (pc, t) in enumerate(zip(self.pc, self.threads))
+                if pc < len(t)]
+
+    def clone(self):
+        m = SyncMachine.__new__(SyncMachine)
+        m.memory = dict(self.memory)
+        m.freed = set(self.freed)
+        m.threads = self.threads
+        m.pc = list(self.pc)
+        m.regs = [dict(r) for r in self.regs]
+        return m
+
+    def step(self, tid):
+        """Execute one atomic step of thread ``tid``; returns new machines
+        (one — sync is deterministic per schedule)."""
+        m = self.clone()
+        ins = m.threads[tid][m.pc[tid]]
+        kind = ins[0]
+        if kind == "write":
+            _k, addr, value = ins
+            m.memory[addr] = value
+            m.pc[tid] += 1
+        elif kind == "read":
+            _k, addr, reg = ins
+            m.regs[tid][reg] = m._read_mem(addr)
+            m.pc[tid] += 1
+        elif kind in ("memcpy", "amemcpy"):
+            dst, src, n = ins[1], ins[2], ins[3]
+            handler = ins[4] if len(ins) > 4 else None
+            # Copy byte-by-byte atomically: expand into per-byte writes by
+            # tracking progress in the register file.
+            key = ("_copy_progress", m.pc[tid])
+            progress = m.regs[tid].get(key, 0)
+            if progress < n:
+                m.memory[dst + progress] = m._read_mem(src + progress)
+                m.regs[tid][key] = progress + 1
+            if m.regs[tid].get(key, 0) >= n:
+                del m.regs[tid][key]
+                if handler is not None and handler[0] == "free":
+                    for off in range(handler[2]):
+                        m.freed.add(handler[1] + off)
+                m.pc[tid] += 1
+        elif kind in ("csync", "csync_all"):
+            m.pc[tid] += 1  # no-op under sync semantics
+        elif kind == "free":
+            _k, addr, n = ins
+            for off in range(n):
+                m.freed.add(addr + off)
+            m.pc[tid] += 1
+        else:
+            raise ValueError("unknown instruction %r" % (kind,))
+        return [m]
+
+
+class AsyncMachine(_MachineBase):
+    """amemcpy + csync semantics with value-pair lists (Appendix A)."""
+
+    def __init__(self, memory, threads):
+        super().__init__(memory, threads)
+        self.copies = []
+        self._ids = itertools.count(1)
+
+    def clone(self):
+        m = AsyncMachine.__new__(AsyncMachine)
+        m.memory = {a: (list(v) if isinstance(v, list) else v)
+                    for a, v in self.memory.items()}
+        m.freed = set(self.freed)
+        m.threads = self.threads
+        m.pc = list(self.pc)
+        m.regs = [dict(r) for r in self.regs]
+        m.copies = [c.clone() for c in self.copies]
+        m._ids = itertools.count(next(self._ids))
+        return m
+
+    # The Copier service is modeled as an extra "thread": scheduler id -1.
+    SERVICE = "service"
+
+    def enabled(self):
+        ids = [i for i, (pc, t) in enumerate(zip(self.pc, self.threads))
+               if pc < len(t) and not self._blocked(i)]
+        if any(c.progress < c.n for c in self.copies):
+            ids.append(self.SERVICE)
+        return ids
+
+    def _blocked(self, tid):
+        ins = self.threads[tid][self.pc[tid]]
+        if ins[0] == "csync":
+            _k, addr, n = ins
+            return not self._range_done(addr, n)
+        if ins[0] == "csync_all":
+            return any(c.progress < c.n for c in self.copies)
+        return False
+
+    def _range_done(self, addr, n):
+        for c in self.copies:
+            lo = max(c.dst, addr)
+            hi = min(c.dst + c.n, addr + n)
+            if lo < hi and c.progress < (hi - c.dst):
+                return False
+        return True
+
+    def done(self):
+        return (super().done()
+                and all(c.progress >= c.n for c in self.copies))
+
+    def step(self, tid):
+        if tid == self.SERVICE:
+            return self._service_steps()
+        m = self.clone()
+        ins = m.threads[tid][m.pc[tid]]
+        kind = ins[0]
+        if kind == "write":
+            _k, addr, value = ins
+            m.memory[addr] = value  # csync guidelines ensure no race here
+            m.pc[tid] += 1
+        elif kind == "read":
+            _k, addr, reg = ins
+            m.regs[tid][reg] = m._read_mem(addr)
+            m.pc[tid] += 1
+        elif kind == "amemcpy":
+            dst, src, n = ins[1], ins[2], ins[3]
+            handler = ins[4] if len(ins) > 4 else None
+            m.copies.append(_Copy(dst, src, n, next(m._ids), handler))
+            m.pc[tid] += 1
+        elif kind == "memcpy":
+            raise ValueError("async program contains raw memcpy")
+        elif kind in ("csync", "csync_all"):
+            # enabled() guarantees the range is done; truncate lists.
+            if kind == "csync":
+                for off in range(ins[2]):
+                    v = m.memory.get(ins[1] + off)
+                    if isinstance(v, list):
+                        m.memory[ins[1] + off] = m._latest(v)
+            m._run_ready_handlers()
+            m.pc[tid] += 1
+        elif kind == "free":
+            _k, addr, n = ins
+            for off in range(n):
+                m.freed.add(addr + off)
+            m.pc[tid] += 1
+        else:
+            raise ValueError("unknown instruction %r" % (kind,))
+        return [m]
+
+    def _service_steps(self):
+        """Every pending copy may advance one byte: branch per choice."""
+        out = []
+        for index, c in enumerate(self.copies):
+            if c.progress >= c.n:
+                continue
+            m = self.clone()
+            mc = m.copies[index]
+            value = m._read_mem(mc.src + mc.progress)
+            cell = m.memory.get(mc.dst + mc.progress)
+            pair = (value, mc.copy_id)
+            if isinstance(cell, list):
+                cell.append(pair)
+            else:
+                m.memory[mc.dst + mc.progress] = [pair]
+            mc.progress += 1
+            if mc.progress >= mc.n:
+                m._run_ready_handlers()
+            out.append(m)
+        return out
+
+    def _run_ready_handlers(self):
+        for c in self.copies:
+            if (c.progress >= c.n and c.handler is not None
+                    and not c.handler_ran):
+                if c.handler[0] == "free":
+                    for off in range(c.handler[2]):
+                        self.freed.add(c.handler[1] + off)
+                c.handler_ran = True
+
+    def observable(self):
+        mem = tuple(sorted(
+            (a, self._latest(v)) for a, v in self.memory.items()
+            if a not in self.freed))
+        regs = tuple(tuple(sorted(
+            (k, v) for k, v in r.items())) for r in self.regs)
+        return (mem, regs)

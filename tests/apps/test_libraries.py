@@ -1,0 +1,180 @@
+"""Protobuf / OpenSSL / zlib / Avcodec app tests (§6.2.3, §6.2.4)."""
+
+import pytest
+
+from repro.apps.avcodec import VideoDecoder, measure_energy
+from repro.apps.openssllib import SSLReader, encrypt
+from repro.apps.protobuf import ProtobufReceiver, deserialize_bytes, serialize
+from repro.apps.zlibapp import Deflater
+from repro.hw.params import phone_params
+from repro.kernel import System
+from repro.kernel.net import send, socket_pair
+
+
+def _send_message(system, payload, sock_tx):
+    sender = system.create_process("msg-sender")
+    buf = sender.mmap(len(payload), populate=True)
+    sender.write(buf, payload)
+
+    def gen():
+        yield from send(system, sender, sock_tx, buf, len(payload))
+
+    return sender.spawn(gen(), affinity=1)
+
+
+class TestProtobuf:
+    def test_serialize_roundtrip_pure(self):
+        fields = [b"alpha", b"x" * 1000, b"tail"]
+        assert deserialize_bytes(serialize(fields)) == fields
+
+    @pytest.mark.parametrize("mode", ["sync", "copier"])
+    def test_recv_deserialize_fields(self, mode):
+        system = System(n_cores=3, copier=(mode == "copier"),
+                        phys_frames=32768)
+        rx_side, tx_side = socket_pair(system)
+        fields = [bytes([i % 200]) * 1020 for i in range(16)]
+        payload = serialize(fields)
+        receiver = ProtobufReceiver(system, mode=mode)
+        _send_message(system, payload, tx_side)
+
+        def gen():
+            return (yield from receiver.recv_and_deserialize(
+                rx_side, len(payload)))
+
+        p = receiver.proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=5_000_000_000)
+        latency, got = p.result
+        assert got == fields
+        assert latency > 0
+
+    def test_copier_reduces_deserialize_latency(self):
+        results = {}
+        for mode in ("sync", "copier"):
+            system = System(n_cores=3, copier=(mode == "copier"),
+                            phys_frames=32768)
+            rx_side, tx_side = socket_pair(system)
+            payload = serialize([b"z" * 1020] * 16)  # ~16 KB
+            receiver = ProtobufReceiver(system, mode=mode)
+            _send_message(system, payload, tx_side)
+            p = receiver.proc.spawn(
+                receiver.recv_and_deserialize(rx_side, len(payload)),
+                affinity=0)
+            system.env.run_until(p.terminated, limit=5_000_000_000)
+            results[mode] = p.result[0]
+        assert results["copier"] < results["sync"]
+
+
+class TestOpenSSL:
+    @pytest.mark.parametrize("mode", ["sync", "copier"])
+    def test_decrypts_correctly(self, mode):
+        system = System(n_cores=3, copier=(mode == "copier"),
+                        phys_frames=32768)
+        rx_side, tx_side = socket_pair(system)
+        plaintext = bytes(range(256)) * 32  # 8 KB
+        _send_message(system, encrypt(plaintext), tx_side)
+        reader = SSLReader(system, mode=mode)
+        p = reader.proc.spawn(reader.ssl_read(rx_side, len(plaintext)),
+                              affinity=0)
+        system.env.run_until(p.terminated, limit=5_000_000_000)
+        _latency, got = p.result
+        assert got == plaintext
+
+    def test_copier_gain_modest_and_flat_beyond_16k(self):
+        """Decrypt dominates: small gain, flat past the TLS record cap."""
+        def run(mode, nbytes):
+            system = System(n_cores=3, copier=(mode == "copier"),
+                            phys_frames=65536)
+            rx_side, tx_side = socket_pair(system)
+            plaintext = b"\x21" * nbytes
+            # Pre-send all records.
+            sender = system.create_process("s")
+            buf = sender.mmap(nbytes, populate=True)
+            sender.write(buf, encrypt(plaintext))
+
+            def feed():
+                pos = 0
+                while pos < nbytes:
+                    rec = min(16 * 1024, nbytes - pos)
+                    yield from send(system, sender, tx_side, buf + pos, rec)
+                    pos += rec
+
+            sender.spawn(feed(), affinity=1)
+            reader = SSLReader(system, mode=mode)
+            p = reader.proc.spawn(reader.ssl_read(rx_side, nbytes),
+                                  affinity=0)
+            system.env.run_until(p.terminated, limit=20_000_000_000)
+            return p.result[0]
+
+        gains = {}
+        for nbytes in (16 * 1024, 64 * 1024):
+            gains[nbytes] = 1 - run("copier", nbytes) / run("sync", nbytes)
+        assert 0 < gains[16 * 1024] < 0.25
+        # Flat: the per-record pipeline caps the win.
+        assert abs(gains[64 * 1024] - gains[16 * 1024]) < 0.08
+
+
+class TestZlib:
+    @pytest.mark.parametrize("mode", ["sync", "copier"])
+    def test_deflate_compresses(self, mode):
+        import zlib as _zlib
+
+        system = System(n_cores=3, copier=(mode == "copier"),
+                        phys_frames=65536)
+        deflater = Deflater(system, mode=mode)
+        data = b"repetitive " * 4000  # ~44 KB
+        p = deflater.proc.spawn(deflater.deflate(data), affinity=0)
+        system.env.run_until(p.terminated, limit=20_000_000_000)
+        _latency, compressed = p.result
+        assert _zlib.decompress(compressed) == data
+
+    def test_copier_speeds_up_deflate(self):
+        def run(mode):
+            system = System(n_cores=3, copier=(mode == "copier"),
+                            phys_frames=65536)
+            deflater = Deflater(system, mode=mode)
+            data = bytes([i % 97 for i in range(256 * 1024)])
+            p = deflater.proc.spawn(deflater.deflate(data), affinity=0)
+            system.env.run_until(p.terminated, limit=50_000_000_000)
+            return p.result[0]
+
+        sync_lat = run("sync")
+        copier_lat = run("copier")
+        assert copier_lat < sync_lat
+        assert 1 - copier_lat / sync_lat < 0.30  # modest, like the paper
+
+
+class TestAvcodec:
+    def _run(self, mode, n_frames=6):
+        params = phone_params()
+        system = System(n_cores=3, params=params,
+                        copier=(mode == "copier"),
+                        copier_kwargs={"polling": "scenario"},
+                        phys_frames=65536)
+        decoder = VideoDecoder(system, mode=mode, frame_bytes=1 << 20)
+        p = decoder.proc.spawn(decoder.decode_stream(n_frames), affinity=0)
+        system.env.run_until(p.terminated, limit=200_000_000_000)
+        return system, decoder
+
+    def test_decode_produces_frames(self):
+        _system, decoder = self._run("sync")
+        assert len(decoder.latencies) == 6
+
+    def test_copier_cuts_frame_latency_slightly(self):
+        """Fig. 13-c: 3-10 % per-frame latency reduction on the phone."""
+        _s1, sync_dec = self._run("sync")
+        _s2, cop_dec = self._run("copier")
+        gain = 1 - cop_dec.mean_latency / sync_dec.mean_latency
+        assert 0.0 < gain < 0.25
+
+    def test_scenario_polling_limits_energy_overhead(self):
+        """Energy increase stays marginal (paper: +0.07-0.29 %) because the
+        Copier thread sleeps outside the decode scenario."""
+        s_sync, _d1 = self._run("sync")
+        s_cop, _d2 = self._run("copier")
+        e_sync = measure_energy(s_sync)
+        e_cop = measure_energy(s_cop)
+        assert e_cop < e_sync * 1.10
+
+    def test_scenario_thread_asleep_after_stream(self):
+        system, _decoder = self._run("copier")
+        assert system.copier.scenario_active is False

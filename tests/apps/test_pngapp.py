@@ -1,0 +1,39 @@
+"""PNG-style file decode tests (the Fig. 2/3 libpng scenario)."""
+
+import pytest
+
+from repro.apps.pngapp import PNGDecoder, encode_image
+from repro.kernel import System
+from repro.kernel.fileio import FileObject
+
+
+def _decode(mode, image_bytes):
+    system = System(n_cores=3, copier=(mode == "copier"),
+                    phys_frames=131072)
+    raw = bytes([(i * 11) % 253 for i in range(image_bytes)])
+    fobj = FileObject(system, encode_image(raw))
+    decoder = PNGDecoder(system, mode=mode)
+    p = decoder.proc.spawn(decoder.decode_file(fobj), affinity=0)
+    system.env.run_until(p.terminated, limit=200_000_000_000)
+    latency, decoded = p.result
+    return latency, decoded, raw
+
+
+@pytest.mark.parametrize("mode", ["sync", "copier"])
+def test_decode_produces_original_pixels(mode):
+    latency, decoded, raw = _decode(mode, 48 * 1024)
+    assert decoded == raw
+    assert latency > 0
+
+
+def test_copier_overlaps_read_with_inflate():
+    sync_lat, _d1, _r1 = _decode("sync", 128 * 1024)
+    cop_lat, _d2, _r2 = _decode("copier", 128 * 1024)
+    assert cop_lat < sync_lat
+    # The gain is bounded by the copy share of decode time.
+    assert 1 - cop_lat / sync_lat < 0.35
+
+
+def test_tiny_image_falls_back_to_sync_path():
+    latency, decoded, raw = _decode("copier", 256)
+    assert decoded == raw

@@ -1,0 +1,75 @@
+"""TinyProxy tests (§6.2.2)."""
+
+import pytest
+
+from repro.apps.tinyproxy import TinyProxy, run_forwarding
+from repro.kernel import System
+from repro.kernel.net import recv, send, socket_pair
+
+
+def _pipeline(mode, msg_bytes, n_messages=6, n_cores=4):
+    system = System(n_cores=n_cores, copier=(mode == "copier"),
+                    phys_frames=65536)
+    total, elapsed, proxies, procs = run_forwarding(
+        system, mode, msg_bytes, n_messages)
+    return system, total, elapsed, proxies, procs
+
+
+@pytest.mark.parametrize("mode", ["sync", "copier", "zio"])
+def test_forwarding_delivers_payload_intact(mode):
+    msg = 16 * 1024
+    system, total, elapsed, proxies, procs = _pipeline(mode, msg)
+    _wp, sink_p = procs[0]
+    assert sink_p.result == bytes([0x42]) * msg
+    assert proxies[0].forwarded == 6
+
+
+def test_copier_improves_forwarding_throughput():
+    """Fig. 12-a: Copier lifts proxy throughput via the 3-into-1 copy."""
+    msg = 16 * 1024
+    _s1, total1, elapsed1, _p1, _ = _pipeline("sync", msg, n_messages=12)
+    _s2, total2, elapsed2, _p2, _ = _pipeline("copier", msg, n_messages=12)
+    sync_mps = total1 / elapsed1
+    copier_mps = total2 / elapsed2
+    assert copier_mps > sync_mps
+
+
+def test_copier_absorbs_the_chain():
+    """The forwarded bytes short-circuit kernel→kernel (§4.4)."""
+    msg = 32 * 1024
+    system, _t, _e, proxies, _ = _pipeline("copier", msg)
+    stats = proxies[0].proc.client.stats
+    assert stats.bytes_absorbed > msg  # several messages' worth absorbed
+
+
+def test_zio_user_copy_elimination_only():
+    """zIO removes the user-space copy but cannot touch kernel copies."""
+    msg = 32 * 1024
+    system, _t, _e, proxies, _ = _pipeline("zio", msg)
+    assert proxies[0].zio.stats["indirect"] > 0 or \
+        proxies[0].zio.stats["sync"] == 0
+
+
+def test_small_messages_fall_back_to_sync():
+    msg = 512  # below copier_user_min_bytes
+    system, total, elapsed, proxies, procs = _pipeline("copier", msg)
+    _wp, sink_p = procs[0]
+    assert sink_p.result == bytes([0x42]) * msg
+    # No user-mode async copies were used.
+    assert proxies[0].proc.client.stats.bytes_absorbed == 0
+
+
+def test_multi_worker_scaling():
+    """Fig. 12-b: more workers with per-process queues scale throughput."""
+    msg = 8 * 1024
+
+    def run(workers):
+        system = System(n_cores=6, copier=True, phys_frames=131072)
+        total, elapsed, _p, _ = run_forwarding(system, "copier", msg,
+                                               n_messages=10,
+                                               n_workers=workers)
+        return total / elapsed
+
+    one = run(1)
+    four = run(4)
+    assert four > one * 1.5

@@ -1,0 +1,131 @@
+"""zIO model unit tests (§2.2 characterization)."""
+
+import pytest
+
+from repro.baselines.zio import ZIO
+from repro.kernel import System
+from repro.mem.phys import PAGE_SIZE
+
+
+def _mk():
+    system = System(n_cores=2, copier=False, phys_frames=65536)
+    proc = system.create_process("zio-app")
+    return system, proc, ZIO(system, proc)
+
+
+def _run(system, proc, gen):
+    p = proc.spawn(gen, affinity=0)
+    system.env.run_until(p.terminated, limit=50_000_000_000)
+    return p.result
+
+
+class TestThresholds:
+    def test_below_threshold_copies_synchronously(self):
+        system, proc, zio = _mk()
+        a = proc.mmap(8192, populate=True)
+        b = proc.mmap(8192, populate=True)
+        proc.write(a, b"small")
+
+        def gen():
+            yield from zio.copy(b, a, 2048)
+
+        _run(system, proc, gen())
+        assert zio.stats["sync"] == 1
+        assert proc.read(b, 5) == b"small"
+
+    def test_above_threshold_defers(self):
+        system, proc, zio = _mk()
+        a = proc.mmap(16384, populate=True)
+        b = proc.mmap(16384, populate=True)
+        proc.write(a, b"\x42" * 16384)
+
+        def gen():
+            yield from zio.copy(b, a, 16384)
+
+        _run(system, proc, gen())
+        assert zio.stats["indirect"] == 1
+        # Data NOT materialized yet.
+        assert proc.read(b, 4) == b"\x00" * 4
+
+    def test_steal_path_for_aligned_large(self):
+        system, proc, zio = _mk()
+        n = zio.STEAL_MIN
+        a = proc.mmap(n, populate=True)
+        b = proc.mmap(n, populate=True)
+        proc.write(a, b"\x77" * n)
+
+        def gen():
+            yield from zio.copy(b, a, n)
+
+        _run(system, proc, gen())
+        assert zio.stats["steal"] == 1
+        assert proc.read(b, n) == b"\x77" * n  # remap effect is immediate
+
+
+class TestMaterialization:
+    def test_touch_read_materializes(self):
+        system, proc, zio = _mk()
+        a = proc.mmap(16384, populate=True)
+        b = proc.mmap(16384, populate=True)
+        proc.write(a, b"\x55" * 16384)
+
+        def gen():
+            yield from zio.copy(b, a, 16384)
+            yield from zio.touch_read(b, 100)
+            return proc.read(b, 16384)
+
+        assert _run(system, proc, gen()) == b"\x55" * 16384
+        assert zio.stats["fault_copies"] == 1
+
+    def test_source_overwrite_forces_copy_first(self):
+        """The Redis input-buffer case: overwriting the source of a
+        pending indirection materializes it with the OLD data."""
+        system, proc, zio = _mk()
+        a = proc.mmap(16384, populate=True)
+        b = proc.mmap(16384, populate=True)
+        proc.write(a, b"\x11" * 16384)
+
+        def gen():
+            yield from zio.copy(b, a, 16384)
+            yield from zio.before_write(a, 16384)
+            proc.write(a, b"\x99" * 16384)
+            return proc.read(b, 16384)
+
+        assert _run(system, proc, gen()) == b"\x11" * 16384
+        assert zio.stats["fault_copies"] == 1
+
+    def test_dst_overwrite_drops_indirection(self):
+        system, proc, zio = _mk()
+        a = proc.mmap(16384, populate=True)
+        b = proc.mmap(16384, populate=True)
+
+        def gen():
+            yield from zio.copy(b, a, 16384)
+            yield from zio.before_write(b, 16384)
+
+        _run(system, proc, gen())
+        assert zio.stats["dropped"] == 1
+        assert zio.stats["fault_copies"] == 0
+
+
+class TestSendInterposition:
+    def test_send_source_resolves_indirection(self):
+        system, proc, zio = _mk()
+        a = proc.mmap(16384, populate=True)
+        b = proc.mmap(16384, populate=True)
+
+        def gen():
+            yield from zio.copy(b, a, 16384)
+
+        _run(system, proc, gen())
+        src, ind = zio.send_source(b, 16384)
+        assert src == a
+        assert ind is not None
+        zio.drop(ind)
+        assert zio.stats["dropped"] == 1
+
+    def test_send_source_passthrough_without_indirection(self):
+        _system, _proc, zio = _mk()
+        src, ind = zio.send_source(0x5000, 1024)
+        assert src == 0x5000
+        assert ind is None

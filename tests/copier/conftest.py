@@ -1,0 +1,31 @@
+"""Shared fixtures for Copier core tests."""
+
+import pytest
+
+from repro.copier import CopierService
+from repro.hw import MachineParams
+from repro.mem import AddressSpace, PhysicalMemory
+from repro.sim import Environment
+
+
+class Setup:
+    """A small machine with the Copier service on its last core."""
+
+    def __init__(self, n_cores=2, n_frames=4096, fragmented=False, **service_kwargs):
+        self.env = Environment(n_cores=n_cores)
+        self.params = service_kwargs.pop("params", MachineParams())
+        self.phys = PhysicalMemory(n_frames, fragmented=fragmented)
+        self.service = CopierService(self.env, self.params, **service_kwargs)
+        self.aspace = AddressSpace(self.phys, name="app")
+        self.client = self.service.create_client(self.aspace, name="app")
+
+    def run_process(self, generator, limit=50_000_000):
+        """Spawn an app process on core 0 and run until it finishes."""
+        proc = self.env.spawn(generator, name="app", affinity=0)
+        self.env.run_until(proc.terminated, limit=limit)
+        return proc.result
+
+
+@pytest.fixture
+def setup():
+    return Setup()

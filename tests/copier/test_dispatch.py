@@ -1,0 +1,217 @@
+"""Dispatcher tests: hybrid subtasks, i/e-piggyback, DMA balancing (§4.3)."""
+
+import pytest
+
+from repro.copier.deps import PendingTasks, u_order_key
+from repro.copier.descriptor import Descriptor
+from repro.copier.dispatch import Dispatcher
+from repro.copier.task import CopyTask, Region
+from repro.hw import MachineParams
+from repro.mem import PAGE_SIZE, AddressSpace, PhysicalMemory
+from repro.sim import WaitEvent
+from tests.copier.conftest import Setup
+
+
+def _pending_with(aspace, specs, seg=1024):
+    """specs: list of (src, dst, n, lazy)."""
+    from repro.copier import task as task_mod
+
+    pending = PendingTasks()
+    tasks = []
+    for i, spec in enumerate(specs):
+        src, dst, n = spec[:3]
+        lazy = spec[3] if len(spec) > 3 else False
+        t = CopyTask(None, "u", Region(aspace, src, n), Region(aspace, dst, n),
+                     Descriptor(n, seg),
+                     task_type=task_mod.TYPE_LAZY if lazy else task_mod.TYPE_NORMAL)
+        t.order_key = u_order_key(i)
+        pending.add(t)
+        tasks.append(t)
+    return pending, tasks
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+def _contig_aspace(n_pages=64):
+    phys = PhysicalMemory(512)
+    return AddressSpace(phys)
+
+
+class TestPlanning:
+    def test_large_task_uses_i_piggyback(self, params):
+        aspace = _contig_aspace()
+        n = 64 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=n)
+        assert plan.mode == "i-piggyback"
+        assert plan.dma_runs, "large contiguous task should get DMA work"
+        assert plan.avx_jobs, "CPU keeps the head of the task"
+
+    def test_dma_picked_from_latter_part(self, params):
+        """DMA segments have longer Copy-Use windows: they come from the tail."""
+        aspace = _contig_aspace()
+        n = 64 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=n)
+        max_avx_seg = max(j.seg_index for j in plan.avx_jobs)
+        min_dma_seg = min(j.seg_index for r in plan.dma_runs for j in r.jobs)
+        assert min_dma_seg > max_avx_seg
+
+    def test_unit_times_balanced(self, params):
+        aspace = _contig_aspace()
+        n = 256 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=n)
+        avx_time = plan.avx_bytes / params.avx_bytes_per_cycle
+        dma_time = params.dma_submit_cycles + plan.dma_bytes / params.dma_bytes_per_cycle
+        # DMA never outlasts the AVX stream (piggyback invariant)…
+        assert dma_time <= avx_time
+        # …and the split is reasonably balanced (within one candidate run).
+        assert dma_time > avx_time * 0.4
+
+    def test_small_task_avx_only_when_alone(self, params):
+        aspace = _contig_aspace()
+        n = 2 * 1024  # below the 4 KB DMA candidate floor
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=n)
+        assert plan.mode == "e-piggyback"
+        assert not plan.dma_runs
+        assert plan.avx_bytes == n
+
+    def test_e_piggyback_fuses_independent_small_tasks(self, params):
+        """Several adjacent small copies fuse into one round (§4.3).
+
+        Recycled I/O buffers (warm ATCache) make the fused tasks' pieces
+        cheap enough to piggyback on DMA — the small-copy benefit the
+        paper claims over per-copy partitioning dispatchers."""
+        from repro.copier.atcache import ATCache
+
+        aspace = _contig_aspace()
+        atcache = ATCache(params)
+        specs = []
+        for _ in range(3):
+            n = 8 * 1024
+            src = aspace.mmap(n, populate=True, contiguous=True)
+            dst = aspace.mmap(n, populate=True, contiguous=True)
+            specs.append((src, dst, n))
+            # Buffers are recycled: pre-warm the translation cache.
+            atcache.translation_cost(aspace, src, n)
+            atcache.translation_cost(aspace, dst, n, write=True)
+        pending, tasks = _pending_with(aspace, specs)
+        plan = Dispatcher(params, atcache=atcache).build_round(
+            pending, budget_bytes=64 * 1024)
+        assert plan.mode == "e-piggyback"
+        assert len(plan.tasks) == 3
+        assert plan.dma_runs, "fused tasks provide DMA candidates"
+        # DMA candidates come from the latter tasks.
+        dma_task_ids = {r.task.task_id for r in plan.dma_runs}
+        assert tasks[0].task_id not in dma_task_ids
+
+    def test_e_piggyback_stops_at_dependency(self, params):
+        aspace = _contig_aspace()
+        n = 4 * 1024
+        a = aspace.mmap(n, populate=True, contiguous=True)
+        b = aspace.mmap(n, populate=True, contiguous=True)
+        c = aspace.mmap(n, populate=True, contiguous=True)
+        d = aspace.mmap(n, populate=True, contiguous=True)
+        # Task 2 depends on task 1's destination: cannot fuse.
+        pending, tasks = _pending_with(aspace, [(a, b, n), (b, c, n), (c, d, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=64 * 1024)
+        assert plan.tasks == [tasks[0]]
+
+    def test_fragmented_memory_shrinks_dma_runs(self, params):
+        """Non-contiguous physical pages (Fig. 7-b) break up DMA runs: each
+        run collapses to a single page, and candidacy drops vs contiguous."""
+        phys = PhysicalMemory(512, fragmented=True)
+        aspace = AddressSpace(phys)
+        n = 64 * 1024
+        src = aspace.mmap(n, populate=True)  # fragmented frames
+        dst = aspace.mmap(n, populate=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=n)
+        assert all(r.nbytes <= PAGE_SIZE for r in plan.dma_runs)
+
+        # Contiguous layout forms one big run instead.
+        aspace2 = _contig_aspace()
+        src2 = aspace2.mmap(n, populate=True, contiguous=True)
+        dst2 = aspace2.mmap(n, populate=True, contiguous=True)
+        pending2, _ = _pending_with(aspace2, [(src2, dst2, n)])
+        plan2 = Dispatcher(params).build_round(pending2, budget_bytes=n)
+        assert max(r.nbytes for r in plan2.dma_runs) > PAGE_SIZE
+
+    def test_budget_limits_round(self, params):
+        aspace = _contig_aspace()
+        n = 256 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params).build_round(pending, budget_bytes=32 * 1024)
+        assert plan.total_bytes <= 33 * 1024
+
+    def test_dma_disabled_dispatcher(self, params):
+        aspace = _contig_aspace()
+        n = 64 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        pending, _ = _pending_with(aspace, [(src, dst, n)])
+        plan = Dispatcher(params, use_dma=False).build_round(pending, budget_bytes=n)
+        assert not plan.dma_runs
+        assert plan.avx_bytes == n
+
+    def test_empty_pending_returns_none(self, params):
+        assert Dispatcher(params).build_round(PendingTasks(), 1024) is None
+
+
+class TestEndToEndDMA:
+    def test_large_copy_engages_dma_and_is_correct(self):
+        setup = Setup(n_frames=8192)
+        aspace, client = setup.aspace, setup.client
+        n = 256 * 1024
+        src = aspace.mmap(n, populate=True, contiguous=True)
+        dst = aspace.mmap(n, populate=True, contiguous=True)
+        payload = bytes([i % 233 for i in range(n)])
+        aspace.write(src, payload)
+
+        def app():
+            yield from client.amemcpy(dst, src, n)
+            yield from client.csync(dst, n)
+            return aspace.read(dst, n)
+
+        assert setup.run_process(app()) == payload
+        assert setup.service.dma.bytes_copied > 0
+        assert setup.service.dispatcher.bytes_to_dma > 0
+        assert setup.service.dispatcher.bytes_to_avx > 0
+
+    def test_parallel_dma_avx_faster_than_avx_only(self):
+        """Repeated-buffer copies (warm ATCache) beat AVX-only (Fig. 9)."""
+        def run(use_dma, rounds=8):
+            setup = Setup(n_frames=8192, use_dma=use_dma)
+            aspace, client = setup.aspace, setup.client
+            n = 512 * 1024
+            src = aspace.mmap(n, populate=True, contiguous=True)
+            dst = aspace.mmap(n, populate=True, contiguous=True)
+            aspace.write(src, b"\x99" * n)
+
+            def app():
+                t0 = setup.env.now
+                for _ in range(rounds):
+                    yield from client.amemcpy(dst, src, n)
+                    yield from client.csync(dst, n)
+                return setup.env.now - t0
+
+            return setup.run_process(app())
+
+        with_dma = run(True)
+        without_dma = run(False)
+        assert with_dma < without_dma * 0.85

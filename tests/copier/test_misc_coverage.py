@@ -1,0 +1,129 @@
+"""Coverage for remaining corners: handlers on abort, descriptor waiters,
+segment options, barrier sequences, LibCopier aabort."""
+
+import pytest
+
+from repro.api import LibCopier
+from repro.copier.deps import BarrierBookkeeping, u_order_key
+from repro.copier.queues import RingQueue
+from repro.kernel import System
+from repro.mem.phys import PAGE_SIZE
+from repro.sim import Timeout
+from tests.copier.conftest import Setup
+
+
+class TestAbortHandler:
+    def test_aborted_task_still_runs_its_handler(self):
+        """Aborting a copy frees its source via the handler: the skb
+        reclamation contract must hold even for discarded copies."""
+        setup = Setup()
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(PAGE_SIZE, populate=True)
+        dst = aspace.mmap(PAGE_SIZE, populate=True)
+        freed = []
+
+        def gen():
+            yield from client.amemcpy(dst, src, 2048, lazy=True,
+                                      handler=("kfunc", freed.append,
+                                               ("src",)))
+            yield from client.abort(dst, 2048)
+            yield Timeout(200_000)
+
+        setup.run_process(gen())
+        assert freed == ["src"]
+        assert client.stats.aborted == 1
+
+
+class TestSegmentOptions:
+    def test_custom_segment_size_honored(self):
+        setup = Setup()
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(PAGE_SIZE * 2, populate=True)
+        dst = aspace.mmap(PAGE_SIZE * 2, populate=True)
+
+        def gen():
+            desc = yield from client.amemcpy(dst, src, 8192,
+                                             segment_bytes=256)
+            yield from client.csync(dst, 8192)
+            return desc
+
+        desc = setup.run_process(gen())
+        assert desc.segment_bytes == 256
+        assert desc.n_segments == 32
+        assert desc.all_ready
+
+
+class TestBarrierSequences:
+    def test_nested_syscall_like_sequence(self):
+        ring = RingQueue(32)
+        barriers = BarrierBookkeeping(ring)
+        # u-task, trap, k-task, return, u-task, trap, k-task.
+        ring.submit("u0")
+        barriers.on_trap()
+        k1 = barriers.next_k_key()
+        barriers.on_return()
+        ring.submit("u1")
+        barriers.on_trap()
+        k2 = barriers.next_k_key()
+        # Order: u0 < k1 < u1 < k2.
+        assert u_order_key(0) < k1 < u_order_key(1) < k2
+
+    def test_k_tasks_without_any_u_tasks(self):
+        ring = RingQueue(8)
+        barriers = BarrierBookkeeping(ring)
+        barriers.on_trap()
+        k1 = barriers.next_k_key()
+        k2 = barriers.next_k_key()
+        assert k1 < k2
+        # A later u task follows both.
+        ring.submit("u0")
+        assert k2 < u_order_key(0)
+
+
+class TestLibCopierAbort:
+    def test_aabort_discards_via_fd(self):
+        system = System(n_cores=3, copier=True, phys_frames=16384)
+        proc = system.create_process("app")
+        lib = LibCopier(proc)
+        src = proc.mmap(PAGE_SIZE * 8, populate=True)
+        dst = proc.mmap(PAGE_SIZE * 8, populate=True)
+
+        def gen():
+            fd = lib.copier_create_queue()
+            yield from lib._amemcpy(dst, src, 16384, fd=fd, lazy=True)
+            yield from lib.aabort(dst, 16384, fd=fd)
+            yield Timeout(200_000)
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=50_000_000_000)
+        worker = lib._client_for(3)
+        assert worker.stats.aborted == 1
+
+
+class TestDescriptorWaiters:
+    def test_wait_range_triggers_through_service(self):
+        """Event-based waiting (used by Binder-style consumers) fires when
+        the service lands the segments."""
+        setup = Setup()
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(PAGE_SIZE * 16, populate=True)
+        dst = aspace.mmap(PAGE_SIZE * 16, populate=True)
+        aspace.write(src, b"\x3c" * 1024)
+
+        def gen():
+            desc = yield from client.amemcpy(dst, src, 64 * 1024)
+            from repro.sim import WaitEvent
+            yield WaitEvent(desc.wait_range(setup.env, 0, 1024))
+            return aspace.read(dst, 1024)
+
+        assert setup.run_process(gen()) == b"\x3c" * 1024
+
+
+class TestRingEpoch:
+    def test_epoch_counts_wraps(self):
+        ring = RingQueue(4)
+        for _ in range(3):
+            for i in range(4):
+                ring.submit(i)
+            ring.drain()
+        assert ring.epoch == 3

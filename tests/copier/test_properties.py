@@ -1,0 +1,158 @@
+"""Hypothesis property tests on dispatcher plans and absorption spans."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.copier.absorption import resolve_sources
+from repro.copier.deps import PendingTasks, u_order_key
+from repro.copier.descriptor import Descriptor
+from repro.copier.dispatch import Dispatcher
+from repro.copier.task import CopyTask, Region
+from repro.hw import MachineParams
+from repro.mem import AddressSpace, PhysicalMemory
+
+
+def _mk_pending(aspace, specs, seg=1024):
+    from repro.copier import task as task_mod
+
+    pending = PendingTasks()
+    tasks = []
+    for i, (src, dst, n, lazy) in enumerate(specs):
+        t = CopyTask(None, "u", Region(aspace, src, n),
+                     Region(aspace, dst, n), Descriptor(n, seg),
+                     task_type=task_mod.TYPE_LAZY if lazy
+                     else task_mod.TYPE_NORMAL)
+        t.order_key = u_order_key(i)
+        pending.add(t)
+        tasks.append(t)
+    return pending, tasks
+
+
+@st.composite
+def _task_specs(draw):
+    """Random non-overlapping-buffer task sets over an 8-buffer arena."""
+    n_tasks = draw(st.integers(min_value=1, max_value=5))
+    specs = []
+    for _ in range(n_tasks):
+        src_buf = draw(st.integers(min_value=0, max_value=7))
+        dst_buf = draw(st.integers(min_value=0, max_value=7)
+                       .filter(lambda b: b != src_buf))
+        length = draw(st.sampled_from([512, 1024, 4096, 16384, 65536]))
+        lazy = draw(st.booleans())
+        specs.append((src_buf, dst_buf, length, lazy))
+    return specs
+
+
+class TestPlanInvariants:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs=_task_specs(),
+           budget=st.sampled_from([8 * 1024, 64 * 1024, 1 << 20]))
+    def test_plan_partitions_segments(self, specs, budget):
+        """Every plan: (1) no segment appears twice across AVX jobs and
+        DMA runs; (2) total planned bytes ≤ budget + one segment of slack
+        per task; (3) all jobs reference tasks in the plan."""
+        phys = PhysicalMemory(1024)
+        aspace = AddressSpace(phys)
+        buffers = [aspace.mmap(65536, populate=True) for _ in range(8)]
+        concrete = [(buffers[s], buffers[d], n, lazy)
+                    for s, d, n, lazy in specs]
+        pending, tasks = _mk_pending(aspace, concrete)
+        plan = Dispatcher(MachineParams()).build_round(pending, budget)
+        if plan is None:
+            assert all(t.lazy for t in tasks)
+            return
+        seen = set()
+        for job in plan.avx_jobs:
+            key = (job.task.task_id, job.seg_index)
+            assert key not in seen
+            seen.add(key)
+        for run in plan.dma_runs:
+            for job in run.jobs:
+                key = (job.task.task_id, job.seg_index)
+                assert key not in seen
+                seen.add(key)
+        assert plan.total_bytes <= budget + 1024 * len(plan.tasks)
+        plan_ids = {t.task_id for t in plan.tasks}
+        for job in plan.avx_jobs:
+            assert job.task.task_id in plan_ids
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs=_task_specs())
+    def test_plan_respects_order_for_dependent_tasks(self, specs):
+        """A plan never fuses a task that conflicts with an earlier
+        unfinished task (the e-piggyback safety rule)."""
+        phys = PhysicalMemory(1024)
+        aspace = AddressSpace(phys)
+        buffers = [aspace.mmap(65536, populate=True) for _ in range(8)]
+        concrete = [(buffers[s], buffers[d], n, lazy)
+                    for s, d, n, lazy in specs]
+        pending, tasks = _mk_pending(aspace, concrete)
+        plan = Dispatcher(MachineParams()).build_round(pending, 1 << 20)
+        if plan is None:
+            return
+        for task in plan.tasks:
+            if task.lazy:
+                continue  # lazy prerequisites are ordered first by design
+            for dep in pending.dependencies_of(task):
+                if dep.is_finished:
+                    continue
+                # RAW on a pending producer is fine: absorption reads
+                # through it.  WAR/WAW hazards require the predecessor to
+                # run in this plan, before the dependent task.
+                war_waw = (task.dst.overlaps(dep.src)
+                           or task.dst.overlaps(dep.dst))
+                if not war_waw:
+                    continue
+                assert dep in plan.tasks
+                assert plan.tasks.index(dep) < plan.tasks.index(task)
+
+
+class TestAbsorptionSpanLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        chain_len=st.integers(min_value=1, max_value=4),
+        length=st.sampled_from([1024, 4096, 10240]),
+        marked_prefix=st.integers(min_value=0, max_value=10),
+    )
+    def test_spans_exactly_cover_the_request(self, chain_len, length,
+                                             marked_prefix):
+        """resolve_sources always returns spans totalling the requested
+        byte count, regardless of chain depth or marking state."""
+        phys = PhysicalMemory(512)
+        aspace = AddressSpace(phys)
+        bufs = [aspace.mmap(length, populate=True)
+                for _ in range(chain_len + 1)]
+        specs = [(bufs[i], bufs[i + 1], length, False)
+                 for i in range(chain_len)]
+        pending, tasks = _mk_pending(aspace, specs)
+        # Mark a prefix of the first producer's segments.
+        first = tasks[0]
+        for seg in range(min(marked_prefix, first.descriptor.n_segments)):
+            first.descriptor.mark(seg)
+        reader = tasks[-1]
+        spans = resolve_sources(pending, reader, reader.src)
+        assert sum(s.nbytes for s in spans) == length
+        # Spans are ordered and non-overlapping in the reader's frame:
+        # their concatenated lengths march through the request linearly.
+        assert all(s.nbytes > 0 for s in spans)
+
+    @settings(max_examples=60, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=4095),
+           length=st.integers(min_value=1, max_value=4096))
+    def test_disabled_resolver_is_identity(self, offset, length):
+        phys = PhysicalMemory(256)
+        aspace = AddressSpace(phys)
+        a = aspace.mmap(8192, populate=True)
+        b = aspace.mmap(8192, populate=True)
+        c = aspace.mmap(8192, populate=True)
+        pending, tasks = _mk_pending(
+            aspace, [(a, b, 8192, False), (b, c, 8192, False)])
+        reader = tasks[1]
+        region = Region(aspace, b + offset, length)
+        spans = resolve_sources(pending, reader, region, enabled=False)
+        assert len(spans) == 1
+        assert spans[0].va == b + offset
+        assert spans[0].nbytes == length
+        assert not spans[0].absorbed

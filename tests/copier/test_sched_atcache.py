@@ -1,0 +1,212 @@
+"""Scheduler/cgroup and ATCache tests (§4.3, §4.5)."""
+
+import pytest
+
+from repro.copier.atcache import ATCache
+from repro.copier.sched import CopierScheduler
+from repro.hw import MachineParams
+from repro.mem import PAGE_SIZE, AddressSpace, PhysicalMemory
+from repro.sim import Timeout
+from tests.copier.conftest import Setup
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestScheduler:
+    def test_picks_client_with_least_copy_length(self, params):
+        sched = CopierScheduler(params)
+        sched.register("a")
+        sched.register("b")
+        sched.charge("a", 10_000)
+        assert sched.pick(["a", "b"]) == "b"
+        sched.charge("b", 20_000)
+        assert sched.pick(["a", "b"]) == "a"
+
+    def test_pick_ignores_unready(self, params):
+        sched = CopierScheduler(params)
+        sched.register("a")
+        sched.register("b")
+        sched.charge("b", 5)
+        assert sched.pick(["b"]) == "b"
+        assert sched.pick([]) is None
+
+    def test_cgroup_shares_weight_selection(self, params):
+        """A cgroup with double shares gets served at double the length."""
+        sched = CopierScheduler(params)
+        sched.create_cgroup("gold", shares=200)
+        sched.create_cgroup("bronze", shares=100)
+        sched.register("g", "gold")
+        sched.register("b", "bronze")
+        sched.charge("g", 1500)
+        sched.charge("b", 1000)
+        # gold weighted: 1500/200 = 7.5 < bronze 1000/100 = 10.
+        assert sched.pick(["g", "b"]) == "g"
+
+    def test_invalid_shares_rejected(self, params):
+        sched = CopierScheduler(params)
+        with pytest.raises(ValueError):
+            sched.create_cgroup("bad", shares=0)
+
+    def test_duplicate_cgroup_rejected(self, params):
+        sched = CopierScheduler(params)
+        sched.create_cgroup("x")
+        with pytest.raises(ValueError):
+            sched.create_cgroup("x")
+
+    def test_move_between_cgroups(self, params):
+        sched = CopierScheduler(params)
+        sched.create_cgroup("g1")
+        sched.create_cgroup("g2")
+        sched.register("c", "g1")
+        sched.charge("c", 100)
+        sched.move("c", "g2")
+        assert sched.pick(["c"]) == "c"
+        sched.charge("c", 50)
+        assert sched.cgroups["g2"].total_copy_length == 50
+
+    def test_fairness_integration_two_clients(self):
+        """Two clients submitting equal loads get served near-equally."""
+        setup = Setup(n_cores=3, n_frames=8192)
+        aspace2 = AddressSpace(setup.phys, name="app2")
+        client2 = setup.service.create_client(aspace2, name="app2")
+        n = 16 * 1024
+
+        def workload(aspace, client, rounds):
+            src = aspace.mmap(n, populate=True)
+            dst = aspace.mmap(n, populate=True)
+            for _ in range(rounds):
+                yield from client.amemcpy(dst, src, n)
+                yield from client.csync(dst, n)
+
+        p1 = setup.env.spawn(workload(setup.aspace, setup.client, 20),
+                             name="w1", affinity=0)
+        p2 = setup.env.spawn(workload(aspace2, client2, 20), name="w2",
+                             affinity=1)
+        setup.env.run_until(p1.terminated, limit=500_000_000)
+        setup.env.run_until(p2.terminated, limit=500_000_000)
+        t1 = setup.service.scheduler.client_total(setup.client)
+        t2 = setup.service.scheduler.client_total(client2)
+        assert t1 == t2 == 20 * n
+
+
+class TestATCache:
+    def _aspace(self):
+        return AddressSpace(PhysicalMemory(256))
+
+    def test_miss_then_hit(self, params):
+        cache = ATCache(params)
+        aspace = self._aspace()
+        va = aspace.mmap(PAGE_SIZE * 4, populate=True)
+        c1, h1, m1 = cache.translation_cost(aspace, va, PAGE_SIZE * 4)
+        assert (h1, m1) == (0, 4)
+        assert c1 == 4 * params.page_translate_cycles
+        c2, h2, m2 = cache.translation_cost(aspace, va, PAGE_SIZE * 4)
+        assert (h2, m2) == (4, 0)
+        assert c2 == 4 * params.atcache_hit_cycles
+
+    def test_invalidation_on_mapping_change(self, params):
+        """The memory subsystem notifies ATCache on remap (§4.3)."""
+        cache = ATCache(params)
+        aspace = self._aspace()
+        va = aspace.mmap(PAGE_SIZE, populate=True)
+        cache.translation_cost(aspace, va, PAGE_SIZE)
+        # CoW break changes the frame: entry must be invalidated.
+        aspace.write(va, b"x")
+        child = aspace.fork()
+        cache.translation_cost(aspace, va, 1)  # re-arm (hit)
+        aspace.write(va, b"y")  # parent CoW-breaks -> invalidation hook
+        assert cache.invalidations >= 1
+        _c, h, m = cache.translation_cost(aspace, va, 1)
+        assert m == 1  # stale entry was dropped
+
+    def test_lru_eviction_at_capacity(self, params):
+        small = MachineParams(atcache_capacity=2)
+        cache = ATCache(small)
+        aspace = self._aspace()
+        va = aspace.mmap(PAGE_SIZE * 3, populate=True)
+        cache.translation_cost(aspace, va, 1)
+        cache.translation_cost(aspace, va + PAGE_SIZE, 1)
+        cache.translation_cost(aspace, va + 2 * PAGE_SIZE, 1)  # evicts page 0
+        _c, h, m = cache.translation_cost(aspace, va, 1)
+        assert m == 1
+
+    def test_hit_rate_accumulates(self, params):
+        cache = ATCache(params)
+        aspace = self._aspace()
+        va = aspace.mmap(PAGE_SIZE, populate=True)
+        cache.translation_cost(aspace, va, 1)
+        for _ in range(9):
+            cache.translation_cost(aspace, va, 1)
+        assert cache.hit_rate == pytest.approx(0.9)
+
+
+class TestPollingModes:
+    def test_scenario_mode_sleeps_until_begin(self):
+        """Scenario-driven threads stay asleep; submission alone does not
+        wake them (§4.5.1, §5.3)."""
+        setup = Setup(polling="scenario")
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(PAGE_SIZE, populate=True)
+        dst = aspace.mmap(PAGE_SIZE, populate=True)
+        aspace.write(src, b"phone")
+        state = {}
+
+        def app():
+            yield from client.amemcpy(dst, src, 5)
+            yield Timeout(2_000_000)
+            state["before"] = aspace.read(dst, 5)
+            setup.service.scenario_begin()
+            yield from client.csync(dst, 5)
+            state["after"] = aspace.read(dst, 5)
+
+        setup.run_process(app())
+        assert state["before"] == b"\x00" * 5  # slept: nothing copied
+        assert state["after"] == b"phone"
+
+    def test_scenario_mode_thread_sleeps_when_drained(self):
+        setup = Setup(polling="scenario")
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(PAGE_SIZE, populate=True)
+        dst = aspace.mmap(PAGE_SIZE, populate=True)
+
+        def app():
+            setup.service.scenario_begin()
+            yield from client.amemcpy(dst, src, 128)
+            yield from client.csync(dst, 128)
+            yield Timeout(10_000_000)  # long idle: thread should sleep
+
+        setup.run_process(app())
+        # The thread is blocked on its wake event, burning no cycles;
+        # the scenario stays active until scenario_end() (§5.3).
+        assert setup.service._wake_events
+        assert setup.service.scenario_active is True
+        setup.service.scenario_end()
+        assert setup.service.scenario_active is False
+
+    def test_napi_mode_polls_and_copies_unprompted(self):
+        setup = Setup(polling="napi")
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(PAGE_SIZE, populate=True)
+        dst = aspace.mmap(PAGE_SIZE, populate=True)
+        aspace.write(src, b"server")
+
+        def app():
+            yield from client.amemcpy(dst, src, 6)
+            yield Timeout(1_000_000)
+            return aspace.read(dst, 6)
+
+        assert setup.run_process(app()) == b"server"
+
+    def test_idle_napi_core_consumes_poll_cycles(self):
+        """Polling burns cycles on the dedicated core — the §4.6 cost."""
+        setup = Setup(polling="napi")
+
+        def app():
+            yield Timeout(1_000_000)
+
+        setup.run_process(app())
+        poll = setup.env.stats.total_cycles(tag="poll")
+        assert poll > 0

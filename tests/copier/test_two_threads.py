@@ -1,0 +1,78 @@
+"""Static multi-thread Copier service: correctness with n_threads=2."""
+
+import pytest
+
+from repro.copier import CopierService
+from repro.hw import MachineParams
+from repro.mem import AddressSpace, PhysicalMemory
+from repro.sim import Environment
+
+
+def _machine(n_threads):
+    env = Environment(n_cores=6)
+    service = CopierService(env, MachineParams(), n_threads=n_threads,
+                            dedicated_cores=[5, 4][:n_threads])
+    phys = PhysicalMemory(65536)
+    return env, service, phys
+
+
+def test_two_threads_serve_disjoint_clients_correctly():
+    env, service, phys = _machine(2)
+    results = {}
+    procs = []
+    for i in range(4):
+        aspace = AddressSpace(phys, name="c%d" % i)
+        client = service.create_client(aspace, name="c%d" % i)
+        n = 16 * 1024
+        src = aspace.mmap(n, populate=True)
+        dst = aspace.mmap(n, populate=True)
+        payload = bytes([i + 1]) * n
+        aspace.write(src, payload)
+
+        def gen(client=client, aspace=aspace, src=src, dst=dst, i=i, n=n,
+                payload=payload):
+            for _ in range(6):
+                yield from client.amemcpy(dst, src, n)
+                yield from client.csync(dst, n)
+            results[i] = aspace.read(dst, n) == payload
+
+        procs.append(env.spawn(gen(), affinity=i % 3))
+    for p in procs:
+        env.run_until(p.terminated, limit=500_000_000_000)
+    assert all(results[i] for i in range(4)), results
+
+
+def test_two_threads_faster_than_one_under_parallel_load():
+    def run(n_threads):
+        env, service, phys = _machine(n_threads)
+        procs = []
+        for i in range(4):
+            aspace = AddressSpace(phys, name="c%d" % i)
+            client = service.create_client(aspace, name="c%d" % i)
+            n = 128 * 1024
+            src = aspace.mmap(n, populate=True)
+            dst = aspace.mmap(n, populate=True)
+
+            def gen(client=client, src=src, dst=dst, n=n):
+                for _ in range(6):
+                    yield from client.amemcpy(dst, src, n)
+                    yield from client.csync(dst, n)
+
+            procs.append(env.spawn(gen(), affinity=i % 3))
+        for p in procs:
+            env.run_until(p.terminated, limit=500_000_000_000)
+        return env.now
+
+    one = run(1)
+    two = run(2)
+    assert two < one * 0.85
+
+
+def test_thread_client_partition_is_complete_and_disjoint():
+    env, service, phys = _machine(2)
+    clients = [service.create_client(AddressSpace(phys), name="c%d" % i)
+               for i in range(5)]
+    mine0 = service._my_clients(0)
+    mine1 = service._my_clients(1)
+    assert not (set(map(id, mine0)) & set(map(id, mine1)))
+    assert len(mine0) + len(mine1) == len(clients)

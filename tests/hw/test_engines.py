@@ -1,0 +1,216 @@
+"""Tests for copy-engine timing models and the DMA device."""
+
+import pytest
+
+from repro.hw import CacheModel, CopyTimingModel, DMAEngine, MachineParams, cpu_copy
+from repro.hw.dma import DMASubtask, is_contiguous
+from repro.mem import PAGE_SIZE, AddressSpace, PhysicalMemory
+from repro.sim import Environment, WaitEvent
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+@pytest.fixture
+def model(params):
+    return CopyTimingModel(params)
+
+
+class TestTimingModel:
+    def test_avx_faster_than_erms_everywhere(self, model):
+        for size in (256, 1024, 4096, 65536, 1 << 20):
+            assert model.cpu_throughput(size, "avx") > model.cpu_throughput(size, "erms")
+
+    def test_dma_slower_than_avx_for_small(self, model):
+        assert model.dma_throughput(1024) < model.cpu_throughput(1024, "avx")
+
+    def test_dma_beats_erms_at_4kb_scale(self, model):
+        """Fig. 7-a: DMA 'excels at large copies (≥4KB)'."""
+        crossover = model.crossover_size()
+        assert crossover is not None
+        assert 2048 <= crossover <= 16384
+
+    def test_warm_buffers_improve_cpu_throughput(self, model):
+        assert model.cpu_throughput(4096, "avx", warm=True) > model.cpu_throughput(
+            4096, "avx"
+        )
+
+    def test_atcache_improves_dma_throughput(self, model):
+        cold = model.dma_throughput(16384, pages_to_translate=8, atcache_hit_rate=0.0)
+        hot = model.dma_throughput(16384, pages_to_translate=8, atcache_hit_rate=0.75)
+        assert hot > cold
+
+    def test_throughput_monotone_in_size(self, model):
+        """Fixed costs amortize: throughput grows with copy size."""
+        sizes = [256, 1024, 4096, 16384, 65536]
+        for engine in ("avx", "erms"):
+            tps = [model.cpu_throughput(s, engine) for s in sizes]
+            assert tps == sorted(tps)
+        dma = [model.dma_throughput(s) for s in sizes]
+        assert dma == sorted(dma)
+
+    def test_unknown_engine_rejected(self, params):
+        with pytest.raises(ValueError):
+            params.cpu_copy_cycles(100, engine="quantum")
+
+
+class TestCpuCopy:
+    def test_moves_bytes_and_charges_cycles(self, params):
+        env = Environment(n_cores=1)
+        phys = PhysicalMemory(64)
+        aspace = AddressSpace(phys)
+        src = aspace.mmap(PAGE_SIZE, populate=True)
+        dst = aspace.mmap(PAGE_SIZE, populate=True)
+        aspace.write(src, b"abc123" * 10)
+
+        def proc():
+            yield from cpu_copy(params, aspace, src, aspace, dst, 60)
+
+        env.spawn(proc())
+        env.run()
+        assert aspace.read(dst, 60) == b"abc123" * 10
+        assert env.now == params.cpu_copy_cycles(60, engine="avx")
+
+    def test_cross_address_space_copy(self, params):
+        env = Environment(n_cores=1)
+        phys = PhysicalMemory(64)
+        a = AddressSpace(phys)
+        b = AddressSpace(phys)
+        src = a.mmap(PAGE_SIZE, populate=True)
+        dst = b.mmap(PAGE_SIZE, populate=True)
+        a.write(src, b"cross-as")
+
+        def proc():
+            yield from cpu_copy(params, a, src, b, dst, 8, engine="erms")
+
+        env.spawn(proc())
+        env.run()
+        assert b.read(dst, 8) == b"cross-as"
+
+    def test_zero_length_copy_free(self, params):
+        env = Environment(n_cores=1)
+        phys = PhysicalMemory(8)
+        aspace = AddressSpace(phys)
+        src = aspace.mmap(PAGE_SIZE)
+        dst = aspace.mmap(PAGE_SIZE)
+
+        def proc():
+            yield from cpu_copy(params, aspace, src, aspace, dst, 0)
+
+        env.spawn(proc())
+        env.run()
+        assert env.now == 0
+
+
+class TestDMA:
+    def _setup(self, contiguous=True):
+        env = Environment(n_cores=2)
+        params = MachineParams()
+        phys = PhysicalMemory(256, fragmented=not contiguous)
+        aspace = AddressSpace(phys)
+        dma = DMAEngine(env, params)
+        return env, params, phys, aspace, dma
+
+    def test_transfer_moves_bytes_off_cpu(self):
+        env, params, phys, aspace, dma = self._setup()
+        src = aspace.mmap(PAGE_SIZE * 2, populate=True, contiguous=True)
+        dst = aspace.mmap(PAGE_SIZE * 2, populate=True, contiguous=True)
+        payload = bytes(range(256)) * 32
+        aspace.write(src, payload)
+
+        def proc():
+            done = dma.submit([DMASubtask(aspace, src, aspace, dst, len(payload))])
+            yield WaitEvent(done)
+
+        env.spawn(proc())
+        env.run()
+        assert aspace.read(dst, len(payload)) == payload
+        # No CPU core consumed cycles for the transfer itself.
+        assert all(core.busy_cycles == 0 for core in env.cores.cores)
+        assert dma.busy_cycles == params.dma_transfer_cycles(len(payload))
+
+    def test_noncontiguous_source_rejected(self):
+        env, params, phys, aspace, dma = self._setup(contiguous=False)
+        src = aspace.mmap(PAGE_SIZE * 4, populate=True)
+        dst = aspace.mmap(PAGE_SIZE * 4, populate=True, contiguous=True)
+        assert not is_contiguous(aspace, src, PAGE_SIZE * 4)
+
+        def proc():
+            done = dma.submit([DMASubtask(aspace, src, aspace, dst, PAGE_SIZE * 4)])
+            yield WaitEvent(done)
+
+        env.spawn(proc())
+        with pytest.raises(RuntimeError, match="contiguous"):
+            env.run()
+
+    def test_batches_execute_fifo(self):
+        env, params, phys, aspace, dma = self._setup()
+        bufs = [aspace.mmap(PAGE_SIZE, populate=True) for _ in range(4)]
+        aspace.write(bufs[0], b"A" * 100)
+        aspace.write(bufs[2], b"B" * 100)
+        completion_order = []
+
+        def proc():
+            d1 = dma.submit(
+                [DMASubtask(aspace, bufs[0], aspace, bufs[1], 100,
+                            on_done=lambda s: completion_order.append("first"))]
+            )
+            d2 = dma.submit(
+                [DMASubtask(aspace, bufs[2], aspace, bufs[3], 100,
+                            on_done=lambda s: completion_order.append("second"))]
+            )
+            yield WaitEvent(d2)
+            assert d1.triggered
+
+        env.spawn(proc())
+        env.run()
+        assert completion_order == ["first", "second"]
+
+    def test_per_subtask_callback_fires_in_order(self):
+        env, params, phys, aspace, dma = self._setup()
+        src = aspace.mmap(PAGE_SIZE * 2, populate=True, contiguous=True)
+        dst = aspace.mmap(PAGE_SIZE * 2, populate=True, contiguous=True)
+        sizes = []
+
+        def proc():
+            done = dma.submit([
+                DMASubtask(aspace, src, aspace, dst, 1000,
+                           on_done=lambda s: sizes.append(s.nbytes)),
+                DMASubtask(aspace, src + 1000, aspace, dst + 1000, 2000,
+                           on_done=lambda s: sizes.append(s.nbytes)),
+            ])
+            yield WaitEvent(done)
+
+        env.spawn(proc())
+        env.run()
+        assert sizes == [1000, 2000]
+
+
+class TestCacheModel:
+    def test_pollution_raises_cpi(self, params):
+        cache = CacheModel(params)
+        assert cache.cpi_factor("p") == 1.0
+        cache.pollute("p", params.l1l2_bytes)
+        assert cache.cpi_factor("p") == pytest.approx(1.0 + params.pollution_cpi_penalty)
+
+    def test_pollution_saturates_at_one(self, params):
+        cache = CacheModel(params)
+        cache.pollute("p", params.l1l2_bytes * 100)
+        assert cache.pollution("p") == 1.0
+
+    def test_charge_inflates_and_decays(self, params):
+        cache = CacheModel(params)
+        cache.pollute("p", params.l1l2_bytes)
+        inflated = cache.charge("p", 10_000)
+        assert inflated > 10_000
+        # Enough compute fully re-warms the cache.
+        cache.charge("p", params.pollution_decay_bytes * 2)
+        assert cache.pollution("p") == 0.0
+        assert cache.charge("p", 10_000) == 10_000
+
+    def test_keys_are_independent(self, params):
+        cache = CacheModel(params)
+        cache.pollute("app", 1 << 20)
+        assert cache.cpi_factor("copier") == 1.0

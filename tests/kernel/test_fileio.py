@@ -1,0 +1,223 @@
+"""File I/O path tests: read(), sendfile(), splice (Table 1 rows)."""
+
+import pytest
+
+from repro.kernel import System
+from repro.kernel.fileio import FileObject, file_read, sendfile, splice_pages
+from repro.kernel.net import recv, socket_pair
+from repro.mem.phys import PAGE_SIZE
+
+
+def _mk(copier=False):
+    return System(n_cores=3, copier=copier, phys_frames=32768)
+
+
+def _run(system, proc, gen, limit=50_000_000_000):
+    p = proc.spawn(gen, affinity=0)
+    system.env.run_until(p.terminated, limit=limit)
+    return p.result
+
+
+class TestFileRead:
+    @pytest.mark.parametrize("mode,copier", [("sync", False),
+                                             ("copier", True)])
+    def test_read_roundtrip(self, mode, copier):
+        system = _mk(copier)
+        proc = system.create_process("reader")
+        data = bytes([i % 97 for i in range(20000)])
+        fobj = FileObject(system, data)
+        buf = proc.mmap(32768, populate=True)
+
+        def gen():
+            got = yield from file_read(system, proc, fobj, 0, buf, 20000,
+                                       mode=mode)
+            if mode == "copier":
+                yield from proc.client.csync(buf, got)
+            return proc.read(buf, got)
+
+        assert _run(system, proc, gen()) == data
+
+    def test_read_at_offset_and_eof(self):
+        system = _mk()
+        proc = system.create_process("reader")
+        fobj = FileObject(system, b"0123456789")
+        buf = proc.mmap(PAGE_SIZE, populate=True)
+
+        def gen():
+            got = yield from file_read(system, proc, fobj, 6, buf, 100)
+            return got, proc.read(buf, got)
+
+        got, data = _run(system, proc, gen())
+        assert (got, data) == (4, b"6789")
+
+    def test_copier_read_overlaps_decode(self):
+        """The PNG-decode pattern: read() returns immediately; decoding
+        the head overlaps the tail's copy."""
+        from repro.sim import Compute
+
+        results = {}
+        for mode, copier in (("sync", False), ("copier", True)):
+            system = _mk(copier)
+            proc = system.create_process("decoder")
+            n = 64 * 1024
+            fobj = FileObject(system, b"\x89PNG" * (n // 4))
+            buf = proc.mmap(n, populate=True)
+
+            def gen():
+                t0 = system.env.now
+                yield from file_read(system, proc, fobj, 0, buf, n,
+                                     mode=mode)
+                pos = 0
+                while pos < n:  # decode 4KB chunks at 1 cyc/B
+                    if mode == "copier":
+                        yield from proc.client.csync(buf + pos, 4096)
+                    yield Compute(4096)
+                    pos += 4096
+                return system.env.now - t0
+
+            results[mode] = _run(system, proc, gen())
+        assert results["copier"] < results["sync"]
+
+
+class TestSendfile:
+    def test_sendfile_delivers_without_user_copy(self):
+        system = _mk()
+        sender = system.create_process("web")
+        receiver = system.create_process("client")
+        a, b = socket_pair(system)
+        payload = b"static-asset" * 1000
+        fobj = FileObject(system, payload)
+        rx = receiver.mmap(1 << 20, populate=True)
+
+        def tx():
+            return (yield from sendfile(system, sender, fobj, 0, a,
+                                        len(payload)))
+
+        def rxg():
+            got = yield from recv(system, receiver, b, rx, 1 << 20)
+            return receiver.read(rx, got)
+
+        tp = sender.spawn(tx(), affinity=0)
+        rp = receiver.spawn(rxg(), affinity=1)
+        system.env.run_until(rp.terminated, limit=50_000_000_000)
+        assert rp.result == payload
+        assert tp.result == len(payload)
+        # No user-space copy happened: the sender never mapped the data.
+        assert system.env.stats.total_cycles(pid=tp.pid, tag="copy") > 0
+
+    def test_sendfile_cheaper_than_read_plus_send(self):
+        from repro.kernel.net import send
+
+        n = 64 * 1024
+
+        def with_sendfile():
+            system = _mk()
+            proc = system.create_process("p")
+            a, _b = socket_pair(system)
+            fobj = FileObject(system, b"x" * n)
+
+            def gen():
+                t0 = system.env.now
+                yield from sendfile(system, proc, fobj, 0, a, n)
+                return system.env.now - t0
+
+            return _run(system, proc, gen())
+
+        def with_read_send():
+            system = _mk()
+            proc = system.create_process("p")
+            a, _b = socket_pair(system)
+            fobj = FileObject(system, b"x" * n)
+            buf = proc.mmap(n, populate=True)
+
+            def gen():
+                t0 = system.env.now
+                yield from file_read(system, proc, fobj, 0, buf, n)
+                yield from send(system, proc, a, buf, n)
+                return system.env.now - t0
+
+            return _run(system, proc, gen())
+
+        assert with_sendfile() < with_read_send()
+
+
+class TestSplice:
+    def test_splice_moves_pages_without_copy(self):
+        system = _mk()
+        sender = system.create_process("p")
+        receiver = system.create_process("c")
+        a, b = socket_pair(system)
+        n = PAGE_SIZE * 16
+        payload = bytes(range(256)) * (n // 256)
+        fobj = FileObject(system, payload)
+        rx = receiver.mmap(1 << 20, populate=True)
+
+        def tx():
+            t0 = system.env.now
+            yield from splice_pages(system, sender, fobj, 0, a, n)
+            return system.env.now - t0
+
+        def rxg():
+            got = yield from recv(system, receiver, b, rx, 1 << 20)
+            return receiver.read(rx, got)
+
+        tp = sender.spawn(tx(), affinity=0)
+        rp = receiver.spawn(rxg(), affinity=1)
+        system.env.run_until(rp.terminated, limit=50_000_000_000)
+        assert rp.result == payload
+        # Sender-side cost is page bookkeeping, not a data copy.
+        assert tp.result < system.params.cpu_copy_cycles(n, engine="erms")
+
+    def test_splice_requires_alignment(self):
+        system = _mk()
+        proc = system.create_process("p")
+        a, _b = socket_pair(system)
+        fobj = FileObject(system, b"y" * PAGE_SIZE * 2)
+
+        def gen():
+            yield from splice_pages(system, proc, fobj, 100, a, PAGE_SIZE)
+
+        p = proc.spawn(gen(), affinity=0)
+        with pytest.raises(ValueError, match="aligned"):
+            system.env.run_until(p.terminated, limit=10_000_000_000)
+
+
+class TestFastmove:
+    def test_dma_copy_correct_and_blocking(self):
+        from repro.baselines.fastmove import Fastmove
+
+        system = _mk()
+        proc = system.create_process("nvm")
+        fm = Fastmove(system)
+        n = 64 * 1024
+        src = proc.mmap(n, populate=True, contiguous=True)
+        dst = proc.mmap(n, populate=True, contiguous=True)
+        proc.write(src, b"\xfa" * n)
+
+        def gen():
+            t0 = system.env.now
+            yield from fm.copy(proc, proc.aspace, src, proc.aspace, dst, n)
+            return system.env.now - t0
+
+        blocked = _run(system, proc, gen())
+        assert proc.read(dst, n) == b"\xfa" * n
+        # Blocking: the caller waited at least the DMA transfer time.
+        assert blocked >= system.params.dma_transfer_cycles(n)
+
+    def test_fastmove_loses_to_cpu_for_small_copies(self):
+        from repro.baselines.fastmove import Fastmove
+
+        system = _mk()
+        proc = system.create_process("p")
+        fm = Fastmove(system)
+        n = 1024
+        src = proc.mmap(n, populate=True, contiguous=True)
+        dst = proc.mmap(n, populate=True, contiguous=True)
+
+        def gen():
+            t0 = system.env.now
+            yield from fm.copy(proc, proc.aspace, src, proc.aspace, dst, n)
+            return system.env.now - t0
+
+        dma_time = _run(system, proc, gen())
+        assert dma_time > system.params.cpu_copy_cycles(n, engine="erms")

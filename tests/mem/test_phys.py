@@ -1,0 +1,106 @@
+"""Unit tests for physical memory and frame accounting."""
+
+import pytest
+
+from repro.mem import PAGE_SIZE, PhysicalMemory
+from repro.mem.phys import OutOfMemory
+
+
+def test_alloc_returns_zeroed_frame():
+    phys = PhysicalMemory(n_frames=8)
+    frame = phys.alloc_frame()
+    assert phys.read(frame, 0, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+
+
+def test_write_read_roundtrip():
+    phys = PhysicalMemory(n_frames=8)
+    frame = phys.alloc_frame()
+    phys.write(frame, 100, b"hello")
+    assert phys.read(frame, 100, 5) == b"hello"
+
+
+def test_write_outside_frame_rejected():
+    phys = PhysicalMemory(n_frames=8)
+    frame = phys.alloc_frame()
+    with pytest.raises(ValueError):
+        phys.write(frame, PAGE_SIZE - 2, b"abc")
+
+
+def test_out_of_memory():
+    phys = PhysicalMemory(n_frames=2)
+    phys.alloc_frame()
+    phys.alloc_frame()
+    with pytest.raises(OutOfMemory):
+        phys.alloc_frame()
+
+
+def test_free_returns_frame_to_pool():
+    phys = PhysicalMemory(n_frames=2)
+    f1 = phys.alloc_frame()
+    phys.alloc_frame()
+    phys.free_frame(f1)
+    assert phys.frames_free == 1
+    phys.alloc_frame()  # must not raise
+
+
+def test_double_free_rejected():
+    phys = PhysicalMemory(n_frames=4)
+    frame = phys.alloc_frame()
+    phys.free_frame(frame)
+    with pytest.raises(ValueError):
+        phys.free_frame(frame)
+
+
+def test_refcounting_shares_frame():
+    phys = PhysicalMemory(n_frames=4)
+    frame = phys.alloc_frame()
+    phys.share_frame(frame)
+    assert phys.refcount(frame) == 2
+    phys.free_frame(frame)
+    assert phys.refcount(frame) == 1
+    # Data survives while a reference remains.
+    phys.write(frame, 0, b"x")
+    assert phys.read(frame, 0, 1) == b"x"
+    phys.free_frame(frame)
+    assert phys.refcount(frame) == 0
+
+
+def test_contiguous_allocation_is_adjacent():
+    phys = PhysicalMemory(n_frames=32)
+    frames = phys.alloc_frames(4, contiguous=True)
+    assert frames == list(range(frames[0], frames[0] + 4))
+
+
+def test_contiguous_allocation_fails_when_fragmented():
+    phys = PhysicalMemory(n_frames=4)
+    kept = [phys.alloc_frame() for _ in range(4)]
+    phys.free_frame(kept[0])
+    phys.free_frame(kept[2])
+    with pytest.raises(OutOfMemory):
+        phys.alloc_frames(2, contiguous=True)
+
+
+def test_fragmented_allocator_breaks_contiguity():
+    phys = PhysicalMemory(n_frames=64, fragmented=True)
+    frames = [phys.alloc_frame() for _ in range(6)]
+    adjacent_pairs = sum(
+        1 for a, b in zip(frames, frames[1:]) if b == a + 1
+    )
+    assert adjacent_pairs < 5  # not a fully contiguous run
+
+
+def test_copy_frame_duplicates_contents():
+    phys = PhysicalMemory(n_frames=4)
+    a = phys.alloc_frame()
+    b = phys.alloc_frame()
+    phys.write(a, 10, b"payload")
+    phys.copy_frame(a, b)
+    assert phys.read(b, 10, 7) == b"payload"
+    # Copies are independent afterwards.
+    phys.write(a, 10, b"XXXXXXX")
+    assert phys.read(b, 10, 7) == b"payload"
+
+
+def test_paddr_layout():
+    phys = PhysicalMemory(n_frames=4)
+    assert phys.paddr(3, 5) == 3 * PAGE_SIZE + 5

@@ -1,0 +1,127 @@
+"""Tests for benchmark report utilities and app-protocol helpers."""
+
+import pytest
+
+from repro.apps.common import (
+    HEADER_LEN,
+    KEY_LEN,
+    LatencyRecorder,
+    decode_header,
+    encode_get,
+    encode_set,
+    percentile,
+)
+from repro.bench.report import ResultTable, improvement, size_label, speedup
+
+
+class TestImprovement:
+    def test_lower_is_better(self):
+        assert improvement(100, 50) == pytest.approx(0.5)
+        assert improvement(100, 120) == pytest.approx(-0.2)
+        assert improvement(0, 50) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10, 15) == pytest.approx(1.5)
+        assert speedup(0, 15) == 0.0
+
+
+class TestResultTable:
+    def test_renders_aligned_columns(self):
+        t = ResultTable("cap", ["name", "value"])
+        t.add("short", 1)
+        t.add("a-much-longer-name", 123456.0)
+        text = t.render()
+        assert "== cap ==" in text
+        lines = text.splitlines()
+        # caption + header + rule + 2 rows (plus a leading blank line).
+        assert len([l for l in lines if l.strip()]) == 5
+        # Columns align: the rule row is as wide as the widest cells.
+        header, rule = lines[2], lines[3]
+        assert len(header) == len(rule)
+
+    def test_row_width_mismatch_rejected(self):
+        t = ResultTable("cap", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_float_formatting(self):
+        t = ResultTable("cap", ["v"])
+        t.add(1.23456)
+        t.add(1234.5)
+        assert "1.235" in t.render()
+        assert "1234.5" in t.render()
+
+    def test_size_label(self):
+        assert size_label(512) == "512B"
+        assert size_label(4096) == "4KB"
+        assert size_label(2 << 20) == "2MB"
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        r = LatencyRecorder()
+        for v in range(1, 101):
+            r.record(v)
+        assert r.mean == pytest.approx(50.5)
+        assert r.p(50) == pytest.approx(50.5)
+        assert r.p99 == pytest.approx(99.01)
+
+    def test_empty_recorder(self):
+        r = LatencyRecorder()
+        assert r.mean == 0.0
+        assert r.p99 == 0.0
+        assert r.throughput(1000) == 0.0
+
+    def test_throughput(self):
+        r = LatencyRecorder()
+        r.record(1)
+        r.record(2)
+        # 2 requests in 2.9e9 cycles = 1 second -> 2 req/s.
+        assert r.throughput(2.9e9) == pytest.approx(2.0)
+
+    def test_percentile_single_sample(self):
+        assert percentile([42], 99) == 42
+
+
+class TestProtocol:
+    def test_set_header_roundtrip(self):
+        msg = encode_set(b"mykey", 12345)
+        op, key, value_len = decode_header(msg)
+        assert (op, key, value_len) == ("SET", b"mykey", 12345)
+        assert len(msg) == HEADER_LEN + KEY_LEN
+
+    def test_get_header_roundtrip(self):
+        msg = encode_get(b"k2")
+        op, key, value_len = decode_header(msg)
+        assert (op, key, value_len) == ("GET", b"k2", 0)
+
+    def test_key_padding_stripped(self):
+        msg = encode_set(b"a", 1)
+        _op, key, _n = decode_header(msg)
+        assert key == b"a"
+
+
+class TestEnergyModel:
+    def test_energy_counts_busy_and_idle(self):
+        from repro.sim import Compute, Environment
+        from repro.sim.stats import EnergyModel
+
+        env = Environment(n_cores=2)
+
+        def proc():
+            yield Compute(1000)
+
+        env.spawn(proc(), affinity=0)
+        env.run(until=2000)
+        model = EnergyModel(active_power=1.0, idle_power=0.1)
+        # Core 0: 1000 busy + 1000 idle; core 1: 2000 idle.
+        assert model.energy(env.cores) == pytest.approx(
+            1000 * 1.0 + 1000 * 0.1 + 2000 * 0.1)
+
+    def test_all_idle_machine(self):
+        from repro.sim import Environment
+        from repro.sim.stats import EnergyModel
+
+        env = Environment(n_cores=1)
+        env.run(until=500)
+        assert EnergyModel(idle_power=0.0).energy(env.cores) == 0.0

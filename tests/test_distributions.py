@@ -1,0 +1,59 @@
+"""Size-distribution sampler tests (§2.2 trace shapes)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.distributions import (
+    ALICLOUD_BLOCK,
+    TWITTER_CACHE,
+    SizeDistribution,
+)
+
+
+class TestSampler:
+    def test_sample_boundaries(self):
+        d = SizeDistribution([(100, 1), (200, 1)])
+        assert d.sample(0.0) == 100
+        assert d.sample(0.49) == 100
+        assert d.sample(0.51) == 200
+        assert d.sample(0.999) == 200
+
+    def test_sample_rejects_out_of_range(self):
+        d = SizeDistribution([(100, 1)])
+        with pytest.raises(ValueError):
+            d.sample(1.0)
+        with pytest.raises(ValueError):
+            d.sample(-0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SizeDistribution([])
+
+    def test_sequence_deterministic(self):
+        seq1 = TWITTER_CACHE.sequence(50, seed=7)
+        seq2 = TWITTER_CACHE.sequence(50, seed=7)
+        assert seq1 == seq2
+        assert TWITTER_CACHE.sequence(50, seed=8) != seq1
+
+    @settings(max_examples=40, deadline=None)
+    @given(u=st.floats(min_value=0.0, max_value=0.999999))
+    def test_property_samples_are_valid_sizes(self, u):
+        assert TWITTER_CACHE.sample(u) in TWITTER_CACHE.sizes
+        assert ALICLOUD_BLOCK.sample(u) in ALICLOUD_BLOCK.sizes
+
+
+class TestPaperShapes:
+    def test_twitter_mix_small_dominated(self):
+        """§2.2: 95.1 % of Twitter memcached requests are ≤10 KB."""
+        frac = TWITTER_CACHE.fraction_leq(10 * 1024)
+        assert frac == pytest.approx(0.951, abs=0.01)
+
+    def test_alicloud_mix(self):
+        """§2.2: 69.8 % of AliCloud block requests are ≤10 KB."""
+        frac = ALICLOUD_BLOCK.fraction_leq(10 * 1024)
+        assert frac == pytest.approx(0.698, abs=0.01)
+
+    def test_empirical_sequence_matches_cdf(self):
+        seq = TWITTER_CACHE.sequence(4000)
+        small = sum(1 for s in seq if s <= 10 * 1024) / len(seq)
+        assert 0.90 < small < 0.99

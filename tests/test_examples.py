@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are the advertised entry points; a refactor that silently breaks
+one should fail CI, not a reader.  Each main() runs in-process (they are
+all deterministic simulations printing a table).
+"""
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+#: The heavyweight sweeps run minutes; smoke-test the quick ones fully and
+#: the heavy ones via import only.
+RUN_FULLY = {"quickstart.py", "sanitizer_demo.py", "os_services.py",
+             "proxy_pipeline.py"}
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example(path):
+    module = _load(path)
+    assert module.__doc__, "examples must explain themselves"
+    assert hasattr(module, "main")
+    if path.name in RUN_FULLY:
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            module.main()
+        assert buf.getvalue().strip(), "examples must print their results"

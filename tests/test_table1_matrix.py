@@ -1,0 +1,160 @@
+"""Table 1: the capability matrix, checked against our implementations.
+
+Each row of the paper's comparison is an executable property here: the
+claimed capability (or limitation) of every system we implement must be
+observable in its behaviour.
+"""
+
+import pytest
+
+from repro.kernel import System
+from repro.mem.phys import PAGE_SIZE
+
+
+class TestCopierRow:
+    """Copier: no alignment req., cross-privilege, cross-address-space,
+    SIMD+DMA, non-blocking, absorbs copies."""
+
+    def test_no_alignment_requirement(self):
+        system = System(n_cores=3, copier=True, phys_frames=8192)
+        proc = system.create_process("p")
+        buf = proc.mmap(PAGE_SIZE * 2, populate=True)
+        proc.write(buf + 7, b"unaligned")
+
+        def gen():
+            yield from proc.client.amemcpy(buf + 4099, buf + 7, 9)
+            yield from proc.client.csync(buf + 4099, 9)
+            return proc.read(buf + 4099, 9)
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=10_000_000_000)
+        assert p.result == b"unaligned"
+
+    def test_cross_privilege_and_address_space(self):
+        from repro.copier.task import Region
+
+        system = System(n_cores=3, copier=True, phys_frames=8192)
+        proc = system.create_process("p")
+        kbuf = system.alloc_kernel_buffer(4096)
+        system.kernel_as.write(kbuf, b"kernel-data")
+        ubuf = proc.mmap(4096, populate=True)
+
+        def gen():
+            yield from proc.client.k_amemcpy(
+                Region(system.kernel_as, kbuf, 11),
+                Region(proc.aspace, ubuf, 11))
+            yield from proc.client.csync(ubuf, 11)
+            return proc.read(ubuf, 11)
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=10_000_000_000)
+        assert p.result == b"kernel-data"
+
+    def test_non_blocking_submission(self):
+        system = System(n_cores=3, copier=True, phys_frames=65536)
+        proc = system.create_process("p")
+        n = 256 * 1024
+        src = proc.mmap(n, populate=True)
+        dst = proc.mmap(n, populate=True)
+
+        def gen():
+            t0 = system.env.now
+            yield from proc.client.amemcpy(dst, src, n)
+            return system.env.now - t0
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=10_000_000_000)
+        # Submission cost is O(1), not O(n): far below the copy time.
+        assert p.result < system.params.cpu_copy_cycles(n, "avx") / 50
+
+    def test_multiple_replicas_supported(self):
+        """Unlike remap-based zero-copy, async copy makes real replicas."""
+        system = System(n_cores=3, copier=True, phys_frames=8192)
+        proc = system.create_process("p")
+        src = proc.mmap(4096, populate=True)
+        d1 = proc.mmap(4096, populate=True)
+        d2 = proc.mmap(4096, populate=True)
+        proc.write(src, b"replica")
+
+        def gen():
+            yield from proc.client.amemcpy(d1, src, 7)
+            yield from proc.client.amemcpy(d2, src, 7)
+            yield from proc.client.csync_all()
+            proc.write(d1, b"mutated")
+            return proc.read(d2, 7)
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=10_000_000_000)
+        assert p.result == b"replica"  # independent replicas
+
+
+class TestZeroCopySocketRow:
+    """MSG_ZEROCOPY: page-aligned only, blocking-free but with ownership
+    management (completion reaping)."""
+
+    def test_requires_alignment(self):
+        from repro.kernel.net import send, socket_pair
+
+        system = System(n_cores=2, copier=False, phys_frames=8192)
+        a, _b = socket_pair(system)
+        proc = system.create_process("p")
+        buf = proc.mmap(PAGE_SIZE * 4, populate=True)
+
+        def gen():
+            yield from send(system, proc, a, buf + 13, 4096,
+                            mode="zerocopy")
+
+        p = proc.spawn(gen(), affinity=0)
+        with pytest.raises(ValueError, match="aligned"):
+            system.env.run_until(p.terminated, limit=10_000_000_000)
+
+
+class TestZIORow:
+    """zIO: user-mode only, partial alignment, absorbs copies, cannot
+    optimize inter-boundary copies."""
+
+    def test_absorbs_untouched_copies(self):
+        from repro.baselines.zio import ZIO
+
+        system = System(n_cores=2, copier=False, phys_frames=16384)
+        proc = system.create_process("p")
+        zio = ZIO(system, proc)
+        n = 16 * 1024
+        a = proc.mmap(n, populate=True)
+        b = proc.mmap(n, populate=True)
+
+        def gen():
+            yield from zio.copy(b, a, n)
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=10_000_000_000)
+        assert zio.stats["indirect"] == 1  # never materialized
+
+    def test_small_copies_fall_through(self):
+        from repro.baselines.zio import ZIO
+
+        system = System(n_cores=2, copier=False, phys_frames=8192)
+        proc = system.create_process("p")
+        zio = ZIO(system, proc)
+        a = proc.mmap(4096, populate=True)
+        b = proc.mmap(4096, populate=True)
+
+        def gen():
+            yield from zio.copy(b, a, 1024)  # below the 4KB threshold
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=10_000_000_000)
+        assert zio.stats["sync"] == 1
+
+
+class TestKernelMemcpyRow:
+    """K-mode memcpy: ERMS (no SIMD state cost), blocking."""
+
+    def test_kernel_uses_erms_not_avx(self):
+        # The kernel rate is the ERMS rate — SIMD state saves are the
+        # reason (modeled by MachineParams.simd_state_cycles).
+        params = System(n_cores=1, copier=False).params
+        kernel = params.cpu_copy_cycles(65536, engine="erms")
+        user = params.cpu_copy_cycles(65536, engine="avx")
+        assert kernel > user
+        assert params.simd_state_cycles > 10 * params.erms_startup_cycles

@@ -1,0 +1,107 @@
+"""CsyncCoalescingPass tests: dropping and merging redundant csyncs."""
+
+import pytest
+
+from repro.tools.copiergen import (
+    CsyncCoalescingPass,
+    Program,
+    port_program,
+)
+from repro.tools.copiergen.ir import op
+
+
+def _coalesce(ops):
+    return CsyncCoalescingPass().run(Program(ops)).ops
+
+
+class TestDropRedundant:
+    def test_second_identical_csync_dropped(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 128),
+            op("load", "x", ("B", 0), 8),
+            op("csync", ("B", 0), 128),
+            op("load", "y", ("B", 8), 8),
+        ])
+        assert [o[0] for o in ops] == ["csync", "load", "load"]
+
+    def test_subrange_csync_dropped(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 4096),
+            op("csync", ("B", 1024), 512),
+        ])
+        assert len(ops) == 1
+
+    def test_new_amemcpy_invalidates_coverage(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 128),
+            op("amemcpy", ("B", 0), ("A", 0), 128),
+            op("csync", ("B", 0), 128),
+        ])
+        # The second csync is needed again after the new copy.
+        assert [o[0] for o in ops] == ["csync", "amemcpy", "csync"]
+
+    def test_unrelated_buffer_untouched(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 128),
+            op("csync", ("C", 0), 128),
+        ])
+        assert len(ops) == 2
+
+
+class TestMergeAdjacent:
+    def test_forward_adjacent_merge(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 1024),
+            op("csync", ("B", 1024), 1024),
+        ])
+        assert ops == [("csync", ("B", 0), 2048)]
+
+    def test_backward_adjacent_merge(self):
+        ops = _coalesce([
+            op("csync", ("B", 1024), 1024),
+            op("csync", ("B", 0), 1024),
+        ])
+        assert ops == [("csync", ("B", 0), 2048)]
+
+    def test_non_adjacent_not_merged(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 512),
+            op("csync", ("B", 1024), 512),
+        ])
+        assert len(ops) == 2
+
+    def test_merge_chain(self):
+        ops = _coalesce([
+            op("csync", ("B", 0), 256),
+            op("csync", ("B", 256), 256),
+            op("csync", ("B", 512), 256),
+        ])
+        assert ops == [("csync", ("B", 0), 768)]
+
+
+class TestEndToEnd:
+    def test_port_program_drops_repeated_syncs(self):
+        """Re-reading an already-synced range inserts no second csync,
+        while progressive reads keep their per-chunk csyncs (the pipeline
+        is preserved — earlier merging would reduce copy-use overlap)."""
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 4096),
+            op("load", "a", ("B", 0), 1024),
+            op("load", "a2", ("B", 0), 1024),      # same range again
+            op("load", "b", ("B", 1024), 1024),
+            op("load", "b2", ("B", 512), 1024),    # straddles synced data
+        ])
+        ported = port_program(prog)
+        csyncs = [o for o in ported if o[0] == "csync"]
+        # One csync per newly-needed range: (0,1024) and (1024,1024); the
+        # repeat and the straddle are fully covered.
+        assert len(csyncs) == 2
+
+    def test_coalescing_optional(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 2048),
+            op("load", "a", ("B", 0), 1024),
+            op("load", "b", ("B", 1024), 1024),
+        ])
+        raw = port_program(prog, coalesce=False)
+        assert len([o for o in raw if o[0] == "csync"]) == 2

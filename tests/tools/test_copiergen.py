@@ -1,0 +1,146 @@
+"""CopierGen tests: the csync-insertion pass and its validation (§5.1.3)."""
+
+import pytest
+
+from repro.kernel import System
+from repro.tools.copiergen import Interpreter, Program, port_program
+from repro.tools.copiergen.ir import op, validate
+
+
+class TestPass:
+    def test_memcpy_becomes_amemcpy(self):
+        prog = Program([op("memcpy", ("B", 0), ("A", 0), 128)])
+        ported = port_program(prog)
+        assert ported.ops[0][0] == "amemcpy"
+
+    def test_csync_inserted_before_load_of_dst(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 128),
+            op("load", "x", ("B", 0), 8),
+        ])
+        ported = port_program(prog)
+        kinds = [o[0] for o in ported]
+        assert kinds == ["amemcpy", "csync", "load"]
+        _k, addr, n = ported.ops[1]
+        assert addr == ("B", 0) and n == 8
+
+    def test_csync_narrowed_to_touched_range(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 4096),
+            op("load", "x", ("B", 1024), 64),
+        ])
+        ported = port_program(prog)
+        _k, addr, n = ported.ops[1]
+        assert addr == ("B", 1024)
+        assert n == 64
+
+    def test_no_csync_for_unrelated_access(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 128),
+            op("load", "x", ("C", 0), 8),
+        ])
+        ported = port_program(prog)
+        assert [o[0] for o in ported] == ["amemcpy", "load"]
+
+    def test_csync_before_store_to_src(self):
+        """Guideline 1: sync before writing sources — via the dst address."""
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 128),
+            op("store", ("A", 32), 8),
+        ])
+        ported = port_program(prog)
+        kinds = [o[0] for o in ported]
+        assert kinds == ["amemcpy", "csync", "store"]
+        _k, addr, n = ported.ops[1]
+        assert addr == ("B", 32)  # synced through the destination
+        assert n == 8
+
+    def test_csync_before_free_and_external_call(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 64),
+            op("call_ext", ("B", 0), 64),
+            op("memcpy", ("D", 0), ("C", 0), 64),
+            op("free", ("C", 0), 64),
+        ])
+        ported = port_program(prog)
+        kinds = [o[0] for o in ported]
+        assert kinds == ["amemcpy", "csync", "call_ext",
+                         "amemcpy", "csync", "free"]
+
+    def test_csync_before_publish(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 64),
+            op("publish", ("B", 0), 64),
+        ])
+        ported = port_program(prog)
+        assert [o[0] for o in ported] == ["amemcpy", "csync", "publish"]
+
+    def test_chained_copies_no_intermediate_csync(self):
+        """amemcpy is not an access: chains rely on dependency tracking."""
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 64),
+            op("memcpy", ("C", 0), ("B", 0), 64),
+            op("load", "x", ("C", 0), 64),
+        ])
+        ported = port_program(prog)
+        assert [o[0] for o in ported] == ["amemcpy", "amemcpy", "csync",
+                                          "load"]
+
+    def test_compute_ops_untouched(self):
+        prog = Program([op("compute", 1000)])
+        assert port_program(prog).ops == prog.ops
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate(Program([op("jump", 3)]))
+
+
+class TestValidation:
+    """Execute original vs ported programs and compare final buffers —
+    CopierGen's correctness criterion on 'basic cases like arrays'."""
+
+    def _run(self, program, mode):
+        system = System(n_cores=3, copier=(mode == "async"),
+                        phys_frames=16384)
+        proc = system.create_process("ir-app")
+        buffers = {}
+        for base in ("A", "B", "C", "D"):
+            va = proc.mmap(8192, populate=True)
+            buffers[base] = (va, 8192)
+        proc.write(buffers["A"][0], bytes(range(256)) * 32)
+        interp = Interpreter(system, proc, buffers)
+
+        def gen():
+            yield from interp.run(program)
+            if mode == "async":
+                yield from proc.client.csync_all()
+
+        p = proc.spawn(gen(), affinity=0)
+        system.env.run_until(p.terminated, limit=5_000_000_000)
+        final = {base: proc.read(va, ln)
+                 for base, (va, ln) in buffers.items()}
+        return interp, final
+
+    def test_ported_program_equivalent(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 4096),
+            op("compute", 2000),
+            op("load", "x", ("B", 100), 16),
+            op("memcpy", ("C", 0), ("B", 0), 4096),
+            op("load", "y", ("C", 4000), 8),
+        ])
+        sync_interp, sync_final = self._run(prog, "sync")
+        async_interp, async_final = self._run(port_program(prog), "async")
+        assert sync_final == async_final
+        assert sync_interp.loads == async_interp.loads
+
+    def test_ported_store_then_copy_equivalent(self):
+        prog = Program([
+            op("memcpy", ("B", 0), ("A", 0), 2048),
+            op("store", ("A", 10), 64),
+            op("memcpy", ("C", 0), ("A", 0), 2048),
+            op("load", "z", ("C", 10), 4),
+        ])
+        _si, sync_final = self._run(prog, "sync")
+        _ai, async_final = self._run(port_program(prog), "async")
+        assert sync_final == async_final

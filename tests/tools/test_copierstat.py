@@ -1,0 +1,80 @@
+"""CopierStat introspection tests."""
+
+import pytest
+
+from repro.tools.copierstat import report, snapshot
+from tests.copier.conftest import Setup
+
+
+def _run_some_work(setup):
+    aspace, client = setup.aspace, setup.client
+    src = aspace.mmap(16 * 1024, populate=True)
+    dst = aspace.mmap(16 * 1024, populate=True)
+
+    def gen():
+        for _ in range(3):
+            yield from client.amemcpy(dst, src, 16 * 1024)
+            yield from client.csync(dst, 16 * 1024)
+
+    setup.run_process(gen())
+    return src, dst
+
+
+def test_snapshot_counts_match_client_stats():
+    setup = Setup()
+    _run_some_work(setup)
+    snap = snapshot(setup.service)
+    client_snap = snap["clients"]["app"]
+    assert client_snap["submitted"] == 3
+    assert client_snap["completed"] == 3
+    assert client_snap["bytes_copied"] == 3 * 16 * 1024
+    assert client_snap["pending_tasks"] == 0
+    assert snap["now"] == setup.env.now
+
+
+def test_snapshot_reflects_dispatcher_and_dma():
+    setup = Setup(n_frames=8192)
+    aspace, client = setup.aspace, setup.client
+    n = 256 * 1024
+    src = aspace.mmap(n, populate=True, contiguous=True)
+    dst = aspace.mmap(n, populate=True, contiguous=True)
+
+    def gen():
+        yield from client.amemcpy(dst, src, n)
+        yield from client.csync(dst, n)
+
+    setup.run_process(gen())
+    snap = snapshot(setup.service)
+    assert snap["dma"]["bytes_copied"] > 0
+    assert snap["dispatcher"]["bytes_to_avx"] > 0
+    assert snap["atcache"]["hits"] + snap["atcache"]["misses"] > 0
+
+
+def test_report_renders_key_lines():
+    setup = Setup()
+    _run_some_work(setup)
+    text = report(setup.service)
+    assert "CopierStat @ cycle" in text
+    assert "dispatcher:" in text
+    assert "atcache:" in text
+    assert "client app" in text
+    assert "cgroup root" in text
+
+
+def test_snapshot_shows_queue_backlog():
+    setup = Setup()
+    # Stall the service, then submit without letting it drain.
+    setup.service.polling = "scenario"
+    setup.service.scenario_active = False
+    aspace, client = setup.aspace, setup.client
+    src = aspace.mmap(4096, populate=True)
+    dst = aspace.mmap(4096, populate=True)
+
+    def gen():
+        for _ in range(4):
+            yield from client.amemcpy(dst, src, 512)
+
+    setup.run_process(gen())
+    snap = snapshot(setup.service)
+    assert snap["clients"]["app"]["queues"]["u_copy"] == 4
+    assert "uC=4" in report(setup.service)

@@ -1,0 +1,111 @@
+"""CopierSanitizer tests (§5.1.2)."""
+
+import pytest
+
+from repro.tools.sanitizer import CopierSanitizer, SanitizerViolation
+
+
+@pytest.fixture
+def san():
+    return CopierSanitizer()
+
+
+class TestShadowRules:
+    def test_read_of_unsynced_dst_reported(self, san):
+        san.on_amemcpy(dst=0x1000, src=0x2000, length=256)
+        san.read(0x1000, 8)
+        assert len(san.reports) == 1
+        assert san.reports[0].kind == "read"
+
+    def test_read_after_csync_is_clean(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 256)
+        san.on_csync(0x1000, 256)
+        san.read(0x1000, 256)
+        assert not san.reports
+
+    def test_partial_csync_partial_legal(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 256)
+        san.on_csync(0x1000, 128)
+        san.read(0x1000, 128)       # fine
+        san.read(0x1080, 1)         # still poisoned
+        assert len(san.reports) == 1
+
+    def test_read_of_source_is_legal(self, san):
+        """Sources may be read before csync — only writes race the copy."""
+        san.on_amemcpy(0x1000, 0x2000, 256)
+        san.read(0x2000, 256)
+        assert not san.reports
+
+    def test_write_to_source_reported(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 256)
+        san.write(0x2000, 4)
+        assert len(san.reports) == 1
+        assert san.reports[0].kind == "write"
+
+    def test_free_of_source_reported(self, san):
+        """The Fig. 4 copyUse() bug: free(src) without csync."""
+        san.on_amemcpy(0x1000, 0x2000, 256)
+        san.free(0x2000, 256)
+        assert len(san.reports) == 1
+        assert san.reports[0].kind == "free"
+
+    def test_free_after_csync_is_clean(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 256)
+        san.on_csync(0x1000, 256)
+        san.release_source(0x2000, 256)
+        san.free(0x2000, 256)
+        assert not san.reports
+
+    def test_strict_mode_raises(self):
+        san = CopierSanitizer(strict=True)
+        san.on_amemcpy(0x1000, 0x2000, 64)
+        with pytest.raises(SanitizerViolation, match="missing csync"):
+            san.read(0x1000, 1)
+
+    def test_csync_all_clears_everything(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 64)
+        san.on_amemcpy(0x5000, 0x6000, 64)
+        san.on_csync_all()
+        san.read(0x1000, 64)
+        san.write(0x6000, 64)
+        assert not san.reports
+
+    def test_unrelated_access_clean(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 64)
+        san.read(0x9000, 128)
+        san.write(0x9000, 128)
+        assert not san.reports
+
+    def test_overlapping_amemcpys_accumulate(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 64)
+        san.on_amemcpy(0x1020, 0x3000, 64)
+        san.on_csync(0x1000, 64)
+        san.read(0x1050, 1)  # second copy's tail still poisoned
+        assert len(san.reports) == 1
+
+    def test_summary_strings(self, san):
+        san.on_amemcpy(0x1000, 0x2000, 64)
+        san.read(0x1000, 1)
+        assert "missing csync" in san.summary()[0]
+
+
+class TestShadowMapInternals:
+    def test_poison_coalesces_adjacent(self):
+        from repro.tools.sanitizer import _ShadowMap
+
+        sm = _ShadowMap()
+        sm.poison(0, 10)
+        sm.poison(10, 10)
+        assert sm.overlap(5, 10) is not None
+        assert sm.poisoned_bytes == 20
+
+    def test_unpoison_splits_range(self):
+        from repro.tools.sanitizer import _ShadowMap
+
+        sm = _ShadowMap()
+        sm.poison(0, 100)
+        sm.unpoison(40, 20)
+        assert sm.overlap(40, 20) is None
+        assert sm.overlap(0, 40) is not None
+        assert sm.overlap(60, 40) is not None
+        assert sm.poisoned_bytes == 80

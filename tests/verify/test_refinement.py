@@ -1,0 +1,153 @@
+"""Bounded model check of the Appendix A refinement theorem."""
+
+import pytest
+
+from repro.verify import AsyncMachine, SyncMachine, Thread, check_refinement
+from repro.verify.checker import explore
+
+
+def _mem(*cells):
+    """cells: (addr, value) pairs."""
+    return dict(cells)
+
+
+def _programs(sync_threads):
+    """Transform per Appendix A: amemcpy replaces memcpy; csync is already
+    placed in the input (tests pass guideline-compliant programs)."""
+    async_threads = []
+    for t in sync_threads:
+        ops = []
+        for ins in t.instructions:
+            if ins[0] == "memcpy":
+                ops.append(("amemcpy",) + ins[1:])
+            else:
+                ops.append(ins)
+        async_threads.append(Thread(ops))
+    return async_threads
+
+
+def _check(memory, sync_threads, max_states=500_000):
+    sync = SyncMachine(memory, sync_threads)
+    asyncm = AsyncMachine(memory, _programs(sync_threads))
+    ok, s_out, a_out, rogue = check_refinement(sync, asyncm, max_states)
+    return ok, s_out, a_out, rogue
+
+
+class TestSingleThread:
+    def test_copy_then_synced_read_refines(self):
+        threads = [Thread([
+            ("memcpy", 100, 0, 3),
+            ("csync", 100, 3),
+            ("read", 100, "r0"),
+        ])]
+        ok, s, a, rogue = _check(_mem((0, 7), (1, 8), (2, 9)), threads)
+        assert ok, rogue
+        # And the read observed the copied value in every async outcome.
+        for outcome in a:
+            regs = outcome[1]
+            assert dict(regs[0])["r0"] == 7
+
+    def test_copy_use_pipeline_prefix_sync(self):
+        threads = [Thread([
+            ("memcpy", 100, 0, 4),
+            ("csync", 100, 2),      # only the prefix
+            ("read", 100, "a"),
+            ("read", 101, "b"),
+            ("csync", 102, 2),
+            ("read", 103, "c"),
+        ])]
+        ok, _s, _a, rogue = _check(
+            _mem((0, 1), (1, 2), (2, 3), (3, 4)), threads)
+        assert ok, rogue
+
+    def test_handler_free_matches_sync_free(self):
+        """The Fig. 4 copyUse pattern: free delegated to a handler."""
+        threads = [Thread([
+            ("memcpy", 100, 0, 2, ("free", 0, 2)),
+            ("csync", 100, 2),
+            ("read", 100, "v"),
+        ])]
+        sync_threads = [Thread([
+            ("memcpy", 100, 0, 2),
+            ("free", 0, 2),
+            ("csync", 100, 2),
+            ("read", 100, "v"),
+        ])]
+        sync = SyncMachine(_mem((0, 5), (1, 6)), sync_threads)
+        asyncm = AsyncMachine(_mem((0, 5), (1, 6)), _programs(threads))
+        ok, _s, _a, rogue = check_refinement(sync, asyncm)
+        assert ok, rogue
+
+    def test_missing_csync_is_caught(self):
+        """Without csync the async program CAN read stale data — the
+        refinement check must expose it (this is the bug CopierSanitizer
+        exists to find)."""
+        buggy = [Thread([
+            ("memcpy", 100, 0, 1),
+            ("read", 100, "r0"),      # no csync!
+        ])]
+        sync = SyncMachine(_mem((0, 42), (100, 99)), buggy)
+        asyncm = AsyncMachine(_mem((0, 42), (100, 99)), _programs(buggy))
+        ok, _s, a_out, rogue = check_refinement(sync, asyncm)
+        assert not ok
+        # The rogue outcome reads the stale 99.
+        assert any(dict(o[1][0]).get("r0") == 99 for o in rogue)
+
+
+class TestMultiThread:
+    def test_two_threads_disjoint_copies_refine(self):
+        threads = [
+            Thread([("memcpy", 100, 0, 2), ("csync", 100, 2),
+                    ("read", 100, "x")]),
+            Thread([("memcpy", 200, 10, 2), ("csync", 200, 2),
+                    ("read", 201, "y")]),
+        ]
+        ok, _s, _a, rogue = _check(
+            _mem((0, 1), (1, 2), (10, 3), (11, 4)), threads)
+        assert ok, rogue
+
+    def test_visibility_via_csync_before_publish(self):
+        """Guideline 4: csync before making the range visible to another
+        thread (modeled: the observer reads after a flag write that the
+        writer orders after csync)."""
+        threads = [
+            Thread([("memcpy", 100, 0, 1),
+                    ("csync", 100, 1),
+                    ("write", 500, 1)]),      # publish flag
+            Thread([("read", 500, "flag"),
+                    ("read", 100, "data")]),
+        ]
+        ok, s_out, a_out, rogue = _check(_mem((0, 77), (100, 0), (500, 0)),
+                                         threads)
+        assert ok, rogue
+        # Whenever the flag was observed set, the data was the copied one.
+        for outcome in a_out:
+            regs = dict(outcome[1][1])
+            if regs.get("flag") == 1:
+                assert regs.get("data") == 77
+
+    def test_overlapping_writer_with_guideline_sync(self):
+        """A concurrent writer to the destination region syncs first."""
+        threads = [
+            Thread([("memcpy", 100, 0, 2), ("csync", 100, 2),
+                    ("read", 100, "x")]),
+            Thread([("csync", 100, 2), ("write", 100, 9)]),
+        ]
+        ok, _s, _a, rogue = _check(_mem((0, 1), (1, 2), (100, 0)), threads)
+        assert ok, rogue
+
+
+class TestExplorer:
+    def test_sync_machine_explores_interleavings(self):
+        threads = [
+            Thread([("write", 0, 1)]),
+            Thread([("read", 0, "r")]),
+        ]
+        outcomes = explore(SyncMachine(_mem((0, 0)), threads))
+        reads = {dict(o[1][1]).get("r") for o in outcomes}
+        assert reads == {0, 1}
+
+    def test_budget_exceeded_raises(self):
+        threads = [Thread([("memcpy", 100, 0, 4)]) for _ in range(3)]
+        with pytest.raises(RuntimeError, match="budget"):
+            explore(SyncMachine(_mem((0, 1)), threads), max_states=10)

@@ -1,0 +1,108 @@
+"""Deeper refinement scenarios: three threads, chained copies, pipelines."""
+
+import pytest
+
+from repro.verify import AsyncMachine, SyncMachine, Thread, check_refinement
+
+
+def _programs(sync_threads):
+    async_threads = []
+    for t in sync_threads:
+        ops = []
+        for ins in t.instructions:
+            if ins[0] == "memcpy":
+                ops.append(("amemcpy",) + ins[1:])
+            else:
+                ops.append(ins)
+        async_threads.append(Thread(ops))
+    return async_threads
+
+
+def _check(memory, sync_threads, max_states=1_500_000):
+    sync = SyncMachine(dict(memory), sync_threads)
+    asyncm = AsyncMachine(dict(memory), _programs(sync_threads))
+    return check_refinement(sync, asyncm, max_states)
+
+
+def test_chained_copies_with_final_sync():
+    """A -> B -> C chain, csync only at the end (dependency tracking
+    carries the intermediate order)."""
+    threads = [Thread([
+        ("memcpy", 10, 0, 2),
+        ("csync", 10, 2),        # guideline: sync B before it feeds C
+        ("memcpy", 20, 10, 2),
+        ("csync", 20, 2),
+        ("read", 20, "r0"),
+        ("read", 21, "r1"),
+    ])]
+    ok, _s, a_out, rogue = _check({0: 5, 1: 6}, threads)
+    assert ok, rogue
+    for outcome in a_out:
+        regs = dict(outcome[1][0])
+        assert (regs["r0"], regs["r1"]) == (5, 6)
+
+
+def test_three_threads_pipeline():
+    """Producer copies, relay copies onward, consumer reads — all three
+    synchronize through csync + flag writes."""
+    threads = [
+        Thread([("memcpy", 10, 0, 1), ("csync", 10, 1),
+                ("write", 100, 1)]),
+        Thread([("read", 100, "f1"), ("csync", 10, 1),
+                ("memcpy", 20, 10, 1), ("csync", 20, 1),
+                ("write", 101, 1)]),
+        Thread([("read", 101, "f2"), ("read", 20, "v")]),
+    ]
+    ok, _s, a_out, rogue = _check({0: 9, 10: 0, 20: 0, 100: 0, 101: 0},
+                                  threads)
+    assert ok, rogue
+    # The model has no control flow, so a stage may run "too early" and
+    # legitimately relay stale data (same as sync).  But when every stage
+    # observed its predecessor's flag, the pipelined value must arrive.
+    for outcome in a_out:
+        relay_regs = dict(outcome[1][1])
+        consumer_regs = dict(outcome[1][2])
+        if relay_regs.get("f1") == 1 and consumer_regs.get("f2") == 1:
+            assert consumer_regs.get("v") == 9
+
+
+def test_partial_csync_read_of_unsynced_tail_is_rogue():
+    """Syncing only the head but reading the tail is a bug the checker
+    must flag (the CopierSanitizer counterpart in the model)."""
+    buggy = [Thread([
+        ("memcpy", 10, 0, 2),
+        ("csync", 10, 1),        # only byte 0
+        ("read", 11, "tail"),    # BUG: byte 1 unsynced
+    ])]
+    sync = SyncMachine({0: 3, 1: 4, 10: 0, 11: 0}, buggy)
+    asyncm = AsyncMachine({0: 3, 1: 4, 10: 0, 11: 0}, _programs(buggy))
+    ok, _s, _a, rogue = check_refinement(sync, asyncm)
+    assert not ok
+    assert any(dict(o[1][0]).get("tail") == 0 for o in rogue)
+
+
+def test_interleaved_writers_to_distinct_cells():
+    threads = [
+        Thread([("memcpy", 10, 0, 1), ("csync", 10, 1),
+                ("read", 10, "a")]),
+        Thread([("write", 50, 7), ("read", 50, "b")]),
+    ]
+    ok, _s, _a, rogue = _check({0: 2, 10: 0, 50: 0}, threads)
+    assert ok, rogue
+
+
+def test_two_copies_same_destination_ordered():
+    """WAW through the model: the later copy's data must win, in every
+    interleaving, matching sync semantics."""
+    threads = [Thread([
+        ("memcpy", 10, 0, 1),
+        ("memcpy", 10, 1, 1),
+        ("csync", 10, 1),
+        ("read", 10, "r"),
+    ])]
+    ok, _s, a_out, rogue = _check({0: 11, 1: 22, 10: 0}, threads)
+    assert ok, rogue
+    # The value-pair ids resolve the race: the later copy (larger id)
+    # always wins after csync.
+    for outcome in a_out:
+        assert dict(outcome[1][0])["r"] == 22
