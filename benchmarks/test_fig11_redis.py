@@ -10,19 +10,23 @@ helps small requests; zero-copy send needs >=32 KB.
 import pytest
 
 from repro.apps.rediskv import run_benchmark
-from repro.bench.report import ResultTable, improvement, size_label, speedup
+from repro.bench.report import (ResultTable, improvement, size_label,
+                                speedup, stage_breakdown_table)
 from repro.kernel import System
+from repro.tools import copierstat
 
 SIZES = [4096, 16384, 65536]
 N_REQ = 12
 N_CLIENTS = 4
 
 
-def _run(mode, op, value_len):
+def _run(mode, op, value_len, stats_out=None):
     system = System(n_cores=4, copier=(mode == "copier"),
                     phys_frames=262144)
     _server, merged, elapsed = run_benchmark(
         system, mode, op, value_len, n_requests=N_REQ, n_clients=N_CLIENTS)
+    if stats_out is not None and system.copier is not None:
+        stats_out.append(system.copier.stats_snapshot())
     return merged.mean, merged.p99, merged.count / elapsed
 
 
@@ -30,14 +34,16 @@ def _run(mode, op, value_len):
 def test_fig11_redis(once, op):
     def run():
         rows = []
+        snaps = []
         for size in SIZES:
             data = {}
             for mode in ("sync", "copier", "zio", "ub"):
-                data[mode] = _run(mode, op, size)
+                out = snaps if size == SIZES[-1] else None
+                data[mode] = _run(mode, op, size, stats_out=out)
             rows.append((size, data))
-        return rows
+        return rows, snaps[-1]
 
-    rows = once(run)
+    rows, copier_snap = once(run)
     table = ResultTable(
         "Fig 11 Redis %s: mean latency (cycles) [paper: Copier "
         "-2.7..-43.4%% SET / -4.2..-42.5%% GET]" % op,
@@ -52,6 +58,17 @@ def test_fig11_redis(once, op):
                   "%+.1f%%" % (-improvement(base_p99, cop_p99) * 100),
                   "%+.1f%%" % ((speedup(base_tput, cop_tput) - 1) * 100))
     table.show()
+
+    # Per-stage latency breakdown for the Copier run at the largest size,
+    # sourced from the trace bus (submit -> ingest -> execute -> complete).
+    stages = copier_snap["stages"]
+    stage_breakdown_table(
+        stages, "Fig 11 Redis %s @ %s: copy-path stage latency"
+        % (op, size_label(SIZES[-1]))).show()
+    breakdown = copierstat.render_stages(stages)
+    assert any("submit→complete" in line for line in breakdown)
+    assert stages["stages"]["submit_to_complete"]["count"] > 0
+    assert stages["outcomes"].get("done", 0) > 0
 
     for size, data in rows:
         base_mean, base_p99, base_tput = data["sync"]

@@ -50,6 +50,24 @@ class ResultTable:
         print(self.render())
 
 
+def stage_breakdown_table(stages, caption="Copy-path stage latency"):
+    """Build a :class:`ResultTable` from a trace-bus stage breakdown.
+
+    ``stages`` is ``service.stats_snapshot()["stages"]`` (equivalently a
+    :class:`repro.sim.trace.StageAggregator`'s ``as_dict()``): per-stage
+    submit→ingest→execute→complete latency samples for every task the
+    service retired.
+    """
+    from repro.sim.trace import STAGE_NAMES
+
+    table = ResultTable(caption, ["stage", "tasks", "mean cyc", "max cyc"])
+    for name in STAGE_NAMES:
+        stage = stages["stages"][name]
+        table.add(name.replace("_to_", " -> "), stage["count"],
+                  stage["mean"], stage["max"])
+    return table
+
+
 def _fmt(value):
     if isinstance(value, float):
         if abs(value) < 10:

@@ -1,0 +1,281 @@
+"""The submission layer: registered clients and their developer-facing API.
+
+A :class:`CopierClient` owns one client's CSH queues, barrier bookkeeping,
+descriptor pool and pending-task state.  The ``amemcpy``/``csync`` methods
+here are the *mechanism* (queue protocol + cycle charging);
+:mod:`repro.api.libcopier` wraps them in the paper's high-level developer
+API.  All methods that consume simulated time are generators — call them
+with ``yield from`` inside a simulator process.
+"""
+
+from repro.copier import task as task_mod
+from repro.copier.deps import BarrierBookkeeping, PendingTasks, u_order_key
+from repro.copier.descriptor import DescriptorPool
+from repro.copier.errors import CopyAborted
+from repro.copier.queues import ClientQueues
+from repro.copier.task import CopyTask, Region, SyncTask
+from repro.sim import Compute
+from repro.sim.trace import TaskSubmitted
+
+_MAX_SPIN_CYCLES = 800
+
+
+class ClientStats:
+    __slots__ = ("submitted", "completed", "aborted", "dropped",
+                 "sync_tasks", "bytes_copied", "bytes_absorbed")
+
+    def __init__(self):
+        self.submitted = 0
+        self.completed = 0
+        self.aborted = 0
+        self.dropped = 0
+        self.sync_tasks = 0
+        self.bytes_copied = 0
+        self.bytes_absorbed = 0
+
+    def as_dict(self):
+        """Plain-dict snapshot of every counter."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class CopierClient:
+    """A registered client: its queues, pending tasks, and submission API."""
+
+    #: Hard bound on ``task_index`` growth.  Crossing it forces a prune of
+    #: finished tasks at submission time, so a client that never csyncs
+    #: cannot leak index entries (unfinished tasks are always retained —
+    #: they are needed for csync correctness and are already bounded by
+    #: the ring capacity + pending list).
+    INDEX_CAP = 2048
+
+    def __init__(self, service, aspace, name="", queue_capacity=1024,
+                 process=None, segment_bytes=None):
+        self.service = service
+        self.env = service.env
+        self.aspace = aspace
+        self.name = name or ("client-%d" % aspace.asid)
+        self.process = process
+        self.segment_bytes = segment_bytes or service.params.default_segment_bytes
+        self.u_queues = ClientQueues(queue_capacity, self.name + "-u")
+        self.k_queues = ClientQueues(queue_capacity, self.name + "-k")
+        self.barriers = BarrierBookkeeping(self.u_queues.copy)
+        self.pending = PendingTasks()
+        self.desc_pool = DescriptorPool(self.segment_bytes)
+        self.task_index = []  # submitted tasks for csync address lookup
+        self.stats = ClientStats()
+        self.sigsegv_handler = None  # default: kill the attached process
+
+    # -------------------------------------------------------------- barriers
+
+    def on_trap(self):
+        """Kernel entered a syscall on this client's context (§4.2.1)."""
+        self.barriers.on_trap()
+
+    def on_return(self):
+        """Kernel is about to return to userspace."""
+        self.barriers.on_return()
+
+    # ------------------------------------------------------------ submission
+
+    def amemcpy(self, dst_va, src_va, nbytes, handler=None, segment_bytes=None,
+                lazy=False, descriptor=None):
+        """u-mode async copy within this client's address space.
+
+        Generator; returns the task's descriptor.
+        """
+        src = Region(self.aspace, src_va, nbytes)
+        dst = Region(self.aspace, dst_va, nbytes)
+        return (yield from self.submit_copy("u", src, dst, handler=handler,
+                                            segment_bytes=segment_bytes,
+                                            lazy=lazy, descriptor=descriptor))
+
+    def k_amemcpy(self, src, dst, handler=None, segment_bytes=None,
+                  lazy=False, descriptor=None):
+        """k-mode async copy between arbitrary Regions (kernel services)."""
+        return (yield from self.submit_copy("k", src, dst, handler=handler,
+                                            segment_bytes=segment_bytes,
+                                            lazy=lazy, descriptor=descriptor))
+
+    def submit_copy(self, queue_kind, src, dst, handler=None,
+                    segment_bytes=None, lazy=False, descriptor=None):
+        params = self.service.params
+        cost = params.queue_submit_cycles
+        if descriptor is None:
+            descriptor = self.desc_pool.acquire(
+                src.length, segment_bytes or self.segment_bytes)
+            cost += params.descriptor_alloc_cycles
+        yield Compute(cost, tag="copier-submit")
+        task = CopyTask(
+            self, queue_kind, src, dst, descriptor, handler=handler,
+            task_type=task_mod.TYPE_LAZY if lazy else task_mod.TYPE_NORMAL,
+        )
+        task.submitted_at = self.env.now
+        if lazy:
+            task.lazy_deadline = self.env.now + self.service.lazy_period_cycles
+        if queue_kind == "u":
+            queue = self.u_queues.copy
+            position = queue.acquire()
+            task.order_key = u_order_key(position)
+            queue.publish(position, task)
+        else:
+            task.order_key = self.barriers.next_k_key()
+            self.k_queues.copy.submit(task)
+        if len(self.task_index) >= self.INDEX_CAP:
+            self._prune_index(force=True)
+        self.task_index.append(task)
+        self.stats.submitted += 1
+        trace = self.service.trace
+        if trace.active:
+            trace.emit(TaskSubmitted(self.env.now, task.task_id, self.name,
+                                     queue_kind, src.length, lazy))
+        self.service.notify_submit(self)
+        return descriptor
+
+    # ----------------------------------------------------------------- csync
+
+    def tasks_overlapping(self, region, queue_kind=None):
+        out = []
+        for task in self.task_index:
+            if queue_kind is not None and task.queue_kind != queue_kind:
+                continue
+            if task.dst.overlaps(region):
+                out.append(task)
+        return out
+
+    def _range_ready(self, region):
+        """True when ``region``'s bytes, per their *newest* covering tasks,
+        have landed.
+
+        Buffers are recycled, so older tasks on the same addresses are
+        superseded byte-by-byte by newer submissions: walk the index newest
+        first and only consult older tasks for bytes no newer task covers.
+        Raises :class:`CopyAborted` when the deciding copy for some byte
+        was aborted before those bytes arrived.
+        """
+        remaining = [(region.start, region.start + region.length)]
+        for task in reversed(self.task_index):
+            if not remaining:
+                return True
+            if task.dst.aspace.asid != region.aspace.asid:
+                continue
+            next_remaining = []
+            for start, end in remaining:
+                lo = max(start, task.dst.start)
+                hi = min(end, task.dst.end)
+                if lo >= hi:
+                    next_remaining.append((start, end))
+                    continue
+                covered = Region(region.aspace, lo, hi - lo)
+                segs_ready = all(task.descriptor.is_ready(s)
+                                 for s in task.segments_covering(covered))
+                if task.state == task_mod.ABORTED:
+                    if not segs_ready:
+                        raise CopyAborted(
+                            "copy covering 0x%x aborted" % lo)
+                elif not segs_ready:
+                    return False
+                if start < lo:
+                    next_remaining.append((start, lo))
+                if hi < end:
+                    next_remaining.append((hi, end))
+            remaining = next_remaining
+        return True
+
+    def csync(self, va, nbytes, queue_kind="u"):
+        """Ensure [va, va+nbytes) from prior async copies is ready (§4.1).
+
+        Fast path: one descriptor check.  Slow path: submit a Sync Task
+        (raising the segments' priority) and spin-wait with exponential
+        backoff, burning the client's own core — the polling cost the
+        paper accounts to csync.
+        """
+        params = self.service.params
+        region = Region(self.aspace, va, nbytes)
+        yield Compute(params.csync_check_cycles, tag="csync")
+        if self._range_ready(region):
+            self._prune_index()
+            return
+        yield from self._sync_and_spin(region, queue_kind)
+        self._prune_index()
+
+    def csync_region(self, region, queue_kind="k"):
+        """csync for an arbitrary Region (kernel-side users)."""
+        params = self.service.params
+        yield Compute(params.csync_check_cycles, tag="csync")
+        if self._range_ready(region):
+            return
+        yield from self._sync_and_spin(region, queue_kind)
+
+    def _sync_and_spin(self, region, queue_kind):
+        """Slow path shared by the csync flavours: submit a Sync Task and
+        spin-wait with exponential backoff until the range lands."""
+        params = self.service.params
+        yield Compute(params.queue_submit_cycles, tag="csync")
+        sync = SyncTask(self, queue_kind, region)
+        sync.submitted_at = self.env.now
+        queues = self.u_queues if queue_kind == "u" else self.k_queues
+        queues.sync.submit(sync)
+        self.stats.sync_tasks += 1
+        self.service.notify_submit(self)
+        spin = params.csync_spin_cycles
+        while not self._range_ready(region):
+            yield Compute(spin, tag="csync")
+            spin = min(spin * 2, _MAX_SPIN_CYCLES)
+
+    def csync_all(self):
+        """Wait for every outstanding copy and run queued UFUNC handlers."""
+        params = self.service.params
+        yield Compute(params.csync_check_cycles, tag="csync")
+        spin = params.csync_spin_cycles
+        while any(not t.is_finished for t in self.task_index):
+            yield Compute(spin, tag="csync")
+            spin = min(spin * 2, _MAX_SPIN_CYCLES)
+        yield from self.post_handlers()
+        self._prune_index(force=True)
+
+    def abort(self, va, nbytes, queue_kind="u"):
+        """Discard still-queued copies targeting the range (§4.4)."""
+        params = self.service.params
+        yield Compute(params.queue_submit_cycles, tag="csync")
+        sync = SyncTask(self, queue_kind, Region(self.aspace, va, nbytes),
+                        abort=True)
+        sync.submitted_at = self.env.now
+        queues = self.u_queues if queue_kind == "u" else self.k_queues
+        queues.sync.submit(sync)
+        self.service.notify_submit(self)
+
+    def post_handlers(self):
+        """Run delegated UFUNC handlers from the Handler Queue (§4.1)."""
+        params = self.service.params
+        for entry in self.u_queues.handler.drain():
+            yield Compute(params.handler_dispatch_cycles, tag="handler")
+            fn, args = entry
+            fn(*args)
+
+    def _prune_index(self, force=False):
+        if force or len(self.task_index) > 64:
+            self.task_index = [t for t in self.task_index if not t.is_finished]
+
+    # ------------------------------------------------------------- snapshot
+
+    def stats_snapshot(self):
+        """Plain-dict view of this client's state (for copierstat)."""
+        snap = {
+            "queues": {
+                "u_copy": len(self.u_queues.copy),
+                "u_sync": len(self.u_queues.sync),
+                "u_handler": len(self.u_queues.handler),
+                "k_copy": len(self.k_queues.copy),
+                "k_sync": len(self.k_queues.sync),
+            },
+            "pending_tasks": len(self.pending),
+            "task_index": len(self.task_index),
+            "scheduler_total": self.service.scheduler.client_total(self),
+            "descriptor_pool": {"hits": self.desc_pool.hits,
+                                "misses": self.desc_pool.misses},
+        }
+        snap.update(self.stats.as_dict())
+        return snap
+
+    def __repr__(self):
+        return "<CopierClient %s>" % self.name

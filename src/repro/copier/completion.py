@@ -1,0 +1,116 @@
+"""The completion stage: retiring tasks, unpinning, and FUNC handlers.
+
+Everything that happens *after* a task's last byte lands (or after it is
+abandoned) lives here: marking it done/aborted, removing it from the
+pending list, unpinning its pages, and dispatching its post-copy FUNC —
+KFUNCs run in Copier's own context, UFUNCs are delegated to the client's
+Handler Queue (§4.1).  Emits ``task-finished`` trace events at the
+pipeline's final boundary.
+"""
+
+from repro.copier import task as task_mod
+from repro.sim import Compute
+from repro.sim.trace import TaskFinished
+
+
+class CompletionHandler:
+    """Retires tasks for one :class:`~repro.copier.service.CopierService`."""
+
+    def __init__(self, service):
+        self.service = service
+
+    # ---------------------------------------------------------------- sweep
+
+    def sweep(self, client):
+        """Finalize tasks completed out-of-band (DMA callbacks, promotion)
+        without charging handler-dispatch time inline."""
+        for task in list(client.pending):
+            if not task.is_finished and task.descriptor.all_ready:
+                task.state = task_mod.DONE
+                task.completed_at = self.service.env.now
+                client.pending.remove(task)
+                client.stats.completed += 1
+                self.unpin(task)
+                self._trace_finish(client, task, "done")
+                self.queue_handler(client, task)
+
+    # --------------------------------------------------------------- finish
+
+    def finish_task(self, client, task):
+        """Retire a task whose segments all landed (generator)."""
+        task.state = task_mod.DONE
+        task.completed_at = self.service.env.now
+        try:
+            client.pending.remove(task)
+        except ValueError:
+            pass
+        client.stats.completed += 1
+        self.unpin(task)
+        self._trace_finish(client, task, "done")
+        yield from self.run_handler(client, task)
+
+    def abort_task(self, client, task):
+        """Discard a pending task (abort Sync Task path, §4.4)."""
+        task.state = task_mod.ABORTED
+        task.descriptor.abort()
+        client.pending.remove(task)
+        client.stats.aborted += 1
+        self.unpin(task)
+        self._trace_finish(client, task, "aborted")
+        yield from self.run_handler(client, task)
+
+    def drop_task(self, client, task, exc):
+        """Unresolvable fault or failed security check (§4.5.4): drop the
+        task and signal the process, exactly like the in-context OOM-kill
+        or SIGSEGV would."""
+        from repro.copier.errors import CopierSecurityError
+
+        task.state = task_mod.ABORTED
+        task.descriptor.abort()
+        client.stats.dropped += 1
+        self.service.tasks_dropped += 1
+        self._trace_finish(client, task, "dropped")
+        if client.sigsegv_handler is not None:
+            client.sigsegv_handler(task, exc)
+        elif client.process is not None:
+            client.process.kill(CopierSecurityError(str(exc)))
+
+    # ---------------------------------------------------------------- pages
+
+    def unpin(self, task):
+        if task.pinned:
+            task.src.aspace.unpin(task.src.start, task.src.length)
+            task.dst.aspace.unpin(task.dst.start, task.dst.length)
+            task.pinned = False
+
+    # -------------------------------------------------------------- handlers
+
+    def queue_handler(self, client, task):
+        """Dispatch the FUNC without charging Copier time (sweep path)."""
+        if task.handler is None:
+            return
+        kind, fn, args = task.handler
+        if kind == "kfunc":
+            fn(*args)
+        else:
+            client.u_queues.handler.submit((fn, args))
+
+    def run_handler(self, client, task):
+        """Dispatch the FUNC, charging handler-dispatch cycles (generator)."""
+        if task.handler is None:
+            return
+        kind, fn, args = task.handler
+        yield Compute(self.service.params.handler_dispatch_cycles,
+                      tag="copier-mgmt")
+        if kind == "kfunc":
+            fn(*args)
+        else:
+            client.u_queues.handler.submit((fn, args))
+
+    # ----------------------------------------------------------------- trace
+
+    def _trace_finish(self, client, task, outcome):
+        trace = self.service.trace
+        if trace.active:
+            trace.emit(TaskFinished(self.service.env.now, task.task_id,
+                                    client.name, outcome, task.length))

@@ -1,0 +1,286 @@
+"""The execution stage: ingest, fault promotion, and round execution.
+
+This layer does the Copier thread's actual work each iteration:
+
+* **ingest** — move published Copy Tasks from the CSH rings into the
+  pending list, with security checks, proactive fault handling and page
+  pinning (§4.5.4);
+* **sync handling** — serve Sync Tasks: aborts, and out-of-order
+  *promotion* of the segments a csync is spinning on (§4.2.2);
+* **round execution** — run the piggyback dispatcher's plans, pairing the
+  AVX stream with DMA runs and writing resolved source spans (§4.3–§4.4).
+
+Retirement of finished tasks is delegated to
+:class:`repro.copier.completion.CompletionHandler`.
+"""
+
+from repro.copier.absorption import resolve_sources
+from repro.hw.dma import DMASubtask
+from repro.mem.faults import SegmentationFault
+from repro.sim import Compute, WaitEvent
+from repro.sim.trace import (DmaCompleted, RoundPlanned, SegmentExecuted,
+                             TaskIngested)
+
+_INGEST_CYCLES_PER_TASK = 20
+_AVX_SEGMENT_OVERHEAD = 5
+
+
+class CopyExecutor:
+    """Executes copy work for one :class:`~repro.copier.service.
+    CopierService`; shared by all of its worker threads."""
+
+    def __init__(self, service, completion):
+        self.service = service
+        self.completion = completion
+
+    # --------------------------------------------------------------- ingest
+
+    def ingest(self, client):
+        """Move published Copy Tasks into the pending list with proactive
+        fault handling (§4.5.4).  Returns cycles to charge."""
+        cost = 0
+        for queue in (client.k_queues.copy, client.u_queues.copy):
+            for task in queue.drain():
+                cost += _INGEST_CYCLES_PER_TASK
+                cost += self._prepare_task(client, task)
+        return cost
+
+    def _prepare_task(self, client, task):
+        """Security checks, proactive faulting, pinning, translation."""
+        params = self.service.params
+        cost = 0
+        from repro.mem.phys import OutOfMemory
+
+        try:
+            task.src.aspace.check_range(task.src.start, task.src.length, write=False)
+            task.dst.aspace.check_range(task.dst.start, task.dst.length, write=True)
+        except SegmentationFault as exc:
+            self.completion.drop_task(client, task, exc)
+            return cost
+        try:
+            resolutions = []
+            resolutions += task.src.aspace.ensure_mapped(
+                task.src.start, task.src.length, write=False)
+            resolutions += task.dst.aspace.ensure_mapped(
+                task.dst.start, task.dst.length, write=True)
+        except OutOfMemory as exc:
+            self.completion.drop_task(client, task, exc)
+            return cost
+        for kind in resolutions:
+            cost += params.page_alloc_cycles
+            if kind == "cow_copy":
+                cost += params.cpu_copy_cycles(4096, engine="avx")
+        task.src.aspace.pin(task.src.start, task.src.length)
+        task.dst.aspace.pin(task.dst.start, task.dst.length, write=True)
+        task.pinned = True
+        client.pending.add(task)
+        trace = self.service.trace
+        if trace.active:
+            trace.emit(TaskIngested(self.service.env.now, task.task_id,
+                                    client.name))
+        return cost
+
+    # ------------------------------------------------------------ sync path
+
+    def handle_sync(self, client, sync, _depth=0):
+        # The Copy Task a sync refers to may have been published *after*
+        # this iteration's ingest pass swept the client's rings; re-ingest
+        # so promotion/abort sees it (queue order guarantees the copy was
+        # acquired before the sync that names it).
+        cost = self.ingest(client)
+        if cost:
+            yield Compute(cost, tag="copier-mgmt")
+        if sync.abort:
+            # Only discard copies submitted *before* the abort: buffers are
+            # recycled, and a newer task on the same range must survive.
+            for task in client.pending.tasks_writing(sync.region):
+                if task.task_id < sync.task_id:
+                    yield from self.completion.abort_task(client, task)
+            return
+        yield from self._promote_region(client, sync.region, _depth=_depth)
+
+    def serve_other_syncs(self, busy_client):
+        """Between slices of a bulk promotion, serve other clients' Sync
+        Tasks so one client's huge csync cannot monopolize the thread
+        (the copy-slice guarantee of §4.5.3)."""
+        for kind in ("k", "u"):
+            for other in list(self.service.clients):
+                if other is busy_client:
+                    continue
+                queues = other.k_queues if kind == "k" else other.u_queues
+                for sync in queues.sync.drain():
+                    yield from self.handle_sync(other, sync, _depth=1)
+
+    def _promote_region(self, client, region, _depth=0):
+        """Out-of-order execution of the segments a Sync Task needs (§4.2.2)."""
+        service = self.service
+        if _depth > 16:
+            return
+        for task in list(client.pending.tasks_writing(region)):
+            segs = [s for s in task.segments_covering(region)
+                    if not task.descriptor.is_ready(s)]
+            if not segs:
+                continue
+            task.promoted = True
+            needed = len(segs) * task.descriptor.segment_bytes
+            hazards = [d for d in client.pending.dependencies_of(task)
+                       if not d.is_finished]
+            if (needed >= service.params.i_piggyback_threshold and not hazards
+                    and service.dispatcher.use_dma):
+                # Large promotion with no reordering hazards: run the full
+                # piggyback dispatcher so DMA still helps (§4.3) — but in
+                # copy-slice-bounded rounds, serving other clients' syncs
+                # in between so the bulk csync cannot starve them.
+                budget = service.scheduler.copy_slice_bytes
+                progressed = True
+                while (progressed and not task.is_finished
+                       and not task.descriptor.all_ready):
+                    plan = service.dispatcher.build_round(
+                        client.pending, budget_bytes=budget, head=task)
+                    if plan is None or not (plan.avx_jobs or plan.dma_runs):
+                        progressed = False
+                        break
+                    yield from self.execute_plan(client, plan)
+                    if _depth == 0:
+                        yield from self.serve_other_syncs(client)
+                if task.is_finished or task.descriptor.all_ready:
+                    continue
+            yield from self._execute_segments(client, task, segs,
+                                              _depth=_depth)
+
+    def _execute_segments(self, client, task, segments, _depth=0):
+        """Copy specific segments now, honoring WAR/WAW hazards recursively."""
+        service = self.service
+        params = service.params
+        for seg in segments:
+            if task.is_finished or task.descriptor.is_ready(seg):
+                continue
+            dst_region = task.dst_range_of_segment(seg)
+            src_region = task.src_range_of_segment(seg)
+            for earlier in client.pending.earlier_than(task):
+                if earlier.is_finished:
+                    continue
+                if earlier.src.overlaps(dst_region):
+                    hazard = earlier.segments_covering_src(dst_region)
+                elif earlier.dst.overlaps(dst_region):
+                    hazard = earlier.segments_covering(dst_region)
+                elif not service.dispatcher.use_absorption and \
+                        earlier.dst.overlaps(src_region):
+                    hazard = earlier.segments_covering(src_region)
+                else:
+                    continue
+                yield from self._execute_segments(
+                    client, earlier,
+                    [s for s in hazard if not earlier.descriptor.is_ready(s)],
+                    _depth=_depth + 1)
+            spans = resolve_sources(client.pending, task, src_region,
+                                    enabled=service.dispatcher.use_absorption)
+            nbytes = dst_region.length
+            cycles = int(nbytes / params.avx_bytes_per_cycle) + _AVX_SEGMENT_OVERHEAD
+            yield Compute(cycles, tag="copier-copy")
+            self.write_spans(client, task, seg, dst_region, spans)
+        if not task.is_finished and task.descriptor.all_ready:
+            yield from self.completion.finish_task(client, task)
+
+    # ------------------------------------------------------------ execution
+
+    def has_runnable(self, client):
+        if client.pending.runnable_head() is not None:
+            return True
+        now = self.service.env.now
+        return any(t.lazy and t.lazy_deadline is not None and t.lazy_deadline <= now
+                   for t in client.pending)
+
+    def next_head(self, client):
+        head = client.pending.runnable_head()
+        if head is not None:
+            return head
+        now = self.service.env.now
+        for t in client.pending:
+            if t.lazy and t.lazy_deadline is not None and t.lazy_deadline <= now:
+                return t
+        return None
+
+    def execute_plan(self, client, plan):
+        service = self.service
+        params = service.params
+        trace = service.trace
+        if trace.active:
+            trace.emit(RoundPlanned(service.env.now, client.name, plan.mode,
+                                    plan.avx_bytes, plan.dma_bytes,
+                                    len(plan.tasks)))
+        dma_done = None
+        if plan.dma_runs:
+            # DMA needs physical addresses: walk (or ATCache-hit) the pages
+            # of each run before ringing the doorbell (§4.3).
+            translate = 0
+            for run in plan.dma_runs:
+                cycles, _h, _m = service.atcache.translation_cost(
+                    run.task.src.aspace, run.src_va, run.nbytes,
+                    contiguous=True)
+                translate += cycles
+                cycles, _h, _m = service.atcache.translation_cost(
+                    run.task.dst.aspace, run.dst_va, run.nbytes, write=True,
+                    contiguous=True)
+                translate += cycles
+            yield Compute(params.dma_submit_cycles + translate,
+                          tag="copier-copy")
+            batch = []
+            for run in plan.dma_runs:
+                batch.append(DMASubtask(
+                    run.task.src.aspace, run.src_va,
+                    run.task.dst.aspace, run.dst_va, run.nbytes,
+                    on_done=self._make_dma_callback(client, run)))
+            dma_done = service.dma.submit(batch)
+        for job in plan.avx_jobs:
+            if job.task.is_finished or job.task.descriptor.is_ready(job.seg_index):
+                continue
+            cycles = int(job.nbytes / params.avx_bytes_per_cycle) \
+                + _AVX_SEGMENT_OVERHEAD
+            yield Compute(cycles, tag="copier-copy")
+            dst_region = job.task.dst_range_of_segment(job.seg_index)
+            self.write_spans(client, job.task, job.seg_index, dst_region,
+                             job.spans)
+        if dma_done is not None:
+            yield WaitEvent(dma_done)
+            yield Compute(params.dma_complete_check_cycles, tag="copier-copy")
+        for task in plan.tasks:
+            if not task.is_finished and task.descriptor.all_ready:
+                yield from self.completion.finish_task(client, task)
+
+    def _make_dma_callback(self, client, run):
+        service = self.service
+
+        def on_done(_subtask):
+            for job in run.jobs:
+                if not run.task.is_finished:
+                    run.task.descriptor.mark(job.seg_index)
+            client.stats.bytes_copied += run.nbytes
+            service.scheduler.charge(client, run.nbytes)
+            trace = service.trace
+            if trace.active:
+                trace.emit(DmaCompleted(service.env.now, run.task.task_id,
+                                        run.nbytes, len(run.jobs)))
+        return on_done
+
+    def write_spans(self, client, task, seg_index, dst_region, spans):
+        service = self.service
+        data = bytearray()
+        absorbed = 0
+        for span in spans:
+            data += span.aspace.read(span.va, span.nbytes)
+            if span.absorbed:
+                absorbed += span.nbytes
+        task.dst.aspace.write(dst_region.start, bytes(data))
+        task.descriptor.mark(seg_index)
+        task.absorbed_bytes += absorbed
+        client.stats.bytes_copied += dst_region.length
+        client.stats.bytes_absorbed += absorbed
+        service.scheduler.charge(client, dst_region.length)
+        if task.started_at is None:
+            task.started_at = service.env.now
+        trace = service.trace
+        if trace.active:
+            trace.emit(SegmentExecuted(service.env.now, task.task_id,
+                                       seg_index, dst_region.length, "avx",
+                                       absorbed))

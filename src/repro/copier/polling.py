@@ -1,0 +1,116 @@
+"""Pluggable polling policies for Copier threads (§4.5.1, §5.3).
+
+A :class:`PollingPolicy` decides how a Copier thread behaves *between*
+sweeps: whether it may run at all, how long to pause after an empty sweep,
+when to give up polling and block on the doorbell, and whether a client's
+submission should ring that doorbell.
+
+Built-in policies:
+
+* ``"napi"`` (default) — busy-poll with a small constant gap between empty
+  sweeps; good latency at the cost of a partially-busy dedicated core.
+* ``"scenario"`` — the thread sleeps until :meth:`CopierService.
+  scenario_begin` (or ``copier_awaken``) fires and goes back to sleep when
+  queues drain; the smartphone-friendly mode used on HarmonyOS (§5.3).
+* ``"adaptive"`` — NAPI-like, but the poll gap widens geometrically under
+  sustained-empty sweeps (and collapses back on work), trading a little
+  wake-up latency for far fewer poll iterations on a mostly-idle core.
+
+Policies are stateless with respect to individual threads: per-thread
+state (the idle streak) lives in the worker loop and is passed in, so one
+policy instance can serve every thread of a service.
+"""
+
+#: Cycles between empty sweeps in NAPI mode (also the adaptive base gap).
+NAPI_POLL_GAP = 200
+
+
+class PollingPolicy:
+    """Strategy interface consulted by :class:`repro.copier.worker.
+    CopierWorker` once per loop iteration."""
+
+    name = "policy"
+
+    #: Consecutive empty sweeps tolerated before blocking on the doorbell.
+    idle_threshold = 8
+
+    def ready(self, service):
+        """May Copier threads run at all right now?  Returning False sends
+        the thread to an unconditional sleep (scenario gating, §5.3)."""
+        return True
+
+    def wake_on_submit(self, service):
+        """Should a client's submission ring sleeping threads' doorbells?"""
+        return True
+
+    def poll_gap(self, idle_streak):
+        """Cycles to pause after the ``idle_streak``-th empty sweep."""
+        return NAPI_POLL_GAP
+
+    def should_block(self, idle_streak):
+        """True when the thread should stop polling and block."""
+        return idle_streak > self.idle_threshold
+
+    def __repr__(self):
+        return "<%s %r>" % (type(self).__name__, self.name)
+
+
+class NapiPolicy(PollingPolicy):
+    """Constant-gap busy polling (the paper's default server mode)."""
+
+    name = "napi"
+
+
+class ScenarioPolicy(PollingPolicy):
+    """Scenario-driven threads: only run while a scenario is active, and
+    submissions alone never wake them (§5.3)."""
+
+    name = "scenario"
+
+    def ready(self, service):
+        return service.scenario_active
+
+    def wake_on_submit(self, service):
+        return service.scenario_active
+
+
+class AdaptivePolicy(PollingPolicy):
+    """Gap-widening polling: each further empty sweep doubles the pause.
+
+    The gap starts at the NAPI gap and doubles per consecutive empty
+    sweep up to ``max_gap``; any work resets the streak (the worker loop
+    restarts it at zero), which collapses the gap back to the base.  The
+    thread also tolerates a longer idle streak before blocking, because
+    its widened gaps make continued polling cheap.
+    """
+
+    name = "adaptive"
+    idle_threshold = 16
+
+    def __init__(self, base_gap=NAPI_POLL_GAP, max_gap=16 * NAPI_POLL_GAP):
+        if base_gap < 1 or max_gap < base_gap:
+            raise ValueError("need 1 <= base_gap <= max_gap")
+        self.base_gap = base_gap
+        self.max_gap = max_gap
+
+    def poll_gap(self, idle_streak):
+        gap = self.base_gap << min(max(idle_streak, 0), 30)
+        return min(gap, self.max_gap)
+
+
+POLICIES = {
+    NapiPolicy.name: NapiPolicy,
+    ScenarioPolicy.name: ScenarioPolicy,
+    AdaptivePolicy.name: AdaptivePolicy,
+}
+
+
+def make_policy(polling):
+    """Build a policy from its registered name (or pass one through)."""
+    if isinstance(polling, PollingPolicy):
+        return polling
+    try:
+        return POLICIES[polling]()
+    except KeyError:
+        raise ValueError("unknown polling mode %r (have: %s)" % (
+            polling, ", ".join(sorted(POLICIES)))) from None

@@ -1,271 +1,28 @@
-"""The Copier OS service: threads, clients, and request handling (§4.5).
+"""The Copier OS service: the composition root of the copy path (§4.5).
 
-One :class:`CopierService` per simulated machine.  Clients (user processes
-or kernel services with standalone contexts) register and get u-mode and
-k-mode CSH queues; Copier threads — simulator processes pinned to dedicated
-cores — poll the queues, ingest tasks with proactive fault handling, and
-execute rounds planned by the piggyback dispatcher.
+One :class:`CopierService` per machine — it wires the layers together:
 
-Polling modes (§4.5.1):
+* :mod:`repro.copier.client` — submission API (clients, barriers, csync);
+* :mod:`repro.copier.polling` — pluggable polling policies (§4.5.1, §5.3);
+* :mod:`repro.copier.worker` — per-thread loops, sleep/wake, auto-scaling;
+* :mod:`repro.copier.executor` — ingest, fault handling, round execution;
+* :mod:`repro.copier.completion` — task retirement and FUNC handlers.
 
-* ``"napi"`` (default) — busy-poll with a small gap between empty sweeps;
-  good latency at the cost of a partially-busy dedicated core.
-* ``"scenario"`` — the thread sleeps until :meth:`CopierService.
-  scenario_begin` (or ``copier_awaken``) fires and goes back to sleep when
-  queues drain; the smartphone-friendly mode used on HarmonyOS (§5.3).
+Stage boundaries emit typed events on the machine-wide trace bus
+(:mod:`repro.sim.trace`); ``service.stage_stats`` aggregates them into
+the latency breakdown :mod:`repro.tools.copierstat` renders.
 """
 
-from repro.copier import task as task_mod
-from repro.copier.atcache import ATCache
-from repro.copier.deps import BarrierBookkeeping, PendingTasks, u_order_key
-from repro.copier.descriptor import DescriptorPool
+from repro.copier.client import ClientStats, CopierClient  # noqa: F401
+from repro.copier.completion import CompletionHandler
 from repro.copier.dispatch import Dispatcher
-from repro.copier.errors import CopierSecurityError, CopyAborted
-from repro.copier.queues import ClientQueues
+from repro.copier.executor import CopyExecutor
+from repro.copier.polling import make_policy
+from repro.copier.worker import AutoScaler, CopierWorker
+from repro.copier.atcache import ATCache
 from repro.copier.sched import CopierScheduler
-from repro.copier.task import CopyTask, Region, SyncTask
-from repro.hw.dma import DMAEngine, DMASubtask
-from repro.mem.faults import SegmentationFault
-from repro.sim import Compute, Timeout, WaitEvent
-
-_INGEST_CYCLES_PER_TASK = 20
-_AVX_SEGMENT_OVERHEAD = 5
-_NAPI_POLL_GAP = 200
-_MAX_SPIN_CYCLES = 800
-
-
-class ClientStats:
-    __slots__ = ("submitted", "completed", "aborted", "dropped",
-                 "sync_tasks", "bytes_copied", "bytes_absorbed")
-
-    def __init__(self):
-        self.submitted = 0
-        self.completed = 0
-        self.aborted = 0
-        self.dropped = 0
-        self.sync_tasks = 0
-        self.bytes_copied = 0
-        self.bytes_absorbed = 0
-
-
-class CopierClient:
-    """A registered client: its queues, pending tasks, and submission API.
-
-    The ``amemcpy``/``csync`` methods here are the *mechanism* (queue
-    protocol + cycle charging); :mod:`repro.api.libcopier` wraps them in
-    the paper's high-level developer API.  All methods that consume
-    simulated time are generators — call them with ``yield from`` inside a
-    simulator process.
-    """
-
-    def __init__(self, service, aspace, name="", queue_capacity=1024,
-                 process=None, segment_bytes=None):
-        self.service = service
-        self.env = service.env
-        self.aspace = aspace
-        self.name = name or ("client-%d" % aspace.asid)
-        self.process = process
-        self.segment_bytes = segment_bytes or service.params.default_segment_bytes
-        self.u_queues = ClientQueues(queue_capacity, self.name + "-u")
-        self.k_queues = ClientQueues(queue_capacity, self.name + "-k")
-        self.barriers = BarrierBookkeeping(self.u_queues.copy)
-        self.pending = PendingTasks()
-        self.desc_pool = DescriptorPool(self.segment_bytes)
-        self.task_index = []  # submitted tasks for csync address lookup
-        self.stats = ClientStats()
-        self.sigsegv_handler = None  # default: kill the attached process
-
-    # -------------------------------------------------------------- barriers
-
-    def on_trap(self):
-        """Kernel entered a syscall on this client's context (§4.2.1)."""
-        self.barriers.on_trap()
-
-    def on_return(self):
-        """Kernel is about to return to userspace."""
-        self.barriers.on_return()
-
-    # ------------------------------------------------------------ submission
-
-    def amemcpy(self, dst_va, src_va, nbytes, handler=None, segment_bytes=None,
-                lazy=False, descriptor=None):
-        """u-mode async copy within this client's address space.
-
-        Generator; returns the task's descriptor.
-        """
-        src = Region(self.aspace, src_va, nbytes)
-        dst = Region(self.aspace, dst_va, nbytes)
-        return (yield from self.submit_copy("u", src, dst, handler=handler,
-                                            segment_bytes=segment_bytes,
-                                            lazy=lazy, descriptor=descriptor))
-
-    def k_amemcpy(self, src, dst, handler=None, segment_bytes=None,
-                  lazy=False, descriptor=None):
-        """k-mode async copy between arbitrary Regions (kernel services)."""
-        return (yield from self.submit_copy("k", src, dst, handler=handler,
-                                            segment_bytes=segment_bytes,
-                                            lazy=lazy, descriptor=descriptor))
-
-    def submit_copy(self, queue_kind, src, dst, handler=None,
-                    segment_bytes=None, lazy=False, descriptor=None):
-        params = self.service.params
-        cost = params.queue_submit_cycles
-        if descriptor is None:
-            descriptor = self.desc_pool.acquire(
-                src.length, segment_bytes or self.segment_bytes)
-            cost += params.descriptor_alloc_cycles
-        yield Compute(cost, tag="copier-submit")
-        task = CopyTask(
-            self, queue_kind, src, dst, descriptor, handler=handler,
-            task_type=task_mod.TYPE_LAZY if lazy else task_mod.TYPE_NORMAL,
-        )
-        task.submitted_at = self.env.now
-        if lazy:
-            task.lazy_deadline = self.env.now + self.service.lazy_period_cycles
-        if queue_kind == "u":
-            queue = self.u_queues.copy
-            position = queue.acquire()
-            task.order_key = u_order_key(position)
-            queue.publish(position, task)
-        else:
-            task.order_key = self.barriers.next_k_key()
-            self.k_queues.copy.submit(task)
-        self.task_index.append(task)
-        self.stats.submitted += 1
-        self.service.notify_submit(self)
-        return descriptor
-
-    # ----------------------------------------------------------------- csync
-
-    def tasks_overlapping(self, region, queue_kind=None):
-        out = []
-        for task in self.task_index:
-            if queue_kind is not None and task.queue_kind != queue_kind:
-                continue
-            if task.dst.overlaps(region):
-                out.append(task)
-        return out
-
-    def _range_ready(self, region):
-        """True when ``region``'s bytes, per their *newest* covering tasks,
-        have landed.
-
-        Buffers are recycled, so older tasks on the same addresses are
-        superseded byte-by-byte by newer submissions: walk the index newest
-        first and only consult older tasks for bytes no newer task covers.
-        Raises :class:`CopyAborted` when the deciding copy for some byte
-        was aborted before those bytes arrived.
-        """
-        remaining = [(region.start, region.start + region.length)]
-        for task in reversed(self.task_index):
-            if not remaining:
-                return True
-            if task.dst.aspace.asid != region.aspace.asid:
-                continue
-            next_remaining = []
-            for start, end in remaining:
-                lo = max(start, task.dst.start)
-                hi = min(end, task.dst.end)
-                if lo >= hi:
-                    next_remaining.append((start, end))
-                    continue
-                covered = Region(region.aspace, lo, hi - lo)
-                segs_ready = all(task.descriptor.is_ready(s)
-                                 for s in task.segments_covering(covered))
-                if task.state == task_mod.ABORTED:
-                    if not segs_ready:
-                        raise CopyAborted(
-                            "copy covering 0x%x aborted" % lo)
-                elif not segs_ready:
-                    return False
-                if start < lo:
-                    next_remaining.append((start, lo))
-                if hi < end:
-                    next_remaining.append((hi, end))
-            remaining = next_remaining
-        return True
-
-    def csync(self, va, nbytes, queue_kind="u"):
-        """Ensure [va, va+nbytes) from prior async copies is ready (§4.1).
-
-        Fast path: one descriptor check.  Slow path: submit a Sync Task
-        (raising the segments' priority) and spin-wait with exponential
-        backoff, burning the client's own core — the polling cost the
-        paper accounts to csync.
-        """
-        params = self.service.params
-        region = Region(self.aspace, va, nbytes)
-        yield Compute(params.csync_check_cycles, tag="csync")
-        if self._range_ready(region):
-            self._prune_index()
-            return
-        yield Compute(params.queue_submit_cycles, tag="csync")
-        sync = SyncTask(self, queue_kind, region)
-        sync.submitted_at = self.env.now
-        queues = self.u_queues if queue_kind == "u" else self.k_queues
-        queues.sync.submit(sync)
-        self.stats.sync_tasks += 1
-        self.service.notify_submit(self)
-        spin = params.csync_spin_cycles
-        while not self._range_ready(region):
-            yield Compute(spin, tag="csync")
-            spin = min(spin * 2, _MAX_SPIN_CYCLES)
-        self._prune_index()
-
-    def csync_region(self, region, queue_kind="k"):
-        """csync for an arbitrary Region (kernel-side users)."""
-        params = self.service.params
-        yield Compute(params.csync_check_cycles, tag="csync")
-        if self._range_ready(region):
-            return
-        yield Compute(params.queue_submit_cycles, tag="csync")
-        sync = SyncTask(self, queue_kind, region)
-        sync.submitted_at = self.env.now
-        queues = self.u_queues if queue_kind == "u" else self.k_queues
-        queues.sync.submit(sync)
-        self.stats.sync_tasks += 1
-        self.service.notify_submit(self)
-        spin = params.csync_spin_cycles
-        while not self._range_ready(region):
-            yield Compute(spin, tag="csync")
-            spin = min(spin * 2, _MAX_SPIN_CYCLES)
-
-    def csync_all(self):
-        """Wait for every outstanding copy and run queued UFUNC handlers."""
-        params = self.service.params
-        yield Compute(params.csync_check_cycles, tag="csync")
-        spin = params.csync_spin_cycles
-        while any(not t.is_finished for t in self.task_index):
-            yield Compute(spin, tag="csync")
-            spin = min(spin * 2, _MAX_SPIN_CYCLES)
-        yield from self.post_handlers()
-        self._prune_index(force=True)
-
-    def abort(self, va, nbytes, queue_kind="u"):
-        """Discard still-queued copies targeting the range (§4.4)."""
-        params = self.service.params
-        yield Compute(params.queue_submit_cycles, tag="csync")
-        sync = SyncTask(self, queue_kind, Region(self.aspace, va, nbytes),
-                        abort=True)
-        sync.submitted_at = self.env.now
-        queues = self.u_queues if queue_kind == "u" else self.k_queues
-        queues.sync.submit(sync)
-        self.service.notify_submit(self)
-
-    def post_handlers(self):
-        """Run delegated UFUNC handlers from the Handler Queue (§4.1)."""
-        params = self.service.params
-        for entry in self.u_queues.handler.drain():
-            yield Compute(params.handler_dispatch_cycles, tag="handler")
-            fn, args = entry
-            fn(*args)
-
-    def _prune_index(self, force=False):
-        if force or len(self.task_index) > 64:
-            self.task_index = [t for t in self.task_index if not t.is_finished]
-
-    def __repr__(self):
-        return "<CopierClient %s>" % self.name
+from repro.hw.dma import DMAEngine
+from repro.sim.trace import StageAggregator
 
 
 class CopierService:
@@ -274,10 +31,12 @@ class CopierService:
     def __init__(self, env, params, phys=None, polling="napi",
                  use_dma=True, use_absorption=True, dma_engine=None,
                  n_threads=1, max_threads=4, dedicated_cores=None,
-                 lazy_period_cycles=2_000_000, autoscale=False):
+                 lazy_period_cycles=2_000_000, autoscale=False, trace=None):
         self.env = env
         self.params = params
-        self.polling = polling
+        self.policy = make_policy(polling)
+        self.trace = trace if trace is not None else env.trace
+        self.stage_stats = StageAggregator(self.trace)
         self.scheduler = CopierScheduler(params)
         self.atcache = ATCache(params)
         self.dispatcher = Dispatcher(params, use_dma=use_dma,
@@ -285,17 +44,20 @@ class CopierService:
                                      atcache=self.atcache)
         self.dma = dma_engine if dma_engine is not None else (
             DMAEngine(env, params) if use_dma else None)
+        self.completion = CompletionHandler(self)
+        self.executor = CopyExecutor(self, self.completion)
+        self.autoscaler = AutoScaler(self)
         self.lazy_period_cycles = lazy_period_cycles
         self.autoscale = autoscale
         self.clients = []
         self.running = True
-        self.scenario_active = polling != "scenario"
+        self.scenario_active = self.policy.name != "scenario"
         self._wake_events = {}
+        self.workers = []
         self.threads = []
         self.active_threads = n_threads
         self.peak_threads = n_threads
         self.max_threads = max_threads
-        self._load_window = []
         self.rounds_executed = 0
         self.tasks_dropped = 0
         spawn_count = max_threads if autoscale else n_threads
@@ -304,9 +66,22 @@ class CopierService:
         self.dedicated_cores = dedicated_cores
         for tid in range(spawn_count):
             core = dedicated_cores[tid % len(dedicated_cores)]
-            proc = env.spawn(self._thread_loop(tid), name="copier-%d" % tid,
+            worker = CopierWorker(self, tid)
+            self.workers.append(worker)
+            proc = env.spawn(worker.loop(), name="copier-%d" % tid,
                              affinity=core)
             self.threads.append(proc)
+
+    # -------------------------------------------------------------- polling
+
+    @property
+    def polling(self):
+        """The polling mode name; assigning swaps the policy object."""
+        return self.policy.name
+
+    @polling.setter
+    def polling(self, value):
+        self.policy = make_policy(value)
 
     # ------------------------------------------------------------- clients
 
@@ -327,7 +102,7 @@ class CopierService:
 
     def notify_submit(self, client):
         """Client published work; wake a sleeping *active* thread if needed."""
-        if self.polling == "scenario" and not self.scenario_active:
+        if not self.policy.wake_on_submit(self):
             return  # stays asleep until the scenario activates (§5.3)
         for tid, event in list(self._wake_events.items()):
             if tid < self.active_threads and not event.triggered:
@@ -365,461 +140,60 @@ class CopierService:
     def bytes_copied(self):
         return sum(c.stats.bytes_copied for c in self.clients)
 
-    # ------------------------------------------------------------ main loop
-
     def _my_clients(self, tid):
-        """Clients served by thread ``tid``: round-robin over the active
-        thread count, so scaling up immediately re-spreads clients (the
-        NUMA-local preference is a no-op in this single-node model)."""
-        if tid >= self.active_threads:
+        """Clients served by thread ``tid`` (see CopierWorker.my_clients)."""
+        if tid >= len(self.workers):
             return []
-        return [c for i, c in enumerate(self.clients)
-                if i % self.active_threads == tid]
+        return self.workers[tid].my_clients()
 
-    def _thread_loop(self, tid):
-        params = self.params
-        # Save SIMD state once on activation instead of per copy (§4.3).
-        yield Compute(params.simd_state_cycles, tag="copier-mgmt")
-        idle_streak = 0
-        win_start = self.env.now
-        win_busy = 0
-        win_iters = 0
-        while self.running:
-            if self.polling == "scenario" and not self.scenario_active:
-                yield from self._sleep(tid)
-                win_start, win_busy, win_iters = self.env.now, 0, 0
-                continue
-            if tid >= self.active_threads:
-                yield from self._sleep(tid)
-                win_start, win_busy, win_iters = self.env.now, 0, 0
-                continue
-            iter_start = self.env.now
-            did_work = False
-            clients = self._my_clients(tid)
+    @property
+    def _load_window(self):
+        """Auto-scaling load observations (kept for introspection)."""
+        return self.autoscaler.window
 
-            ingest_cost = 0
-            for client in clients:
-                ingest_cost += self._ingest(client)
-            if ingest_cost:
-                yield Compute(ingest_cost, tag="copier-mgmt")
+    # ------------------------------------------------------------- snapshot
 
-            # Sync Tasks first — k-mode before u-mode (§4.2.2).
-            for kind in ("k", "u"):
-                for client in clients:
-                    queues = client.k_queues if kind == "k" else client.u_queues
-                    for sync in queues.sync.drain():
-                        did_work = True
-                        yield from self._handle_sync(client, sync)
-
-            ready = [c for c in clients if self._has_runnable(c)]
-            client = self.scheduler.pick(ready)
-            if client is not None:
-                head = self._next_head(client)
-                plan = self.dispatcher.build_round(
-                    client.pending, self.scheduler.copy_slice_bytes, head=head)
-                if plan is not None and (plan.avx_jobs or plan.dma_runs):
-                    did_work = True
-                    yield from self._execute_plan(client, plan)
-                self._sweep_completed(client)
-
-            if did_work:
-                win_busy += self.env.now - iter_start
-            win_iters += 1
-            if win_iters >= self.LOAD_WINDOW:
-                elapsed = max(1, self.env.now - win_start)
-                self._record_load(win_busy / elapsed, tid=tid)
-                win_start, win_busy, win_iters = self.env.now, 0, 0
-            if did_work:
-                idle_streak = 0
-                self.rounds_executed += 1
-            else:
-                idle_streak += 1
-                yield Compute(params.queue_poll_cycles, tag="poll")
-                if idle_streak > 8:
-                    # Brief busy-poll burst, then block until a client's
-                    # doorbell (or, in scenario mode, until the scenario
-                    # begins) — instant wakeup, no idle burn.  Going idle
-                    # is itself a low-load observation for auto-scaling.
-                    self._record_load(0.0, tid=tid)
-                    self._arm_lazy_timer(tid, clients)
-                    yield from self._sleep(tid, wake_cost=100)
-                    idle_streak = 0
-                    win_start, win_busy, win_iters = self.env.now, 0, 0
-                else:
-                    yield Timeout(_NAPI_POLL_GAP)
-
-    def _arm_lazy_timer(self, tid, clients):
-        """Before sleeping, arm a wakeup at the earliest lazy deadline so
-        deferred tasks still run when their period elapses (§4.4)."""
-        deadlines = [t.lazy_deadline for c in clients for t in c.pending
-                     if t.lazy and t.lazy_deadline is not None]
-        if not deadlines:
-            return
-        delay = max(0, min(deadlines) - self.env.now)
-
-        def fire():
-            event = self._wake_events.get(tid)
-            if event is not None and not event.triggered:
-                event.succeed()
-
-        self.env.schedule(delay, fire)
-
-    def _sleep(self, tid, wake_cost=None):
-        event = self.env.event()
-        self._wake_events[tid] = event
-        # Re-check after publishing the wake slot: a client may have
-        # submitted between our last drain and here (the classic lost
-        # wakeup), in which case we skip the sleep entirely.  An inactive
-        # scenario sleeps unconditionally — only scenario_begin wakes it.
-        if ((self.polling != "scenario" or self.scenario_active)
-                and self._has_published_work(tid)):
-            self._wake_events.pop(tid, None)
-            return
-        yield WaitEvent(event)
-        self._wake_events.pop(tid, None)
-        if wake_cost is None:
-            wake_cost = self.params.scenario_wake_cycles
-        yield Compute(wake_cost, tag="copier-mgmt")
-
-    def _has_published_work(self, tid):
-        for client in self._my_clients(tid):
-            if (not client.u_queues.copy.is_empty
-                    or not client.k_queues.copy.is_empty
-                    or not client.u_queues.sync.is_empty
-                    or not client.k_queues.sync.is_empty
-                    or self._has_runnable(client)):
-                return True
-        return False
-
-    #: Loop iterations per auto-scaling decision window.
-    LOAD_WINDOW = 24
-
-    #: Consecutive low-load observations before shedding a thread.
-    LOW_STREAK = 3
-
-    def _record_load(self, load, tid=0):
-        """Auto-scaling (§4.5.1): thread 0 watches its busy-time fraction
-        over each decision window and keeps it between low_load and
-        high_load by waking/sleeping sibling threads.  Scale-down needs a
-        streak of low observations (hysteresis) so brief inter-request
-        gaps don't shed threads under sustained load."""
-        if not self.autoscale or tid != 0:
-            return
-        self._load_window.append(load)
-        if load > self.params.high_load:
-            self._low_streak = 0
-            if self.active_threads < self.max_threads:
-                self.active_threads += 1
-                self.peak_threads = max(
-                    getattr(self, "peak_threads", 1), self.active_threads)
-                self._wake_all()
-        elif load < self.params.low_load:
-            self._low_streak = getattr(self, "_low_streak", 0) + 1
-            if self._low_streak >= self.LOW_STREAK and self.active_threads > 1:
-                self.active_threads -= 1
-                self._low_streak = 0
-        else:
-            self._low_streak = 0
-
-    # --------------------------------------------------------------- ingest
-
-    def _ingest(self, client):
-        """Move published Copy Tasks into the pending list with proactive
-        fault handling (§4.5.4).  Returns cycles to charge."""
-        cost = 0
-        for queue in (client.k_queues.copy, client.u_queues.copy):
-            for task in queue.drain():
-                cost += _INGEST_CYCLES_PER_TASK
-                cost += self._prepare_task(client, task)
-        return cost
-
-    def _prepare_task(self, client, task):
-        """Security checks, proactive faulting, pinning, translation."""
-        params = self.params
-        cost = 0
-        from repro.mem.phys import OutOfMemory
-
-        try:
-            task.src.aspace.check_range(task.src.start, task.src.length, write=False)
-            task.dst.aspace.check_range(task.dst.start, task.dst.length, write=True)
-        except SegmentationFault as exc:
-            self._drop_task(client, task, exc)
-            return cost
-        try:
-            resolutions = []
-            resolutions += task.src.aspace.ensure_mapped(
-                task.src.start, task.src.length, write=False)
-            resolutions += task.dst.aspace.ensure_mapped(
-                task.dst.start, task.dst.length, write=True)
-        except OutOfMemory as exc:
-            # Unresolvable fault (§4.5.4): drop the task and signal the
-            # process, exactly like the in-context OOM-kill would.
-            self._drop_task(client, task, exc)
-            return cost
-        for kind in resolutions:
-            cost += params.page_alloc_cycles
-            if kind == "cow_copy":
-                cost += params.cpu_copy_cycles(4096, engine="avx")
-        task.src.aspace.pin(task.src.start, task.src.length)
-        task.dst.aspace.pin(task.dst.start, task.dst.length, write=True)
-        task.pinned = True
-        client.pending.add(task)
-        return cost
-
-    def _drop_task(self, client, task, exc):
-        task.state = task_mod.ABORTED
-        task.descriptor.abort()
-        client.stats.dropped += 1
-        self.tasks_dropped += 1
-        if client.sigsegv_handler is not None:
-            client.sigsegv_handler(task, exc)
-        elif client.process is not None:
-            client.process.kill(CopierSecurityError(str(exc)))
-
-    # ------------------------------------------------------------ sync path
-
-    def _handle_sync(self, client, sync, _depth=0):
-        # The Copy Task a sync refers to may have been published *after*
-        # this iteration's ingest pass swept the client's rings; re-ingest
-        # so promotion/abort sees it (queue order guarantees the copy was
-        # acquired before the sync that names it).
-        cost = self._ingest(client)
-        if cost:
-            yield Compute(cost, tag="copier-mgmt")
-        if sync.abort:
-            # Only discard copies submitted *before* the abort: buffers are
-            # recycled, and a newer task on the same range must survive.
-            for task in client.pending.tasks_writing(sync.region):
-                if task.task_id < sync.task_id:
-                    yield from self._abort_task(client, task)
-            return
-        yield from self._promote_region(client, sync.region, _depth=_depth)
-
-    def _serve_other_syncs(self, busy_client):
-        """Between slices of a bulk promotion, serve other clients' Sync
-        Tasks so one client's huge csync cannot monopolize the thread
-        (the copy-slice guarantee of §4.5.3)."""
-        for kind in ("k", "u"):
-            for other in list(self.clients):
-                if other is busy_client:
-                    continue
-                queues = other.k_queues if kind == "k" else other.u_queues
-                for sync in queues.sync.drain():
-                    yield from self._handle_sync(other, sync, _depth=1)
-
-    def _abort_task(self, client, task):
-        task.state = task_mod.ABORTED
-        task.descriptor.abort()
-        client.pending.remove(task)
-        client.stats.aborted += 1
-        self._unpin(task)
-        yield from self._run_handler(client, task)
-
-    def _promote_region(self, client, region, _depth=0):
-        """Out-of-order execution of the segments a Sync Task needs (§4.2.2)."""
-        if _depth > 16:
-            return
-        for task in list(client.pending.tasks_writing(region)):
-            segs = [s for s in task.segments_covering(region)
-                    if not task.descriptor.is_ready(s)]
-            if not segs:
-                continue
-            task.promoted = True
-            needed = len(segs) * task.descriptor.segment_bytes
-            hazards = [d for d in client.pending.dependencies_of(task)
-                       if not d.is_finished]
-            if (needed >= self.params.i_piggyback_threshold and not hazards
-                    and self.dispatcher.use_dma):
-                # Large promotion with no reordering hazards: run the full
-                # piggyback dispatcher so DMA still helps (§4.3) — but in
-                # copy-slice-bounded rounds, serving other clients' syncs
-                # in between so the bulk csync cannot starve them.
-                budget = self.scheduler.copy_slice_bytes
-                progressed = True
-                while (progressed and not task.is_finished
-                       and not task.descriptor.all_ready):
-                    plan = self.dispatcher.build_round(
-                        client.pending, budget_bytes=budget, head=task)
-                    if plan is None or not (plan.avx_jobs or plan.dma_runs):
-                        progressed = False
-                        break
-                    yield from self._execute_plan(client, plan)
-                    if _depth == 0:
-                        yield from self._serve_other_syncs(client)
-                if task.is_finished or task.descriptor.all_ready:
-                    continue
-            yield from self._execute_segments(client, task, segs,
-                                              _depth=_depth)
-
-    def _execute_segments(self, client, task, segments, _depth=0):
-        """Copy specific segments now, honoring WAR/WAW hazards recursively."""
-        from repro.copier.absorption import resolve_sources
-
-        params = self.params
-        for seg in segments:
-            if task.is_finished or task.descriptor.is_ready(seg):
-                continue
-            dst_region = task.dst_range_of_segment(seg)
-            src_region = task.src_range_of_segment(seg)
-            for earlier in client.pending.earlier_than(task):
-                if earlier.is_finished:
-                    continue
-                if earlier.src.overlaps(dst_region):
-                    hazard = earlier.segments_covering_src(dst_region)
-                    yield from self._execute_segments(
-                        client, earlier,
-                        [s for s in hazard if not earlier.descriptor.is_ready(s)],
-                        _depth=_depth + 1)
-                elif earlier.dst.overlaps(dst_region):
-                    hazard = earlier.segments_covering(dst_region)
-                    yield from self._execute_segments(
-                        client, earlier,
-                        [s for s in hazard if not earlier.descriptor.is_ready(s)],
-                        _depth=_depth + 1)
-                elif not self.dispatcher.use_absorption and \
-                        earlier.dst.overlaps(src_region):
-                    hazard = earlier.segments_covering(src_region)
-                    yield from self._execute_segments(
-                        client, earlier,
-                        [s for s in hazard if not earlier.descriptor.is_ready(s)],
-                        _depth=_depth + 1)
-            spans = resolve_sources(client.pending, task, src_region,
-                                    enabled=self.dispatcher.use_absorption)
-            nbytes = dst_region.length
-            cycles = int(nbytes / params.avx_bytes_per_cycle) + _AVX_SEGMENT_OVERHEAD
-            yield Compute(cycles, tag="copier-copy")
-            self._write_spans(client, task, seg, dst_region, spans)
-        if not task.is_finished and task.descriptor.all_ready:
-            yield from self._finish_task(client, task)
-
-    # ------------------------------------------------------------ execution
-
-    def _has_runnable(self, client):
-        if client.pending.runnable_head() is not None:
-            return True
-        now = self.env.now
-        return any(t.lazy and t.lazy_deadline is not None and t.lazy_deadline <= now
-                   for t in client.pending)
-
-    def _next_head(self, client):
-        head = client.pending.runnable_head()
-        if head is not None:
-            return head
-        now = self.env.now
-        for t in client.pending:
-            if t.lazy and t.lazy_deadline is not None and t.lazy_deadline <= now:
-                return t
-        return None
-
-    def _execute_plan(self, client, plan):
-        params = self.params
-        dma_done = None
-        if plan.dma_runs:
-            # DMA needs physical addresses: walk (or ATCache-hit) the pages
-            # of each run before ringing the doorbell (§4.3).
-            translate = 0
-            for run in plan.dma_runs:
-                cycles, _h, _m = self.atcache.translation_cost(
-                    run.task.src.aspace, run.src_va, run.nbytes,
-                    contiguous=True)
-                translate += cycles
-                cycles, _h, _m = self.atcache.translation_cost(
-                    run.task.dst.aspace, run.dst_va, run.nbytes, write=True,
-                    contiguous=True)
-                translate += cycles
-            yield Compute(params.dma_submit_cycles + translate,
-                          tag="copier-copy")
-            batch = []
-            for run in plan.dma_runs:
-                batch.append(DMASubtask(
-                    run.task.src.aspace, run.src_va,
-                    run.task.dst.aspace, run.dst_va, run.nbytes,
-                    on_done=self._make_dma_callback(client, run)))
-            dma_done = self.dma.submit(batch)
-        for job in plan.avx_jobs:
-            if job.task.is_finished or job.task.descriptor.is_ready(job.seg_index):
-                continue
-            cycles = int(job.nbytes / params.avx_bytes_per_cycle) \
-                + _AVX_SEGMENT_OVERHEAD
-            yield Compute(cycles, tag="copier-copy")
-            dst_region = job.task.dst_range_of_segment(job.seg_index)
-            self._write_spans(client, job.task, job.seg_index, dst_region,
-                              job.spans)
-        if dma_done is not None:
-            yield WaitEvent(dma_done)
-            yield Compute(params.dma_complete_check_cycles, tag="copier-copy")
-        for task in plan.tasks:
-            if not task.is_finished and task.descriptor.all_ready:
-                yield from self._finish_task(client, task)
-
-    def _make_dma_callback(self, client, run):
-        def on_done(_subtask):
-            for job in run.jobs:
-                if not run.task.is_finished:
-                    run.task.descriptor.mark(job.seg_index)
-            client.stats.bytes_copied += run.nbytes
-            self.scheduler.charge(client, run.nbytes)
-        return on_done
-
-    def _write_spans(self, client, task, seg_index, dst_region, spans):
-        data = bytearray()
-        absorbed = 0
-        for span in spans:
-            data += span.aspace.read(span.va, span.nbytes)
-            if span.absorbed:
-                absorbed += span.nbytes
-        task.dst.aspace.write(dst_region.start, bytes(data))
-        task.descriptor.mark(seg_index)
-        task.absorbed_bytes += absorbed
-        client.stats.bytes_copied += dst_region.length
-        client.stats.bytes_absorbed += absorbed
-        self.scheduler.charge(client, dst_region.length)
-        if task.started_at is None:
-            task.started_at = self.env.now
-
-    def _sweep_completed(self, client):
-        for task in list(client.pending):
-            if not task.is_finished and task.descriptor.all_ready:
-                # Completed by DMA callbacks or promotion: finalize cheaply.
-                task.state = task_mod.DONE
-                task.completed_at = self.env.now
-                client.pending.remove(task)
-                client.stats.completed += 1
-                self._unpin(task)
-                self._queue_handler(client, task)
-
-    def _finish_task(self, client, task):
-        task.state = task_mod.DONE
-        task.completed_at = self.env.now
-        try:
-            client.pending.remove(task)
-        except ValueError:
-            pass
-        client.stats.completed += 1
-        self._unpin(task)
-        yield from self._run_handler(client, task)
-
-    def _unpin(self, task):
-        if task.pinned:
-            task.src.aspace.unpin(task.src.start, task.src.length)
-            task.dst.aspace.unpin(task.dst.start, task.dst.length)
-            task.pinned = False
-
-    def _queue_handler(self, client, task):
-        if task.handler is None:
-            return
-        kind, fn, args = task.handler
-        if kind == "kfunc":
-            fn(*args)
-        else:
-            client.u_queues.handler.submit((fn, args))
-
-    def _run_handler(self, client, task):
-        if task.handler is None:
-            return
-        kind, fn, args = task.handler
-        yield Compute(self.params.handler_dispatch_cycles, tag="copier-mgmt")
-        if kind == "kfunc":
-            fn(*args)
-        else:
-            client.u_queues.handler.submit((fn, args))
+    def stats_snapshot(self):
+        """Plain-dict snapshot of the whole service (see copierstat)."""
+        dispatcher, atcache = self.dispatcher, self.atcache
+        snap = {
+            "now": self.env.now,
+            "polling": self.polling,
+            "scenario_active": self.scenario_active,
+            "threads": {
+                "active": self.active_threads,
+                "peak": self.peak_threads,
+                "spawned": len(self.threads),
+                "sleeping": sorted(self._wake_events),
+            },
+            "dispatcher": {
+                "rounds": dispatcher.rounds_planned,
+                "bytes_to_dma": dispatcher.bytes_to_dma,
+                "bytes_to_avx": dispatcher.bytes_to_avx,
+                "use_dma": dispatcher.use_dma,
+                "use_absorption": dispatcher.use_absorption,
+            },
+            "atcache": {
+                "hits": atcache.hits,
+                "misses": atcache.misses,
+                "hit_rate": atcache.hit_rate,
+                "invalidations": atcache.invalidations,
+            },
+            "dma": None,
+            "tasks_dropped": self.tasks_dropped,
+            "cgroups": {
+                name: {"shares": g.shares,
+                       "total_copy_length": g.total_copy_length,
+                       "clients": len(g.clients)}
+                for name, g in self.scheduler.cgroups.items()
+            },
+            "clients": {c.name: c.stats_snapshot() for c in self.clients},
+            "stages": self.stage_stats.as_dict(),
+        }
+        if self.dma is not None:
+            snap["dma"] = {
+                "bytes_copied": self.dma.bytes_copied,
+                "batches": self.dma.batches,
+                "busy_cycles": self.dma.busy_cycles,
+            }
+        return snap

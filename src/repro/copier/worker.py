@@ -1,0 +1,205 @@
+"""The per-thread Copier loop: polling, sleep/wake, and auto-scaling.
+
+Each Copier thread is a :class:`CopierWorker` running as a simulator
+process pinned to a dedicated core.  Per iteration it ingests published
+tasks, serves Sync Tasks (k-mode before u-mode, §4.2.2), asks the
+scheduler for a client and executes one dispatcher round for it — all via
+the service's shared :class:`~repro.copier.executor.CopyExecutor`.  The
+*between-sweeps* behaviour (poll gaps, when to block, whether submissions
+wake it) is delegated to the service's pluggable
+:class:`~repro.copier.polling.PollingPolicy`.
+
+:class:`AutoScaler` implements §4.5.1's load-watching: thread 0 records
+its busy-time fraction per decision window and wakes/sheds sibling
+threads to keep it between ``low_load`` and ``high_load``.
+"""
+
+from repro.sim import Compute, Timeout, WaitEvent
+from repro.sim.trace import ThreadSleep, ThreadWake
+
+
+class AutoScaler:
+    """Busy-fraction-driven thread scaling for one service (§4.5.1)."""
+
+    #: Loop iterations per auto-scaling decision window.
+    LOAD_WINDOW = 24
+
+    #: Consecutive low-load observations before shedding a thread.
+    LOW_STREAK = 3
+
+    def __init__(self, service):
+        self.service = service
+        self.window = []
+        self._low_streak = 0
+
+    def record(self, load, tid=0):
+        """Thread 0 watches its busy-time fraction over each decision
+        window and keeps it between low_load and high_load by waking or
+        sleeping sibling threads.  Scale-down needs a streak of low
+        observations (hysteresis) so brief inter-request gaps don't shed
+        threads under sustained load."""
+        service = self.service
+        if not service.autoscale or tid != 0:
+            return
+        self.window.append(load)
+        if load > service.params.high_load:
+            self._low_streak = 0
+            if service.active_threads < service.max_threads:
+                service.active_threads += 1
+                service.peak_threads = max(service.peak_threads,
+                                           service.active_threads)
+                service._wake_all()
+        elif load < service.params.low_load:
+            self._low_streak += 1
+            if self._low_streak >= self.LOW_STREAK and service.active_threads > 1:
+                service.active_threads -= 1
+                self._low_streak = 0
+        else:
+            self._low_streak = 0
+
+
+class CopierWorker:
+    """One Copier thread: owns the loop generator spawned by the service."""
+
+    def __init__(self, service, tid):
+        self.service = service
+        self.tid = tid
+
+    def my_clients(self):
+        """Clients served by this thread: round-robin over the active
+        thread count, so scaling up immediately re-spreads clients (the
+        NUMA-local preference is a no-op in this single-node model)."""
+        service = self.service
+        if self.tid >= service.active_threads:
+            return []
+        return [c for i, c in enumerate(service.clients)
+                if i % service.active_threads == self.tid]
+
+    # ------------------------------------------------------------ main loop
+
+    def loop(self):
+        service = self.service
+        executor = service.executor
+        params = service.params
+        # Save SIMD state once on activation instead of per copy (§4.3).
+        yield Compute(params.simd_state_cycles, tag="copier-mgmt")
+        idle_streak = 0
+        win_start = service.env.now
+        win_busy = 0
+        win_iters = 0
+        while service.running:
+            if not service.policy.ready(service) or \
+                    self.tid >= service.active_threads:
+                yield from self._sleep()
+                win_start, win_busy, win_iters = service.env.now, 0, 0
+                continue
+            iter_start = service.env.now
+            did_work = False
+            clients = self.my_clients()
+
+            ingest_cost = 0
+            for client in clients:
+                ingest_cost += executor.ingest(client)
+            if ingest_cost:
+                yield Compute(ingest_cost, tag="copier-mgmt")
+
+            # Sync Tasks first — k-mode before u-mode (§4.2.2).
+            for kind in ("k", "u"):
+                for client in clients:
+                    queues = client.k_queues if kind == "k" else client.u_queues
+                    for sync in queues.sync.drain():
+                        did_work = True
+                        yield from executor.handle_sync(client, sync)
+
+            ready = [c for c in clients if executor.has_runnable(c)]
+            client = service.scheduler.pick(ready)
+            if client is not None:
+                head = executor.next_head(client)
+                plan = service.dispatcher.build_round(
+                    client.pending, service.scheduler.copy_slice_bytes,
+                    head=head)
+                if plan is not None and (plan.avx_jobs or plan.dma_runs):
+                    did_work = True
+                    yield from executor.execute_plan(client, plan)
+                service.completion.sweep(client)
+
+            if did_work:
+                win_busy += service.env.now - iter_start
+            win_iters += 1
+            if win_iters >= AutoScaler.LOAD_WINDOW:
+                elapsed = max(1, service.env.now - win_start)
+                service.autoscaler.record(win_busy / elapsed, tid=self.tid)
+                win_start, win_busy, win_iters = service.env.now, 0, 0
+            if did_work:
+                idle_streak = 0
+                service.rounds_executed += 1
+            else:
+                idle_streak += 1
+                yield Compute(params.queue_poll_cycles, tag="poll")
+                if service.policy.should_block(idle_streak):
+                    # Brief busy-poll burst, then block until a client's
+                    # doorbell (or, in scenario mode, until the scenario
+                    # begins) — instant wakeup, no idle burn.  Going idle
+                    # is itself a low-load observation for auto-scaling.
+                    service.autoscaler.record(0.0, tid=self.tid)
+                    self._arm_lazy_timer(clients)
+                    yield from self._sleep(wake_cost=100)
+                    idle_streak = 0
+                    win_start, win_busy, win_iters = service.env.now, 0, 0
+                else:
+                    yield Timeout(service.policy.poll_gap(idle_streak))
+
+    # ----------------------------------------------------------- sleep/wake
+
+    def _arm_lazy_timer(self, clients):
+        """Before sleeping, arm a wakeup at the earliest lazy deadline so
+        deferred tasks still run when their period elapses (§4.4)."""
+        service = self.service
+        deadlines = [t.lazy_deadline for c in clients for t in c.pending
+                     if t.lazy and t.lazy_deadline is not None]
+        if not deadlines:
+            return
+        delay = max(0, min(deadlines) - service.env.now)
+        tid = self.tid
+
+        def fire():
+            event = service._wake_events.get(tid)
+            if event is not None and not event.triggered:
+                event.succeed()
+
+        service.env.schedule(delay, fire)
+
+    def _sleep(self, wake_cost=None):
+        service = self.service
+        event = service.env.event()
+        service._wake_events[self.tid] = event
+        # Re-check after publishing the wake slot: a client may have
+        # submitted between our last drain and here (the classic lost
+        # wakeup), in which case we skip the sleep entirely.  An inactive
+        # scenario sleeps unconditionally — only scenario_begin wakes it.
+        if service.policy.ready(service) and self._has_published_work():
+            service._wake_events.pop(self.tid, None)
+            return
+        trace = service.trace
+        slept_at = service.env.now
+        if trace.active:
+            trace.emit(ThreadSleep(slept_at, self.tid))
+        yield WaitEvent(event)
+        service._wake_events.pop(self.tid, None)
+        if trace.active:
+            trace.emit(ThreadWake(service.env.now, self.tid,
+                                  service.env.now - slept_at))
+        if wake_cost is None:
+            wake_cost = service.params.scenario_wake_cycles
+        yield Compute(wake_cost, tag="copier-mgmt")
+
+    def _has_published_work(self):
+        executor = self.service.executor
+        for client in self.my_clients():
+            if (not client.u_queues.copy.is_empty
+                    or not client.k_queues.copy.is_empty
+                    or not client.u_queues.sync.is_empty
+                    or not client.k_queues.sync.is_empty
+                    or executor.has_runnable(client)):
+                return True
+        return False

@@ -19,6 +19,7 @@ from repro.sim.process import Process, ProcessKilled
 from repro.sim.requests import Compute, Timeout, WaitEvent
 from repro.sim.cores import CoreSet
 from repro.sim.stats import CycleStats, EnergyModel
+from repro.sim.trace import StageAggregator, TraceBus, TraceEvent
 
 __all__ = [
     "Environment",
@@ -31,4 +32,7 @@ __all__ = [
     "CoreSet",
     "CycleStats",
     "EnergyModel",
+    "TraceBus",
+    "TraceEvent",
+    "StageAggregator",
 ]

@@ -6,6 +6,7 @@ from repro.sim.cores import CoreSet
 from repro.sim.events import Event
 from repro.sim.process import Process
 from repro.sim.stats import CycleStats
+from repro.sim.trace import TraceBus
 
 
 class Environment:
@@ -21,6 +22,7 @@ class Environment:
         self._heap = []
         self._seq = 0
         self.stats = CycleStats()
+        self.trace = TraceBus()
         self.cores = CoreSet(self, n_cores, timeslice)
         self.processes = []
 

@@ -1,0 +1,300 @@
+"""System-wide trace bus: typed events at every copy-path stage boundary.
+
+The paper treats submission, ingestion, dispatch, execution and completion
+as distinct stages with distinct policies (§4.2–§4.5); the trace bus makes
+those boundaries observable.  Each layer of the Copier subsystem emits a
+typed event as work crosses its boundary:
+
+==================  ========================================================
+event               emitted when
+==================  ========================================================
+``task-submitted``  a client publishes a Copy Task on its CSH ring
+``task-ingested``   a Copier thread moves the task into the pending list
+                    (security checks + proactive faulting done)
+``round-planned``   the piggyback dispatcher produced an execution round
+``segment-executed``one segment's bytes landed via the AVX path
+``dma-completed``   a physically-contiguous DMA run signalled completion
+``task-finished``   the task retired (``done``/``aborted``/``dropped``)
+``thread-sleep``    a Copier thread blocked on its doorbell
+``thread-wake``     a Copier thread resumed (carries the slept cycles)
+==================  ========================================================
+
+The bus itself is policy-free: ``subscribe`` a callable, every event is
+delivered synchronously in emission order.  :class:`StageAggregator` is the
+standard subscriber — it folds the per-task event streams into the
+submit→ingest→execute→complete latency breakdown that ``copierstat`` and
+the benchmark reports print.
+
+One bus exists per simulated machine (``Environment.trace``), so kernel
+services and future subsystems can share the same spine.
+"""
+
+
+class TraceEvent:
+    """Base class: every event carries the cycle timestamp it occurred at."""
+
+    __slots__ = ("ts",)
+    kind = "event"
+
+    def __init__(self, ts):
+        self.ts = ts
+
+    def __repr__(self):
+        fields = ", ".join(
+            "%s=%r" % (name, getattr(self, name))
+            for cls in type(self).__mro__
+            for name in getattr(cls, "__slots__", ())
+        )
+        return "<%s %s>" % (self.kind, fields)
+
+
+class TaskSubmitted(TraceEvent):
+    kind = "task-submitted"
+    __slots__ = ("task_id", "client_name", "queue_kind", "nbytes", "lazy")
+
+    def __init__(self, ts, task_id, client_name, queue_kind, nbytes, lazy):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.client_name = client_name
+        self.queue_kind = queue_kind
+        self.nbytes = nbytes
+        self.lazy = lazy
+
+
+class TaskIngested(TraceEvent):
+    kind = "task-ingested"
+    __slots__ = ("task_id", "client_name")
+
+    def __init__(self, ts, task_id, client_name):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.client_name = client_name
+
+
+class RoundPlanned(TraceEvent):
+    kind = "round-planned"
+    __slots__ = ("client_name", "mode", "avx_bytes", "dma_bytes", "n_tasks")
+
+    def __init__(self, ts, client_name, mode, avx_bytes, dma_bytes, n_tasks):
+        super().__init__(ts)
+        self.client_name = client_name
+        self.mode = mode
+        self.avx_bytes = avx_bytes
+        self.dma_bytes = dma_bytes
+        self.n_tasks = n_tasks
+
+
+class SegmentExecuted(TraceEvent):
+    kind = "segment-executed"
+    __slots__ = ("task_id", "seg_index", "nbytes", "engine", "absorbed_bytes")
+
+    def __init__(self, ts, task_id, seg_index, nbytes, engine, absorbed_bytes=0):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.seg_index = seg_index
+        self.nbytes = nbytes
+        self.engine = engine
+        self.absorbed_bytes = absorbed_bytes
+
+
+class DmaCompleted(TraceEvent):
+    kind = "dma-completed"
+    __slots__ = ("task_id", "nbytes", "n_segments")
+
+    def __init__(self, ts, task_id, nbytes, n_segments):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.nbytes = nbytes
+        self.n_segments = n_segments
+
+
+class TaskFinished(TraceEvent):
+    kind = "task-finished"
+    __slots__ = ("task_id", "client_name", "outcome", "nbytes")
+
+    def __init__(self, ts, task_id, client_name, outcome, nbytes):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.client_name = client_name
+        self.outcome = outcome  # "done" | "aborted" | "dropped"
+        self.nbytes = nbytes
+
+
+class ThreadSleep(TraceEvent):
+    kind = "thread-sleep"
+    __slots__ = ("tid",)
+
+    def __init__(self, ts, tid):
+        super().__init__(ts)
+        self.tid = tid
+
+
+class ThreadWake(TraceEvent):
+    kind = "thread-wake"
+    __slots__ = ("tid", "slept_cycles")
+
+    def __init__(self, ts, tid, slept_cycles):
+        super().__init__(ts)
+        self.tid = tid
+        self.slept_cycles = slept_cycles
+
+
+class TraceBus:
+    """Synchronous publish/subscribe spine for :class:`TraceEvent` streams."""
+
+    def __init__(self):
+        self._subscribers = []
+
+    @property
+    def active(self):
+        """True when at least one subscriber is attached (emit sites may
+        use this to skip event construction entirely)."""
+        return bool(self._subscribers)
+
+    def subscribe(self, fn):
+        """Attach ``fn(event)``; returns ``fn`` for later unsubscribe."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn):
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    def emit(self, event):
+        for fn in self._subscribers:
+            fn(event)
+
+
+class StageLatency:
+    """Count/total/max accumulator for one stage's latency samples."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    def add(self, delta):
+        self.count += 1
+        self.total += delta
+        if delta > self.max:
+            self.max = delta
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self):
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "max": self.max}
+
+
+#: Stage names in pipeline order (also the render order downstream).
+STAGE_NAMES = (
+    "submit_to_ingest",
+    "ingest_to_execute",
+    "execute_to_complete",
+    "submit_to_complete",
+)
+
+
+class StageAggregator:
+    """Folds the event stream into per-stage latency statistics.
+
+    Memory is O(in-flight tasks): per-task timestamps are dropped the
+    moment the task retires.  Only tasks that retire ``done`` contribute
+    latency samples — aborted/dropped tasks would skew the breakdown with
+    policy decisions rather than pipeline behaviour (they are still
+    counted in ``outcomes``).
+    """
+
+    def __init__(self, bus=None):
+        self.stages = {name: StageLatency() for name in STAGE_NAMES}
+        self.outcomes = {"done": 0, "aborted": 0, "dropped": 0}
+        self.thread_sleeps = 0
+        self.thread_wakes = 0
+        self.slept_cycles = 0
+        self.rounds = 0
+        self.events_seen = 0
+        self._submitted = {}
+        self._ingested = {}
+        self._first_exec = {}
+        self._dispatch = {
+            TaskSubmitted: self._on_submitted,
+            TaskIngested: self._on_ingested,
+            RoundPlanned: self._on_round,
+            SegmentExecuted: self._on_executed,
+            DmaCompleted: self._on_executed,
+            TaskFinished: self._on_finished,
+            ThreadSleep: self._on_sleep,
+            ThreadWake: self._on_wake,
+        }
+        if bus is not None:
+            bus.subscribe(self)
+
+    def __call__(self, event):
+        self.events_seen += 1
+        handler = self._dispatch.get(type(event))
+        if handler is not None:
+            handler(event)
+
+    # ------------------------------------------------------------- handlers
+
+    def _on_submitted(self, event):
+        self._submitted[event.task_id] = event.ts
+
+    def _on_ingested(self, event):
+        self._ingested[event.task_id] = event.ts
+        submitted = self._submitted.get(event.task_id)
+        if submitted is not None:
+            self.stages["submit_to_ingest"].add(event.ts - submitted)
+
+    def _on_round(self, event):
+        self.rounds += 1
+
+    def _on_executed(self, event):
+        if event.task_id in self._first_exec:
+            return
+        self._first_exec[event.task_id] = event.ts
+        ingested = self._ingested.get(event.task_id)
+        if ingested is not None:
+            self.stages["ingest_to_execute"].add(event.ts - ingested)
+
+    def _on_finished(self, event):
+        task_id = event.task_id
+        submitted = self._submitted.pop(task_id, None)
+        self._ingested.pop(task_id, None)
+        first_exec = self._first_exec.pop(task_id, None)
+        self.outcomes[event.outcome] = self.outcomes.get(event.outcome, 0) + 1
+        if event.outcome != "done":
+            return
+        if first_exec is not None:
+            self.stages["execute_to_complete"].add(event.ts - first_exec)
+        if submitted is not None:
+            self.stages["submit_to_complete"].add(event.ts - submitted)
+
+    def _on_sleep(self, event):
+        self.thread_sleeps += 1
+
+    def _on_wake(self, event):
+        self.thread_wakes += 1
+        self.slept_cycles += event.slept_cycles
+
+    # -------------------------------------------------------------- export
+
+    def as_dict(self):
+        """Plain-dict snapshot (the shape ``copierstat`` renders)."""
+        return {
+            "stages": {name: self.stages[name].as_dict()
+                       for name in STAGE_NAMES},
+            "outcomes": dict(self.outcomes),
+            "rounds": self.rounds,
+            "threads": {"sleeps": self.thread_sleeps,
+                        "wakes": self.thread_wakes,
+                        "slept_cycles": self.slept_cycles},
+            "in_flight": len(self._submitted),
+            "events": self.events_seen,
+        }

@@ -4,78 +4,32 @@
 Snapshots the whole service — per-client queue depths, pending tasks,
 copy/absorption counters, scheduler totals, cgroup weights, ATCache and
 dispatcher statistics, thread states — into a plain dict, and renders a
-human-readable report.  Useful both for debugging ports (is my abort
-actually retiring the task?) and for the benchmarks' narratives.
+human-readable report.  The snapshot itself comes from
+:meth:`CopierService.stats_snapshot`; this module owns only the rendering.
+
+Since the trace bus landed, the snapshot also carries a ``"stages"``
+section: the per-stage latency breakdown (submit→ingest, ingest→execute,
+execute→complete, submit→complete) aggregated from the typed events each
+copy-path layer emits (:mod:`repro.sim.trace`), plus task outcomes and
+thread sleep/wake accounting.  Useful both for debugging ports (is my
+abort actually retiring the task?  where does my latency live?) and for
+the benchmarks' narratives.
 """
+
+from repro.sim.trace import STAGE_NAMES
+
+#: Human-readable labels for the pipeline stages, in render order.
+STAGE_LABELS = {
+    "submit_to_ingest": "submit→ingest",
+    "ingest_to_execute": "ingest→execute",
+    "execute_to_complete": "execute→complete",
+    "submit_to_complete": "submit→complete",
+}
 
 
 def snapshot(service):
     """Return a nested dict describing the service's current state."""
-    sched = service.scheduler
-    dispatcher = service.dispatcher
-    atcache = service.atcache
-    snap = {
-        "now": service.env.now,
-        "polling": service.polling,
-        "scenario_active": service.scenario_active,
-        "threads": {
-            "active": service.active_threads,
-            "peak": service.peak_threads,
-            "spawned": len(service.threads),
-            "sleeping": sorted(service._wake_events),
-        },
-        "dispatcher": {
-            "rounds": dispatcher.rounds_planned,
-            "bytes_to_dma": dispatcher.bytes_to_dma,
-            "bytes_to_avx": dispatcher.bytes_to_avx,
-            "use_dma": dispatcher.use_dma,
-            "use_absorption": dispatcher.use_absorption,
-        },
-        "atcache": {
-            "hits": atcache.hits,
-            "misses": atcache.misses,
-            "hit_rate": atcache.hit_rate,
-            "invalidations": atcache.invalidations,
-        },
-        "dma": None,
-        "tasks_dropped": service.tasks_dropped,
-        "cgroups": {
-            name: {"shares": g.shares,
-                   "total_copy_length": g.total_copy_length,
-                   "clients": len(g.clients)}
-            for name, g in sched.cgroups.items()
-        },
-        "clients": {},
-    }
-    if service.dma is not None:
-        snap["dma"] = {
-            "bytes_copied": service.dma.bytes_copied,
-            "batches": service.dma.batches,
-            "busy_cycles": service.dma.busy_cycles,
-        }
-    for client in service.clients:
-        stats = client.stats
-        snap["clients"][client.name] = {
-            "queues": {
-                "u_copy": len(client.u_queues.copy),
-                "u_sync": len(client.u_queues.sync),
-                "u_handler": len(client.u_queues.handler),
-                "k_copy": len(client.k_queues.copy),
-                "k_sync": len(client.k_queues.sync),
-            },
-            "pending_tasks": len(client.pending),
-            "submitted": stats.submitted,
-            "completed": stats.completed,
-            "aborted": stats.aborted,
-            "dropped": stats.dropped,
-            "sync_tasks": stats.sync_tasks,
-            "bytes_copied": stats.bytes_copied,
-            "bytes_absorbed": stats.bytes_absorbed,
-            "scheduler_total": sched.client_total(client),
-            "descriptor_pool": {"hits": client.desc_pool.hits,
-                                "misses": client.desc_pool.misses},
-        }
-    return snap
+    return service.stats_snapshot()
 
 
 def render(snap):
@@ -101,6 +55,8 @@ def render(snap):
             snap["dma"]["bytes_copied"], snap["dma"]["batches"],
             snap["dma"]["busy_cycles"]))
     out("  dropped tasks: %d" % snap["tasks_dropped"])
+    for line in render_stages(snap.get("stages")):
+        out(line)
     for name, group in sorted(snap["cgroups"].items()):
         out("  cgroup %-12s shares=%-4d total=%-10d clients=%d" % (
             name, group["shares"], group["total_copy_length"],
@@ -116,6 +72,31 @@ def render(snap):
                 q["u_copy"], q["u_sync"], q["u_handler"], q["k_copy"],
                 q["k_sync"]))
     return "\n".join(lines)
+
+
+def render_stages(stages):
+    """Render the trace-bus stage section as report lines.
+
+    ``stages`` is the ``"stages"`` entry of a snapshot (or an aggregator's
+    ``as_dict()``); returns ``[]`` when absent so old snapshots render.
+    """
+    if not stages:
+        return []
+    lines = ["  stage latency (cycles, from the trace bus):"]
+    for name in STAGE_NAMES:
+        stage = stages["stages"][name]
+        lines.append("    %-16s n=%-5d mean=%-10.1f max=%d" % (
+            STAGE_LABELS[name], stage["count"], stage["mean"], stage["max"]))
+    outcomes = stages["outcomes"]
+    threads = stages["threads"]
+    lines.append("    outcomes: %d done / %d aborted / %d dropped; "
+                 "%d rounds, %d in flight" % (
+                     outcomes.get("done", 0), outcomes.get("aborted", 0),
+                     outcomes.get("dropped", 0), stages["rounds"],
+                     stages["in_flight"]))
+    lines.append("    threads: %d sleeps / %d wakes, %d cycles slept" % (
+        threads["sleeps"], threads["wakes"], threads["slept_cycles"]))
+    return lines
 
 
 def report(service):

@@ -1,0 +1,216 @@
+"""Polling-policy tests: the strategy objects and the scenario mode's
+sleep/wake behaviour (§4.5.1, §5.3)."""
+
+import pytest
+
+from repro.copier import (AdaptivePolicy, NapiPolicy, PollingPolicy,
+                          ScenarioPolicy, make_policy)
+from repro.copier.polling import NAPI_POLL_GAP
+from repro.sim import Timeout
+from tests.copier.conftest import Setup
+
+
+# --------------------------------------------------------------- factory
+
+def test_make_policy_by_name():
+    assert isinstance(make_policy("napi"), NapiPolicy)
+    assert isinstance(make_policy("scenario"), ScenarioPolicy)
+    assert isinstance(make_policy("adaptive"), AdaptivePolicy)
+
+
+def test_make_policy_passes_instances_through():
+    policy = AdaptivePolicy(base_gap=100, max_gap=400)
+    assert make_policy(policy) is policy
+
+
+def test_make_policy_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown polling mode"):
+        make_policy("bogus")
+
+
+def test_service_polling_property_swaps_policy():
+    setup = Setup()
+    assert setup.service.polling == "napi"
+    setup.service.polling = "adaptive"
+    assert isinstance(setup.service.policy, AdaptivePolicy)
+    assert setup.service.polling == "adaptive"
+    with pytest.raises(ValueError):
+        setup.service.polling = "nope"
+
+
+# ---------------------------------------------------------------- shapes
+
+def test_napi_gap_is_constant():
+    policy = NapiPolicy()
+    assert [policy.poll_gap(i) for i in (0, 1, 50)] == [NAPI_POLL_GAP] * 3
+    assert not policy.should_block(policy.idle_threshold)
+    assert policy.should_block(policy.idle_threshold + 1)
+
+
+def test_adaptive_gap_widens_monotonically_and_caps():
+    policy = AdaptivePolicy(base_gap=100, max_gap=1600)
+    gaps = [policy.poll_gap(i) for i in range(8)]
+    assert gaps[0] == 100
+    assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+    assert gaps[4] == 1600  # 100 << 4
+    assert gaps[-1] == 1600  # capped
+    assert policy.poll_gap(10_000) == 1600  # huge streaks don't overflow
+    assert policy.poll_gap(-3) == 100
+
+
+def test_adaptive_blocks_later_than_napi():
+    assert AdaptivePolicy().idle_threshold > NapiPolicy().idle_threshold
+
+
+def test_adaptive_rejects_bad_gaps():
+    with pytest.raises(ValueError):
+        AdaptivePolicy(base_gap=0)
+    with pytest.raises(ValueError):
+        AdaptivePolicy(base_gap=400, max_gap=200)
+
+
+def test_custom_policy_subclass_is_accepted():
+    class Eager(PollingPolicy):
+        name = "eager"
+
+        def poll_gap(self, idle_streak):
+            return 1
+
+    setup = Setup(polling=Eager())
+    assert setup.service.polling == "eager"
+    _copy_roundtrip(setup)
+    assert setup.client.stats.completed == 1
+
+
+# ------------------------------------------------------------ end-to-end
+
+def _copy_roundtrip(setup, nbytes=8192):
+    client, aspace = setup.client, setup.aspace
+    src = aspace.mmap(nbytes, populate=True)
+    dst = aspace.mmap(nbytes, populate=True)
+    aspace.write(src, bytes(range(256)) * (nbytes // 256))
+
+    def gen():
+        yield from client.amemcpy(dst, src, nbytes)
+        yield from client.csync(dst, nbytes)
+
+    setup.run_process(gen())
+    assert aspace.read(dst, nbytes) == aspace.read(src, nbytes)
+
+
+def test_adaptive_polling_copies_correctly():
+    setup = Setup(polling="adaptive")
+    _copy_roundtrip(setup)
+    assert setup.client.stats.completed == 1
+
+
+def test_adaptive_widened_gap_still_wakes_on_submission():
+    """After a long idle stretch (gap at max), a new submission must still
+    be picked up promptly via the doorbell path."""
+    setup = Setup(polling="adaptive")
+    client, aspace = setup.client, setup.aspace
+    src = aspace.mmap(4096, populate=True)
+    dst = aspace.mmap(4096, populate=True)
+
+    def gen():
+        yield Timeout(400_000)  # let the worker widen its gap and block
+        yield from client.amemcpy(dst, src, 4096)
+        yield from client.csync(dst, 4096)
+
+    setup.run_process(gen())
+    assert client.stats.completed == 1
+
+
+# --------------------------------------------------- scenario mode (§5.3)
+
+def test_scenario_no_progress_until_begin():
+    setup = Setup(polling="scenario")
+    service, client, aspace = setup.service, setup.client, setup.aspace
+    src = aspace.mmap(8192, populate=True)
+    dst = aspace.mmap(8192, populate=True)
+    observed = {}
+
+    def gen():
+        yield from client.amemcpy(dst, src, 8192)
+        yield Timeout(500_000)
+        observed["completed_while_asleep"] = client.stats.completed
+        observed["ring_backlog"] = len(client.u_queues.copy)
+        observed["sleeping_tids"] = sorted(service._wake_events)
+        service.scenario_begin()
+        yield from client.csync(dst, 8192)
+
+    setup.run_process(gen())
+    # While the scenario was inactive the task sat in the ring untouched:
+    # not ingested, not copied, and the worker slept the whole time.
+    assert observed["completed_while_asleep"] == 0
+    assert observed["ring_backlog"] == 1
+    assert observed["sleeping_tids"] == [0]
+    assert client.stats.completed == 1
+
+
+def test_scenario_threads_resleep_when_queues_drain():
+    setup = Setup(polling="scenario")
+    service, client, aspace = setup.service, setup.client, setup.aspace
+    src = aspace.mmap(4096, populate=True)
+    dst = aspace.mmap(4096, populate=True)
+    observed = {}
+
+    def gen():
+        service.scenario_begin()
+        yield from client.amemcpy(dst, src, 4096)
+        yield from client.csync(dst, 4096)
+        # Queues are drained; the worker should busy-poll briefly, then
+        # block on its doorbell again.
+        yield Timeout(500_000)
+        observed["sleeping_tids"] = sorted(service._wake_events)
+        # A fresh submission rings the doorbell (scenario still active).
+        yield from client.amemcpy(dst, src, 4096)
+        yield from client.csync(dst, 4096)
+
+    setup.run_process(gen())
+    assert observed["sleeping_tids"] == [0]
+    assert client.stats.completed == 2
+
+
+def test_scenario_end_gates_work_again():
+    setup = Setup(polling="scenario")
+    service, client, aspace = setup.service, setup.client, setup.aspace
+    src = aspace.mmap(4096, populate=True)
+    dst = aspace.mmap(4096, populate=True)
+    observed = {}
+
+    def gen():
+        service.scenario_begin()
+        yield from client.amemcpy(dst, src, 4096)
+        yield from client.csync(dst, 4096)
+        service.scenario_end()
+        yield from client.amemcpy(dst, src, 4096)
+        yield Timeout(500_000)
+        observed["completed_after_end"] = client.stats.completed
+        service.scenario_begin()
+        yield from client.csync(dst, 4096)
+
+    setup.run_process(gen())
+    assert observed["completed_after_end"] == 1
+    assert client.stats.completed == 2
+
+
+def test_awaken_wakes_blocked_threads():
+    setup = Setup(polling="scenario")
+    service, client, aspace = setup.service, setup.client, setup.aspace
+    src = aspace.mmap(4096, populate=True)
+    dst = aspace.mmap(4096, populate=True)
+    observed = {}
+
+    def gen():
+        service.scenario_begin()
+        yield from client.amemcpy(dst, src, 4096)
+        yield from client.csync(dst, 4096)
+        yield Timeout(500_000)  # worker has drained and blocked again
+        observed["wakes_before"] = service.stage_stats.thread_wakes
+        service.awaken()  # the copier_awaken syscall: force a sweep
+        yield Timeout(100_000)
+        observed["wakes_after"] = service.stage_stats.thread_wakes
+
+    setup.run_process(gen())
+    assert observed["wakes_after"] > observed["wakes_before"]

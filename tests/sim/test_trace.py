@@ -1,0 +1,144 @@
+"""Trace bus and stage-aggregation tests."""
+
+from repro.sim.trace import (STAGE_NAMES, DmaCompleted, RoundPlanned,
+                             SegmentExecuted, StageAggregator, TaskFinished,
+                             TaskIngested, TaskSubmitted, ThreadSleep,
+                             ThreadWake, TraceBus)
+from tests.copier.conftest import Setup
+
+
+def test_bus_subscribe_emit_unsubscribe():
+    bus = TraceBus()
+    assert not bus.active
+    seen = []
+    fn = bus.subscribe(seen.append)
+    assert bus.active
+    event = TaskSubmitted(10, 1, "app", "u", 4096, False)
+    bus.emit(event)
+    assert seen == [event]
+    bus.unsubscribe(fn)
+    assert not bus.active
+    bus.emit(TaskSubmitted(20, 2, "app", "u", 4096, False))
+    assert len(seen) == 1
+    bus.unsubscribe(fn)  # double-unsubscribe is harmless
+
+
+def test_bus_delivers_in_order_to_all_subscribers():
+    bus = TraceBus()
+    a, b = [], []
+    bus.subscribe(a.append)
+    bus.subscribe(b.append)
+    events = [ThreadSleep(5, 0), ThreadWake(15, 0, 10)]
+    for event in events:
+        bus.emit(event)
+    assert a == events and b == events
+
+
+def test_event_repr_names_kind_and_fields():
+    text = repr(TaskFinished(99, 7, "app", "done", 4096))
+    assert "task-finished" in text
+    assert "task_id=7" in text
+    assert "ts=99" in text
+
+
+def test_aggregator_stage_latencies_from_synthetic_stream():
+    agg = StageAggregator()
+    agg(TaskSubmitted(100, 1, "app", "u", 8192, False))
+    agg(TaskIngested(130, 1, "app"))
+    agg(RoundPlanned(140, "app", "hybrid", 8192, 0, 1))
+    agg(SegmentExecuted(150, 1, 0, 4096, "avx"))
+    agg(SegmentExecuted(180, 1, 1, 4096, "avx"))  # only first exec counts
+    agg(TaskFinished(200, 1, "app", "done", 8192))
+    snap = agg.as_dict()
+    assert snap["stages"]["submit_to_ingest"] == {
+        "count": 1, "total": 30, "mean": 30.0, "max": 30}
+    assert snap["stages"]["ingest_to_execute"]["total"] == 20
+    assert snap["stages"]["execute_to_complete"]["total"] == 50
+    assert snap["stages"]["submit_to_complete"]["total"] == 100
+    assert snap["rounds"] == 1
+    assert snap["outcomes"]["done"] == 1
+    assert snap["in_flight"] == 0
+    assert snap["events"] == 6
+
+
+def test_aggregator_dma_completion_counts_as_first_execution():
+    agg = StageAggregator()
+    agg(TaskSubmitted(0, 4, "app", "u", 65536, False))
+    agg(TaskIngested(10, 4, "app"))
+    agg(DmaCompleted(60, 4, 65536, 16))
+    agg(TaskFinished(80, 4, "app", "done", 65536))
+    snap = agg.as_dict()
+    assert snap["stages"]["ingest_to_execute"]["total"] == 50
+    assert snap["stages"]["execute_to_complete"]["total"] == 20
+
+
+def test_aggregator_excludes_non_done_tasks_from_latency():
+    agg = StageAggregator()
+    agg(TaskSubmitted(0, 1, "app", "u", 4096, False))
+    agg(TaskIngested(5, 1, "app"))
+    agg(TaskFinished(50, 1, "app", "aborted", 4096))
+    agg(TaskSubmitted(0, 2, "app", "u", 4096, False))
+    agg(TaskFinished(1, 2, "app", "dropped", 4096))
+    snap = agg.as_dict()
+    assert snap["outcomes"]["aborted"] == 1
+    assert snap["outcomes"]["dropped"] == 1
+    # Aborted/dropped tasks never contribute end-to-end samples.
+    assert snap["stages"]["submit_to_complete"]["count"] == 0
+    assert snap["stages"]["execute_to_complete"]["count"] == 0
+    assert snap["in_flight"] == 0
+
+
+def test_aggregator_tracks_thread_sleep_wake():
+    agg = StageAggregator()
+    agg(ThreadSleep(100, 0))
+    agg(ThreadWake(400, 0, 300))
+    snap = agg.as_dict()
+    assert snap["threads"] == {"sleeps": 1, "wakes": 1, "slept_cycles": 300}
+
+
+def test_service_feeds_aggregator_end_to_end():
+    setup = Setup()
+    aspace, client = setup.aspace, setup.client
+    src = aspace.mmap(16 * 1024, populate=True)
+    dst = aspace.mmap(16 * 1024, populate=True)
+
+    def gen():
+        for _ in range(3):
+            yield from client.amemcpy(dst, src, 16 * 1024)
+            yield from client.csync(dst, 16 * 1024)
+
+    setup.run_process(gen())
+    snap = setup.service.stage_stats.as_dict()
+    assert snap["outcomes"]["done"] == 3
+    assert snap["in_flight"] == 0
+    for name in STAGE_NAMES:
+        assert snap["stages"][name]["count"] == 3, name
+        assert snap["stages"][name]["max"] >= 0
+    # Submission precedes ingestion precedes completion on the sim clock.
+    assert snap["stages"]["submit_to_complete"]["total"] >= \
+        snap["stages"]["submit_to_ingest"]["total"]
+    assert snap["rounds"] > 0
+    assert snap["events"] > 9
+
+
+def test_extra_subscriber_sees_raw_events():
+    setup = Setup()
+    kinds = []
+    setup.env.trace.subscribe(lambda event: kinds.append(event.kind))
+    aspace, client = setup.aspace, setup.client
+    src = aspace.mmap(4096, populate=True)
+    dst = aspace.mmap(4096, populate=True)
+
+    def gen():
+        yield from client.amemcpy(dst, src, 4096)
+        yield from client.csync(dst, 4096)
+
+    setup.run_process(gen())
+    assert "task-submitted" in kinds
+    assert "task-ingested" in kinds
+    assert "segment-executed" in kinds
+    assert "task-finished" in kinds
+    # Pipeline order holds for the first occurrence of each stage.
+    order = [kinds.index(k) for k in
+             ("task-submitted", "task-ingested", "task-finished")]
+    assert order == sorted(order)

@@ -1,8 +1,6 @@
 """CopierStat introspection tests."""
 
-import pytest
-
-from repro.tools.copierstat import report, snapshot
+from repro.tools.copierstat import render_stages, report, snapshot
 from tests.copier.conftest import Setup
 
 
@@ -59,6 +57,42 @@ def test_report_renders_key_lines():
     assert "atcache:" in text
     assert "client app" in text
     assert "cgroup root" in text
+
+
+def test_snapshot_is_plain_data():
+    """The snapshot is JSON-ready: service-side delegation returns dicts,
+    lists and scalars all the way down (no live objects leak out)."""
+    import json
+
+    setup = Setup()
+    _run_some_work(setup)
+    snap = setup.service.stats_snapshot()
+    json.dumps(snap)  # raises on any non-plain value
+    assert snap is not setup.service.stats_snapshot()  # fresh each call
+    client_snap = snap["clients"]["app"]
+    assert client_snap == dict(client_snap)
+    # ClientStats.as_dict covers every counter slot.
+    stats_dict = setup.client.stats.as_dict()
+    assert set(stats_dict) == set(setup.client.stats.__slots__)
+    for name, value in stats_dict.items():
+        assert client_snap[name] == value
+
+
+def test_report_includes_stage_breakdown():
+    setup = Setup()
+    _run_some_work(setup)
+    text = report(setup.service)
+    assert "stage latency (cycles, from the trace bus):" in text
+    for label in ("submit→ingest", "ingest→execute", "execute→complete",
+                  "submit→complete"):
+        assert label in text
+    assert "3 done / 0 aborted / 0 dropped" in text
+
+
+def test_render_stages_tolerates_missing_section():
+    # Old snapshots (or foreign dicts) without a "stages" entry still render.
+    assert render_stages(None) == []
+    assert render_stages({}) == []
 
 
 def test_snapshot_shows_queue_backlog():
