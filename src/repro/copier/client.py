@@ -12,17 +12,22 @@ from repro.copier import task as task_mod
 from repro.copier.deps import BarrierBookkeeping, PendingTasks, u_order_key
 from repro.copier.descriptor import DescriptorPool
 from repro.copier.errors import CopyAborted
-from repro.copier.queues import ClientQueues
+from repro.copier.queues import ClientQueues, QueueFull
 from repro.copier.task import CopyTask, Region, SyncTask
 from repro.sim import Compute
 from repro.sim.trace import TaskSubmitted
 
 _MAX_SPIN_CYCLES = 800
 
+#: Full-ring (or injected queue_overflow) retries before QueueFull
+#: propagates to the submitter.
+_MAX_SUBMIT_RETRIES = 8
+
 
 class ClientStats:
     __slots__ = ("submitted", "completed", "aborted", "dropped",
-                 "sync_tasks", "bytes_copied", "bytes_absorbed")
+                 "sync_tasks", "bytes_copied", "bytes_absorbed",
+                 "queue_overflows")
 
     def __init__(self):
         self.submitted = 0
@@ -32,6 +37,7 @@ class ClientStats:
         self.sync_tasks = 0
         self.bytes_copied = 0
         self.bytes_absorbed = 0
+        self.queue_overflows = 0
 
     def as_dict(self):
         """Plain-dict snapshot of every counter."""
@@ -72,7 +78,19 @@ class CopierClient:
         self.barriers.on_trap()
 
     def on_return(self):
-        """Kernel is about to return to userspace."""
+        """Kernel is about to return to userspace.
+
+        An armed ``delayed_trap_return`` fault postpones the barrier
+        snapshot — the kernel dawdled on the return path — which widens
+        the window where k-mode tasks outrank racing u-mode submissions
+        (Fig. 6-a); ordering stays correct, only the window moves.
+        """
+        inj = self.service.faults
+        if inj.armed:
+            delay = inj.delay_cycles("delayed_trap_return")
+            if delay:
+                self.env.schedule(delay, self.barriers.on_return)
+                return
         self.barriers.on_return()
 
     # ------------------------------------------------------------ submission
@@ -114,12 +132,14 @@ class CopierClient:
             task.lazy_deadline = self.env.now + self.service.lazy_period_cycles
         if queue_kind == "u":
             queue = self.u_queues.copy
-            position = queue.acquire()
+            position = yield from self._acquire_slot(queue)
             task.order_key = u_order_key(position)
             queue.publish(position, task)
         else:
+            queue = self.k_queues.copy
             task.order_key = self.barriers.next_k_key()
-            self.k_queues.copy.submit(task)
+            position = yield from self._acquire_slot(queue)
+            queue.publish(position, task)
         if len(self.task_index) >= self.INDEX_CAP:
             self._prune_index(force=True)
         self.task_index.append(task)
@@ -130,6 +150,29 @@ class CopierClient:
                                      queue_kind, src.length, lazy))
         self.service.notify_submit(self)
         return descriptor
+
+    def _acquire_slot(self, queue):
+        """Acquire a ring slot, absorbing transient overflow (generator).
+
+        A full ring (genuine, or an injected ``queue_overflow``) backs off
+        on the client's own core — giving the Copier thread time to drain
+        the tail — and retries.  Only a ring that *stays* full for the
+        whole retry budget propagates :class:`QueueFull`: that is back
+        pressure, not a transient, and the submitter must see it.
+        """
+        inj = self.service.faults
+        backoff = self.service.params.queue_submit_cycles
+        for _attempt in range(_MAX_SUBMIT_RETRIES):
+            try:
+                if inj.armed and inj.fire("queue_overflow"):
+                    raise QueueFull(queue.name)
+                return queue.acquire()
+            except QueueFull:
+                self.stats.queue_overflows += 1
+                self.service.notify_submit(self)  # kick a sleeping drainer
+                yield Compute(backoff, tag="copier-submit")
+                backoff = min(backoff * 2, _MAX_SPIN_CYCLES)
+        return queue.acquire()
 
     # ----------------------------------------------------------------- csync
 

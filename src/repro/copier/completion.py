@@ -43,7 +43,7 @@ class CompletionHandler:
         try:
             client.pending.remove(task)
         except ValueError:
-            pass
+            pass  # already retired by a concurrent sweep — benign
         client.stats.completed += 1
         self.unpin(task)
         self._trace_finish(client, task, "done")
@@ -69,6 +69,7 @@ class CompletionHandler:
         task.descriptor.abort()
         client.stats.dropped += 1
         self.service.tasks_dropped += 1
+        self.unpin(task)  # a dropped task must never leak pins
         self._trace_finish(client, task, "dropped")
         if client.sigsegv_handler is not None:
             client.sigsegv_handler(task, exc)

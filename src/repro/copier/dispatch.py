@@ -9,6 +9,7 @@ copy instead of the CPU waiting for it.
 """
 
 from repro.copier.absorption import absorbed_bytes, resolve_sources
+from repro.mem.faults import MemoryFault
 from repro.mem.phys import PAGE_SIZE
 
 
@@ -87,10 +88,26 @@ class Dispatcher:
         self.use_dma = use_dma
         self.use_absorption = use_absorption
         self.atcache = atcache
+        self.dma_quarantined = False
         self.rounds_planned = 0
         self.bytes_to_dma = 0
         self.bytes_to_avx = 0
         self.bytes_absorbed = 0
+
+    @property
+    def dma_available(self):
+        """DMA is configured on *and* has not been quarantined."""
+        return self.use_dma and not self.dma_quarantined
+
+    def quarantine_dma(self):
+        """Stop assigning DMA runs after persistent device failure.
+
+        The executor calls this once submit retries have been exhausted
+        repeatedly; every subsequent round runs AVX-only, which is the
+        paper's degradation story — the service keeps its asynchronous
+        contract on the engines that still work.
+        """
+        self.dma_quarantined = True
 
     #: Assumed DMA-run size when estimating translation amortization.
     _EST_RUN_BYTES = 16 * 1024
@@ -148,7 +165,7 @@ class Dispatcher:
         if not jobs:
             return RoundPlan(tasks, [], [], mode)
 
-        dma_runs = self._assign_dma(jobs) if self.use_dma else []
+        dma_runs = self._assign_dma(jobs) if self.dma_available else []
         dma_job_ids = {id(j) for run in dma_runs for j in run.jobs}
         avx_jobs = [j for j in jobs if id(j) not in dma_job_ids]
 
@@ -294,7 +311,10 @@ class Dispatcher:
             dst_ok = _physically_contiguous(
                 job.task.dst.aspace, job.dst_va, job.nbytes, write=True
             )
-        except Exception:
+        except MemoryFault:
+            # Unmapped/unwritable span: not a DMA candidate (the AVX path
+            # resolves the fault inline).  Anything else is a real bug and
+            # must propagate, not silently disqualify the job.
             return False
         return src_ok and dst_ok
 

@@ -1,4 +1,24 @@
-"""Copier error types."""
+"""Copier error types.
+
+The fault-injection layer (:mod:`repro.faultinject`) distinguishes
+*transient* infrastructure errors — worth retrying with backoff — from
+persistent ones that demand degradation (engine fallback) or task drop.
+The fault error classes are defined in :mod:`repro.faultinject` (so the
+hardware layer can raise them without importing the copier package) and
+re-exported here, where copy-path code looks for them.
+"""
+
+from repro.faultinject import (DMAAbortError, DMASubmitError, PagePinError,
+                               TransientCopierError)
+
+__all__ = [
+    "CopyAborted",
+    "CopierSecurityError",
+    "TransientCopierError",
+    "DMASubmitError",
+    "DMAAbortError",
+    "PagePinError",
+]
 
 
 class CopyAborted(Exception):

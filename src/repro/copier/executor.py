@@ -12,17 +12,38 @@ This layer does the Copier thread's actual work each iteration:
 
 Retirement of finished tasks is delegated to
 :class:`repro.copier.completion.CompletionHandler`.
+
+The executor is also where the copy path degrades gracefully under
+faults (:mod:`repro.faultinject`): transient DMA submit failures are
+retried with exponential backoff, persistent failures and mid-transfer
+aborts re-route the affected runs to the AVX stream (``engine-fallback``
+on the trace bus, with DMA quarantined after repeated persistent
+failures), and transient page-pin failures during ingest retry before a
+task is ever dropped.  Every absorbed fault is recorded in the service's
+:class:`~repro.faultinject.RecoveryStats`.
 """
 
 from repro.copier.absorption import resolve_sources
+from repro.copier.errors import DMAAbortError, DMASubmitError, PagePinError
 from repro.hw.dma import DMASubtask
 from repro.mem.faults import SegmentationFault
-from repro.sim import Compute, WaitEvent
-from repro.sim.trace import (DmaCompleted, RoundPlanned, SegmentExecuted,
-                             TaskIngested)
+from repro.sim import Compute, Timeout, WaitEvent
+from repro.sim.trace import (DmaCompleted, EngineFallback, RoundPlanned,
+                             SegmentExecuted, TaskIngested)
 
 _INGEST_CYCLES_PER_TASK = 20
 _AVX_SEGMENT_OVERHEAD = 5
+
+#: DMA submit retry budget before the round falls back to the CPU engine.
+_MAX_DMA_SUBMIT_RETRIES = 3
+_DMA_RETRY_BACKOFF_CYCLES = 200
+
+#: Exhausted-retry episodes tolerated before DMA is quarantined entirely.
+_DMA_QUARANTINE_EPISODES = 2
+
+#: Page-pin retry budget before the task is dropped as unresolvable.
+_MAX_PIN_RETRIES = 6
+_PIN_RETRY_BACKOFF_CYCLES = 150
 
 
 class CopyExecutor:
@@ -70,15 +91,42 @@ class CopyExecutor:
             cost += params.page_alloc_cycles
             if kind == "cow_copy":
                 cost += params.cpu_copy_cycles(4096, engine="avx")
-        task.src.aspace.pin(task.src.start, task.src.length)
-        task.dst.aspace.pin(task.dst.start, task.dst.length, write=True)
-        task.pinned = True
+        stats = self.service.fault_stats
+        attempts = 0
+        while True:
+            try:
+                self._pin_task(task)
+                break
+            except PagePinError as exc:
+                stats.pin_failures += 1
+                attempts += 1
+                if attempts > _MAX_PIN_RETRIES:
+                    self.completion.drop_task(client, task, exc)
+                    return cost
+                cost += _PIN_RETRY_BACKOFF_CYCLES
+        if attempts:
+            stats.pin_retries_ok += 1
         client.pending.add(task)
         trace = self.service.trace
         if trace.active:
             trace.emit(TaskIngested(self.service.env.now, task.task_id,
                                     client.name))
         return cost
+
+    def _pin_task(self, task):
+        """Pin both ranges, leaving no partial pin behind on failure."""
+        inj = self.service.faults
+        if inj.armed and inj.fire("pin_fail"):
+            raise PagePinError("transient pin failure on source range")
+        task.src.aspace.pin(task.src.start, task.src.length)
+        try:
+            if inj.armed and inj.fire("pin_fail"):
+                raise PagePinError("transient pin failure on destination range")
+        except PagePinError:
+            task.src.aspace.unpin(task.src.start, task.src.length)
+            raise
+        task.dst.aspace.pin(task.dst.start, task.dst.length, write=True)
+        task.pinned = True
 
     # ------------------------------------------------------------ sync path
 
@@ -126,7 +174,7 @@ class CopyExecutor:
             hazards = [d for d in client.pending.dependencies_of(task)
                        if not d.is_finished]
             if (needed >= service.params.i_piggyback_threshold and not hazards
-                    and service.dispatcher.use_dma):
+                    and service.dispatcher.dma_available):
                 # Large promotion with no reordering hazards: run the full
                 # piggyback dispatcher so DMA still helps (§4.3) — but in
                 # copy-slice-bounded rounds, serving other clients' syncs
@@ -176,6 +224,11 @@ class CopyExecutor:
             spans = resolve_sources(client.pending, task, src_region,
                                     enabled=service.dispatcher.use_absorption)
             nbytes = dst_region.length
+            inj = service.faults
+            if inj.armed:
+                stall = inj.stall_cycles("engine_stall")
+                if stall:
+                    yield Timeout(stall)
             cycles = int(nbytes / params.avx_bytes_per_cycle) + _AVX_SEGMENT_OVERHEAD
             yield Compute(cycles, tag="copier-copy")
             self.write_spans(client, task, seg, dst_region, spans)
@@ -209,7 +262,10 @@ class CopyExecutor:
             trace.emit(RoundPlanned(service.env.now, client.name, plan.mode,
                                     plan.avx_bytes, plan.dma_bytes,
                                     len(plan.tasks)))
+        inj = service.faults
+        stats = service.fault_stats
         dma_done = None
+        fallback_reason = None
         if plan.dma_runs:
             # DMA needs physical addresses: walk (or ATCache-hit) the pages
             # of each run before ringing the doorbell (§4.3).
@@ -231,10 +287,34 @@ class CopyExecutor:
                     run.task.src.aspace, run.src_va,
                     run.task.dst.aspace, run.dst_va, run.nbytes,
                     on_done=self._make_dma_callback(client, run)))
-            dma_done = service.dma.submit(batch)
+            # Transient submit failures retry with exponential backoff;
+            # a persistent failure re-routes the runs to the AVX stream.
+            attempts = 0
+            backoff = _DMA_RETRY_BACKOFF_CYCLES
+            while True:
+                try:
+                    dma_done = service.dma.submit(batch)
+                    if attempts:
+                        stats.dma_submit_retries_ok += 1
+                    break
+                except DMASubmitError:
+                    stats.dma_submit_failures += 1
+                    attempts += 1
+                    if attempts > _MAX_DMA_SUBMIT_RETRIES:
+                        stats.dma_submit_exhausted += 1
+                        fallback_reason = "dma-submit"
+                        if stats.dma_submit_exhausted >= _DMA_QUARANTINE_EPISODES:
+                            service.dispatcher.quarantine_dma()
+                        break
+                    yield Timeout(backoff)
+                    backoff *= 2
         for job in plan.avx_jobs:
             if job.task.is_finished or job.task.descriptor.is_ready(job.seg_index):
                 continue
+            if inj.armed:
+                stall = inj.stall_cycles("engine_stall")
+                if stall:
+                    yield Timeout(stall)
             cycles = int(job.nbytes / params.avx_bytes_per_cycle) \
                 + _AVX_SEGMENT_OVERHEAD
             yield Compute(cycles, tag="copier-copy")
@@ -242,11 +322,53 @@ class CopyExecutor:
             self.write_spans(client, job.task, job.seg_index, dst_region,
                              job.spans)
         if dma_done is not None:
-            yield WaitEvent(dma_done)
+            try:
+                yield WaitEvent(dma_done)
+            except DMAAbortError:
+                # The device aborted the batch mid-transfer: the aborted
+                # subtasks committed nothing, so their segments are simply
+                # still not ready and the fallback below re-copies them.
+                stats.dma_aborts += 1
+                fallback_reason = "dma-abort"
             yield Compute(params.dma_complete_check_cycles, tag="copier-copy")
+        if fallback_reason is not None:
+            yield from self._fallback_runs(client, plan.dma_runs,
+                                           fallback_reason)
         for task in plan.tasks:
             if not task.is_finished and task.descriptor.all_ready:
                 yield from self.completion.finish_task(client, task)
+
+    def _fallback_runs(self, client, runs, reason):
+        """Re-execute a DMA run's unfinished segments on the AVX stream.
+
+        The device committed nothing for aborted subtasks (and a lost
+        doorbell committed nothing at all), so re-copying whole segments
+        here can never tear data — segments are only marked ready after
+        their bytes land via exactly one engine.
+        """
+        service = self.service
+        params = service.params
+        stats = service.fault_stats
+        trace = service.trace
+        for run in runs:
+            redo = [job for job in run.jobs
+                    if not run.task.is_finished
+                    and not run.task.descriptor.is_ready(job.seg_index)]
+            if not redo:
+                continue
+            nbytes = sum(job.nbytes for job in redo)
+            stats.engine_fallbacks += 1
+            stats.fallback_bytes += nbytes
+            if trace.active:
+                trace.emit(EngineFallback(service.env.now, run.task.task_id,
+                                          client.name, nbytes, reason))
+            for job in redo:
+                cycles = int(job.nbytes / params.avx_bytes_per_cycle) \
+                    + _AVX_SEGMENT_OVERHEAD
+                yield Compute(cycles, tag="copier-copy")
+                dst_region = job.task.dst_range_of_segment(job.seg_index)
+                self.write_spans(client, job.task, job.seg_index, dst_region,
+                                 job.spans)
 
     def _make_dma_callback(self, client, run):
         service = self.service

@@ -21,6 +21,7 @@ from repro.copier.polling import make_policy
 from repro.copier.worker import AutoScaler, CopierWorker
 from repro.copier.atcache import ATCache
 from repro.copier.sched import CopierScheduler
+from repro.faultinject import FaultInjector, FaultPlan, RecoveryStats
 from repro.hw.dma import DMAEngine
 from repro.sim.trace import StageAggregator
 
@@ -31,7 +32,8 @@ class CopierService:
     def __init__(self, env, params, phys=None, polling="napi",
                  use_dma=True, use_absorption=True, dma_engine=None,
                  n_threads=1, max_threads=4, dedicated_cores=None,
-                 lazy_period_cycles=2_000_000, autoscale=False, trace=None):
+                 lazy_period_cycles=2_000_000, autoscale=False, trace=None,
+                 fault_plan=None):
         self.env = env
         self.params = params
         self.policy = make_policy(polling)
@@ -42,8 +44,21 @@ class CopierService:
         self.dispatcher = Dispatcher(params, use_dma=use_dma,
                                      use_absorption=use_absorption,
                                      atcache=self.atcache)
+        # Fault injection (repro.faultinject): an explicit plan wins, else
+        # COPIER_FAULT_PLAN/COPIER_FAULT_SEED from the environment; neither
+        # leaves the injector unarmed (every site guards on ``faults.armed``,
+        # so the unarmed path costs one attribute check).
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self.faults = FaultInjector(fault_plan, env=env, trace=self.trace)
+        self.fault_stats = RecoveryStats()
         self.dma = dma_engine if dma_engine is not None else (
-            DMAEngine(env, params) if use_dma else None)
+            DMAEngine(env, params,
+                      injector=self.faults if self.faults.armed else None)
+            if use_dma else None)
+        if (self.dma is not None and self.faults.armed
+                and self.dma.injector is None):
+            self.dma.injector = self.faults
         self.completion = CompletionHandler(self)
         self.executor = CopyExecutor(self, self.completion)
         self.autoscaler = AutoScaler(self)
@@ -189,11 +204,19 @@ class CopierService:
             },
             "clients": {c.name: c.stats_snapshot() for c in self.clients},
             "stages": self.stage_stats.as_dict(),
+            "faults": dict(
+                self.faults.as_dict(),
+                dma_quarantined=dispatcher.dma_quarantined,
+                recovery=self.fault_stats.as_dict(),
+            ),
         }
         if self.dma is not None:
             snap["dma"] = {
                 "bytes_copied": self.dma.bytes_copied,
                 "batches": self.dma.batches,
                 "busy_cycles": self.dma.busy_cycles,
+                "submit_failures": self.dma.submit_failures,
+                "aborted_batches": self.dma.aborted_batches,
+                "stall_cycles": self.dma.stall_cycles,
             }
         return snap

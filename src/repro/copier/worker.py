@@ -180,6 +180,17 @@ class CopierWorker:
         if service.policy.ready(service) and self._has_published_work():
             service._wake_events.pop(self.tid, None)
             return
+        inj = service.faults
+        if inj.armed:
+            # Spurious wakeup: the doorbell rings with no work behind it.
+            # The loop absorbs it — an empty sweep, then back to sleep.
+            delay = inj.delay_cycles("spurious_wakeup")
+            if delay:
+                def spurious():
+                    if not event.triggered:
+                        service.fault_stats.spurious_wakeups += 1
+                        event.succeed()
+                service.env.schedule(delay, spurious)
         trace = service.trace
         slept_at = service.env.now
         if trace.active:

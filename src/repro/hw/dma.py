@@ -8,6 +8,7 @@ copies on the Copier core.
 
 from collections import deque
 
+from repro.faultinject import DMAAbortError, DMASubmitError
 from repro.mem.phys import PAGE_SIZE
 from repro.sim import Timeout, WaitEvent
 
@@ -41,15 +42,19 @@ def is_contiguous(aspace, va, nbytes, write=False):
 class DMAEngine:
     """The device: a background process serially executing submitted batches."""
 
-    def __init__(self, env, params, check_contiguity=True):
+    def __init__(self, env, params, check_contiguity=True, injector=None):
         self.env = env
         self.params = params
         self.check_contiguity = check_contiguity
+        self.injector = injector
         self._queue = deque()
         self._wake = env.event()
         self.busy_cycles = 0
         self.bytes_copied = 0
         self.batches = 0
+        self.submit_failures = 0
+        self.aborted_batches = 0
+        self.stall_cycles = 0
         self._proc = env.spawn(self._run(), name="dma-engine")
 
     def submit(self, subtasks):
@@ -57,7 +62,16 @@ class DMAEngine:
 
         The *caller* pays ``dma_submit_cycles`` per batch (charged by the
         dispatcher, not here) — this method is the device-side doorbell.
+        On success the completion event delivers ``None``; when the device
+        aborts the batch mid-transfer it delivers a :class:`DMAAbortError`,
+        which the simulator *throws* into the waiting process (a completion
+        interrupt with error status).  Raises :class:`DMASubmitError` when
+        the doorbell itself is lost (fault injection) — nothing was queued.
         """
+        inj = self.injector
+        if inj is not None and inj.fire("dma_submit_fail"):
+            self.submit_failures += 1
+            raise DMASubmitError("DMA doorbell lost")
         done = self.env.event()
         self._queue.append((list(subtasks), done))
         self.batches += 1
@@ -76,13 +90,31 @@ class DMAEngine:
                 yield WaitEvent(self._wake)
                 continue
             batch, done = self._queue.popleft()
+            inj = self.injector
+            error = None
             for sub in batch:
                 if self.check_contiguity and sub.nbytes > 0:
                     if not is_contiguous(sub.src_as, sub.src_va, sub.nbytes):
                         raise RuntimeError("DMA source not physically contiguous")
                     if not is_contiguous(sub.dst_as, sub.dst_va, sub.nbytes, write=True):
                         raise RuntimeError("DMA destination not physically contiguous")
+                if inj is not None:
+                    stall = inj.stall_cycles("engine_stall")
+                    if stall:
+                        self.stall_cycles += stall
+                        yield Timeout(stall)
                 cycles = self.params.dma_transfer_cycles(sub.nbytes)
+                if inj is not None and inj.fire("dma_abort"):
+                    # Mid-transfer abort: the device burned part of the
+                    # transfer time but commits nothing for this subtask
+                    # (or the rest of the batch) — the copier re-runs the
+                    # unfinished segments on a CPU engine.
+                    yield Timeout(cycles // 2)
+                    self.busy_cycles += cycles // 2
+                    self.aborted_batches += 1
+                    error = DMAAbortError(
+                        "batch aborted mid-transfer (%d B subtask)" % sub.nbytes)
+                    break
                 yield Timeout(cycles)
                 self.busy_cycles += cycles
                 self.bytes_copied += sub.nbytes
@@ -90,4 +122,4 @@ class DMAEngine:
                 sub.dst_as.write(sub.dst_va, data)
                 if sub.on_done is not None:
                     sub.on_done(sub)
-            done.succeed()
+            done.succeed(error)

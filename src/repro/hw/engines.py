@@ -1,10 +1,10 @@
 """CPU copy engines (ERMS / AVX2) as timed simulator activities."""
 
-from repro.sim import Compute
+from repro.sim import Compute, Timeout
 
 
 def cpu_copy(params, src_as, src_va, dst_as, dst_va, nbytes,
-             engine="avx", warm=False, tag="copy"):
+             engine="avx", warm=False, tag="copy", injector=None):
     """Generator performing a synchronous CPU copy.
 
     Charges the caller's core for the engine's cycles, then moves the bytes
@@ -12,8 +12,16 @@ def cpu_copy(params, src_as, src_va, dst_as, dst_va, nbytes,
     memcpy are undefined behaviour, same as the real thing).  ``engine`` is
     ``"avx"`` for user-mode glibc-style copies or ``"erms"`` for kernel-mode
     copies (the kernel cannot afford SIMD state saves, §2.2).
+
+    ``injector`` is an optional :class:`repro.faultinject.FaultInjector`;
+    an armed ``engine_stall`` fault lengthens the copy (frequency
+    throttling / SMI preemption) without affecting its outcome.
     """
     if nbytes:
+        if injector is not None:
+            stall = injector.stall_cycles("engine_stall")
+            if stall:
+                yield Timeout(stall)
         yield Compute(params.cpu_copy_cycles(nbytes, engine=engine, warm=warm), tag=tag)
         data = src_as.read(src_va, nbytes)
         dst_as.write(dst_va, data)

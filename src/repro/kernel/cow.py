@@ -9,7 +9,7 @@ thread-blocking time by ~72 % for 2 MB pages (§6.1.2).
 """
 
 from repro.copier.task import Region
-from repro.mem.phys import PAGE_SIZE
+from repro.mem.phys import PAGE_SIZE, OutOfMemory
 from repro.sim import Compute
 
 
@@ -63,7 +63,10 @@ def _copy_pages(system, proc, aspace, vpns, mode):
     yield Compute(params.page_alloc_cycles * order_cost, tag="fault")
     try:
         new_frames = system.phys.alloc_frames(len(vpns), contiguous=True)
-    except Exception:
+    except OutOfMemory:
+        # No contiguous run: scattered frames still satisfy the fault,
+        # the split-copy just loses DMA candidacy.  A genuinely full
+        # allocator (or any other error) propagates from the retry.
         new_frames = system.phys.alloc_frames(len(vpns))
     old_frames = [aspace.page_table[v].frame for v in vpns]
 

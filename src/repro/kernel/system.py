@@ -85,11 +85,16 @@ class System:
 
     def alloc_kernel_buffer(self, nbytes, contiguous=True):
         """Allocate a kernel buffer (socket buffer, binder buffer...)."""
+        from repro.mem.phys import OutOfMemory
+
         try:
             return self.kernel_as.mmap(nbytes, populate=True,
                                        contiguous=contiguous,
                                        name="kbuf")
-        except Exception:
+        except OutOfMemory:
+            # No contiguous run left: fall back to scattered frames (the
+            # buffer just stops being a DMA candidate).  Anything else is
+            # a real bug and must propagate.
             return self.kernel_as.mmap(nbytes, populate=True, name="kbuf")
 
     def free_kernel_buffer(self, va, nbytes):

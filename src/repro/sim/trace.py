@@ -17,6 +17,10 @@ event               emitted when
 ``task-finished``   the task retired (``done``/``aborted``/``dropped``)
 ``thread-sleep``    a Copier thread blocked on its doorbell
 ``thread-wake``     a Copier thread resumed (carries the slept cycles)
+``engine-fallback`` DMA work re-routed to a CPU engine after a persistent
+                    submit failure or a mid-transfer abort
+``fault-injected``  the fault-injection layer fired at a site
+                    (:mod:`repro.faultinject`)
 ==================  ========================================================
 
 The bus itself is policy-free: ``subscribe`` a callable, every event is
@@ -120,6 +124,29 @@ class TaskFinished(TraceEvent):
         self.nbytes = nbytes
 
 
+class EngineFallback(TraceEvent):
+    """DMA-assigned work re-routed to a CPU engine (graceful degradation)."""
+
+    kind = "engine-fallback"
+    __slots__ = ("task_id", "client_name", "nbytes", "reason")
+
+    def __init__(self, ts, task_id, client_name, nbytes, reason):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.client_name = client_name
+        self.nbytes = nbytes
+        self.reason = reason  # "dma-submit" | "dma-abort"
+
+
+class FaultInjected(TraceEvent):
+    kind = "fault-injected"
+    __slots__ = ("fault_kind",)
+
+    def __init__(self, ts, fault_kind):
+        super().__init__(ts)
+        self.fault_kind = fault_kind
+
+
 class ThreadSleep(TraceEvent):
     kind = "thread-sleep"
     __slots__ = ("tid",)
@@ -218,6 +245,9 @@ class StageAggregator:
         self.thread_wakes = 0
         self.slept_cycles = 0
         self.rounds = 0
+        self.engine_fallbacks = 0
+        self.fallback_bytes = 0
+        self.faults_injected = {}
         self.events_seen = 0
         self._submitted = {}
         self._ingested = {}
@@ -231,6 +261,8 @@ class StageAggregator:
             TaskFinished: self._on_finished,
             ThreadSleep: self._on_sleep,
             ThreadWake: self._on_wake,
+            EngineFallback: self._on_fallback,
+            FaultInjected: self._on_fault,
         }
         if bus is not None:
             bus.subscribe(self)
@@ -283,6 +315,14 @@ class StageAggregator:
         self.thread_wakes += 1
         self.slept_cycles += event.slept_cycles
 
+    def _on_fallback(self, event):
+        self.engine_fallbacks += 1
+        self.fallback_bytes += event.nbytes
+
+    def _on_fault(self, event):
+        kind = event.fault_kind
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
     # -------------------------------------------------------------- export
 
     def as_dict(self):
@@ -295,6 +335,9 @@ class StageAggregator:
             "threads": {"sleeps": self.thread_sleeps,
                         "wakes": self.thread_wakes,
                         "slept_cycles": self.slept_cycles},
+            "engine_fallbacks": self.engine_fallbacks,
+            "fallback_bytes": self.fallback_bytes,
+            "faults_injected": dict(self.faults_injected),
             "in_flight": len(self._submitted),
             "events": self.events_seen,
         }

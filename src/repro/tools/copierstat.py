@@ -55,6 +55,8 @@ def render(snap):
             snap["dma"]["bytes_copied"], snap["dma"]["batches"],
             snap["dma"]["busy_cycles"]))
     out("  dropped tasks: %d" % snap["tasks_dropped"])
+    for line in render_faults(snap.get("faults")):
+        out(line)
     for line in render_stages(snap.get("stages")):
         out(line)
     for name, group in sorted(snap["cgroups"].items()):
@@ -96,6 +98,37 @@ def render_stages(stages):
                      stages["in_flight"]))
     lines.append("    threads: %d sleeps / %d wakes, %d cycles slept" % (
         threads["sleeps"], threads["wakes"], threads["slept_cycles"]))
+    return lines
+
+
+def render_faults(faults):
+    """Render the fault-injection section as report lines.
+
+    ``faults`` is the ``"faults"`` entry of a snapshot; returns ``[]``
+    when absent (old snapshots) or when no plan is armed and nothing was
+    recovered, so fault-free reports stay unchanged.
+    """
+    if not faults:
+        return []
+    rec = faults["recovery"]
+    if not faults["armed"] and not any(rec.values()):
+        return []
+    lines = []
+    if faults["armed"]:
+        injected = ", ".join("%s=%d" % (k, v)
+                             for k, v in sorted(faults["injected"].items())
+                             if v) or "none fired"
+        lines.append("  faults: plan=%s seed=%s (%s)" % (
+            faults["plan"], faults["seed"], injected))
+    lines.append("    recovery: %d/%d dma submits retried ok "
+                 "(%d exhausted), %d aborts, %d fallbacks (%d B)" % (
+                     rec["dma_submit_retries_ok"], rec["dma_submit_failures"],
+                     rec["dma_submit_exhausted"], rec["dma_aborts"],
+                     rec["engine_fallbacks"], rec["fallback_bytes"]))
+    lines.append("    recovery: %d/%d pins retried ok, %d spurious wakeups%s"
+                 % (rec["pin_retries_ok"], rec["pin_failures"],
+                    rec["spurious_wakeups"],
+                    ", DMA QUARANTINED" if faults["dma_quarantined"] else ""))
     return lines
 
 

@@ -62,7 +62,13 @@ class _ShadowMap:
         self._starts, self._ends = new_starts, new_ends
 
     def overlap(self, start, length):
-        """First poisoned (start, length) intersecting the range, or None."""
+        """First poisoned (start, length) intersecting the range, or None.
+
+        Zero- and negative-length queries touch no bytes and never
+        intersect (matching poison/unpoison, which ignore them).
+        """
+        if length <= 0:
+            return None
         end = start + length
         i = bisect.bisect_right(self._ends, start)
         for s, e in zip(self._starts[i:], self._ends[i:]):

@@ -37,8 +37,10 @@ def _state_key(m):
     copies = tuple(
         (c.dst, c.src, c.n, c.progress, c.handler_ran)
         for c in getattr(m, "copies", []))
+    # Register files mix string keys with the sync machine's in-progress
+    # ("_copy_progress", pc) tuples; sort by repr so the key is stable.
     return (mem, tuple(m.pc),
-            tuple(tuple(sorted(r.items())) for r in m.regs),
+            tuple(tuple(sorted(r.items(), key=repr)) for r in m.regs),
             tuple(sorted(m.freed)), copies)
 
 

@@ -63,7 +63,10 @@ class _MachineBase:
         mem = tuple(sorted(
             (a, self._latest(v)) for a, v in self.memory.items()
             if a not in self.freed))
-        regs = tuple(tuple(sorted(r.items())) for r in self.regs)
+        # key=repr: deadlock outcomes snapshot mid-execution, when the
+        # sync machine's tuple-keyed copy-progress entries coexist with
+        # string-named registers.
+        regs = tuple(tuple(sorted(r.items(), key=repr)) for r in self.regs)
         return (mem, regs)
 
     @staticmethod
@@ -258,6 +261,5 @@ class AsyncMachine(_MachineBase):
         mem = tuple(sorted(
             (a, self._latest(v)) for a, v in self.memory.items()
             if a not in self.freed))
-        regs = tuple(tuple(sorted(
-            (k, v) for k, v in r.items())) for r in self.regs)
+        regs = tuple(tuple(sorted(r.items(), key=repr)) for r in self.regs)
         return (mem, regs)

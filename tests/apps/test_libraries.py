@@ -47,6 +47,7 @@ class TestProtobuf:
         assert got == fields
         assert latency > 0
 
+    @pytest.mark.faultfree
     def test_copier_reduces_deserialize_latency(self):
         results = {}
         for mode in ("sync", "copier"):
@@ -79,6 +80,7 @@ class TestOpenSSL:
         _latency, got = p.result
         assert got == plaintext
 
+    @pytest.mark.faultfree
     def test_copier_gain_modest_and_flat_beyond_16k(self):
         """Decrypt dominates: small gain, flat past the TLS record cap."""
         def run(mode, nbytes):

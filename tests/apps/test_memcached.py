@@ -98,6 +98,7 @@ def test_multiget_gather_is_absorbed():
     assert total_absorbed > 3 * 4 * 8 * 1024  # most of the gathers
 
 
+@pytest.mark.faultfree
 def test_copier_beats_sync_on_multiget():
     results = {}
     for mode in ("sync", "copier"):

@@ -60,6 +60,7 @@ def test_set_get_roundtrip(mode):
     assert server.requests_served == 2
 
 
+@pytest.mark.faultfree
 @pytest.mark.parametrize("op", ["SET", "GET"])
 def test_copier_beats_baseline_latency(op):
     """Fig. 11's headline: Copier cuts Redis latency at 16 KB values."""

@@ -6,6 +6,8 @@ now force-prunes finished tasks once the index reaches
 :attr:`CopierClient.INDEX_CAP`.
 """
 
+import pytest
+
 from repro.copier.client import CopierClient
 from repro.sim import Timeout
 from tests.copier.conftest import Setup
@@ -13,6 +15,9 @@ from tests.copier.conftest import Setup
 N_TASKS = 10_000
 
 
+# The cap only bounds *finished* entries; under injected faults the
+# service legitimately lags with more unfinished tasks in flight.
+@pytest.mark.faultfree
 def test_index_bounded_across_10k_submissions():
     setup = Setup()
     client, aspace = setup.client, setup.aspace

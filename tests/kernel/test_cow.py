@@ -87,6 +87,7 @@ def _measure(copier, page_bytes, warm_service=True):
     return p.result
 
 
+@pytest.mark.faultfree
 def test_copier_cuts_huge_page_blocking_time():
     """2 MB CoW faults: the handler/Copier split cuts blocking sharply
     (the paper reports −71.8 %)."""

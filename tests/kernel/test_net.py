@@ -65,6 +65,7 @@ def test_send_recv_roundtrip_all_modes(mode, nbytes):
     assert out["data"] == payload
 
 
+@pytest.mark.faultfree
 def test_copier_send_latency_beats_sync_for_large():
     sizes = [16 * 1024, 64 * 1024]
     for nbytes in sizes:

@@ -109,3 +109,103 @@ class TestShadowMapInternals:
         assert sm.overlap(0, 40) is not None
         assert sm.overlap(60, 40) is not None
         assert sm.poisoned_bytes == 80
+
+
+class TestShadowMapEdgeCases:
+    """Interval-set corner cases: seams, re-poisoning, degenerate lengths."""
+
+    def _map(self):
+        from repro.tools.sanitizer import _ShadowMap
+        return _ShadowMap()
+
+    def test_adjacent_ranges_cover_their_seam(self):
+        sm = self._map()
+        sm.poison(0, 10)
+        sm.poison(10, 10)
+        # A one-byte access on each side of the seam hits a range; an
+        # access spanning it reports the first intersecting interval.
+        assert sm.overlap(9, 1) == (0, 10)
+        assert sm.overlap(10, 1) == (10, 10)
+        assert sm.overlap(9, 2) == (0, 10)
+        # Unpoisoning across the seam clears both sides.
+        sm.unpoison(5, 10)
+        assert sm.overlap(5, 10) is None
+        assert sm.poisoned_bytes == 10
+
+    def test_repoisoning_an_overlap_does_not_double_count(self):
+        sm = self._map()
+        sm.poison(0, 10)
+        sm.poison(5, 10)  # overlaps [5, 10)
+        assert sm.poisoned_bytes == 15
+        sm.poison(0, 15)  # covers everything so far
+        assert sm.poisoned_bytes == 15
+
+    def test_unpoison_exact_range_empties_map(self):
+        sm = self._map()
+        sm.poison(100, 50)
+        sm.unpoison(100, 50)
+        assert sm.poisoned_bytes == 0
+        assert sm.overlap(100, 50) is None
+
+    def test_unpoison_spanning_multiple_ranges(self):
+        sm = self._map()
+        sm.poison(0, 10)
+        sm.poison(20, 10)
+        sm.poison(40, 10)
+        sm.unpoison(5, 40)  # clips the first, swallows the second,
+        assert sm.overlap(0, 5) == (0, 5)       # clips the third
+        assert sm.overlap(5, 40) is None
+        assert sm.overlap(45, 5) == (45, 5)
+        assert sm.poisoned_bytes == 10
+
+    def test_zero_and_negative_lengths_are_noops(self):
+        sm = self._map()
+        sm.poison(0, 0)
+        sm.poison(0, -8)
+        assert sm.poisoned_bytes == 0
+        sm.poison(0, 10)
+        sm.unpoison(0, 0)
+        sm.unpoison(0, -8)
+        assert sm.poisoned_bytes == 10
+        # A zero-length access touches no bytes: never a violation.
+        assert sm.overlap(5, 0) is None
+        assert sm.overlap(5, -3) is None
+
+    def test_overlap_reports_first_intersection_only(self):
+        sm = self._map()
+        sm.poison(10, 5)
+        sm.poison(30, 5)
+        assert sm.overlap(0, 100) == (10, 5)
+        assert sm.overlap(20, 100) == (30, 5)
+        assert sm.overlap(0, 10) is None
+
+
+class TestStrictModeViolations:
+    def test_strict_free_of_poisoned_range_reports_exact_overlap(self):
+        """The Fig. 4 bug in strict mode: the exception names the exact
+        unsynced interval the free touched, and is recorded too."""
+        san = CopierSanitizer(strict=True)
+        san.on_amemcpy(dst=0x1000, src=0x2000, length=256)
+        with pytest.raises(SanitizerViolation) as info:
+            san.free(0x2080, 64)
+        exc = info.value
+        assert exc.kind == "free"
+        assert (exc.va, exc.length) == (0x2080, 64)
+        assert exc.overlap == (0x2000, 256)
+        assert san.reports == [exc]
+
+    def test_strict_write_after_partial_csync_names_remainder(self):
+        san = CopierSanitizer(strict=True)
+        san.on_amemcpy(dst=0x1000, src=0x2000, length=256)
+        san.on_csync(0x1000, 128)
+        with pytest.raises(SanitizerViolation) as info:
+            san.write(0x1000, 256)  # tail half is still unsynced
+        assert info.value.overlap == (0x1080, 128)
+
+    def test_zero_length_access_never_violates(self):
+        san = CopierSanitizer(strict=True)
+        san.on_amemcpy(dst=0x1000, src=0x2000, length=64)
+        san.read(0x1000, 0)
+        san.write(0x2000, 0)
+        san.free(0x1000, 0)
+        assert not san.reports

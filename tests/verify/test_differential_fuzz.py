@@ -1,0 +1,205 @@
+"""Differential fuzzing of the Appendix A refinement theorem.
+
+A seeded generator produces random small-step programs that follow the
+§5.1.1 csync guidelines (sync before reading a pending destination,
+before overwriting a pending source or destination, and before re-using
+a pending destination as a copy source).  Each program runs through both
+protocol machines (:mod:`repro.verify.model`) under *every* schedule via
+:func:`repro.verify.checker.explore`, and the async outcome set must be
+a subset of the sync one — the theorem's observable-behaviour half.
+
+The generator is the test's value: hand-written refinement cases
+(``test_refinement.py``) cover the patterns we thought of; this covers
+the ones we didn't.  Tier-1 runs ~200 seeded cases; ``--slow`` opts into
+a longer campaign with bigger programs.
+"""
+
+import random
+
+import pytest
+
+from repro.verify import AsyncMachine, SyncMachine, Thread, check_refinement
+
+#: Per-thread layout: sources at base..base+5, destinations at
+#: base+20..base+27 — far enough apart that copies never self-overlap.
+N_SRC = 6
+DST_BASE = 20
+N_DST = 8
+MAX_STATES = 400_000
+
+
+class _ThreadGen:
+    """Generates one guideline-compliant thread over its own region."""
+
+    def __init__(self, rng, base, max_copy_len=3, allow_free=True):
+        self.rng = rng
+        self.base = base
+        self.max_copy_len = max_copy_len
+        self.allow_free = allow_free
+        self.ops = []
+        self.pending = []   # (dst, src, n) copies not yet csynced
+        self.freed = set()  # addresses no longer usable as sources
+        self.copies = 0
+
+    # ------------------------------------------------------- guideline sync
+
+    def _overlaps(self, lo, n, lo2, n2):
+        return lo < lo2 + n2 and lo2 < lo + n
+
+    def _sync_pending(self, addr, n, src_too):
+        """Emit csyncs for pending copies conflicting with [addr, addr+n).
+
+        ``src_too`` also syncs copies whose *source* overlaps — required
+        before writes (WAR) but not before reads.
+        """
+        still = []
+        for dst, src, length in self.pending:
+            if (self._overlaps(addr, n, dst, length)
+                    or (src_too and self._overlaps(addr, n, src, length))):
+                self.ops.append(("csync", dst, length))
+            else:
+                still.append((dst, src, length))
+        self.pending = still
+
+    # -------------------------------------------------------------- op mix
+
+    def emit(self):
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45 and self.copies < 5:
+            self._emit_copy()
+        elif roll < 0.60:
+            self._emit_write()
+        elif roll < 0.80:
+            self._emit_read()
+        elif roll < 0.90 and self.pending:
+            dst, _src, length = rng.choice(self.pending)
+            self._sync_pending(dst, length, src_too=False)
+        else:
+            self.ops.append(("csync_all",))
+            self.pending = []
+
+    def _emit_copy(self):
+        rng = self.rng
+        n = rng.randint(1, self.max_copy_len)
+        src = self.base + rng.randint(0, N_SRC - n)
+        if any(src + off in self.freed for off in range(n)):
+            return
+        dst = self.base + DST_BASE + rng.randint(0, N_DST - n)
+        # RAW on a pending dst used as our src, WAR on a pending src we
+        # are about to overwrite — both need a csync first (WAW on a
+        # shared dst is fine: newest submission wins in both machines).
+        self._sync_pending(src, n, src_too=False)
+        still = []
+        for pdst, psrc, plen in self.pending:
+            if self._overlaps(dst, n, psrc, plen):
+                self.ops.append(("csync", pdst, plen))
+            else:
+                still.append((pdst, psrc, plen))
+        self.pending = still
+        op = ("memcpy", dst, src, n)
+        if self.allow_free and rng.random() < 0.15:
+            op += (("free", src, n),)
+            self.freed.update(src + off for off in range(n))
+        self.ops.append(op)
+        self.pending.append((dst, src, n))
+        self.copies += 1
+
+    def _emit_write(self):
+        rng = self.rng
+        addr = self.base + rng.choice(
+            [rng.randint(0, N_SRC - 1), DST_BASE + rng.randint(0, N_DST - 1)])
+        if addr in self.freed:
+            return
+        self._sync_pending(addr, 1, src_too=True)
+        self.ops.append(("write", addr, rng.randint(1, 9)))
+
+    def _emit_read(self):
+        rng = self.rng
+        addr = self.base + DST_BASE + rng.randint(0, N_DST - 1)
+        self._sync_pending(addr, 1, src_too=False)
+        self.ops.append(("read", addr, "r%d" % len(self.ops)))
+
+
+def _make_case(seed, n_threads=1, n_ops=6, max_copy_len=3):
+    """Deterministic (memory, sync_threads) pair for ``seed``."""
+    rng = random.Random(("difffuzz", seed).__repr__())
+    memory = {}
+    threads = []
+    for t in range(n_threads):
+        base = t * 200
+        for i in range(N_SRC):
+            memory[base + i] = rng.randint(10, 99)
+        gen = _ThreadGen(rng, base, max_copy_len=max_copy_len,
+                         allow_free=(n_threads == 1))
+        for _ in range(n_ops):
+            gen.emit()
+        threads.append(Thread(gen.ops))
+    return memory, threads
+
+
+def _to_async(sync_threads):
+    out = []
+    for t in sync_threads:
+        out.append(Thread([("amemcpy",) + ins[1:] if ins[0] == "memcpy"
+                           else ins for ins in t.instructions]))
+    return out
+
+
+def _assert_refines(memory, sync_threads, max_states=MAX_STATES):
+    sync = SyncMachine(memory, sync_threads)
+    asyncm = AsyncMachine(memory, _to_async(sync_threads))
+    ok, s_out, a_out, rogue = check_refinement(sync, asyncm, max_states)
+    assert a_out, "async machine produced no outcomes"
+    assert ok, ("async execution reached outcomes the sync machine cannot: "
+                "%r\nprogram: %r" % (sorted(rogue)[:3],
+                                     [t.instructions for t in sync_threads]))
+
+
+@pytest.mark.parametrize("seed", range(160))
+def test_single_thread_random_programs_refine(seed):
+    memory, threads = _make_case(seed, n_threads=1, n_ops=6)
+    _assert_refines(memory, threads)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_two_thread_random_programs_refine(seed):
+    """Two threads over disjoint regions: every interleaving of their
+    submissions and service steps must still refine."""
+    memory, threads = _make_case(1000 + seed, n_threads=2, n_ops=3,
+                                 max_copy_len=2)
+    _assert_refines(memory, threads)
+
+
+def test_generator_is_deterministic():
+    """Same seed, same program — failures must be replayable."""
+    assert _make_case(7)[1][0].instructions == \
+        _make_case(7)[1][0].instructions
+    a = [t.instructions for t in _make_case(11, n_threads=2, n_ops=3)[1]]
+    b = [t.instructions for t in _make_case(11, n_threads=2, n_ops=3)[1]]
+    assert a == b
+
+
+def test_generator_violating_guidelines_is_caught():
+    """Sanity-check the harness has teeth: an unsynced read of a pending
+    destination must produce a rogue outcome."""
+    memory = {0: 42, 120: 99}
+    threads = [Thread([("memcpy", 120, 0, 1), ("read", 120, "r0")])]
+    sync = SyncMachine(memory, threads)
+    asyncm = AsyncMachine(memory, _to_async(threads))
+    ok, _s, _a, rogue = check_refinement(sync, asyncm, MAX_STATES)
+    assert not ok and rogue
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(200, 500))
+def test_slow_single_thread_campaign(seed):
+    memory, threads = _make_case(seed, n_threads=1, n_ops=9, max_copy_len=4)
+    _assert_refines(memory, threads, max_states=1_500_000)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(1500, 1560))
+def test_slow_two_thread_campaign(seed):
+    memory, threads = _make_case(seed, n_threads=2, n_ops=4, max_copy_len=2)
+    _assert_refines(memory, threads, max_states=1_500_000)
