@@ -42,9 +42,15 @@ class LibCopier:
 
     # ----------------------------------------------------------- high level
 
-    def amemcpy(self, dst, src, size):
-        """Async memcpy on the default queues; returns the descriptor."""
-        return (yield from self.client.amemcpy(dst, src, size))
+    def amemcpy(self, dst, src, size, deadline=None):
+        """Async memcpy on the default queues; returns the descriptor.
+
+        ``deadline`` (absolute cycles) marks the copy droppable: past it
+        the service reaps the task instead of copying late, and the
+        admission valve may shed or refuse it up front.
+        """
+        return (yield from self.client.amemcpy(dst, src, size,
+                                               deadline=deadline))
 
     def amemmove(self, dst, src, size):
         """Async memmove: overlap-safe (§3 footnote).
@@ -69,9 +75,13 @@ class LibCopier:
             self._bounce_len = max(size, _BOUNCE_BYTES)
         return self._bounce_va
 
-    def csync(self, addr, size):
-        """Ensure prior async copies covering [addr, addr+size) landed."""
-        yield from self.client.csync(addr, size)
+    def csync(self, addr, size, deadline=None):
+        """Ensure prior async copies covering [addr, addr+size) landed.
+
+        With a ``deadline``, a wait that reaches it cancels the covering
+        copies and raises :class:`~repro.copier.errors.DeadlineMissed`.
+        """
+        yield from self.client.csync(addr, size, deadline=deadline)
 
     def csync_all(self):
         """Ensure all async copies and FUNCs of this process finished."""
@@ -86,7 +96,7 @@ class LibCopier:
     # ------------------------------------------------------------ low level
 
     def _amemcpy(self, dst, src, size, fd=-1, func=None, desc=None,
-                 lazy=False, segment_bytes=None):
+                 lazy=False, segment_bytes=None, deadline=None):
         """Expert amemcpy: custom queue (fd), descriptor reuse, FUNC, lazy.
 
         Reusing a descriptor for a recycled I/O buffer skips allocation
@@ -97,7 +107,7 @@ class LibCopier:
             desc.reset()
         return (yield from client.amemcpy(
             dst, src, size, handler=func, descriptor=desc, lazy=lazy,
-            segment_bytes=segment_bytes))
+            segment_bytes=segment_bytes, deadline=deadline))
 
     def _csync(self, offset, size, fd=-1, descriptor=None):
         """Expert csync: with ``descriptor`` the bitmap is checked directly
@@ -122,6 +132,15 @@ class LibCopier:
     def aabort(self, addr, size, fd=-1):
         """Submit an abort Sync Task discarding queued copies (§4.4)."""
         yield from self._client_for(fd).abort(addr, size)
+
+    def acancel(self, addr, size, fd=-1):
+        """Cancel unfinished copies targeting the range; returns the count.
+
+        Unlike :meth:`aabort` (a queued Sync Task that discards *queued*
+        copies), cancellation marks tasks wherever they are in the
+        pipeline and the service retires them at its next sweep.
+        """
+        return (yield from self._client_for(fd).cancel(addr, size))
 
     # ----------------------------------------------------- queue management
 

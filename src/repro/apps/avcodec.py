@@ -10,6 +10,7 @@ Metrics: per-frame latency, dropped frames (deadline misses) and energy
 (per-core power integration) — Fig. 13-c's axes.
 """
 
+from repro.copier.errors import AdmissionReject, CopyAborted, DeadlineMissed
 from repro.sim import Compute, Timeout
 from repro.sim.stats import EnergyModel
 
@@ -37,20 +38,36 @@ class VideoDecoder:
         self.latencies = []
         self.dropped = 0
 
-    def decode_stream(self, n_frames, deadline=FRAME_DEADLINE_CYCLES):
+    def decode_stream(self, n_frames, deadline=FRAME_DEADLINE_CYCLES,
+                      enforce_deadline=False):
+        """Decode ``n_frames``, pacing to the display clock.
+
+        With ``enforce_deadline`` (copier mode), the per-frame deadline
+        is propagated into ``amemcpy``/``csync``: a frame whose copy
+        cannot land in time is *dropped at the copy path* — shed,
+        rejected, or cancelled — instead of being rendered late.  The
+        default keeps the historical after-the-fact accounting.
+        """
         system, proc = self.system, self.proc
         lib = proc.client if self.mode == "copier" else None
         if lib is not None and system.copier.polling == "scenario":
             system.copier.scenario_begin()
         for _frame in range(n_frames):
             t0 = system.env.now
+            copy_deadline = (t0 + deadline) if (enforce_deadline
+                                                and lib is not None) else None
+            frame_lost = False
             # Decode into the internal buffer.
             yield system.app_compute(
                 proc, int(self.frame_bytes * DECODE_CYCLES_PER_BYTE))
             # Copy decoded picture to the frame buffer...
             if lib is not None:
-                yield from lib.amemcpy(self.framebuf, self.inner,
-                                       self.frame_bytes)
+                try:
+                    yield from lib.amemcpy(self.framebuf, self.inner,
+                                           self.frame_bytes,
+                                           deadline=copy_deadline)
+                except AdmissionReject:
+                    frame_lost = True  # overload valve refused the frame
             else:
                 yield from system.sync_copy(
                     proc, proc.aspace, self.inner, proc.aspace,
@@ -58,9 +75,19 @@ class VideoDecoder:
             # ...overlapped with post-decode logic under Copier.
             yield system.app_compute(
                 proc, int(self.frame_bytes * POST_CYCLES_PER_BYTE))
-            if lib is not None:
+            if lib is not None and not frame_lost:
                 # Renderer consumes the pixels: sync before handing over.
-                yield from lib.csync(self.framebuf, self.frame_bytes)
+                try:
+                    yield from lib.csync(self.framebuf, self.frame_bytes,
+                                         deadline=copy_deadline)
+                except (DeadlineMissed, CopyAborted):
+                    frame_lost = True  # late pixels: don't render them
+            if frame_lost:
+                self.dropped += 1
+                latency = system.env.now - t0
+                if latency < deadline:
+                    yield Timeout(deadline - latency)
+                continue
             yield Compute(RENDER_SUBMIT_CYCLES, tag="app")
             latency = system.env.now - t0
             self.latencies.append(latency)

@@ -26,6 +26,7 @@ from repro.apps.common import (
 )
 from repro.baselines.ub import ub_compute
 from repro.baselines.zio import ZIO
+from repro.copier.errors import AdmissionReject, CopyAborted, DeadlineMissed
 from repro.kernel.net import recv, send
 from repro.sim import Compute
 
@@ -47,9 +48,16 @@ class RedisServer:
     """
 
     def __init__(self, system, mode="sync", name="redis",
-                 io_buf_bytes=1 << 20, arena_bytes=1 << 24):
+                 io_buf_bytes=1 << 20, arena_bytes=1 << 24,
+                 request_timeout_cycles=None):
         self.system = system
         self.mode = mode
+        # Copier mode: optional per-SET copy budget.  The value copy's
+        # deadline is submit time + this; a SET whose copy misses it is
+        # dropped (key removed, ``timeouts`` bumped) instead of blocking
+        # the serve loop — the overload-protection story for Fig. 11.
+        self.request_timeout_cycles = request_timeout_cycles
+        self.timeouts = 0
         self.proc = system.create_process(name)
         self.io_in = self.proc.mmap(io_buf_bytes, populate=True,
                                     name="redis-io-in")
@@ -104,8 +112,16 @@ class RedisServer:
             if mode == "copier" and self._pending_set is not None:
                 # Guideline: sync the value copy and retire the lazy recv
                 # before the input buffer is reused by the next recv.
-                va, length, src_off, recv_was_async = self._pending_set
-                yield from proc.client.csync(va, length)
+                (va, length, src_off, recv_was_async,
+                 key, deadline) = self._pending_set
+                try:
+                    yield from proc.client.csync(va, length,
+                                                 deadline=deadline)
+                except (CopyAborted, DeadlineMissed):
+                    # The value copy blew its budget: the entry is torn,
+                    # so the whole SET is dropped (a request timeout).
+                    self.db.pop(key, None)
+                    self.timeouts += 1
                 if recv_was_async:
                     yield from proc.client.abort(self.io_in + src_off, length)
                 self._pending_set = None
@@ -166,8 +182,20 @@ class RedisServer:
                       tag="copy")
         if (self.mode == "copier"
                 and value_len >= system.params.copier_user_min_bytes):
-            yield from proc.client.amemcpy(va, src, value_len)
-            self._pending_set = (va, value_len, REQ_META, recv_was_async)
+            deadline = None
+            if self.request_timeout_cycles is not None:
+                deadline = system.env.now + self.request_timeout_cycles
+            try:
+                yield from proc.client.amemcpy(va, src, value_len,
+                                               deadline=deadline)
+            except AdmissionReject:
+                # The overload valve refused the copy outright: the SET
+                # times out now rather than queueing to miss later.
+                self.timeouts += 1
+                yield self._compute(SET_BOOKKEEPING_CYCLES)
+                return
+            self._pending_set = (va, value_len, REQ_META, recv_was_async,
+                                 bytes(key), deadline)
         elif self.mode == "zio":
             yield from self.zio.copy(va, src, value_len)
         else:

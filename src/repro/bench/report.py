@@ -68,6 +68,40 @@ def stage_breakdown_table(stages, caption="Copy-path stage latency"):
     return table
 
 
+def percentile(samples, fraction):
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+def overload_table(results, caption="Overload: shed vs queue tail latency"):
+    """Build a :class:`ResultTable` from :func:`repro.bench.workloads.
+    overload_burst` results (one row per run).
+
+    The latency columns pool every *served* outcome — completions and
+    bounded synchronous sheds — because that is what a submitter
+    experiences; deadline-missed tasks are lost work and get their own
+    column instead of polluting the tail.
+    """
+    table = ResultTable(caption, [
+        "policy", "load", "done", "shed", "missed", "rejected",
+        "p50 cyc", "p99 cyc", "max cyc", "starved"])
+    for res in results:
+        served = res["done_latencies"] + res["shed_latencies"]
+        wd = res["overload"]["watchdog"]
+        starved = ",".join(wd["starved_clients"]) or \
+            ("yes" if wd["starvation_alerts"] else "-")
+        table.add(res["policy"], res["load"], len(res["done_latencies"]),
+                  len(res["shed_latencies"]), len(res["miss_latencies"]),
+                  res["overload"]["rejected"],
+                  percentile(served, 0.50), percentile(served, 0.99),
+                  max(served) if served else 0, starved)
+    return table
+
+
 def _fmt(value):
     if isinstance(value, float):
         if abs(value) < 10:

@@ -1,7 +1,9 @@
 """Reusable workload drivers for the benchmark suite."""
 
+from repro.copier.errors import AdmissionReject
 from repro.kernel import System
 from repro.kernel.net import recv, send, socket_pair
+from repro.sim import Timeout
 
 
 def raw_copy_throughput(mode, task_bytes, n_tasks, repetition=0.0,
@@ -52,6 +54,92 @@ def raw_copy_throughput(mode, task_bytes, n_tasks, repetition=0.0,
     system.env.run_until(p.terminated, limit=500_000_000_000)
     cycles = p.result
     return (n_tasks * task_bytes) / cycles if cycles else 0.0
+
+
+def overload_burst(policy="always", load=1.0, n_tasks=160,
+                   task_bytes=96 * 1024, deadline_slack=4.0,
+                   use_deadlines=None, n_cores=2,
+                   watchdog_cycles=20_000, starvation_cycles=250_000):
+    """Open-loop burst driver for the overload benchmark.
+
+    Submits ``n_tasks`` copies at a fixed interarrival equal to the
+    engine's per-task service time divided by ``load`` — so ``load=2.0``
+    offers twice what the service can drain, open-loop (arrivals do not
+    wait for completions, the cloud-server overload model).  Each task
+    writes its own destination buffer from one shared source, so tasks
+    never carry dependencies and shedding is always legal: the curves
+    compare pure queueing against pure shedding.
+
+    With ``use_deadlines`` (defaulting to on for the deadline-feasible
+    policy), every task carries ``submit + deadline_slack * service``
+    cycles of budget.  Returns a dict of per-outcome latencies (cycles,
+    submit→finish off the trace bus; shed tasks report their bounded
+    synchronous latency), the overload counters and the full snapshot.
+    """
+    if use_deadlines is None:
+        use_deadlines = policy == "deadline-feasible"
+    system = System(n_cores=n_cores, phys_frames=131072, copier_kwargs={
+        "use_dma": False, "use_absorption": False,
+        "admission": policy, "watchdog_cycles": watchdog_cycles,
+        "watchdog_starvation_cycles": starvation_cycles,
+    })
+    proc = system.create_process("burst", queue_capacity=4096)
+    src = proc.mmap(task_bytes, populate=True, contiguous=True)
+    dsts = [proc.mmap(task_bytes, populate=True, contiguous=True)
+            for _ in range(n_tasks)]
+
+    params = system.params
+    service_cycles = int(task_bytes / params.avx_bytes_per_cycle)
+    interarrival = max(1, int(service_cycles / load))
+    budget = int(service_cycles * deadline_slack)
+
+    submitted = {}
+    done_latencies = []
+    shed_latencies = []
+    miss_latencies = []
+
+    def collect(event):
+        if event.kind == "task-submitted":
+            submitted[event.task_id] = event.ts
+        elif event.kind == "task-finished":
+            t0 = submitted.pop(event.task_id, None)
+            if t0 is None:
+                return
+            if event.outcome == "done":
+                done_latencies.append(event.ts - t0)
+            elif event.outcome == "deadline-miss":
+                miss_latencies.append(event.ts - t0)
+        elif event.kind == "task-shed":
+            shed_latencies.append(event.sync_cycles)
+
+    system.env.trace.subscribe(collect)
+
+    def gen():
+        for i in range(n_tasks):
+            deadline = (system.env.now + budget) if use_deadlines else None
+            try:
+                yield from proc.client.amemcpy(dsts[i], src, task_bytes,
+                                               deadline=deadline)
+            except AdmissionReject:
+                pass  # counted by the controller; the submitter moves on
+            yield Timeout(interarrival)
+        yield from proc.client.csync_all()
+
+    p = proc.spawn(gen(), affinity=0)
+    system.env.run_until(p.terminated, limit=500_000_000_000)
+    system.env.trace.unsubscribe(collect)
+    snap = system.copier.stats_snapshot()
+    return {
+        "policy": system.copier.admission.policy.name,
+        "load": load,
+        "interarrival": interarrival,
+        "done_latencies": done_latencies,
+        "shed_latencies": shed_latencies,
+        "miss_latencies": miss_latencies,
+        "overload": snap["overload"],
+        "client": snap["clients"]["burst"],
+        "snapshot": snap,
+    }
 
 
 def syscall_latency(op, mode, nbytes, n_ops=12, batch=None, n_cores=3):

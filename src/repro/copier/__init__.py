@@ -20,6 +20,10 @@ Subpackage map — the copy path is layered by pipeline stage:
   fault handling, promotion, round execution (§4.2.2, §4.5.4).
 - :mod:`repro.copier.completion` — the completion stage: retirement,
   unpinning, FUNC handler dispatch (§4.1).
+- :mod:`repro.copier.admission` — overload valve: admit/shed/reject
+  policies and share-weighted token buckets (§4.5).
+- :mod:`repro.copier.watchdog` — liveness watchdog: stall, starvation
+  and quarantine pile-up detection on the simulated clock.
 - :mod:`repro.copier.service` — the composition root wiring the layers.
 
 Stage boundaries emit typed events on the machine's trace bus
@@ -34,6 +38,12 @@ from repro.copier.atcache import ATCache
 from repro.copier.polling import (AdaptivePolicy, NapiPolicy, PollingPolicy,
                                   ScenarioPolicy, make_policy)
 from repro.copier.sched import CopierScheduler, CopierCgroup
+from repro.copier.admission import (AdmissionController, AdmissionPolicy,
+                                    AlwaysAdmit, DeadlineFeasiblePolicy,
+                                    QueueDepthPolicy, TokenBucket,
+                                    make_admission)
+from repro.copier.errors import AdmissionReject, DeadlineMissed
+from repro.copier.watchdog import CopierWatchdog
 from repro.copier.client import ClientStats, CopierClient
 from repro.copier.service import CopierService
 
@@ -55,6 +65,16 @@ __all__ = [
     "make_policy",
     "CopierScheduler",
     "CopierCgroup",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "QueueDepthPolicy",
+    "DeadlineFeasiblePolicy",
+    "TokenBucket",
+    "make_admission",
+    "AdmissionReject",
+    "DeadlineMissed",
+    "CopierWatchdog",
     "ClientStats",
     "CopierService",
     "CopierClient",

@@ -9,13 +9,14 @@ with ``yield from`` inside a simulator process.
 """
 
 from repro.copier import task as task_mod
+from repro.copier.admission import REJECT, SHED
 from repro.copier.deps import BarrierBookkeeping, PendingTasks, u_order_key
 from repro.copier.descriptor import DescriptorPool
-from repro.copier.errors import CopyAborted
+from repro.copier.errors import AdmissionReject, CopyAborted, DeadlineMissed
 from repro.copier.queues import ClientQueues, QueueFull
 from repro.copier.task import CopyTask, Region, SyncTask
 from repro.sim import Compute
-from repro.sim.trace import TaskSubmitted
+from repro.sim.trace import AdmissionRejected, TaskShed, TaskSubmitted
 
 _MAX_SPIN_CYCLES = 800
 
@@ -27,7 +28,8 @@ _MAX_SUBMIT_RETRIES = 8
 class ClientStats:
     __slots__ = ("submitted", "completed", "aborted", "dropped",
                  "sync_tasks", "bytes_copied", "bytes_absorbed",
-                 "queue_overflows")
+                 "queue_overflows", "shed_tasks", "shed_bytes",
+                 "rejected_submits", "cancelled", "deadline_misses")
 
     def __init__(self):
         self.submitted = 0
@@ -38,6 +40,11 @@ class ClientStats:
         self.bytes_copied = 0
         self.bytes_absorbed = 0
         self.queue_overflows = 0
+        self.shed_tasks = 0
+        self.shed_bytes = 0
+        self.rejected_submits = 0
+        self.cancelled = 0
+        self.deadline_misses = 0
 
     def as_dict(self):
         """Plain-dict snapshot of every counter."""
@@ -69,6 +76,7 @@ class CopierClient:
         self.desc_pool = DescriptorPool(self.segment_bytes)
         self.task_index = []  # submitted tasks for csync address lookup
         self.stats = ClientStats()
+        self.outstanding_bytes = 0  # admitted async bytes not yet retired
         self.sigsegv_handler = None  # default: kill the attached process
 
     # -------------------------------------------------------------- barriers
@@ -96,28 +104,34 @@ class CopierClient:
     # ------------------------------------------------------------ submission
 
     def amemcpy(self, dst_va, src_va, nbytes, handler=None, segment_bytes=None,
-                lazy=False, descriptor=None):
+                lazy=False, descriptor=None, deadline=None):
         """u-mode async copy within this client's address space.
 
-        Generator; returns the task's descriptor.
+        Generator; returns the task's descriptor.  ``deadline`` is an
+        absolute cycle count: past it the task is reaped unexecuted
+        (``deadline-miss``) rather than copied late.
         """
         src = Region(self.aspace, src_va, nbytes)
         dst = Region(self.aspace, dst_va, nbytes)
         return (yield from self.submit_copy("u", src, dst, handler=handler,
                                             segment_bytes=segment_bytes,
-                                            lazy=lazy, descriptor=descriptor))
+                                            lazy=lazy, descriptor=descriptor,
+                                            deadline=deadline))
 
     def k_amemcpy(self, src, dst, handler=None, segment_bytes=None,
-                  lazy=False, descriptor=None):
+                  lazy=False, descriptor=None, deadline=None):
         """k-mode async copy between arbitrary Regions (kernel services)."""
         return (yield from self.submit_copy("k", src, dst, handler=handler,
                                             segment_bytes=segment_bytes,
-                                            lazy=lazy, descriptor=descriptor))
+                                            lazy=lazy, descriptor=descriptor,
+                                            deadline=deadline))
 
     def submit_copy(self, queue_kind, src, dst, handler=None,
-                    segment_bytes=None, lazy=False, descriptor=None):
+                    segment_bytes=None, lazy=False, descriptor=None,
+                    deadline=None):
         params = self.service.params
         cost = params.queue_submit_cycles
+        pooled = descriptor is None
         if descriptor is None:
             descriptor = self.desc_pool.acquire(
                 src.length, segment_bytes or self.segment_bytes)
@@ -128,8 +142,25 @@ class CopierClient:
             task_type=task_mod.TYPE_LAZY if lazy else task_mod.TYPE_NORMAL,
         )
         task.submitted_at = self.env.now
+        task.deadline = deadline
         if lazy:
             task.lazy_deadline = self.env.now + self.service.lazy_period_cycles
+        admission = self.service.admission
+        decision = admission.admit(self, task)
+        if decision == REJECT:
+            self.stats.rejected_submits += 1
+            admission.stats.rejected += 1
+            if pooled:
+                descriptor.release()
+            trace = self.service.trace
+            if trace.active:
+                trace.emit(AdmissionRejected(self.env.now, self.name,
+                                             src.length,
+                                             admission.policy.name))
+            raise AdmissionReject(admission.policy.name, src.length)
+        if decision == SHED:
+            yield from self._shed_sync(task, admission.policy.name)
+            return descriptor
         if queue_kind == "u":
             queue = self.u_queues.copy
             position = yield from self._acquire_slot(queue)
@@ -144,12 +175,94 @@ class CopierClient:
             self._prune_index(force=True)
         self.task_index.append(task)
         self.stats.submitted += 1
+        self.outstanding_bytes += src.length
         trace = self.service.trace
         if trace.active:
             trace.emit(TaskSubmitted(self.env.now, task.task_id, self.name,
                                      queue_kind, src.length, lazy))
         self.service.notify_submit(self)
         return descriptor
+
+    def _shed_sync(self, task, reason):
+        """Execute a shed task synchronously in the submitter's context.
+
+        Same semantics as ``user_memcpy``: the caller's core pays the
+        faults and the copy, and the bytes are in place on return.  The
+        task still lands in ``task_index`` fully marked, so later csyncs
+        over the range take the fast path.  Latency is bounded (no
+        queueing), which is the entire point of the overload valve.
+        """
+        params = self.service.params
+        t0 = self.env.now
+        fault_cycles = 0
+        resolutions = task.src.aspace.ensure_mapped(
+            task.src.start, task.src.length, write=False)
+        resolutions += task.dst.aspace.ensure_mapped(
+            task.dst.start, task.dst.length, write=True)
+        for kind in resolutions:
+            fault_cycles += (params.fault_entry_cycles
+                             + params.page_alloc_cycles
+                             + params.fault_exit_cycles)
+            if kind == "cow_copy":
+                fault_cycles += params.cpu_copy_cycles(4096, engine="avx")
+        if fault_cycles:
+            yield Compute(fault_cycles, tag="fault")
+        yield Compute(params.cpu_copy_cycles(task.length, engine="avx"),
+                      tag="copier-submit")
+        data = task.src.aspace.read(task.src.start, task.src.length)
+        task.dst.aspace.write(task.dst.start, data)
+        for seg in range(task.descriptor.n_segments):
+            task.descriptor.mark(seg)
+        task.state = task_mod.DONE
+        task.completed_at = self.env.now
+        if len(self.task_index) >= self.INDEX_CAP:
+            self._prune_index(force=True)
+        self.task_index.append(task)
+        self.stats.shed_tasks += 1
+        self.stats.shed_bytes += task.length
+        overload = self.service.admission.stats
+        overload.shed_tasks += 1
+        overload.shed_bytes += task.length
+        if task.handler is not None:
+            kind, fn, args = task.handler
+            if kind == "kfunc":
+                fn(*args)
+            else:
+                self.u_queues.handler.submit((fn, args))
+        trace = self.service.trace
+        if trace.active:
+            trace.emit(TaskShed(self.env.now, task.task_id, self.name,
+                                task.length, self.env.now - t0, reason))
+
+    # ---------------------------------------------------------- cancellation
+
+    def cancel(self, va, nbytes, queue_kind=None):
+        """Cancel unfinished copies whose destination overlaps the range.
+
+        Generator; returns how many tasks were marked.  Marked tasks are
+        retired by the service (``cancelled`` outcome, pins released,
+        FUNC still dispatched) rather than copied; a csync over the range
+        then raises :class:`~repro.copier.errors.CopyAborted`.
+        """
+        params = self.service.params
+        yield Compute(params.queue_submit_cycles, tag="csync")
+        count = self._mark_cancelled(Region(self.aspace, va, nbytes),
+                                     queue_kind)
+        if count:
+            self.service.notify_submit(self)  # wake a worker to reap
+        return count
+
+    def _mark_cancelled(self, region, queue_kind=None):
+        count = 0
+        for task in self.task_index:
+            if task.is_finished or task.cancelled:
+                continue
+            if queue_kind is not None and task.queue_kind != queue_kind:
+                continue
+            if task.dst.overlaps(region):
+                task.cancelled = True
+                count += 1
+        return count
 
     def _acquire_slot(self, queue):
         """Acquire a ring slot, absorbing transient overflow (generator).
@@ -224,13 +337,18 @@ class CopierClient:
             remaining = next_remaining
         return True
 
-    def csync(self, va, nbytes, queue_kind="u"):
+    def csync(self, va, nbytes, queue_kind="u", deadline=None):
         """Ensure [va, va+nbytes) from prior async copies is ready (§4.1).
 
         Fast path: one descriptor check.  Slow path: submit a Sync Task
         (raising the segments' priority) and spin-wait with exponential
         backoff, burning the client's own core — the polling cost the
         paper accounts to csync.
+
+        With a ``deadline`` (absolute cycles), a spin that reaches it
+        stops waiting: the still-unfinished covering copies are cancelled
+        and :class:`~repro.copier.errors.DeadlineMissed` is raised, so
+        the caller's wait — not just the copy — is bounded.
         """
         params = self.service.params
         region = Region(self.aspace, va, nbytes)
@@ -238,18 +356,18 @@ class CopierClient:
         if self._range_ready(region):
             self._prune_index()
             return
-        yield from self._sync_and_spin(region, queue_kind)
+        yield from self._sync_and_spin(region, queue_kind, deadline)
         self._prune_index()
 
-    def csync_region(self, region, queue_kind="k"):
+    def csync_region(self, region, queue_kind="k", deadline=None):
         """csync for an arbitrary Region (kernel-side users)."""
         params = self.service.params
         yield Compute(params.csync_check_cycles, tag="csync")
         if self._range_ready(region):
             return
-        yield from self._sync_and_spin(region, queue_kind)
+        yield from self._sync_and_spin(region, queue_kind, deadline)
 
-    def _sync_and_spin(self, region, queue_kind):
+    def _sync_and_spin(self, region, queue_kind, deadline=None):
         """Slow path shared by the csync flavours: submit a Sync Task and
         spin-wait with exponential backoff until the range lands."""
         params = self.service.params
@@ -262,6 +380,12 @@ class CopierClient:
         self.service.notify_submit(self)
         spin = params.csync_spin_cycles
         while not self._range_ready(region):
+            if deadline is not None and self.env.now >= deadline:
+                if self._mark_cancelled(region, queue_kind):
+                    self.service.notify_submit(self)
+                raise DeadlineMissed(
+                    "csync [0x%x, +%d) missed its deadline at cycle %d"
+                    % (region.start, region.length, deadline))
             yield Compute(spin, tag="csync")
             spin = min(spin * 2, _MAX_SPIN_CYCLES)
 
@@ -312,6 +436,7 @@ class CopierClient:
                 "k_sync": len(self.k_queues.sync),
             },
             "pending_tasks": len(self.pending),
+            "outstanding_bytes": self.outstanding_bytes,
             "task_index": len(self.task_index),
             "scheduler_total": self.service.scheduler.client_total(self),
             "descriptor_pool": {"hits": self.desc_pool.hits,

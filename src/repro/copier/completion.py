@@ -6,6 +6,16 @@ pending list, unpinning its pages, and dispatching its post-copy FUNC —
 KFUNCs run in Copier's own context, UFUNCs are delegated to the client's
 Handler Queue (§4.1).  Emits ``task-finished`` trace events at the
 pipeline's final boundary.
+
+The overload-protection layer adds two retirement flavours: tasks the
+submitter :meth:`cancelled <repro.copier.client.CopierClient.cancel>`
+and tasks whose :attr:`deadline <repro.copier.task.CopyTask.deadline>`
+passed before their bytes landed.  Both retire through
+:meth:`retire_overload` — clean unpin, a ``cancelled``/``deadline-miss``
+trace outcome, and the handler still dispatched (kernel FUNCs often free
+resources; skipping them would leak).  :meth:`reap_overload` is the
+per-iteration sweep the worker loop runs over each client's pending
+list.
 """
 
 from repro.copier import task as task_mod
@@ -30,8 +40,7 @@ class CompletionHandler:
                 task.completed_at = self.service.env.now
                 client.pending.remove(task)
                 client.stats.completed += 1
-                self.unpin(task)
-                self._trace_finish(client, task, "done")
+                self._finalize(client, task, "done")
                 self.queue_handler(client, task)
 
     # --------------------------------------------------------------- finish
@@ -45,8 +54,7 @@ class CompletionHandler:
         except ValueError:
             pass  # already retired by a concurrent sweep — benign
         client.stats.completed += 1
-        self.unpin(task)
-        self._trace_finish(client, task, "done")
+        self._finalize(client, task, "done")
         yield from self.run_handler(client, task)
 
     def abort_task(self, client, task):
@@ -55,8 +63,7 @@ class CompletionHandler:
         task.descriptor.abort()
         client.pending.remove(task)
         client.stats.aborted += 1
-        self.unpin(task)
-        self._trace_finish(client, task, "aborted")
+        self._finalize(client, task, "aborted")
         yield from self.run_handler(client, task)
 
     def drop_task(self, client, task, exc):
@@ -69,12 +76,56 @@ class CompletionHandler:
         task.descriptor.abort()
         client.stats.dropped += 1
         self.service.tasks_dropped += 1
-        self.unpin(task)  # a dropped task must never leak pins
-        self._trace_finish(client, task, "dropped")
+        self._finalize(client, task, "dropped")
         if client.sigsegv_handler is not None:
             client.sigsegv_handler(task, exc)
         elif client.process is not None:
             client.process.kill(CopierSecurityError(str(exc)))
+
+    # ------------------------------------------------------------- overload
+
+    def retire_overload(self, client, task, outcome):
+        """Retire a cancelled or deadline-expired task (non-generator).
+
+        ``outcome`` is ``"cancelled"`` or ``"deadline-miss"``.  The task
+        may be anywhere in its lifecycle — still on a ring, pending, or
+        partially copied — so the descriptor is aborted (csync on the
+        range raises :class:`~repro.copier.errors.CopyAborted` rather
+        than spinning forever) and pins are released exactly once.  The
+        FUNC still dispatches, uncharged, like the sweep path: kernel
+        handlers frequently release buffers and must not be skipped.
+        """
+        task.state = task_mod.ABORTED
+        task.descriptor.abort()
+        try:
+            client.pending.remove(task)
+        except ValueError:
+            pass  # not ingested yet, or already plucked — benign
+        overload = self.service.admission.stats
+        if outcome == "cancelled":
+            client.stats.cancelled += 1
+            overload.cancelled += 1
+        else:
+            client.stats.deadline_misses += 1
+            overload.deadline_misses += 1
+        self._finalize(client, task, outcome)
+        self.queue_handler(client, task)
+
+    def reap_overload(self, client):
+        """Retire every cancelled/expired task in the pending list;
+        returns how many were retired (the worker's did-work signal)."""
+        now = self.service.env.now
+        reaped = 0
+        for task in list(client.pending):
+            if task.is_finished:
+                continue
+            if task.cancelled:
+                self.retire_overload(client, task, "cancelled")
+                reaped += 1
+            elif task.expired(now):
+                self.retire_overload(client, task, "deadline-miss")
+                reaped += 1
+        return reaped
 
     # ---------------------------------------------------------------- pages
 
@@ -110,7 +161,14 @@ class CompletionHandler:
 
     # ----------------------------------------------------------------- trace
 
-    def _trace_finish(self, client, task, outcome):
+    def _finalize(self, client, task, outcome):
+        """Post-retirement bookkeeping shared by every path: release the
+        pins, settle the outstanding-byte meter, count global progress
+        (the watchdog's liveness signal) and emit ``task-finished``."""
+        self.unpin(task)
+        client.outstanding_bytes = max(0,
+                                       client.outstanding_bytes - task.length)
+        self.service.tasks_retired += 1
         trace = self.service.trace
         if trace.active:
             trace.emit(TaskFinished(self.service.env.now, task.task_id,

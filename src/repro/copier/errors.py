@@ -18,11 +18,35 @@ __all__ = [
     "DMASubmitError",
     "DMAAbortError",
     "PagePinError",
+    "AdmissionReject",
+    "DeadlineMissed",
 ]
 
 
 class CopyAborted(Exception):
     """csync on a region whose pending copy was explicitly aborted (§4.4)."""
+
+
+class AdmissionReject(Exception):
+    """Admission control refused the submission (service saturated).
+
+    Raised back to the submitter by :meth:`CopierClient.submit_copy` when
+    the active :mod:`repro.copier.admission` policy decides to reject
+    rather than queue or shed.  Carries the policy's reason string.
+    """
+
+    def __init__(self, reason, nbytes=0):
+        super().__init__(reason)
+        self.reason = reason
+        self.nbytes = nbytes
+
+
+class DeadlineMissed(Exception):
+    """A deadline-carrying csync timed out before its range landed.
+
+    The covering tasks are cancelled before this propagates, so the
+    service stops paying for work nobody will consume.
+    """
 
 
 class CopierSecurityError(Exception):

@@ -72,6 +72,14 @@ class CopyExecutor:
         cost = 0
         from repro.mem.phys import OutOfMemory
 
+        # Cancelled or already-expired tasks retire here, before any pin
+        # or page work is spent on bytes nobody will consume.
+        if task.cancelled:
+            self.completion.retire_overload(client, task, "cancelled")
+            return cost
+        if task.expired(self.service.env.now):
+            self.completion.retire_overload(client, task, "deadline-miss")
+            return cost
         try:
             task.src.aspace.check_range(task.src.start, task.src.length, write=False)
             task.dst.aspace.check_range(task.dst.start, task.dst.length, write=True)

@@ -33,7 +33,6 @@ class RingQueue:
         self._slots = [_Slot() for _ in range(capacity)]
         self.head = 0  # total slots acquired (fetch-and-add counter)
         self.tail = 0  # total slots consumed
-        self.epoch = 0  # times the ring wrapped (barrier bookkeeping)
 
     def __len__(self):
         return self.head - self.tail
@@ -42,14 +41,23 @@ class RingQueue:
     def is_empty(self):
         return self.head == self.tail
 
+    @property
+    def epoch(self):
+        """Times the ring wrapped (barrier bookkeeping).
+
+        Derived from the acquire counter rather than counted imperatively:
+        a stateful ``+= 1`` at ``head % capacity == 0`` bumps a capacity-1
+        ring on every acquire and drifts from the wrap count the moment a
+        future protocol change makes ``head`` move by more than one.
+        """
+        return self.head // self.capacity
+
     def acquire(self):
         """Fetch-and-add a slot index; raises :class:`QueueFull` when full."""
         if self.head - self.tail >= self.capacity:
             raise QueueFull(self.name or "ring")
         index = self.head
         self.head += 1
-        if self.head % self.capacity == 0:
-            self.epoch += 1
         return index
 
     def publish(self, index, item):

@@ -47,6 +47,26 @@ class CopierScheduler:
         self.cgroups[name] = group
         return group
 
+    def remove_cgroup(self, name):
+        """Tear down a cgroup, reassigning its clients to ``root``.
+
+        The clients keep their accumulated per-client copy lengths (they
+        earned them), but the removed group's total does not fold into
+        root's — root's weighted length reflects only work done under
+        root, so survivors are not suddenly outranked.  Removing ``root``
+        is forbidden.
+        """
+        if name == "root":
+            raise ValueError("cannot remove the root cgroup")
+        group = self.cgroups.pop(name, None)
+        if group is None:
+            raise KeyError("no cgroup %r" % name)
+        for client in list(group.clients):
+            group.clients.remove(client)
+            self.root_cgroup.clients.append(client)
+            self._client_group[client] = self.root_cgroup
+        return group
+
     def register(self, client, cgroup="root"):
         group = self.cgroups[cgroup]
         group.clients.append(client)

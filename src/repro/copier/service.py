@@ -13,11 +13,13 @@ Stage boundaries emit typed events on the machine-wide trace bus
 the latency breakdown :mod:`repro.tools.copierstat` renders.
 """
 
+from repro.copier.admission import AdmissionController
 from repro.copier.client import ClientStats, CopierClient  # noqa: F401
 from repro.copier.completion import CompletionHandler
 from repro.copier.dispatch import Dispatcher
 from repro.copier.executor import CopyExecutor
 from repro.copier.polling import make_policy
+from repro.copier.watchdog import CopierWatchdog
 from repro.copier.worker import AutoScaler, CopierWorker
 from repro.copier.atcache import ATCache
 from repro.copier.sched import CopierScheduler
@@ -33,7 +35,8 @@ class CopierService:
                  use_dma=True, use_absorption=True, dma_engine=None,
                  n_threads=1, max_threads=4, dedicated_cores=None,
                  lazy_period_cycles=2_000_000, autoscale=False, trace=None,
-                 fault_plan=None):
+                 fault_plan=None, admission=None, watchdog_cycles=None,
+                 watchdog_starvation_cycles=None):
         self.env = env
         self.params = params
         self.policy = make_policy(polling)
@@ -62,6 +65,14 @@ class CopierService:
         self.completion = CompletionHandler(self)
         self.executor = CopyExecutor(self, self.completion)
         self.autoscaler = AutoScaler(self)
+        # Overload protection: the admission valve (explicit policy wins
+        # over COPIER_ADMISSION), the liveness watchdog, and the global
+        # retirement counter that serves as the watchdog's progress signal.
+        self.admission = AdmissionController(self, admission)
+        self.tasks_retired = 0
+        self.watchdog = CopierWatchdog(
+            self, period_cycles=watchdog_cycles,
+            starvation_cycles=watchdog_starvation_cycles)
         self.lazy_period_cycles = lazy_period_cycles
         self.autoscale = autoscale
         self.clients = []
@@ -112,11 +123,13 @@ class CopierService:
     def remove_client(self, client):
         self.clients.remove(client)
         self.scheduler.unregister(client)
+        self.admission.forget(client)
 
     # ----------------------------------------------------------- wake/sleep
 
     def notify_submit(self, client):
         """Client published work; wake a sleeping *active* thread if needed."""
+        self.watchdog.kick()
         if not self.policy.wake_on_submit(self):
             return  # stays asleep until the scenario activates (§5.3)
         for tid, event in list(self._wake_events.items()):
@@ -142,6 +155,7 @@ class CopierService:
 
     def stop(self):
         self.running = False
+        self.watchdog.stop()
         self._wake_all()
 
     # -------------------------------------------------------------- metrics
@@ -203,6 +217,9 @@ class CopierService:
                 for name, g in self.scheduler.cgroups.items()
             },
             "clients": {c.name: c.stats_snapshot() for c in self.clients},
+            "overload": dict(self.admission.snapshot(),
+                             tasks_retired=self.tasks_retired,
+                             watchdog=self.watchdog.snapshot()),
             "stages": self.stage_stats.as_dict(),
             "faults": dict(
                 self.faults.as_dict(),

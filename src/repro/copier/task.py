@@ -88,6 +88,8 @@ class CopyTask:
         "pinned",
         "absorbed_bytes",
         "lazy_deadline",
+        "deadline",
+        "cancelled",
     )
 
     def __init__(self, client, queue_kind, src, dst, descriptor,
@@ -111,6 +113,12 @@ class CopyTask:
         self.pinned = False
         self.absorbed_bytes = 0
         self.lazy_deadline = None
+        #: Absolute cycle by which the submitter wants the copy completed;
+        #: the service retires the task (``deadline-miss``) once it passes.
+        self.deadline = None
+        #: Set by :meth:`CopierClient.cancel`; the next service pass
+        #: retires the task without copying further bytes.
+        self.cancelled = False
 
     @property
     def length(self):
@@ -123,6 +131,10 @@ class CopyTask:
     @property
     def is_finished(self):
         return self.state in (DONE, ABORTED)
+
+    def expired(self, now):
+        """True when the task carries a deadline that has already passed."""
+        return self.deadline is not None and now > self.deadline
 
     def segments_pending(self):
         """Indices of segments not yet copied."""

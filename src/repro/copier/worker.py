@@ -17,6 +17,9 @@ threads to keep it between ``low_load`` and ``high_load``.
 from repro.sim import Compute, Timeout, WaitEvent
 from repro.sim.trace import ThreadSleep, ThreadWake
 
+#: Bookkeeping cycles charged per task retired by the overload reap.
+_REAP_CYCLES_PER_TASK = 15
+
 
 class AutoScaler:
     """Busy-fraction-driven thread scaling for one service (§4.5.1)."""
@@ -103,6 +106,16 @@ class CopierWorker:
             if ingest_cost:
                 yield Compute(ingest_cost, tag="copier-mgmt")
 
+            # Retire cancelled/deadline-expired work before planning any
+            # rounds — no cycles are spent copying bytes nobody wants.
+            reaped = 0
+            for client in clients:
+                reaped += service.completion.reap_overload(client)
+            if reaped:
+                did_work = True
+                yield Compute(reaped * _REAP_CYCLES_PER_TASK,
+                              tag="copier-mgmt")
+
             # Sync Tasks first — k-mode before u-mode (§4.2.2).
             for kind in ("k", "u"):
                 for client in clients:
@@ -153,10 +166,15 @@ class CopierWorker:
 
     def _arm_lazy_timer(self, clients):
         """Before sleeping, arm a wakeup at the earliest lazy deadline so
-        deferred tasks still run when their period elapses (§4.4)."""
+        deferred tasks still run when their period elapses (§4.4) — and
+        at the earliest task deadline, so expired tasks are reaped (and
+        their pins released) even when no new submission rings the
+        doorbell."""
         service = self.service
         deadlines = [t.lazy_deadline for c in clients for t in c.pending
                      if t.lazy and t.lazy_deadline is not None]
+        deadlines += [t.deadline for c in clients for t in c.pending
+                      if t.deadline is not None]
         if not deadlines:
             return
         delay = max(0, min(deadlines) - service.env.now)

@@ -21,7 +21,20 @@ event               emitted when
                     submit failure or a mid-transfer abort
 ``fault-injected``  the fault-injection layer fired at a site
                     (:mod:`repro.faultinject`)
+``task-shed``       admission control executed a copy synchronously in the
+                    submitter's context instead of queueing it
+                    (:mod:`repro.copier.admission`)
+``admission-reject`` admission control refused a submission outright
+``watchdog-stall``  the liveness watchdog saw nonempty queues with no
+                    retirement progress over its check window
+``watchdog-starved`` a client's oldest outstanding task aged past the
+                    starvation threshold
+``watchdog-quarantine`` backlog piling up behind a quarantined DMA engine
 ==================  ========================================================
+
+``task-finished`` additionally carries ``"cancelled"`` and
+``"deadline-miss"`` outcomes for tasks retired by the overload-protection
+layer rather than by normal completion.
 
 The bus itself is policy-free: ``subscribe`` a callable, every event is
 delivered synchronously in emission order.  :class:`StageAggregator` is the
@@ -120,8 +133,73 @@ class TaskFinished(TraceEvent):
         super().__init__(ts)
         self.task_id = task_id
         self.client_name = client_name
-        self.outcome = outcome  # "done" | "aborted" | "dropped"
+        # "done" | "aborted" | "dropped" | "cancelled" | "deadline-miss"
+        self.outcome = outcome
         self.nbytes = nbytes
+
+
+class TaskShed(TraceEvent):
+    """Admission control ran the copy synchronously in the submitter's
+    context (the paper's bounded-latency sync escape hatch)."""
+
+    kind = "task-shed"
+    __slots__ = ("task_id", "client_name", "nbytes", "sync_cycles", "reason")
+
+    def __init__(self, ts, task_id, client_name, nbytes, sync_cycles, reason):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.client_name = client_name
+        self.nbytes = nbytes
+        self.sync_cycles = sync_cycles
+        self.reason = reason  # "queue-depth" | "deadline" | "tokens"
+
+
+class AdmissionRejected(TraceEvent):
+    """Admission control refused a submission outright."""
+
+    kind = "admission-reject"
+    __slots__ = ("client_name", "nbytes", "reason")
+
+    def __init__(self, ts, client_name, nbytes, reason):
+        super().__init__(ts)
+        self.client_name = client_name
+        self.nbytes = nbytes
+        self.reason = reason
+
+
+class WatchdogStall(TraceEvent):
+    """No retirement progress over the watchdog window despite backlog."""
+
+    kind = "watchdog-stall"
+    __slots__ = ("backlog_tasks", "stalled_cycles")
+
+    def __init__(self, ts, backlog_tasks, stalled_cycles):
+        super().__init__(ts)
+        self.backlog_tasks = backlog_tasks
+        self.stalled_cycles = stalled_cycles
+
+
+class WatchdogStarvation(TraceEvent):
+    """A client's oldest outstanding task aged past the threshold."""
+
+    kind = "watchdog-starved"
+    __slots__ = ("client_name", "oldest_age")
+
+    def __init__(self, ts, client_name, oldest_age):
+        super().__init__(ts)
+        self.client_name = client_name
+        self.oldest_age = oldest_age
+
+
+class WatchdogQuarantine(TraceEvent):
+    """Backlog piling up behind a quarantined DMA engine."""
+
+    kind = "watchdog-quarantine"
+    __slots__ = ("backlog_tasks",)
+
+    def __init__(self, ts, backlog_tasks):
+        super().__init__(ts)
+        self.backlog_tasks = backlog_tasks
 
 
 class EngineFallback(TraceEvent):
@@ -248,6 +326,10 @@ class StageAggregator:
         self.engine_fallbacks = 0
         self.fallback_bytes = 0
         self.faults_injected = {}
+        self.shed_tasks = 0
+        self.shed_bytes = 0
+        self.admission_rejects = 0
+        self.watchdog_alerts = {}
         self.events_seen = 0
         self._submitted = {}
         self._ingested = {}
@@ -263,6 +345,11 @@ class StageAggregator:
             ThreadWake: self._on_wake,
             EngineFallback: self._on_fallback,
             FaultInjected: self._on_fault,
+            TaskShed: self._on_shed,
+            AdmissionRejected: self._on_reject,
+            WatchdogStall: self._on_watchdog,
+            WatchdogStarvation: self._on_watchdog,
+            WatchdogQuarantine: self._on_watchdog,
         }
         if bus is not None:
             bus.subscribe(self)
@@ -323,6 +410,18 @@ class StageAggregator:
         kind = event.fault_kind
         self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
 
+    def _on_shed(self, event):
+        self.shed_tasks += 1
+        self.shed_bytes += event.nbytes
+        self.outcomes["shed"] = self.outcomes.get("shed", 0) + 1
+
+    def _on_reject(self, event):
+        self.admission_rejects += 1
+
+    def _on_watchdog(self, event):
+        kind = event.kind
+        self.watchdog_alerts[kind] = self.watchdog_alerts.get(kind, 0) + 1
+
     # -------------------------------------------------------------- export
 
     def as_dict(self):
@@ -338,6 +437,10 @@ class StageAggregator:
             "engine_fallbacks": self.engine_fallbacks,
             "fallback_bytes": self.fallback_bytes,
             "faults_injected": dict(self.faults_injected),
+            "shed_tasks": self.shed_tasks,
+            "shed_bytes": self.shed_bytes,
+            "admission_rejects": self.admission_rejects,
+            "watchdog_alerts": dict(self.watchdog_alerts),
             "in_flight": len(self._submitted),
             "events": self.events_seen,
         }

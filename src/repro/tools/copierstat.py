@@ -55,6 +55,8 @@ def render(snap):
             snap["dma"]["bytes_copied"], snap["dma"]["batches"],
             snap["dma"]["busy_cycles"]))
     out("  dropped tasks: %d" % snap["tasks_dropped"])
+    for line in render_overload(snap.get("overload")):
+        out(line)
     for line in render_faults(snap.get("faults")):
         out(line)
     for line in render_stages(snap.get("stages")):
@@ -98,6 +100,41 @@ def render_stages(stages):
                      stages["in_flight"]))
     lines.append("    threads: %d sleeps / %d wakes, %d cycles slept" % (
         threads["sleeps"], threads["wakes"], threads["slept_cycles"]))
+    return lines
+
+
+def render_overload(overload):
+    """Render the overload-protection section as report lines.
+
+    ``overload`` is the ``"overload"`` entry of a snapshot; returns
+    ``[]`` when absent (old snapshots) or when the default ``always``
+    policy never shed/rejected/missed and the watchdog never fired, so
+    pre-overload reports stay byte-identical.
+    """
+    if not overload:
+        return []
+    wd = overload.get("watchdog", {})
+    alerts = (wd.get("stall_alerts", 0) + wd.get("starvation_alerts", 0)
+              + wd.get("quarantine_alerts", 0))
+    interesting = (overload.get("shed_tasks", 0) or overload.get("rejected", 0)
+                   or overload.get("cancelled", 0)
+                   or overload.get("deadline_misses", 0) or alerts)
+    if overload.get("policy", "always") == "always" and not interesting:
+        return []
+    lines = ["  overload: policy=%s admitted=%d shed=%d (%d B) rejected=%d"
+             % (overload["policy"], overload.get("admitted", 0),
+                overload.get("shed_tasks", 0), overload.get("shed_bytes", 0),
+                overload.get("rejected", 0))]
+    lines.append("    cancelled=%d deadline_misses=%d retired=%d" % (
+        overload.get("cancelled", 0), overload.get("deadline_misses", 0),
+        overload.get("tasks_retired", 0)))
+    if wd:
+        starved = ", ".join(wd.get("starved_clients", [])) or "-"
+        lines.append("    watchdog: %d checks, %d stall / %d starved / "
+                     "%d quarantine alerts (starved: %s)" % (
+                         wd.get("checks", 0), wd.get("stall_alerts", 0),
+                         wd.get("starvation_alerts", 0),
+                         wd.get("quarantine_alerts", 0), starved))
     return lines
 
 

@@ -70,13 +70,14 @@ def _reference(ops):
     return [bytes(b) for b in bufs]
 
 
-def run_workload(plan, n_ops=120):
+def run_workload(plan, n_ops=120, admission=None):
     """Execute the canned workload under ``plan``; returns
     ``(service, aspace, bases, ops)`` after the run completes."""
     env = Environment(n_cores=2)
     params = MachineParams()
     phys = PhysicalMemory(8192)
-    service = CopierService(env, params, fault_plan=plan)
+    service = CopierService(env, params, fault_plan=plan,
+                            admission=admission)
     aspace = AddressSpace(phys, name="app")
     client = service.create_client(aspace, name="app")
     bases = [aspace.mmap(BUF_BYTES, populate=True, contiguous=True)
@@ -123,12 +124,16 @@ def main(argv=None):
                         default=int(os.environ.get("COPIER_FAULT_SEED", "0")))
     parser.add_argument("--ops", type=int, default=120,
                         help="workload length (copies + csyncs)")
+    parser.add_argument("--admission", default=None,
+                        help="admission policy (default: COPIER_ADMISSION "
+                             "or 'always')")
     args = parser.parse_args(argv)
 
     plan = FaultPlan.named(args.plan, args.seed)
-    service, aspace, bases, ops = run_workload(plan, n_ops=args.ops)
-    print("faultsummary: %d ops under plan=%s seed=%d" % (
-        len(ops), args.plan, args.seed))
+    service, aspace, bases, ops = run_workload(plan, n_ops=args.ops,
+                                               admission=args.admission)
+    print("faultsummary: %d ops under plan=%s seed=%d admission=%s" % (
+        len(ops), args.plan, args.seed, service.admission.policy.name))
     print(copierstat.report(service))
     failures = check(service, aspace, bases, ops)
     for failure in failures:

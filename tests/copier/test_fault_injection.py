@@ -21,6 +21,7 @@ from repro.baselines.synccopy import user_memcpy
 from repro.faultinject import (FAULT_KINDS, PLAN_NAMES, FaultInjector,
                                FaultPlan, FaultSpec)
 from repro.kernel.system import System
+from repro.sim import Timeout
 from tests.copier.conftest import Setup
 
 N_BUFFERS = 3
@@ -143,6 +144,37 @@ class TestFaultedWorkloads:
         assert rec["engine_fallbacks"] >= 1
         assert snap["faults"]["dma_quarantined"]
         assert snap["dma"]["submit_failures"] >= rec["dma_submit_failures"]
+
+    def test_abort_racing_dma_abort_releases_pins_once(self):
+        """A client ``abort()`` racing in-flight tasks whose DMA engine
+        keeps aborting must release every pin exactly once: the run ends
+        with no leaked pins and no pin count ever driven negative by a
+        double unpin on the abort/fallback seam."""
+        plan = FaultPlan.single("dma_abort", seed=4, rate=0.8)
+        setup = Setup(n_frames=8192, fault_plan=plan)
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(BUF_BYTES, populate=True, contiguous=True)
+        dst = aspace.mmap(BUF_BYTES, populate=True, contiguous=True)
+        aspace.write(src, _initial(0))
+
+        def app():
+            for _ in range(8):
+                yield from client.amemcpy(dst, src, BUF_BYTES)
+                # Let the worker ingest, pin, and launch (and, per the
+                # plan, abort) DMA before yanking the task out from under
+                # it; vary nothing else so the race window is the plan's.
+                yield Timeout(300)
+                yield from client.abort(dst, BUF_BYTES)
+                yield Timeout(50_000)
+            yield from client.csync_all()
+
+        setup.run_process(app(), limit=RUN_LIMIT)
+        pin_counts = [pte.pin_count for pte in aspace.page_table.values()]
+        assert min(pin_counts, default=0) >= 0
+        assert _leaked_pins(setup.aspace) == 0
+        snap = setup.service.stats_snapshot()
+        assert snap["clients"]["app"]["aborted"] >= 1
+        assert snap["faults"]["injected"].get("dma_abort", 0) >= 1
 
     @pytest.mark.faultfree  # must stay unarmed even under the CI soak env
     def test_unarmed_run_matches_oracle_and_records_nothing(self):

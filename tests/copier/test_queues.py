@@ -67,6 +67,30 @@ class TestRingQueue:
         assert ring.pop() == "x"
         ring.submit("y")
 
+    def test_epoch_is_derived_from_head(self):
+        """Regression: epoch must equal ``head // capacity`` at every point,
+        for every capacity — a stateful counter bumped at ``head % capacity
+        == 0`` counts a capacity-1 ring's every acquire as a wrap and
+        drifts on partial fills."""
+        for capacity in (1, 2, 3, 8):
+            ring = RingQueue(capacity)
+            assert ring.epoch == 0
+            for _ in range(4 * capacity + 1):
+                ring.acquire()
+                ring.tail = ring.head  # consume without touching head
+                assert ring.epoch == ring.head // capacity
+            assert ring.epoch == 4 + (1 if capacity == 1 else 0)
+
+    def test_epoch_partial_fill_does_not_wrap(self):
+        """Filling and draining below capacity never advances the epoch."""
+        ring = RingQueue(8)
+        for round_no in range(5):
+            for i in range(3):
+                ring.submit(i)
+            ring.drain()
+        # 15 acquires on a capacity-8 ring = 1 full wrap, not 5.
+        assert ring.epoch == 1
+
     @settings(max_examples=30, deadline=None)
     @given(ops=st.lists(st.booleans(), min_size=1, max_size=200))
     def test_property_never_loses_or_duplicates(self, ops):

@@ -56,6 +56,46 @@ class TestScheduler:
         with pytest.raises(ValueError):
             sched.create_cgroup("x")
 
+    def test_remove_cgroup_reassigns_clients_to_root(self, params):
+        sched = CopierScheduler(params)
+        sched.create_cgroup("doomed", shares=300)
+        sched.register("a", "doomed")
+        sched.register("b", "doomed")
+        sched.charge("a", 700)
+        removed = sched.remove_cgroup("doomed")
+        assert removed.name == "doomed"
+        assert "doomed" not in sched.cgroups
+        assert sched.root_cgroup.clients == ["a", "b"]
+        # The clients stay schedulable and keep their per-client totals.
+        assert sched.pick(["a", "b"]) == "b"
+        assert sched.client_total("a") == 700
+        # The removed group's total does not fold into root's weighted
+        # length; only new work under root accrues there.
+        assert sched.root_cgroup.total_copy_length == 0
+        sched.charge("b", 50)
+        assert sched.root_cgroup.total_copy_length == 50
+
+    def test_remove_root_cgroup_forbidden(self, params):
+        sched = CopierScheduler(params)
+        with pytest.raises(ValueError):
+            sched.remove_cgroup("root")
+        with pytest.raises(KeyError):
+            sched.remove_cgroup("never-existed")
+
+    def test_remove_cgroup_reweights_shares(self, params):
+        """Removing a heavy-share group restores even competition: the
+        survivor no longer needs 3x the copy length to outrank root."""
+        sched = CopierScheduler(params)
+        sched.create_cgroup("gold", shares=300)
+        sched.register("g", "gold")
+        sched.register("r")
+        sched.charge("g", 1200)   # weighted 1200/300 = 4
+        sched.charge("r", 1000)   # weighted 1000/100 = 10
+        assert sched.pick(["g", "r"]) == "g"
+        sched.remove_cgroup("gold")
+        # Both now compete inside root on raw per-client totals.
+        assert sched.pick(["g", "r"]) == "r"
+
     def test_move_between_cgroups(self, params):
         sched = CopierScheduler(params)
         sched.create_cgroup("g1")

@@ -1,0 +1,190 @@
+"""Liveness watchdog tests: stall/starvation detection, quiescence,
+give-up/re-arm, and the ``COPIER_WATCHDOG_CYCLES`` knob.
+
+The wedged-service scenario uses scenario-mode polling with the
+scenario never begun: submissions land on the rings, workers sleep, and
+the only thing left ticking is the watchdog.
+"""
+
+import pytest
+
+from repro.copier.watchdog import DEFAULT_PERIOD_CYCLES, _period_from_env
+from repro.tools.copierstat import report
+from tests.copier.conftest import Setup
+
+PERIOD = 2_000
+STARVE = 30_000
+
+
+def _wedged_setup():
+    """A service that will never make progress, with one stuck task."""
+    setup = Setup(polling="scenario", admission="always",
+                  watchdog_cycles=PERIOD,
+                  watchdog_starvation_cycles=STARVE)
+    aspace, client = setup.aspace, setup.client
+    src = aspace.mmap(8192, populate=True)
+    dst = aspace.mmap(8192, populate=True)
+    setup.buffers = (src, dst)
+    setup.events = []
+    setup.env.trace.subscribe(setup.events.append)
+
+    def gen():
+        yield from client.amemcpy(dst, src, 8192)
+
+    proc = setup.env.spawn(gen(), name="app", affinity=0)
+    setup.env.run_until(proc.terminated, limit=1_000_000)
+    return setup
+
+
+class TestStallAndStarvation:
+    def test_stall_alert_fires_when_service_wedged(self):
+        setup = _wedged_setup()
+        setup.env.run(until=setup.env.now + 200_000)
+        stats = setup.service.watchdog.stats
+        assert stats.stall_alerts >= 1
+        assert stats.checks >= setup.service.watchdog.stall_checks
+        assert stats.last_progress_age > 0
+        stalls = [e for e in setup.events if e.kind == "watchdog-stall"]
+        assert stalls and stalls[0].backlog_tasks >= 1
+
+    def test_starvation_names_the_client_once_per_episode(self):
+        setup = _wedged_setup()
+        setup.env.run(until=setup.env.now + 200_000)
+        stats = setup.service.watchdog.stats
+        assert stats.starved_clients == ["app"]
+        assert stats.starvation_alerts == 1  # one alert, not one per check
+        starved = [e for e in setup.events if e.kind == "watchdog-starved"]
+        assert len(starved) == 1
+        assert starved[0].client_name == "app"
+        assert starved[0].oldest_age > STARVE
+
+    def test_gives_up_on_a_dead_service_and_rearms_on_submit(self):
+        """After GIVE_UP_CHECKS stalled windows the watchdog stops
+        ticking (the heap drains); a fresh submission re-arms it."""
+        setup = _wedged_setup()
+        setup.env.run(until=setup.env.now + 500_000)
+        checks_after_give_up = setup.service.watchdog.stats.checks
+        setup.env.run(until=setup.env.now + 500_000)
+        assert setup.service.watchdog.stats.checks == checks_after_give_up
+
+        src, dst = setup.buffers
+
+        def gen():
+            yield from setup.client.amemcpy(dst, src, 128)
+
+        proc = setup.env.spawn(gen(), name="app2", affinity=0)
+        setup.env.run_until(proc.terminated, limit=10_000_000)
+        setup.env.run(until=setup.env.now + 5 * PERIOD)
+        assert setup.service.watchdog.stats.checks > checks_after_give_up
+
+    @pytest.mark.faultfree  # injected engine stalls are real stalls
+    def test_healthy_run_raises_no_alerts(self):
+        setup = Setup(watchdog_cycles=5_000)
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(16 * 1024, populate=True)
+        dst = aspace.mmap(16 * 1024, populate=True)
+
+        def gen():
+            for _ in range(4):
+                yield from client.amemcpy(dst, src, 16 * 1024)
+                yield from client.csync(dst, 16 * 1024)
+
+        setup.run_process(gen())
+        stats = setup.service.watchdog.stats
+        assert stats.stall_alerts == 0
+        assert stats.starvation_alerts == 0
+        assert stats.starved_clients == []
+
+
+class TestQuiescence:
+    @pytest.mark.faultfree  # injected engine stalls are real stalls
+    def test_watchdog_stops_ticking_when_drained(self):
+        """With scenario threads asleep and no backlog, the watchdog must
+        not keep the event heap alive: ``env.run()`` terminates."""
+        setup = Setup(polling="scenario", watchdog_cycles=1_000)
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(4096, populate=True)
+        dst = aspace.mmap(4096, populate=True)
+
+        def gen():
+            setup.service.scenario_begin()
+            yield from client.amemcpy(dst, src, 4096)
+            yield from client.csync(dst, 4096)
+
+        setup.run_process(gen())
+        setup.env.run()  # returns only if the watchdog goes quiescent
+        assert setup.service.watchdog.stats.stall_alerts == 0
+
+    def test_stop_disarms_for_good(self):
+        setup = _wedged_setup()
+        setup.service.watchdog.stop()
+        checks = setup.service.watchdog.stats.checks
+        assert setup.service.watchdog.enabled is False
+        setup.env.run(until=setup.env.now + 100_000)
+        assert setup.service.watchdog.stats.checks == checks
+
+
+class TestEnvironmentKnob:
+    def test_period_parsing(self):
+        assert _period_from_env({}) == DEFAULT_PERIOD_CYCLES
+        assert _period_from_env({"COPIER_WATCHDOG_CYCLES": "1234"}) == 1234
+        for off in ("0", "off", "none", "OFF"):
+            assert _period_from_env({"COPIER_WATCHDOG_CYCLES": off}) == 0
+
+    def test_env_zero_disables_watchdog(self, monkeypatch):
+        monkeypatch.setenv("COPIER_WATCHDOG_CYCLES", "0")
+        setup = Setup(polling="scenario")
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(4096, populate=True)
+        dst = aspace.mmap(4096, populate=True)
+        assert setup.service.watchdog.enabled is False
+
+        def gen():
+            yield from client.amemcpy(dst, src, 4096)
+
+        proc = setup.env.spawn(gen(), name="app", affinity=0)
+        setup.env.run_until(proc.terminated, limit=1_000_000)
+        setup.env.run(until=setup.env.now + 1_000_000)
+        assert setup.service.watchdog.stats.checks == 0
+
+    def test_explicit_period_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("COPIER_WATCHDOG_CYCLES", "0")
+        setup = Setup(watchdog_cycles=777)
+        assert setup.service.watchdog.enabled is True
+        assert setup.service.watchdog.period_cycles == 777
+
+
+class TestReporting:
+    def test_snapshot_surfaces_watchdog_block(self):
+        setup = _wedged_setup()
+        setup.env.run(until=setup.env.now + 200_000)
+        wd = setup.service.stats_snapshot()["overload"]["watchdog"]
+        assert wd["enabled"] is True
+        assert wd["period_cycles"] == PERIOD
+        assert wd["stall_alerts"] >= 1
+        assert wd["starved_clients"] == ["app"]
+        assert wd["oldest_pending_age"] > STARVE
+
+    def test_copierstat_renders_watchdog_line(self):
+        setup = _wedged_setup()
+        setup.env.run(until=setup.env.now + 200_000)
+        text = report(setup.service)
+        assert "overload: policy=always" in text
+        assert "watchdog:" in text
+        assert "starved: app" in text
+
+    @pytest.mark.faultfree  # a fault-stalled run may legitimately alert
+    def test_quiet_always_service_renders_no_overload_block(self):
+        """Pre-overload reports stay byte-identical: an idle ``always``
+        service with no alerts prints nothing new."""
+        setup = Setup(admission="always")
+        aspace, client = setup.aspace, setup.client
+        src = aspace.mmap(4096, populate=True)
+        dst = aspace.mmap(4096, populate=True)
+
+        def gen():
+            yield from client.amemcpy(dst, src, 4096)
+            yield from client.csync(dst, 4096)
+
+        setup.run_process(gen())
+        assert "overload:" not in report(setup.service)
