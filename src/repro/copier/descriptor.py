@@ -40,6 +40,27 @@ class Descriptor:
             return
         self._bits |= bit
         self._ready_count += 1
+        self._wake_waiters()
+
+    def mark_range(self, first, last):
+        """Mark segments ``[first, last]`` copied in one bitmap update.
+
+        Equivalent to calling :meth:`mark` for each index, but the bitmap
+        is updated with a single OR and satisfied waiters fire exactly
+        once — the path the executor uses when a multi-segment round (or
+        DMA run) retires together.
+        """
+        if first < 0 or last >= self.n_segments or first > last:
+            raise IndexError("segment range [%d, %d] out of range" % (first, last))
+        mask = ((1 << (last - first + 1)) - 1) << first
+        new = mask & ~self._bits
+        if not new:
+            return
+        self._bits |= mask
+        self._ready_count += bin(new).count("1")
+        self._wake_waiters()
+
+    def _wake_waiters(self):
         if self._waiters:
             still_waiting = []
             for first, last, event in self._waiters:

@@ -289,70 +289,143 @@ class Dispatcher:
         return chosen
 
     def _candidate_runs(self, jobs):
-        """Maximal physically-contiguous runs of plain jobs ≥ the DMA floor."""
+        """Maximal physically-contiguous runs of plain jobs ≥ the DMA floor.
+
+        Discovery is *run-based*: VA-adjacent plain jobs of one task are
+        grouped, the group's whole source and destination ranges are
+        translated once into physical runs (:meth:`~repro.mem.addrspace.
+        AddressSpace.translate_run`, TLB-backed), and DMA runs are cut at
+        the physical discontinuities — instead of probing every page of
+        every job and every job boundary separately.
+        """
         params = self.params
         runs = []
-        current = []
+        group = []
         for job in jobs:
-            if current and self._extends_run(current[-1], job):
+            if group and self._va_follows(group[-1], job):
+                group.append(job)
+            else:
+                runs.extend(self._split_group(group))
+                group = [job] if job.plain else []
+        runs.extend(self._split_group(group))
+        return [r for r in runs if r.nbytes >= params.dma_candidate_min_bytes]
+
+    @staticmethod
+    def _va_follows(prev, job):
+        """True when ``job`` continues ``prev``'s group: next segment of
+        the same task, plain, and VA-adjacent on both source and dest."""
+        if job.task is not prev.task or job.seg_index != prev.seg_index + 1:
+            return False
+        if not job.plain:
+            return False
+        prev_span, span = prev.spans[0], job.spans[0]
+        return (prev_span.va + prev_span.nbytes == span.va
+                and prev.dst_va + prev.nbytes == job.dst_va)
+
+    def _split_group(self, group):
+        """Cut a VA-contiguous job group into physically-contiguous DMARuns.
+
+        A job belongs to a run iff it lies entirely inside one physical
+        run on *both* sides; consecutive such jobs extend the same DMARun
+        iff they share those physical runs (equivalent to the historic
+        per-job probe + per-boundary adjacency check).
+        """
+        if not group:
+            return []
+        first = group[0]
+        total = sum(j.nbytes for j in group)
+        aspace = first.spans[0].aspace
+        dst_as = first.task.dst.aspace
+        try:
+            src_runs = aspace.translate_run(first.spans[0].va, total)
+            dst_runs = dst_as.translate_run(first.dst_va, total, write=True)
+        except MemoryFault:
+            # Unmapped/unwritable page somewhere in the group: retry per
+            # job so one faulted page only disqualifies the jobs it
+            # touches (the AVX path resolves the fault inline).  Anything
+            # other than a memory fault is a real bug and must propagate.
+            return self._split_group_per_job(group)
+        # Prefix-sum run boundaries → for each job offset, which physical
+        # run (src, dst) contains it.
+        runs = []
+        current = []
+        current_key = None
+        offset = 0
+        si = di = 0
+        s_end = src_runs[0][2]
+        d_end = dst_runs[0][2]
+        for job in group:
+            job_end = offset + job.nbytes
+            while s_end < job_end:
+                si += 1
+                s_end += src_runs[si][2]
+            while d_end < job_end:
+                di += 1
+                d_end += dst_runs[di][2]
+            # The job is capable iff it starts inside the same physical
+            # runs it ends in (runs are maximal, so spanning a boundary
+            # means discontiguous).
+            capable = (s_end - src_runs[si][2] <= offset
+                       and d_end - dst_runs[di][2] <= offset)
+            if capable and current_key == (si, di):
                 current.append(job)
             else:
                 self._close_run(runs, current)
-                current = [job] if self._dma_capable(job) else []
+                current = [job] if capable else []
+            current_key = (si, di) if capable else None
+            offset = job_end
         self._close_run(runs, current)
-        return [r for r in runs if r.nbytes >= params.dma_candidate_min_bytes]
+        return runs
 
-    def _dma_capable(self, job):
-        if not job.plain:
-            return False
+    def _split_group_per_job(self, group):
+        """Fault-tolerant fallback: probe each job's ranges separately."""
+        runs = []
+        current = []
+        for job in group:
+            if self._job_contiguous(job):
+                current.append(job)
+            else:
+                self._close_run(runs, current)
+                current = []
+        self._close_run(runs, current)
+        # Boundary adjacency within the surviving jobs is re-checked by
+        # splitting on physical breaks between consecutive jobs.
+        split = []
+        for run in runs:
+            split.extend(self._split_run_on_boundaries(run))
+        return split
+
+    def _job_contiguous(self, job):
         span = job.spans[0]
         try:
-            src_ok = _physically_contiguous(span.aspace, span.va, span.nbytes)
-            dst_ok = _physically_contiguous(
-                job.task.dst.aspace, job.dst_va, job.nbytes, write=True
-            )
+            if len(span.aspace.translate_run(span.va, span.nbytes)) > 1:
+                return False
+            return len(job.task.dst.aspace.translate_run(
+                job.dst_va, job.nbytes, write=True)) <= 1
         except MemoryFault:
-            # Unmapped/unwritable span: not a DMA candidate (the AVX path
-            # resolves the fault inline).  Anything else is a real bug and
-            # must propagate, not silently disqualify the job.
             return False
-        return src_ok and dst_ok
 
-    def _extends_run(self, prev, job):
-        if job.task is not prev.task or job.seg_index != prev.seg_index + 1:
-            return False
-        if not self._dma_capable(job):
-            return False
-        # VA-adjacent and physically adjacent across the boundary.
-        prev_span, span = prev.spans[0], job.spans[0]
-        if prev_span.va + prev_span.nbytes != span.va:
-            return False
-        return _boundary_contiguous(
-            span.aspace, prev_span.va + prev_span.nbytes - 1, span.va
-        ) and _boundary_contiguous(
-            job.task.dst.aspace, prev.dst_va + prev.nbytes - 1, job.dst_va
-        )
+    def _split_run_on_boundaries(self, run):
+        out = []
+        current = [run.jobs[0]]
+        for prev, job in zip(run.jobs, run.jobs[1:]):
+            prev_span, span = prev.spans[0], job.spans[0]
+            try:
+                src_adj = len(span.aspace.translate_run(
+                    prev_span.va, prev_span.nbytes + span.nbytes)) <= 1
+                dst_adj = len(job.task.dst.aspace.translate_run(
+                    prev.dst_va, prev.nbytes + job.nbytes, write=True)) <= 1
+            except MemoryFault:
+                src_adj = dst_adj = False
+            if src_adj and dst_adj:
+                current.append(job)
+            else:
+                out.append(DMARun(run.task, current))
+                current = [job]
+        out.append(DMARun(run.task, current))
+        return out
 
     @staticmethod
     def _close_run(runs, current):
         if current:
             runs.append(DMARun(current[0].task, list(current)))
-
-
-def _physically_contiguous(aspace, va, nbytes, write=False):
-    spans = aspace.frames_for(va, nbytes, write=write)
-    for (f0, off0, len0), (f1, off1, _l1) in zip(spans, spans[1:]):
-        if f1 != f0 + 1 or off0 + len0 != PAGE_SIZE or off1 != 0:
-            return False
-    return True
-
-
-def _boundary_contiguous(aspace, last_va, next_va):
-    """True if byte ``last_va`` and byte ``next_va`` are physically adjacent."""
-    if last_va + 1 != next_va:
-        return False
-    if last_va // PAGE_SIZE == next_va // PAGE_SIZE:
-        return True
-    f0, _ = aspace.translate(last_va)
-    f1, _ = aspace.translate(next_va)
-    return f1 == f0 + 1

@@ -26,6 +26,7 @@ task is ever dropped.  Every absorbed fault is recorded in the service's
 from repro.copier.absorption import resolve_sources
 from repro.copier.errors import DMAAbortError, DMASubmitError, PagePinError
 from repro.hw.dma import DMASubtask
+from repro.mem.addrspace import copy_range
 from repro.mem.faults import SegmentationFault
 from repro.sim import Compute, Timeout, WaitEvent
 from repro.sim.trace import (DmaCompleted, EngineFallback, RoundPlanned,
@@ -382,9 +383,12 @@ class CopyExecutor:
         service = self.service
 
         def on_done(_subtask):
-            for job in run.jobs:
-                if not run.task.is_finished:
-                    run.task.descriptor.mark(job.seg_index)
+            if not run.task.is_finished:
+                # Run jobs are consecutive segments of one task by
+                # construction — retire them with one bitmap update so
+                # csync waiters fire once per run, not once per segment.
+                run.task.descriptor.mark_range(run.jobs[0].seg_index,
+                                               run.jobs[-1].seg_index)
             client.stats.bytes_copied += run.nbytes
             service.scheduler.charge(client, run.nbytes)
             trace = service.trace
@@ -395,13 +399,26 @@ class CopyExecutor:
 
     def write_spans(self, client, task, seg_index, dst_region, spans):
         service = self.service
-        data = bytearray()
-        absorbed = 0
-        for span in spans:
-            data += span.aspace.read(span.va, span.nbytes)
-            if span.absorbed:
-                absorbed += span.nbytes
-        task.dst.aspace.write(dst_region.start, bytes(data))
+        dst_as = task.dst.aspace
+        if len(spans) == 1:
+            # Common case: one resolved span — move it run-to-run with no
+            # intermediate buffer (snapshot semantics are preserved by
+            # copy_range's alias check).
+            span = spans[0]
+            copy_range(span.aspace, span.va, dst_as, dst_region.start,
+                       span.nbytes)
+            absorbed = span.nbytes if span.absorbed else 0
+        else:
+            data = bytearray(dst_region.length)
+            view = memoryview(data)
+            pos = 0
+            absorbed = 0
+            for span in spans:
+                span.aspace.read_into(span.va, view[pos : pos + span.nbytes])
+                pos += span.nbytes
+                if span.absorbed:
+                    absorbed += span.nbytes
+            dst_as.write(dst_region.start, data)
         task.descriptor.mark(seg_index)
         task.absorbed_bytes += absorbed
         client.stats.bytes_copied += dst_region.length

@@ -9,7 +9,7 @@ copies on the Copier core.
 from collections import deque
 
 from repro.faultinject import DMAAbortError, DMASubmitError
-from repro.mem.phys import PAGE_SIZE
+from repro.mem.addrspace import copy_range
 from repro.sim import Timeout, WaitEvent
 
 
@@ -32,11 +32,7 @@ class DMASubtask:
 
 def is_contiguous(aspace, va, nbytes, write=False):
     """True if [va, va+nbytes) maps to physically adjacent frames."""
-    spans = aspace.frames_for(va, nbytes, write=write)
-    for (f0, off0, len0), (f1, off1, _len1) in zip(spans, spans[1:]):
-        if f1 != f0 + 1 or off0 + len0 != PAGE_SIZE or off1 != 0:
-            return False
-    return True
+    return len(aspace.translate_run(va, nbytes, write=write)) <= 1
 
 
 class DMAEngine:
@@ -118,8 +114,8 @@ class DMAEngine:
                 yield Timeout(cycles)
                 self.busy_cycles += cycles
                 self.bytes_copied += sub.nbytes
-                data = sub.src_as.read(sub.src_va, sub.nbytes)
-                sub.dst_as.write(sub.dst_va, data)
+                copy_range(sub.src_as, sub.src_va, sub.dst_as, sub.dst_va,
+                           sub.nbytes)
                 if sub.on_done is not None:
                     sub.on_done(sub)
             done.succeed(error)

@@ -1,5 +1,6 @@
 """CPU copy engines (ERMS / AVX2) as timed simulator activities."""
 
+from repro.mem.addrspace import copy_range
 from repro.sim import Compute, Timeout
 
 
@@ -23,8 +24,7 @@ def cpu_copy(params, src_as, src_va, dst_as, dst_va, nbytes,
             if stall:
                 yield Timeout(stall)
         yield Compute(params.cpu_copy_cycles(nbytes, engine=engine, warm=warm), tag=tag)
-        data = src_as.read(src_va, nbytes)
-        dst_as.write(dst_va, data)
+        copy_range(src_as, src_va, dst_as, dst_va, nbytes)
     return nbytes
 
 

@@ -4,7 +4,7 @@ from repro.copier.service import CopierService
 from repro.hw.cache import CacheModel
 from repro.hw.params import MachineParams
 from repro.kernel.process import OSProcess
-from repro.mem.addrspace import AddressSpace
+from repro.mem.addrspace import AddressSpace, copy_range
 from repro.mem.phys import PhysicalMemory
 from repro.sim import Compute, Environment
 
@@ -77,8 +77,7 @@ class System:
                 yield Compute(fault_cycles, tag="fault")
             cycles = p.cpu_copy_cycles(nbytes, engine=engine, warm=warm)
             yield Compute(cycles, tag=tag)
-            data = src_as.read(src_va, nbytes)
-            dst_as.write(dst_va, data)
+            copy_range(src_as, src_va, dst_as, dst_va, nbytes)
             self.cache.pollute(proc.cache_key, nbytes)
 
     # ----------------------------------------------------------- skb memory

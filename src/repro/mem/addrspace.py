@@ -1,10 +1,26 @@
 """Per-process address spaces: page tables, demand paging, CoW, pinning."""
 
+import os
+
 from repro.mem.faults import NotPresentFault, ProtectionFault, SegmentationFault
 from repro.mem.phys import PAGE_SIZE
 from repro.mem.vma import VMA
 
 _DEFAULT_MMAP_BASE = 0x1000_0000
+
+#: Soft bound on the per-aspace run-cache size; crossing it clears the
+#: cache wholesale (cheaper than LRU bookkeeping on the hot path, and the
+#: simulations in this repo never come close).
+_RUN_CACHE_LIMIT = 1 << 16
+
+
+def slowpath_enabled():
+    """True when ``COPIER_SLOWPATH=1`` forces the per-page walkers.
+
+    Read once per :class:`AddressSpace` construction — the differential
+    determinism tests build one system per setting.
+    """
+    return os.environ.get("COPIER_SLOWPATH") == "1"
 
 
 class PTE:
@@ -36,6 +52,15 @@ class AddressSpace:
     Convenience accessors :meth:`read`/:meth:`write` resolve legal faults
     inline (recording them in :attr:`fault_counts`) the way the combination
     of MMU + kernel does for ordinary application accesses.
+
+    The data path is *run-based*: :meth:`translate_run` returns maximal
+    physically-contiguous frame runs backed by a per-aspace sequential-run
+    cache (a software TLB keyed by vpn, invalidated through the same
+    plumbing that feeds :meth:`register_invalidation_hook`), and the bulk
+    primitives :meth:`read_into` / :meth:`write_from` /
+    :func:`copy_range` move whole runs via ``memoryview`` slices instead
+    of per-page chunk loops.  ``COPIER_SLOWPATH=1`` forces the historic
+    per-page walkers for differential testing.
     """
 
     _next_asid = [1]
@@ -50,6 +75,8 @@ class AddressSpace:
         self._mmap_cursor = _DEFAULT_MMAP_BASE
         self.fault_counts = {"demand_zero": 0, "cow_copy": 0, "cow_reuse": 0}
         self._invalidation_hooks = []
+        self._fastpath = not slowpath_enabled()
+        self._run_cache = {}  # vpn -> (frame, writable); the software TLB
 
     # ------------------------------------------------------------------ VMAs
 
@@ -59,17 +86,25 @@ class AddressSpace:
         ``populate`` eagerly allocates frames (MAP_POPULATE); otherwise
         pages materialize on first touch (demand paging).  ``contiguous``
         requests physically-contiguous frames, for DMA-friendly buffers.
+
+        Every operation that can fail (bad protection string, shared
+        segment validation, frame exhaustion) runs *before* the mapping is
+        installed: a failed mmap consumes no address space — the cursor
+        does not advance past a guard-page gap that nothing occupies.
         """
         n_pages = pages_needed(length)
         base = self._mmap_cursor
-        self._mmap_cursor += n_pages * PAGE_SIZE + PAGE_SIZE  # guard page gap
         vma = VMA(base, base + n_pages * PAGE_SIZE, prot=prot,
                   shared_segment=shared_segment, name=name)
-        self.vmas.append(vma)
+        frames = None
         if shared_segment is not None:
             shared_segment.attach(self, vma)
         elif populate:
             frames = self.phys.alloc_frames(n_pages, contiguous=contiguous)
+        # Point of no return: nothing below raises.
+        self._mmap_cursor = base + n_pages * PAGE_SIZE + PAGE_SIZE  # guard gap
+        self.vmas.append(vma)
+        if frames is not None:
             writable = vma.writable
             for i, frame in enumerate(frames):
                 self.page_table[(base // PAGE_SIZE) + i] = PTE(frame, writable)
@@ -141,6 +176,83 @@ class AddressSpace:
             raise ProtectionFault(va)
         return pte.frame, va % PAGE_SIZE
 
+    def _translate_cached(self, va, write):
+        """TLB-backed :meth:`translate`: hit skips the VMA scan and walk.
+
+        A cached entry exists only for a page a full :meth:`translate`
+        succeeded on, and every mapping change pops it (``_invalidate``),
+        so a hit is always current.  A write request through a read-only
+        entry falls back to the full walk so the correct fault is raised.
+        """
+        vpn = va // PAGE_SIZE
+        entry = self._run_cache.get(vpn)
+        if entry is not None and (entry[1] or not write):
+            return entry[0]
+        frame, _off = self.translate(va, write=write)
+        if len(self._run_cache) >= _RUN_CACHE_LIMIT:
+            self._run_cache.clear()
+        self._run_cache[vpn] = (frame, self.page_table[vpn].writable)
+        return frame
+
+    def translate_run(self, va, length, write=False):
+        """Translate [va, va+length) into maximal physically-contiguous runs.
+
+        Returns ``[(frame, offset, nbytes), ...]`` where each entry covers
+        as many pages as stay physically adjacent; raises the same faults
+        :meth:`translate` would at the first untranslatable page.  The
+        whole range must be mapped (use :meth:`ensure_mapped` first).
+        """
+        return self._walk_runs(va, length, write, resolve=False)
+
+    def _walk_runs(self, va, length, write, resolve):
+        """Core run walker behind :meth:`translate_run` and the bulk I/O.
+
+        With ``resolve=True`` legal faults are resolved inline (counted in
+        :attr:`fault_counts`, ascending-address order — byte-compatible
+        with the historic per-page walkers).
+        """
+        runs = []
+        if length <= 0:
+            return runs
+        cursor = va
+        end = va + length
+        fast = self._fastpath
+        while cursor < end:
+            while True:
+                try:
+                    if fast:
+                        frame = self._translate_cached(cursor, write)
+                    else:
+                        frame, _off = self.translate(cursor, write=write)
+                    break
+                except (NotPresentFault, ProtectionFault):
+                    if not resolve:
+                        raise
+                    self.resolve_fault(cursor, write=write)
+            offset = cursor % PAGE_SIZE
+            chunk = min(end - cursor, PAGE_SIZE - offset)
+            run_frame = frame
+            run_offset = offset
+            run_len = chunk
+            cursor += chunk
+            next_frame = frame + 1
+            while cursor < end:
+                try:
+                    if fast:
+                        frame = self._translate_cached(cursor, write)
+                    else:
+                        frame, _off = self.translate(cursor, write=write)
+                except (NotPresentFault, ProtectionFault):
+                    break  # close the run; the outer loop resolves/raises
+                if frame != next_frame:
+                    break
+                chunk = min(end - cursor, PAGE_SIZE)
+                run_len += chunk
+                cursor += chunk
+                next_frame += 1
+            runs.append((run_frame, run_offset, run_len))
+        return runs
+
     def resolve_fault(self, va, write=False):
         """Resolve one legal fault at ``va``; returns the resolution kind.
 
@@ -193,6 +305,25 @@ class AddressSpace:
         This is the core of Copier's *proactive fault handling*: rather
         than letting the copy trap, the service walks the range up front.
         """
+        if not self._fastpath:
+            return self._ensure_mapped_slow(va, length, write)
+        resolutions = []
+        cursor = va
+        end = va + length
+        if length == 0:
+            return resolutions
+        while cursor < end:
+            while True:
+                try:
+                    self._translate_cached(cursor, write)
+                    break
+                except (NotPresentFault, ProtectionFault):
+                    resolutions.append(self.resolve_fault(cursor, write=write))
+            cursor = (cursor // PAGE_SIZE + 1) * PAGE_SIZE
+        return resolutions
+
+    def _ensure_mapped_slow(self, va, length, write=False):
+        """Historic per-page walker (COPIER_SLOWPATH=1)."""
         resolutions = []
         for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
             page_va = vpn * PAGE_SIZE
@@ -211,9 +342,23 @@ class AddressSpace:
         """Return ``[(frame, offset, chunk_len), ...]`` covering the range.
 
         Requires the range to be fully mapped (use :meth:`ensure_mapped`
-        first); this is what the Copier dispatcher consumes to form
-        physically-contiguous subtasks.
+        first); per-page spans for compatibility — contiguity-sensitive
+        callers should use :meth:`translate_run` directly.
         """
+        if not self._fastpath:
+            return self._frames_for_slow(va, length, write)
+        spans = []
+        for frame, offset, nbytes in self._walk_runs(va, length, write,
+                                                     resolve=False):
+            while nbytes > 0:
+                chunk = min(nbytes, PAGE_SIZE - offset)
+                spans.append((frame, offset, chunk))
+                nbytes -= chunk
+                frame += 1
+                offset = 0
+        return spans
+
+    def _frames_for_slow(self, va, length, write=False):
         spans = []
         cursor = va
         end = va + length
@@ -226,6 +371,14 @@ class AddressSpace:
 
     def read(self, va, length):
         """Read bytes, resolving legal faults inline (app direct access)."""
+        if not self._fastpath:
+            return self._read_slow(va, length)
+        out = bytearray(length)
+        if length:
+            self.read_into(va, out)
+        return bytes(out)
+
+    def _read_slow(self, va, length):
         out = bytearray()
         cursor = va
         end = va + length
@@ -240,7 +393,27 @@ class AddressSpace:
             cursor += chunk
         return bytes(out)
 
+    def read_into(self, va, buf):
+        """Fill writable buffer ``buf`` from [va, va+len(buf)) in bulk.
+
+        Resolves legal faults inline like :meth:`read`; moves whole
+        physically-contiguous runs per iteration.
+        """
+        mv = memoryview(buf)
+        pos = 0
+        read_run = self.phys.read_run
+        for frame, offset, nbytes in self._walk_runs(va, len(mv), False,
+                                                     resolve=True):
+            read_run(frame, offset, mv, pos, nbytes)
+            pos += nbytes
+
     def write(self, va, data):
+        if not self._fastpath:
+            return self._write_slow(va, data)
+        if len(data):
+            self.write_from(va, data)
+
+    def _write_slow(self, va, data):
         cursor = va
         pos = 0
         end = va + len(data)
@@ -255,17 +428,33 @@ class AddressSpace:
             cursor += chunk
             pos += chunk
 
+    def write_from(self, va, data):
+        """Write buffer ``data`` to [va, va+len(data)) in bulk.
+
+        Resolves legal faults inline like :meth:`write`; moves whole
+        physically-contiguous runs per iteration.
+        """
+        mv = memoryview(data)
+        pos = 0
+        write_run = self.phys.write_run
+        for frame, offset, nbytes in self._walk_runs(va, len(mv), True,
+                                                     resolve=True):
+            write_run(frame, offset, mv, pos, nbytes)
+            pos += nbytes
+
     # ------------------------------------------------------------ pin / fork
 
     def pin(self, va, length, write=False):
         """Pin pages so their mapping cannot change during an async copy."""
         self.ensure_mapped(va, length, write=write)
+        page_table = self.page_table
         for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
-            self.page_table[vpn].pin_count += 1
+            page_table[vpn].pin_count += 1
 
     def unpin(self, va, length):
+        page_table = self.page_table
         for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
-            pte = self.page_table.get(vpn)
+            pte = page_table.get(vpn)
             if pte is None or pte.pin_count == 0:
                 raise RuntimeError("unpin of unpinned page vpn=%d" % vpn)
             pte.pin_count -= 1
@@ -306,8 +495,82 @@ class AddressSpace:
         self._invalidation_hooks.append(fn)
 
     def _invalidate(self, vpn):
+        self._run_cache.pop(vpn, None)
         for fn in self._invalidation_hooks:
             fn(self.asid, vpn)
+
+
+def copy_range(src_as, src_va, dst_as, dst_va, nbytes):
+    """Move ``nbytes`` from ``(src_as, src_va)`` to ``(dst_as, dst_va)``.
+
+    The bulk equivalent of ``dst_as.write(dst_va, src_as.read(src_va, n))``
+    — same fault-resolution semantics (source faults resolved first, then
+    destination, both in ascending address order; counted in each side's
+    ``fault_counts``), same snapshot semantics (a destination write never
+    feeds back into a later source read, even for aliasing ranges), but
+    the bytes move frame-run to frame-run through ``memoryview`` slices
+    with no intermediate buffer in the common non-aliasing case.
+    """
+    if nbytes == 0:
+        return
+    if not (src_as._fastpath and dst_as._fastpath):
+        data = src_as.read(src_va, nbytes)
+        dst_as.write(dst_va, data)
+        return
+    # Resolve faults up front, source first — the same order the
+    # read-then-write slow path produces, so frame allocation sequences
+    # (and with them DMA candidacy) are identical.
+    src_runs = src_as._walk_runs(src_va, nbytes, False, resolve=True)
+    dst_runs = dst_as._walk_runs(dst_va, nbytes, True, resolve=True)
+    if src_as.phys is dst_as.phys and _runs_alias(src_runs, dst_runs):
+        buf = bytearray(nbytes)
+        src_as.read_into(src_va, buf)
+        dst_as.write_from(dst_va, buf)
+        return
+    phys = dst_as.phys
+    copy_run = phys.copy_run
+    read_run = src_as.phys.read_run
+    si = di = 0
+    s_frame, s_off, s_left = src_runs[0]
+    d_frame, d_off, d_left = dst_runs[0]
+    same_phys = src_as.phys is phys
+    while True:
+        chunk = s_left if s_left < d_left else d_left
+        if same_phys:
+            copy_run(s_frame, s_off, d_frame, d_off, chunk)
+        else:
+            tmp = bytearray(chunk)
+            read_run(s_frame, s_off, memoryview(tmp), 0, chunk)
+            phys.write_run(d_frame, d_off, memoryview(tmp), 0, chunk)
+        s_left -= chunk
+        d_left -= chunk
+        if s_left == 0:
+            si += 1
+            if si == len(src_runs):
+                break
+            s_frame, s_off, s_left = src_runs[si]
+        else:
+            s_off += chunk
+            s_frame += s_off // PAGE_SIZE
+            s_off %= PAGE_SIZE
+        if d_left == 0:
+            di += 1
+            d_frame, d_off, d_left = dst_runs[di]
+        else:
+            d_off += chunk
+            d_frame += d_off // PAGE_SIZE
+            d_off %= PAGE_SIZE
+
+
+def _runs_alias(src_runs, dst_runs):
+    """True if any source frame interval intersects a destination one."""
+    for s_frame, s_off, s_len in src_runs:
+        s_last = s_frame + (s_off + s_len - 1) // PAGE_SIZE
+        for d_frame, d_off, d_len in dst_runs:
+            d_last = d_frame + (d_off + d_len - 1) // PAGE_SIZE
+            if s_frame <= d_last and d_frame <= s_last:
+                return True
+    return False
 
 
 def pages_needed(length):

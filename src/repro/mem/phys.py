@@ -28,6 +28,7 @@ class PhysicalMemory:
         self._data = {}
         self._refcount = {}
         self._free = list(range(n_frames - 1, -1, -1))  # pop() yields frame 0 first
+        self._free_sorted = True  # descending-order invariant of _free
         self._alloc_parity = 0
 
     @property
@@ -69,30 +70,55 @@ class PhysicalMemory:
         raise OutOfMemory("no free frames in [%d, %d)" % (lo, hi))
 
     def alloc_frames(self, n, contiguous=False):
-        """Allocate ``n`` frames; with ``contiguous=True`` they are adjacent."""
+        """Allocate ``n`` frames; with ``contiguous=True`` they are adjacent.
+
+        A contiguous allocation picks the *lowest* free run of ``n`` frames
+        and leaves the free list sorted descending (so subsequent single
+        allocations pop the lowest frame) — the historic behaviour, now
+        without re-sorting the whole list on every call: a dirty flag
+        tracks whether frees broke the descending invariant, and the
+        chosen run is removed with one slice deletion (it occupies
+        adjacent positions in the sorted list).
+        """
         if contiguous:
-            free = sorted(self._free)
-            run_start = None
+            free = self._free
+            if not self._free_sorted:
+                free.sort(reverse=True)
+                self._free_sorted = True
+            # Scan from the end (ascending frame numbers) for the lowest
+            # run of ``n`` consecutive frames.
+            start_idx = None  # index of the run's lowest frame (highest idx)
             run_len = 0
-            start = None
-            for frame in free:
-                if run_start is not None and frame == run_start + run_len:
+            prev = None
+            idx = len(free) - 1
+            low_idx = None
+            while idx >= 0:
+                frame = free[idx]
+                if run_len and frame == prev + 1:
                     run_len += 1
                 else:
-                    run_start, run_len = frame, 1
+                    low_idx = idx
+                    run_len = 1
+                prev = frame
                 if run_len == n:
-                    start = run_start
+                    start_idx = low_idx
                     break
-            if start is None:
+                idx -= 1
+            if start_idx is None:
                 raise OutOfMemory("no contiguous run of %d frames" % n)
+            start = free[start_idx]
             frames = list(range(start, start + n))
-            free_set = set(self._free)
-            free_set.difference_update(frames)
-            self._free = sorted(free_set, reverse=True)
+            # Consecutive frames occupy adjacent positions in the
+            # descending-sorted list: one slice removes them all.
+            del free[idx : start_idx + 1]
             for frame in frames:
                 self._data[frame] = bytearray(PAGE_SIZE)
                 self._refcount[frame] = 1
             return frames
+        if n > len(self._free):
+            # All-or-nothing: never leave a half-allocated batch behind
+            # (a failed mmap must not leak frames).
+            raise OutOfMemory("need %d frames, %d free" % (n, len(self._free)))
         return [self.alloc_frame() for _ in range(n)]
 
     def share_frame(self, frame):
@@ -109,7 +135,10 @@ class PhysicalMemory:
         if count == 1:
             del self._refcount[frame]
             del self._data[frame]
-            self._free.append(frame)
+            free = self._free
+            if free and frame > free[-1]:
+                self._free_sorted = False
+            free.append(frame)
         else:
             self._refcount[frame] = count - 1
 
@@ -127,6 +156,64 @@ class PhysicalMemory:
     def copy_frame(self, src_frame, dst_frame):
         """Copy a whole frame (the CoW handler's page copy)."""
         self._data[dst_frame][:] = self._data[src_frame]
+
+    # ----------------------------------------------------- bulk run movers
+    #
+    # Frames are stored as separate per-frame bytearrays, so even a
+    # physically-contiguous run crosses buffer boundaries — but these
+    # primitives keep the page loop here, moving each page with a single
+    # memoryview slice assignment (no temporary bytes objects), which is
+    # what :func:`repro.mem.addrspace.copy_range` rides on.
+
+    def read_run(self, frame, offset, out, pos, nbytes):
+        """Copy ``nbytes`` starting at ``(frame, offset)`` into writable
+        buffer ``out`` at ``pos``; the run may span multiple frames."""
+        data = self._data
+        while nbytes > 0:
+            chunk = PAGE_SIZE - offset
+            if chunk > nbytes:
+                chunk = nbytes
+            out[pos : pos + chunk] = memoryview(data[frame])[offset : offset + chunk]
+            pos += chunk
+            nbytes -= chunk
+            frame += 1
+            offset = 0
+
+    def write_run(self, frame, offset, data_mv, pos, nbytes):
+        """Copy ``nbytes`` from buffer ``data_mv`` at ``pos`` into the run
+        starting at ``(frame, offset)``."""
+        data = self._data
+        while nbytes > 0:
+            chunk = PAGE_SIZE - offset
+            if chunk > nbytes:
+                chunk = nbytes
+            data[frame][offset : offset + chunk] = data_mv[pos : pos + chunk]
+            pos += chunk
+            nbytes -= chunk
+            frame += 1
+            offset = 0
+
+    def copy_run(self, src_frame, src_off, dst_frame, dst_off, nbytes):
+        """Frame-to-frame run copy (``memcpy`` between physical runs)."""
+        data = self._data
+        while nbytes > 0:
+            chunk = PAGE_SIZE - src_off
+            dst_room = PAGE_SIZE - dst_off
+            if dst_room < chunk:
+                chunk = dst_room
+            if chunk > nbytes:
+                chunk = nbytes
+            data[dst_frame][dst_off : dst_off + chunk] = \
+                memoryview(data[src_frame])[src_off : src_off + chunk]
+            nbytes -= chunk
+            src_off += chunk
+            if src_off == PAGE_SIZE:
+                src_frame += 1
+                src_off = 0
+            dst_off += chunk
+            if dst_off == PAGE_SIZE:
+                dst_frame += 1
+                dst_off = 0
 
     def view(self, frame):
         """Mutable memoryview of a frame's bytes (engine fast path)."""

@@ -21,6 +21,7 @@ class Environment:
         self.now = 0
         self._heap = []
         self._seq = 0
+        self.events_executed = 0
         self.stats = CycleStats()
         self.trace = TraceBus()
         self.cores = CoreSet(self, n_cores, timeslice)
@@ -57,6 +58,7 @@ class Environment:
                 return
             heapq.heappop(self._heap)
             self.now = when
+            self.events_executed += 1
             fn()
         if until is not None and until > self.now:
             self.now = until
@@ -70,6 +72,7 @@ class Environment:
             if limit is not None and when > limit:
                 raise RuntimeError("simulation limit reached at %d" % when)
             self.now = when
+            self.events_executed += 1
             fn()
         if event.exception is not None:
             raise event.exception

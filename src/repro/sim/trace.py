@@ -245,20 +245,24 @@ class ThreadWake(TraceEvent):
 
 
 class TraceBus:
-    """Synchronous publish/subscribe spine for :class:`TraceEvent` streams."""
+    """Synchronous publish/subscribe spine for :class:`TraceEvent` streams.
+
+    :attr:`active` is a *cached plain boolean*, maintained by
+    ``subscribe``/``unsubscribe``, so the zero-subscriber case costs emit
+    sites a single attribute read — checked *before* constructing the
+    event object, never after.  Do not assign it directly.
+    """
 
     def __init__(self):
         self._subscribers = []
-
-    @property
-    def active(self):
-        """True when at least one subscriber is attached (emit sites may
-        use this to skip event construction entirely)."""
-        return bool(self._subscribers)
+        #: True when at least one subscriber is attached (emit sites use
+        #: this to skip event construction entirely).
+        self.active = False
 
     def subscribe(self, fn):
         """Attach ``fn(event)``; returns ``fn`` for later unsubscribe."""
         self._subscribers.append(fn)
+        self.active = True
         return fn
 
     def unsubscribe(self, fn):
@@ -266,6 +270,7 @@ class TraceBus:
             self._subscribers.remove(fn)
         except ValueError:
             pass
+        self.active = bool(self._subscribers)
 
     def emit(self, event):
         for fn in self._subscribers:

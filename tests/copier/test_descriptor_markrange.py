@@ -1,0 +1,91 @@
+"""Descriptor.mark_range: one bitmap update, waiters fire exactly once."""
+
+import pytest
+
+from repro.copier.descriptor import Descriptor
+from repro.sim import Environment
+
+
+SEG = 1024
+
+
+def test_mark_range_equivalent_to_repeated_mark():
+    a = Descriptor(SEG * 10, SEG)
+    b = Descriptor(SEG * 10, SEG)
+    a.mark_range(2, 6)
+    for i in range(2, 7):
+        b.mark(i)
+    assert a._bits == b._bits
+    assert a.ready_segments == b.ready_segments == 5
+
+
+def test_mark_range_counts_only_new_segments():
+    d = Descriptor(SEG * 8, SEG)
+    d.mark(3)
+    d.mark(5)
+    d.mark_range(2, 6)
+    assert d.ready_segments == 5
+    assert all(d.is_ready(i) for i in range(2, 7))
+    # Fully-covered repeat is a no-op.
+    d.mark_range(2, 6)
+    assert d.ready_segments == 5
+
+
+def test_mark_range_single_segment():
+    d = Descriptor(SEG * 4, SEG)
+    d.mark_range(1, 1)
+    assert d.is_ready(1) and d.ready_segments == 1
+
+
+def test_mark_range_out_of_range_raises():
+    d = Descriptor(SEG * 4, SEG)
+    with pytest.raises(IndexError):
+        d.mark_range(-1, 2)
+    with pytest.raises(IndexError):
+        d.mark_range(0, 4)
+    with pytest.raises(IndexError):
+        d.mark_range(3, 2)
+
+
+def test_mark_range_wakes_covered_waiter_once():
+    env = Environment()
+    d = Descriptor(SEG * 8, SEG)
+    fired = []
+    event = d.wait_range(env, 0, SEG * 4)  # segments 0..3
+    event.add_callback(fired.append)
+    d.mark_range(0, 3)
+    env.run()
+    assert event.triggered
+    assert len(fired) == 1
+    assert d._waiters == []  # waiter removed, cannot fire again
+    # Events are one-shot: a retained waiter would make this raise.
+    d.mark_range(0, 3)
+    d.mark(0)
+
+
+def test_mark_range_partial_cover_keeps_waiter():
+    env = Environment()
+    d = Descriptor(SEG * 8, SEG)
+    event = d.wait_range(env, 0, SEG * 6)  # segments 0..5
+    d.mark_range(0, 3)
+    assert not event.triggered
+    assert len(d._waiters) == 1
+    d.mark_range(4, 5)
+    assert event.triggered
+
+
+def test_mark_range_vs_repeated_mark_waiter_wakeups():
+    """Repeated mark re-scans waiters per segment; mark_range scans once.
+
+    Both must deliver exactly one wakeup per satisfied waiter — the
+    single-update path just avoids the redundant intermediate scans."""
+    env = Environment()
+    ranged = Descriptor(SEG * 6, SEG)
+    stepped = Descriptor(SEG * 6, SEG)
+    ev_r = ranged.wait_range(env, 0, SEG * 6)
+    ev_s = stepped.wait_range(env, 0, SEG * 6)
+    ranged.mark_range(0, 5)
+    for i in range(6):
+        stepped.mark(i)
+    assert ev_r.triggered and ev_s.triggered
+    assert ranged._bits == stepped._bits

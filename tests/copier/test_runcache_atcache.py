@@ -1,0 +1,77 @@
+"""Run cache and ATCache stay coherent through one invalidation spine.
+
+Both caches hang off ``AddressSpace._invalidate``: the per-aspace run
+cache pops its vpn entry, then the registered hooks fire (ATCache).  A
+CoW break mid-workload must therefore refresh *both* — a stale frame in
+either would surface as corrupt destination bytes after recycling a
+buffer through fork/write.  Runs with the mixed fault plan armed to make
+sure injected engine faults do not reorder the invalidation spine.
+"""
+
+from repro.mem import PAGE_SIZE
+from repro.sim import Compute
+from tests.copier.conftest import Setup
+
+
+def _copy(setup, client, dst, src, n):
+    def app():
+        yield from client.amemcpy(dst, src, n)
+        yield Compute(2_000)
+        yield from client.csync(dst, n)
+        return True
+
+    assert setup.run_process(app())
+
+
+def test_cow_break_refreshes_run_cache_and_atcache(monkeypatch):
+    monkeypatch.setenv("COPIER_FAULT_PLAN", "mixed")
+    monkeypatch.setenv("COPIER_FAULT_SEED", "3")
+    setup = Setup(n_frames=4096)
+    aspace, client = setup.aspace, setup.client
+    atcache = setup.service.atcache
+    n = 32 * 1024
+    src = aspace.mmap(n, populate=True, contiguous=True)
+    dst = aspace.mmap(n, populate=True, contiguous=True)
+
+    aspace.write(src, b"\x11" * n)
+    _copy(setup, client, dst, src, n)
+    assert aspace.read(dst, n) == b"\x11" * n
+    assert atcache.hits + atcache.misses > 0  # DMA runs were translated
+
+    # Fork downgrades every page to CoW — that downgrade itself fires the
+    # shared invalidation spine (ATCache entries for the copied buffers
+    # are dropped right there, before any stale DMA translation can
+    # happen); the writes below then break CoW page by page.
+    invalidations_before = atcache.invalidations
+    child = aspace.fork()
+    assert atcache.invalidations > invalidations_before
+    aspace.write(src, b"\x22" * n)
+
+    # Every surviving run-cache entry must agree with the page table —
+    # a stale frame here is exactly the bug the shared spine prevents.
+    for vpn, (frame, _writable) in aspace._run_cache.items():
+        assert aspace.page_table[vpn].frame == frame
+
+    _copy(setup, client, dst, src, n)
+    assert aspace.read(dst, n) == b"\x22" * n
+    assert child.read(src, n) == b"\x11" * n  # fork snapshot intact
+
+
+def test_recycled_buffer_reuses_translations(monkeypatch):
+    monkeypatch.delenv("COPIER_FAULT_PLAN", raising=False)
+    setup = Setup(n_frames=4096)
+    aspace, client = setup.aspace, setup.client
+    atcache = setup.service.atcache
+    n = 32 * 1024
+    src = aspace.mmap(n, populate=True, contiguous=True)
+    dst = aspace.mmap(n, populate=True, contiguous=True)
+    aspace.write(src, b"\x33" * n)
+
+    _copy(setup, client, dst, src, n)
+    hits_before, misses_before = atcache.hits, atcache.misses
+    _copy(setup, client, dst, src, n)
+    # Same buffers, unchanged mappings: the second pass re-hits both the
+    # ATCache (address recurrence, Fig. 9) and the run cache.
+    assert atcache.misses == misses_before
+    assert atcache.hits > hits_before
+    assert aspace.read(dst, n) == b"\x33" * n

@@ -104,3 +104,58 @@ def test_copy_frame_duplicates_contents():
 def test_paddr_layout():
     phys = PhysicalMemory(n_frames=4)
     assert phys.paddr(3, 5) == 3 * PAGE_SIZE + 5
+
+
+def _reference_contiguous_alloc(free, n):
+    """The historic allocator: sort the whole free list descending every
+    call, take the lowest run of ``n``.  Mutates ``free`` like the real
+    one; returns the frames or None."""
+    free.sort(reverse=True)
+    run = []
+    for frame in reversed(free):  # ascending
+        if run and frame != run[-1] + 1:
+            run = []
+        run.append(frame)
+        if len(run) == n:
+            for f in run:
+                free.remove(f)
+            return run
+    return None
+
+
+def test_contiguous_alloc_matches_reference_semantics():
+    """The dirty-flag allocator must produce the historic allocation
+    sequence AND the historic free-list state (frame numbers feed DMA
+    candidacy, so any drift changes simulated behaviour)."""
+    import random
+
+    rng = random.Random(42)
+    phys = PhysicalMemory(n_frames=128)
+    shadow = list(phys._free)
+    held = []
+    for step in range(300):
+        roll = rng.random()
+        if roll < 0.45 and phys.frames_free > 8:
+            n = rng.randint(1, 6)
+            expected = _reference_contiguous_alloc(shadow, n)
+            if expected is None:
+                with pytest.raises(OutOfMemory):
+                    phys.alloc_frames(n, contiguous=True)
+            else:
+                got = phys.alloc_frames(n, contiguous=True)
+                assert got == expected
+                held.extend(got)
+        elif roll < 0.7 and phys.frames_free > 0:
+            frame = phys.alloc_frame()
+            assert frame == shadow.pop()
+            held.append(frame)
+        elif held:
+            frame = held.pop(rng.randrange(len(held)))
+            phys.free_frame(frame)
+            shadow.append(frame)
+        assert sorted(phys._free) == sorted(shadow)
+    # Final state: one more sorted alloc must agree exactly.
+    expected = _reference_contiguous_alloc(shadow, 2)
+    if expected is not None:
+        assert phys.alloc_frames(2, contiguous=True) == expected
+        assert phys._free == shadow

@@ -1,0 +1,125 @@
+"""Differential determinism oracle: fast path ≡ COPIER_SLOWPATH=1.
+
+The run-based translation path (run cache, bulk ``copy_range``, run-based
+DMA discovery) is a pure wall-clock optimization — it must not change a
+single observable of the simulation.  This test runs one fixed workload
+twice, once on the fast path and once with ``COPIER_SLOWPATH=1`` forcing
+the historic per-page walkers, and requires:
+
+* byte-identical destination buffers,
+* the identical trace-event sequence (every event, in order, with
+  timestamps — any divergence in scheduling or engine choice shows here),
+* identical ``stats_snapshot()`` counters (rounds, DMA/AVX byte split,
+  ATCache hits/misses, thread wake/sleep),
+* identical fault-resolution counts, and
+* zero leaked pins on every page table.
+
+The workload deliberately crosses the interesting boundaries: a task big
+enough for i-piggyback + DMA runs, small fusable tasks, a fork mid-stream
+(CoW downgrade invalidates run cache + ATCache), writes that break CoW,
+and a munmap after completion.
+"""
+
+import re
+
+from repro.mem import PAGE_SIZE
+from repro.sim import Compute
+from tests.copier.conftest import Setup
+
+
+def _normalize(events):
+    """Remap task_ids to first-seen order: the global task counter leaks
+    across the two runs, but the *sequence* of ids must be isomorphic."""
+    mapping = {}
+
+    def sub(match):
+        tid = match.group(1)
+        if tid not in mapping:
+            mapping[tid] = "T%d" % len(mapping)
+        return "task_id=" + mapping[tid]
+
+    return [re.sub(r"task_id=(\d+)", sub, e) for e in events]
+
+
+def _payload(n, salt):
+    return bytes((i * 31 + salt) % 251 for i in range(n))
+
+
+def _run_workload(monkeypatch, slowpath):
+    if slowpath:
+        monkeypatch.setenv("COPIER_SLOWPATH", "1")
+    else:
+        monkeypatch.delenv("COPIER_SLOWPATH", raising=False)
+    setup = Setup(n_frames=8192)
+    events = []
+    setup.env.trace.subscribe(lambda e: events.append(repr(e)))
+    aspace, client = setup.aspace, setup.client
+
+    big = 48 * 1024          # i-piggyback territory, multiple DMA runs
+    small = 3 * 1024         # fusable e-piggyback tasks
+    src_big = aspace.mmap(big, populate=True, contiguous=True)
+    dst_big = aspace.mmap(big, populate=True, contiguous=True)
+    src_small = [aspace.mmap(small, populate=True) for _ in range(3)]
+    dst_small = [aspace.mmap(small) for _ in range(3)]  # demand-faulted
+    scratch = aspace.mmap(PAGE_SIZE * 2, populate=True)
+
+    aspace.write(src_big, _payload(big, 7))
+    for i, va in enumerate(src_small):
+        aspace.write(va, _payload(small, i))
+
+    forked = []
+
+    def app():
+        yield from client.amemcpy(dst_big, src_big, big)
+        yield Compute(20_000)
+        yield from client.csync(dst_big, big)
+        # Fork downgrades every mapped page to CoW: run cache and ATCache
+        # entries for the whole space are invalidated mid-stream.
+        forked.append(aspace.fork())
+        aspace.write(src_big, _payload(big, 8))  # CoW breaks, page by page
+        for s, d in zip(src_small, dst_small):
+            yield from client.amemcpy(d, s, small)
+        yield Compute(5_000)
+        for d in dst_small:
+            yield from client.csync(d, small)
+        yield from client.amemcpy(dst_big, src_big, big)
+        yield from client.csync(dst_big, big)
+        aspace.munmap(scratch, PAGE_SIZE * 2)
+        return True
+
+    assert setup.run_process(app())
+    buffers = [aspace.read(dst_big, big)]
+    buffers += [aspace.read(d, small) for d in dst_small]
+    pins = [
+        (vpn, pte.pin_count)
+        for space in [aspace] + forked
+        for vpn, pte in sorted(space.page_table.items())
+        if pte.pin_count
+    ]
+    return {
+        "buffers": buffers,
+        "events": _normalize(events),
+        "stats": setup.service.stats_snapshot(),
+        "faults": dict(aspace.fault_counts),
+        "pins": pins,
+        "now": setup.env.now,
+    }
+
+
+def test_fastpath_matches_slowpath(monkeypatch):
+    fast = _run_workload(monkeypatch, slowpath=False)
+    slow = _run_workload(monkeypatch, slowpath=True)
+
+    assert fast["buffers"][0] == _payload(48 * 1024, 8)
+    for i in range(3):
+        assert fast["buffers"][1 + i] == _payload(3 * 1024, i)
+    assert fast["buffers"] == slow["buffers"]
+
+    assert fast["pins"] == [] and slow["pins"] == []
+    assert fast["now"] == slow["now"]
+    assert fast["faults"] == slow["faults"]
+    assert fast["stats"] == slow["stats"]
+
+    assert len(fast["events"]) == len(slow["events"])
+    for a, b in zip(fast["events"], slow["events"]):
+        assert a == b
