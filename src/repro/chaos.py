@@ -1,0 +1,500 @@
+"""Chaos campaign: seeded kills and unmaps against live copy traffic.
+
+The lifecycle teardown paths (exit reaping, deferred unmap + EFAULT
+delivery, service drain) only earn trust under adversity, so this module
+runs a miniature multi-process workload and injects faults *between* the
+apps' operations:
+
+* ``kill`` — ``OSProcess.kill()`` on a victim process with copies in
+  flight: the copier must reap every task, unpin every page, and the
+  address-space teardown must reclaim every frame.
+* ``unmap`` — ``munmap`` of a live, possibly-pinned buffer while tasks
+  referencing it are in flight: the unmap must defer until the last pin
+  drops and the affected tasks must retire with an EFAULT, not crash.
+
+Three app archetypes keep the traffic diverse (§6.2's app mix in
+miniature): a KV-style slot shuffler (pure copy/csync), a stream app
+pushing data through a loopback socket pair (skb alloc/free + k-mode
+copies), and a churn app that mmaps/munmaps scratch buffers on every
+iteration (organic deferred unmaps even without injected events).
+
+Each app mirrors its operations into a pure-Python shadow model — the
+no-chaos oracle.  Buffers touched by chaos (directly, or as the
+destination of a copy whose source died mid-flight) are *tainted* and
+excluded; every surviving untainted buffer must be byte-identical to the
+oracle at the end.  The campaign finishes by exiting the survivors,
+shutting the service down, and asserting that pins and physical frames
+return exactly to the pre-workload baseline.
+
+Events fire on a deterministic global *op tick* (not on sim time), so a
+seed fully determines the campaign: same seed → same events, same
+lifecycle counters, same surviving-buffer digests.
+"""
+
+import hashlib
+import random
+
+from repro.copier.errors import AdmissionReject, CopyAborted
+from repro.kernel.net import recv, send, socket_pair
+from repro.kernel.system import System
+from repro.mem.faults import MemoryFault
+from repro.sim import Compute
+from repro.sim.process import ProcessKilled
+
+BUF_BYTES = 16 * 1024
+CHUNK_MIN = 2048
+CHUNK_MAX = 8192
+APP_ERRORS = (CopyAborted, AdmissionReject, MemoryFault)
+
+
+def _fill(tag, i):
+    """Deterministic initial buffer contents."""
+    buf = bytearray(BUF_BYTES)
+    for j in range(0, BUF_BYTES, 64):
+        buf[j] = (hash_byte(tag, i, j))
+    return bytes(buf)
+
+
+def hash_byte(tag, i, j):
+    return (len(tag) * 17 + i * 41 + j // 64) % 251
+
+
+class ChaosApp:
+    """Base: buffer registry, taint tracking, shadow model.
+
+    ``buffers`` maps name → va; ``model`` maps name → bytearray (the
+    oracle); ``tainted`` names buffers chaos may have corrupted;
+    ``unmapped`` names buffers that no longer have a mapping and must not
+    be touched again.  ``inflight_srcs`` tracks, per destination, the
+    sources of copies submitted since that destination's last successful
+    csync — when a source dies mid-flight its pending destinations are
+    tainted transitively.
+    """
+
+    kind = "app"
+
+    def __init__(self, system, name, seed, n_ops):
+        self.system = system
+        self.name = name
+        self.rng = random.Random(("chaos", self.kind, name, seed).__repr__())
+        self.n_ops = n_ops
+        self.proc = system.create_process(name)
+        self.client = self.proc.client
+        self.aspace = self.proc.aspace
+        self.buffers = {}
+        self.model = {}
+        self.tainted = set()
+        self.unmapped = set()
+        self.inflight_srcs = {}
+        self._fills = {}
+        self.sockets = []
+        self.killed = False
+        self.finished = False
+        self.ops_done = 0
+        self.remaps = 0
+        self.controller = None
+
+    # ------------------------------------------------------------- buffers
+
+    def add_buffer(self, bufname, tag):
+        self._fills[bufname] = (tag, len(self.buffers))
+        va = self.aspace.mmap(BUF_BYTES, populate=True, name=bufname)
+        data = _fill(tag, self._fills[bufname][1])
+        self.aspace.write(va, data)
+        self.buffers[bufname] = va
+        self.model[bufname] = bytearray(data)
+        return va
+
+    def recover_buffers(self):
+        """Remap chaos-unmapped buffers and remap-in-place tainted ones.
+
+        A robust app's reaction to losing a buffer: drop the old mapping
+        (deferred around any pins still held by in-flight copies) and
+        start over on a fresh one.  The bump-pointer allocator guarantees
+        a fresh va, so stale aborted tasks on the old range can never
+        decide a csync on the new one.
+        """
+        for bufname in sorted(set(self.unmapped) | set(self.tainted)):
+            if bufname not in self.unmapped:
+                self.aspace.munmap(self.buffers[bufname], BUF_BYTES)
+            tag, idx = self._fills[bufname]
+            va = self.aspace.mmap(BUF_BYTES, populate=True, name=bufname)
+            data = _fill(tag, idx)
+            self.aspace.write(va, data)
+            self.buffers[bufname] = va
+            self.model[bufname] = bytearray(data)
+            self.unmapped.discard(bufname)
+            self.tainted.discard(bufname)
+            self.inflight_srcs.pop(bufname, None)
+            for srcs in self.inflight_srcs.values():
+                srcs.discard(bufname)
+            self.remaps += 1
+
+    def live(self, bufname):
+        return bufname not in self.tainted and bufname not in self.unmapped
+
+    def taint(self, bufname, why=""):
+        """Taint ``bufname`` and (transitively) every destination with an
+        un-csynced copy from it in flight."""
+        work = [bufname]
+        while work:
+            cur = work.pop()
+            if cur in self.tainted:
+                continue
+            self.tainted.add(cur)
+            for dst, srcs in self.inflight_srcs.items():
+                if cur in srcs and dst not in self.tainted:
+                    work.append(dst)
+
+    def note_copy(self, src, dst):
+        self.inflight_srcs.setdefault(dst, set()).add(src)
+
+    def note_csync_ok(self, dst):
+        self.inflight_srcs.pop(dst, None)
+
+    # --------------------------------------------------------------- chaos
+
+    def on_chaos_unmap(self, bufname):
+        """The controller unmapped ``bufname`` out from under us."""
+        self.unmapped.add(bufname)
+        self.taint(bufname, "chaos-unmap")
+
+    def chaos_unmap_candidates(self):
+        return sorted(b for b in self.buffers if b not in self.unmapped)
+
+    def on_kill(self):
+        self.killed = True
+        for sock in self.sockets:
+            sock.close()
+
+    # ----------------------------------------------------------------- run
+
+    def run(self):
+        try:
+            for _ in range(self.n_ops):
+                self.recover_buffers()
+                yield from self.step()
+                self.ops_done += 1
+                self.controller.tick(self)
+            yield from self.final_sync()
+            self.finished = True
+        finally:
+            for sock in self.sockets:
+                sock.close()
+
+    def step(self):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def final_sync(self):
+        """Full csync of every live buffer; taint the ones that fault."""
+        for bufname in sorted(self.buffers):
+            if not self.live(bufname):
+                continue
+            try:
+                yield from self.client.csync(self.buffers[bufname], BUF_BYTES)
+                self.note_csync_ok(bufname)
+            except APP_ERRORS:
+                self.taint(bufname, "final-csync")
+
+    def csync_buffer(self, bufname, offset=0, length=BUF_BYTES):
+        try:
+            yield from self.client.csync(self.buffers[bufname] + offset,
+                                         length)
+            if offset == 0 and length == BUF_BYTES:
+                # Only a full-buffer csync proves every pending copy into
+                # this buffer has landed; a partial one must not clear the
+                # taint-propagation bookkeeping for the rest of it.
+                self.note_csync_ok(bufname)
+        except APP_ERRORS:
+            self.taint(bufname, "csync")
+
+    # -------------------------------------------------------------- verify
+
+    def surviving_digests(self):
+        """name → sha1 of the simulated bytes, for live untainted buffers
+        of a surviving app.  Must be called before the process exits."""
+        out = {}
+        if self.killed:
+            return out
+        for bufname, va in sorted(self.buffers.items()):
+            if self.live(bufname):
+                out[bufname] = hashlib.sha1(
+                    self.aspace.read(va, BUF_BYTES)).hexdigest()
+        return out
+
+    def oracle_digests(self):
+        out = {}
+        if self.killed:
+            return out
+        for bufname in sorted(self.buffers):
+            if self.live(bufname):
+                out[bufname] = hashlib.sha1(
+                    bytes(self.model[bufname])).hexdigest()
+        return out
+
+
+class KVApp(ChaosApp):
+    """Slot shuffler: amemcpy between value slots, csync before reuse."""
+
+    kind = "kv"
+    N_SLOTS = 4
+
+    def __init__(self, system, name, seed, n_ops):
+        super().__init__(system, name, seed, n_ops)
+        for i in range(self.N_SLOTS):
+            self.add_buffer("slot%d" % i, "kv")
+
+    def step(self):
+        rng = self.rng
+        src = "slot%d" % rng.randrange(self.N_SLOTS)
+        dst = "slot%d" % rng.randrange(self.N_SLOTS)
+        offset = rng.randrange(0, BUF_BYTES - CHUNK_MAX, 64)
+        length = rng.randrange(CHUNK_MIN, CHUNK_MAX)
+        do_sync = rng.random() < 0.4
+        if src == dst or not (self.live(src) and self.live(dst)):
+            return
+        try:
+            yield from self.client.amemcpy(self.buffers[dst] + offset,
+                                           self.buffers[src] + offset,
+                                           length)
+        except APP_ERRORS:
+            self.taint(dst, "amemcpy")
+            return
+        self.note_copy(src, dst)
+        self.model[dst][offset:offset + length] = \
+            self.model[src][offset:offset + length]
+        if do_sync:
+            yield from self.csync_buffer(dst, offset, length)
+
+
+class StreamApp(ChaosApp):
+    """Loopback stream: tx buffer → socket (k-mode copies through an skb)
+    → rx buffer, csync before the data is trusted."""
+
+    kind = "stream"
+
+    def __init__(self, system, name, seed, n_ops):
+        super().__init__(system, name, seed, n_ops)
+        self.add_buffer("tx", "stream")
+        self.add_buffer("rx", "stream")
+        a, b = socket_pair(system, name)
+        self.sockets = [a, b]
+
+    def step(self):
+        rng = self.rng
+        offset = rng.randrange(0, BUF_BYTES - CHUNK_MAX, 64)
+        length = rng.randrange(CHUNK_MIN, CHUNK_MAX)
+        if not (self.live("tx") and self.live("rx")):
+            return
+        a, b = self.sockets
+        try:
+            yield from send(self.system, self.proc, a,
+                            self.buffers["tx"] + offset, length,
+                            mode="copier")
+            yield from recv(self.system, self.proc, b,
+                            self.buffers["rx"] + offset, length,
+                            mode="copier")
+        except APP_ERRORS:
+            # The skb contents are unreliable; whatever recv landed is
+            # suspect too.
+            self.taint("rx", "stream-io")
+            return
+        self.note_copy("tx", "rx")
+        self.model["rx"][offset:offset + length] = \
+            self.model["tx"][offset:offset + length]
+        yield from self.csync_buffer("rx", offset, length)
+
+
+class ChurnApp(ChaosApp):
+    """Address-space churn: every iteration mmaps a scratch buffer, copies
+    through it, and munmaps — sometimes *before* the csync, which parks
+    the scratch pages on the lazy-teardown list while the copy retires."""
+
+    kind = "churn"
+
+    def __init__(self, system, name, seed, n_ops):
+        super().__init__(system, name, seed, n_ops)
+        self.add_buffer("persist", "churn")
+
+    def step(self):
+        rng = self.rng
+        offset = rng.randrange(0, BUF_BYTES - CHUNK_MAX, 64)
+        offset2 = rng.randrange(0, BUF_BYTES - CHUNK_MAX, 64)
+        length = rng.randrange(CHUNK_MIN, CHUNK_MAX)
+        early_unmap = rng.random() < 0.3
+        if not self.live("persist"):
+            return
+        scratch = self.aspace.mmap(CHUNK_MAX, populate=True, name="scratch")
+        try:
+            yield from self.client.amemcpy(
+                scratch, self.buffers["persist"] + offset, length)
+            yield from self.client.csync(scratch, length)
+            yield from self.client.amemcpy(
+                self.buffers["persist"] + offset2, scratch, length)
+            if not early_unmap:
+                yield from self.csync_buffer("persist", offset2, length)
+        except APP_ERRORS:
+            self.taint("persist", "churn")
+            self.aspace.munmap(scratch, CHUNK_MAX)
+            return
+        # Unmapping the scratch buffer with the scratch→persist copy
+        # possibly still in flight: pins defer the teardown, and if the
+        # copy does fault it surfaces at the next csync of "persist".
+        self.aspace.munmap(scratch, CHUNK_MAX)
+        if early_unmap and self.live("persist"):
+            yield from self.csync_buffer("persist", offset2, length)
+        self.model["persist"][offset2:offset2 + length] = \
+            bytes(self.model["persist"][offset:offset + length])
+        yield Compute(200, tag="app")
+
+
+class ChaosController:
+    """Fires seeded kill/unmap events on a deterministic global op tick."""
+
+    def __init__(self, system, apps, seed, n_events, max_kills):
+        self.system = system
+        self.apps = apps
+        self.rng = random.Random(("chaos-controller", seed).__repr__())
+        self.events = []  # log of (tick, kind, target) actually fired
+        self.kills = 0
+        self.max_kills = max_kills
+        self.global_tick = 0
+        # Keep the event window well inside the tick budget even after
+        # max_kills apps stop contributing ticks.
+        total_ticks = sum(app.n_ops for app in apps)
+        if apps:
+            survivors = max(len(apps) - max_kills, 1)
+            total_ticks = min(total_ticks,
+                              survivors * max(app.n_ops for app in apps))
+        window = max(n_events + 10, int(total_ticks * 0.55))
+        ticks = self.rng.sample(range(5, 5 + window), n_events)
+        self.schedule = sorted(ticks)
+
+    def tick(self, current_app):
+        self.global_tick += 1
+        while self.schedule and self.schedule[0] <= self.global_tick:
+            self.schedule.pop(0)
+            self._fire(current_app)
+
+    def _fire(self, current_app):
+        rng = self.rng
+        want_kill = rng.random() < 0.3 and self.kills < self.max_kills
+        if want_kill:
+            victims = [a for a in self.apps
+                       if not a.killed and not a.finished
+                       and a is not current_app]
+            if victims:
+                victim = rng.choice(victims)
+                victim.on_kill()
+                self.system.kill_process(victim.proc)
+                self.kills += 1
+                self.events.append((self.global_tick, "kill", victim.name))
+                return
+        targets = [(a, b) for a in self.apps
+                   if not a.killed and not a.finished
+                   for b in a.chaos_unmap_candidates()]
+        if not targets:
+            self.events.append((self.global_tick, "noop", "-"))
+            return
+        app, bufname = rng.choice(targets)
+        app.aspace.munmap(app.buffers[bufname], BUF_BYTES)
+        app.on_chaos_unmap(bufname)
+        self.events.append((self.global_tick, "unmap",
+                            "%s/%s" % (app.name, bufname)))
+
+
+def run_campaign(seed=0, n_events=60, n_ops=60, drain_deadline=50_000_000,
+                 fault_plan=None):
+    """Run one chaos campaign; returns a result dict.
+
+    The result carries the event log, per-app outcomes, surviving-buffer
+    digest comparison against the shadow oracle, the post-shutdown leak
+    checks, and the service's lifecycle counters — everything a caller
+    needs to assert correctness or determinism.
+    """
+    system = System(n_cores=4, phys_frames=16384,
+                    copier_kwargs={"fault_plan": fault_plan})
+    baseline_frames = system.phys.frames_in_use
+    apps = []
+    for i in range(2):
+        apps.append(KVApp(system, "kv%d" % i, seed, n_ops))
+        apps.append(StreamApp(system, "stream%d" % i, seed, n_ops))
+        apps.append(ChurnApp(system, "churn%d" % i, seed, n_ops))
+    controller = ChaosController(system, apps, seed, n_events,
+                                 max_kills=max(len(apps) // 3, 1))
+    for i, app in enumerate(apps):
+        app.controller = controller
+        app.proc.spawn(app.run(), affinity=i % 3)
+    for app in apps:
+        try:
+            system.env.run_until(app.proc.sim_proc.terminated,
+                                 limit=500_000_000_000)
+        except ProcessKilled:
+            pass  # a chaos kill: the teardown already ran via OSProcess.kill
+
+    failures = []
+    mismatches = []
+    verified = 0
+    for app in apps:
+        got = app.surviving_digests()
+        want = app.oracle_digests()
+        for bufname in want:
+            if got.get(bufname) != want[bufname]:
+                mismatches.append("%s/%s" % (app.name, bufname))
+            else:
+                verified += 1
+    if mismatches:
+        failures.append("buffers diverged from the oracle: %s"
+                        % ", ".join(mismatches))
+
+    survivors = [app for app in apps if not app.killed]
+    for app in survivors:
+        system.exit_process(app.proc)
+    report = system.copier.shutdown(deadline=drain_deadline)
+    if not report["drained"]:
+        failures.append("shutdown failed to drain (force_reaped=%d)"
+                        % report["force_reaped"])
+
+    leaked = system.leaked_pins()
+    if leaked:
+        failures.append("%d page pins leaked" % leaked)
+    frames_now = system.phys.frames_in_use
+    if frames_now != baseline_frames:
+        failures.append("frame leak: %d in use vs baseline %d"
+                        % (frames_now, baseline_frames))
+
+    snap = system.copier.stats_snapshot()
+    fired = [e for e in controller.events if e[1] != "noop"]
+    return {
+        "seed": seed,
+        "events": controller.events,
+        "events_fired": len(fired),
+        "kills": controller.kills,
+        "unmaps": sum(1 for e in fired if e[1] == "unmap"),
+        "apps": {app.name: {"killed": app.killed,
+                            "finished": app.finished,
+                            "ops_done": app.ops_done,
+                            "remaps": app.remaps,
+                            "tainted": sorted(app.tainted)}
+                 for app in apps},
+        "verified_buffers": verified,
+        "mismatches": mismatches,
+        "shutdown": report,
+        "lifecycle": snap["lifecycle"],
+        "baseline_frames": baseline_frames,
+        "frames_now": frames_now,
+        "leaked_pins": leaked,
+        "failures": failures,
+    }
+
+
+def determinism_fingerprint(result):
+    """The parts of a campaign result that must be identical run-to-run
+    for the same seed."""
+    return {
+        "events": result["events"],
+        "lifecycle": result["lifecycle"],
+        "apps": result["apps"],
+        "verified_buffers": result["verified_buffers"],
+    }

@@ -29,7 +29,8 @@ class ClientStats:
     __slots__ = ("submitted", "completed", "aborted", "dropped",
                  "sync_tasks", "bytes_copied", "bytes_absorbed",
                  "queue_overflows", "shed_tasks", "shed_bytes",
-                 "rejected_submits", "cancelled", "deadline_misses")
+                 "rejected_submits", "cancelled", "deadline_misses",
+                 "efault_tasks", "exit_reaped")
 
     def __init__(self):
         self.submitted = 0
@@ -45,6 +46,8 @@ class ClientStats:
         self.rejected_submits = 0
         self.cancelled = 0
         self.deadline_misses = 0
+        self.efault_tasks = 0
+        self.exit_reaped = 0
 
     def as_dict(self):
         """Plain-dict snapshot of every counter."""
@@ -146,6 +149,18 @@ class CopierClient:
         if lazy:
             task.lazy_deadline = self.env.now + self.service.lazy_period_cycles
         admission = self.service.admission
+        if self.service.draining:
+            # Shutdown in progress: no new work is admitted, period —
+            # the drain loop must converge on the backlog it started with.
+            self.stats.rejected_submits += 1
+            admission.stats.rejected += 1
+            if pooled:
+                descriptor.release()
+            trace = self.service.trace
+            if trace.active:
+                trace.emit(AdmissionRejected(self.env.now, self.name,
+                                             src.length, "draining"))
+            raise AdmissionReject("draining", src.length)
         decision = admission.admit(self, task)
         if decision == REJECT:
             self.stats.rejected_submits += 1
@@ -326,6 +341,8 @@ class CopierClient:
                                  for s in task.segments_covering(covered))
                 if task.state == task_mod.ABORTED:
                     if not segs_ready:
+                        if task.error is not None:
+                            raise task.error
                         raise CopyAborted(
                             "copy covering 0x%x aborted" % lo)
                 elif not segs_ready:

@@ -127,6 +127,56 @@ class CompletionHandler:
                 reaped += 1
         return reaped
 
+    # ------------------------------------------------------------- lifecycle
+
+    def retire_efault(self, client, task, exc):
+        """Retire a task whose source/dest was unmapped mid-flight.
+
+        The io_uring answer to buffer-lifetime races: the task fails with
+        a typed EFAULT rather than crashing the service or killing the
+        process (the unmap was a legal, if rude, application action).
+        The error is parked on the task and re-raised by the next csync
+        whose range depends on it.  Pins release exactly once — unpin of
+        a lazily-torn-down page reclaims its deferred frame.
+        """
+        from repro.copier.errors import TaskEFault
+
+        if task.is_finished:
+            return
+        task.state = task_mod.ABORTED
+        if task.error is None:
+            va = getattr(exc, "va", task.src.start)
+            task.error = TaskEFault(task.task_id, va, str(exc))
+        task.descriptor.abort()
+        try:
+            client.pending.remove(task)
+        except ValueError:
+            pass  # not ingested yet, or already plucked — benign
+        client.stats.efault_tasks += 1
+        self.service.lifecycle.efault_tasks += 1
+        self._finalize(client, task, "efault")
+        self.queue_handler(client, task)
+
+    def reap_exit(self, client, task, outcome="exit-reap"):
+        """Force-complete a task whose owning process is exiting.
+
+        The IDXD cancel-on-exit path: descriptor aborted (any stranded
+        waiter wakes), pins released so deferred frames reclaim, and only
+        *kernel* FUNCs still dispatch — they free kernel resources; the
+        process that would consume a UFUNC no longer exists.
+        """
+        task.state = task_mod.ABORTED
+        task.descriptor.abort()
+        try:
+            client.pending.remove(task)
+        except ValueError:
+            pass
+        client.stats.exit_reaped += 1
+        self.service.lifecycle.exit_reaped += 1
+        self._finalize(client, task, outcome)
+        if task.handler is not None and task.handler[0] == "kfunc":
+            self.queue_handler(client, task)
+
     # ---------------------------------------------------------------- pages
 
     def unpin(self, task):

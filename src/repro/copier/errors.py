@@ -10,9 +10,12 @@ re-exported here, where copy-path code looks for them.
 
 from repro.faultinject import (DMAAbortError, DMASubmitError, PagePinError,
                                TransientCopierError)
+from repro.mem.errors import (MemoryLifecycleError, PinnedPageError,
+                              UnpinMismatchError)
 
 __all__ = [
     "CopyAborted",
+    "TaskEFault",
     "CopierSecurityError",
     "TransientCopierError",
     "DMASubmitError",
@@ -20,11 +23,33 @@ __all__ = [
     "PagePinError",
     "AdmissionReject",
     "DeadlineMissed",
+    "MemoryLifecycleError",
+    "PinnedPageError",
+    "UnpinMismatchError",
 ]
 
 
 class CopyAborted(Exception):
     """csync on a region whose pending copy was explicitly aborted (§4.4)."""
+
+
+class TaskEFault(CopyAborted):
+    """A task's source or destination was unmapped while it was in flight.
+
+    The io_uring/IDXD answer to buffer-lifetime races: the task is retired
+    with an ``efault`` outcome instead of crashing the service, and the
+    error is delivered to the submitter at the next csync touching the
+    range.  Subclasses :class:`CopyAborted` so callers that already handle
+    aborted copies keep working.
+    """
+
+    def __init__(self, task_id, va, detail=""):
+        self.task_id = task_id
+        self.va = va
+        msg = "task #%d faulted at 0x%x" % (task_id, va)
+        if detail:
+            msg += " (%s)" % detail
+        super().__init__(msg)
 
 
 class AdmissionReject(Exception):

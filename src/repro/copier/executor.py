@@ -27,7 +27,7 @@ from repro.copier.absorption import resolve_sources
 from repro.copier.errors import DMAAbortError, DMASubmitError, PagePinError
 from repro.hw.dma import DMASubtask
 from repro.mem.addrspace import copy_range
-from repro.mem.faults import SegmentationFault
+from repro.mem.faults import MemoryFault, SegmentationFault
 from repro.sim import Compute, Timeout, WaitEvent
 from repro.sim.trace import (DmaCompleted, EngineFallback, RoundPlanned,
                              SegmentExecuted, TaskIngested)
@@ -85,7 +85,15 @@ class CopyExecutor:
             task.src.aspace.check_range(task.src.start, task.src.length, write=False)
             task.dst.aspace.check_range(task.dst.start, task.dst.length, write=True)
         except SegmentationFault as exc:
-            self.completion.drop_task(client, task, exc)
+            # A range that *was* mapped and disappeared is a lifecycle
+            # race (munmap beat the ingest) — EFAULT, not SIGSEGV.  A
+            # never-mapped range is an application bug and still kills.
+            if (task.src.aspace.was_unmapped(task.src.start, task.src.length)
+                    or task.dst.aspace.was_unmapped(task.dst.start,
+                                                    task.dst.length)):
+                self.completion.retire_efault(client, task, exc)
+            else:
+                self.completion.drop_task(client, task, exc)
             return cost
         try:
             resolutions = []
@@ -240,7 +248,13 @@ class CopyExecutor:
                     yield Timeout(stall)
             cycles = int(nbytes / params.avx_bytes_per_cycle) + _AVX_SEGMENT_OVERHEAD
             yield Compute(cycles, tag="copier-copy")
-            self.write_spans(client, task, seg, dst_region, spans)
+            try:
+                self.write_spans(client, task, seg, dst_region, spans)
+            except MemoryFault as exc:
+                # The range was unmapped after ingest (it passed the
+                # security check then): a lifecycle race, not a bug.
+                self.completion.retire_efault(client, task, exc)
+                return
         if not task.is_finished and task.descriptor.all_ready:
             yield from self.completion.finish_task(client, task)
 
@@ -275,23 +289,36 @@ class CopyExecutor:
         stats = service.fault_stats
         dma_done = None
         fallback_reason = None
-        if plan.dma_runs:
+        dma_runs = plan.dma_runs
+        if dma_runs:
             # DMA needs physical addresses: walk (or ATCache-hit) the pages
-            # of each run before ringing the doorbell (§4.3).
+            # of each run before ringing the doorbell (§4.3).  A run whose
+            # mapping vanished since ingest (munmap racing the round)
+            # EFAULTs its task here and is excluded from the batch.
             translate = 0
-            for run in plan.dma_runs:
-                cycles, _h, _m = service.atcache.translation_cost(
-                    run.task.src.aspace, run.src_va, run.nbytes,
-                    contiguous=True)
-                translate += cycles
-                cycles, _h, _m = service.atcache.translation_cost(
-                    run.task.dst.aspace, run.dst_va, run.nbytes, write=True,
-                    contiguous=True)
-                translate += cycles
+            live_runs = []
+            for run in dma_runs:
+                if run.task.is_finished:
+                    continue
+                try:
+                    cycles, _h, _m = service.atcache.translation_cost(
+                        run.task.src.aspace, run.src_va, run.nbytes,
+                        contiguous=True)
+                    translate += cycles
+                    cycles, _h, _m = service.atcache.translation_cost(
+                        run.task.dst.aspace, run.dst_va, run.nbytes, write=True,
+                        contiguous=True)
+                    translate += cycles
+                except MemoryFault as exc:
+                    self.completion.retire_efault(client, run.task, exc)
+                    continue
+                live_runs.append(run)
+            dma_runs = live_runs
             yield Compute(params.dma_submit_cycles + translate,
                           tag="copier-copy")
+        if dma_runs:
             batch = []
-            for run in plan.dma_runs:
+            for run in dma_runs:
                 batch.append(DMASubtask(
                     run.task.src.aspace, run.src_va,
                     run.task.dst.aspace, run.dst_va, run.nbytes,
@@ -328,8 +355,11 @@ class CopyExecutor:
                 + _AVX_SEGMENT_OVERHEAD
             yield Compute(cycles, tag="copier-copy")
             dst_region = job.task.dst_range_of_segment(job.seg_index)
-            self.write_spans(client, job.task, job.seg_index, dst_region,
-                             job.spans)
+            try:
+                self.write_spans(client, job.task, job.seg_index, dst_region,
+                                 job.spans)
+            except MemoryFault as exc:
+                self.completion.retire_efault(client, job.task, exc)
         if dma_done is not None:
             try:
                 yield WaitEvent(dma_done)
@@ -341,7 +371,7 @@ class CopyExecutor:
                 fallback_reason = "dma-abort"
             yield Compute(params.dma_complete_check_cycles, tag="copier-copy")
         if fallback_reason is not None:
-            yield from self._fallback_runs(client, plan.dma_runs,
+            yield from self._fallback_runs(client, dma_runs,
                                            fallback_reason)
         for task in plan.tasks:
             if not task.is_finished and task.descriptor.all_ready:
@@ -372,12 +402,18 @@ class CopyExecutor:
                 trace.emit(EngineFallback(service.env.now, run.task.task_id,
                                           client.name, nbytes, reason))
             for job in redo:
+                if run.task.is_finished:
+                    break
                 cycles = int(job.nbytes / params.avx_bytes_per_cycle) \
                     + _AVX_SEGMENT_OVERHEAD
                 yield Compute(cycles, tag="copier-copy")
                 dst_region = job.task.dst_range_of_segment(job.seg_index)
-                self.write_spans(client, job.task, job.seg_index, dst_region,
-                                 job.spans)
+                try:
+                    self.write_spans(client, job.task, job.seg_index,
+                                     dst_region, job.spans)
+                except MemoryFault as exc:
+                    self.completion.retire_efault(client, job.task, exc)
+                    break
 
     def _make_dma_callback(self, client, run):
         service = self.service

@@ -25,7 +25,27 @@ from repro.copier.atcache import ATCache
 from repro.copier.sched import CopierScheduler
 from repro.faultinject import FaultInjector, FaultPlan, RecoveryStats
 from repro.hw.dma import DMAEngine
-from repro.sim.trace import StageAggregator
+from repro.sim.trace import ProcessReaped, ServiceDrained, StageAggregator
+
+#: Event-loop slice the shutdown drain advances per iteration.
+_DRAIN_STEP_CYCLES = 20_000
+
+
+class LifecycleStats:
+    """Counters for the lifecycle layer (exit reaping, EFAULT, drain)."""
+
+    __slots__ = ("exit_reaped", "efault_tasks", "drain_requeued",
+                 "processes_reaped", "drains")
+
+    def __init__(self):
+        self.exit_reaped = 0       # tasks force-completed by process exit
+        self.efault_tasks = 0      # tasks retired with a TaskEFault
+        self.drain_requeued = 0    # unfinished tasks at shutdown entry
+        self.processes_reaped = 0  # clients reaped by exit/kill
+        self.drains = 0            # shutdown() drains completed
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class CopierService:
@@ -76,6 +96,10 @@ class CopierService:
         self.lazy_period_cycles = lazy_period_cycles
         self.autoscale = autoscale
         self.clients = []
+        self.lifecycle = LifecycleStats()
+        self.draining = False
+        self._shutdown_report = None
+        self._departed_aspaces = []  # kept so counters survive client reaping
         self.running = True
         self.scenario_active = self.policy.name != "scenario"
         self._wake_events = {}
@@ -124,6 +148,130 @@ class CopierService:
         self.clients.remove(client)
         self.scheduler.unregister(client)
         self.admission.forget(client)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reap_client(self, client, outcome="exit-reap"):
+        """Reap a client whose process exited or was killed.
+
+        Drains its CSH rings, force-completes every in-flight task with
+        clean unpin (``completion.reap_exit``), and detaches the client
+        from the scheduler, admission controller and cgroup.  The aspace
+        is *not* torn down here — the caller does that after the reap, so
+        unpin always finds live (or lazily-deferred) PTEs.  Returns the
+        number of tasks reaped.
+        """
+        if client not in self.clients:
+            return 0
+        count = self._reap_tasks(client, outcome)
+        # UFUNC handlers queued for a dead process will never run.
+        client.u_queues.handler.drain()
+        self._departed_aspaces.append(client.aspace)
+        self.remove_client(client)
+        self.lifecycle.processes_reaped += 1
+        if self.trace.active:
+            self.trace.emit(ProcessReaped(self.env.now, client.name, count))
+        return count
+
+    def _reap_tasks(self, client, outcome):
+        """Force-complete every unfinished task a client owns; returns
+        how many were reaped.  Ring entries behind a wedged (acquired but
+        never published) slot stay unpoppable but are still reaped through
+        the task index, which records every submission."""
+        completion = self.completion
+        count = 0
+        for queue in (client.u_queues.copy, client.k_queues.copy):
+            for task in queue.drain():
+                if not task.is_finished:
+                    completion.reap_exit(client, task, outcome)
+                    count += 1
+        client.u_queues.sync.drain()
+        client.k_queues.sync.drain()
+        seen = set()
+        for task in list(client.pending) + client.task_index:
+            if id(task) in seen:
+                continue
+            seen.add(id(task))
+            if not task.is_finished:
+                completion.reap_exit(client, task, outcome)
+                count += 1
+        return count
+
+    def _outstanding(self):
+        """True while any client still has unfinished copy work."""
+        for client in self.clients:
+            if len(client.u_queues.copy) or len(client.k_queues.copy):
+                return True
+            if any(not t.is_finished for t in client.task_index):
+                return True
+            if any(not t.is_finished for t in client.pending):
+                return True
+        return False
+
+    def _all_aspaces(self):
+        seen = {}
+        for client in self.clients:
+            seen[client.aspace.asid] = client.aspace
+        for aspace in self._departed_aspaces:
+            seen[aspace.asid] = aspace
+        return list(seen.values())
+
+    def leaked_pins(self):
+        """Outstanding pin count across every aspace the service touched."""
+        return sum(a.pins_outstanding() for a in self._all_aspaces())
+
+    def shutdown(self, deadline=None):
+        """Drain and stop the service; returns a report dict.
+
+        Stops admission (submissions raise ``AdmissionReject("draining")``),
+        then drives the event loop until the backlog drains or ``deadline``
+        (relative cycles) passes — work parked behind a quarantined DMA
+        engine drains too, because rounds fall back to the AVX stream.
+        Stragglers at the deadline are force-reaped (``drain-reap``), the
+        workers are stopped, and zero leaked pins is asserted.  Call from
+        outside the event loop (a driver, not a simulated process).
+        """
+        if self._shutdown_report is not None:
+            return self._shutdown_report
+        env = self.env
+        start = env.now
+        self.draining = True
+        requeued = sum(1 for c in self.clients
+                       for t in c.task_index if not t.is_finished)
+        self.lifecycle.drain_requeued += requeued
+        limit = None if deadline is None else start + deadline
+        while self._outstanding():
+            if limit is not None and env.now >= limit:
+                break
+            self.awaken()
+            until = env.now + _DRAIN_STEP_CYCLES
+            if limit is not None and until > limit:
+                until = limit
+            before = env.events_executed
+            env.run(until=until)
+            if env.events_executed == before:
+                break  # nothing left to execute: wedged or already idle
+        force_reaped = 0
+        for client in list(self.clients):
+            force_reaped += self._reap_tasks(client, "drain-reap")
+        drained = force_reaped == 0
+        self.stop()
+        leaked = self.leaked_pins()
+        self.lifecycle.drains += 1
+        report = {
+            "drained": drained,
+            "requeued": requeued,
+            "force_reaped": force_reaped,
+            "cycles": env.now - start,
+            "leaked_pins": leaked,
+        }
+        self._shutdown_report = report
+        if self.trace.active:
+            self.trace.emit(ServiceDrained(env.now, drained, requeued,
+                                           force_reaped, report["cycles"]))
+        if leaked:
+            raise RuntimeError("shutdown leaked %d pins" % leaked)
+        return report
 
     # ----------------------------------------------------------- wake/sleep
 
@@ -226,6 +374,15 @@ class CopierService:
                 dma_quarantined=dispatcher.dma_quarantined,
                 recovery=self.fault_stats.as_dict(),
             ),
+            "lifecycle": dict(
+                self.lifecycle.as_dict(),
+                draining=self.draining,
+                deferred_unmaps=sum(a.deferred_unmaps
+                                    for a in self._all_aspaces()),
+                deferred_reclaimed=sum(a.deferred_reclaimed
+                                       for a in self._all_aspaces()),
+                pins_outstanding=self.leaked_pins(),
+            ),
         }
         if self.dma is not None:
             snap["dma"] = {
@@ -235,5 +392,6 @@ class CopierService:
                 "submit_failures": self.dma.submit_failures,
                 "aborted_batches": self.dma.aborted_batches,
                 "stall_cycles": self.dma.stall_cycles,
+                "efaults": self.dma.efaults,
             }
         return snap

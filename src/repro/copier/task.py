@@ -90,6 +90,7 @@ class CopyTask:
         "lazy_deadline",
         "deadline",
         "cancelled",
+        "error",
     )
 
     def __init__(self, client, queue_kind, src, dst, descriptor,
@@ -119,6 +120,9 @@ class CopyTask:
         #: Set by :meth:`CopierClient.cancel`; the next service pass
         #: retires the task without copying further bytes.
         self.cancelled = False
+        #: The typed error (e.g. :class:`~repro.copier.errors.TaskEFault`)
+        #: that retired this task, delivered to csyncs over its range.
+        self.error = None
 
     @property
     def length(self):

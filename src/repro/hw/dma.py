@@ -10,6 +10,7 @@ from collections import deque
 
 from repro.faultinject import DMAAbortError, DMASubmitError
 from repro.mem.addrspace import copy_range
+from repro.mem.faults import MemoryFault
 from repro.sim import Timeout, WaitEvent
 
 
@@ -51,6 +52,7 @@ class DMAEngine:
         self.submit_failures = 0
         self.aborted_batches = 0
         self.stall_cycles = 0
+        self.efaults = 0
         self._proc = env.spawn(self._run(), name="dma-engine")
 
     def submit(self, subtasks):
@@ -89,11 +91,23 @@ class DMAEngine:
             inj = self.injector
             error = None
             for sub in batch:
-                if self.check_contiguity and sub.nbytes > 0:
-                    if not is_contiguous(sub.src_as, sub.src_va, sub.nbytes):
-                        raise RuntimeError("DMA source not physically contiguous")
-                    if not is_contiguous(sub.dst_as, sub.dst_va, sub.nbytes, write=True):
-                        raise RuntimeError("DMA destination not physically contiguous")
+                try:
+                    if self.check_contiguity and sub.nbytes > 0:
+                        if not is_contiguous(sub.src_as, sub.src_va, sub.nbytes):
+                            raise RuntimeError("DMA source not physically contiguous")
+                        if not is_contiguous(sub.dst_as, sub.dst_va, sub.nbytes, write=True):
+                            raise RuntimeError("DMA destination not physically contiguous")
+                except MemoryFault as exc:
+                    # The mapping vanished while the batch sat in the device
+                    # queue (munmap or process exit racing the transfer).
+                    # Real engines complete the descriptor with a page-fault
+                    # status instead of wedging; surface it as an abort so
+                    # the copier's fallback path re-runs (and EFAULTs) the
+                    # affected segments — and keep serving the queue.
+                    self.efaults += 1
+                    if error is None:
+                        error = DMAAbortError("EFAULT mid-batch: %s" % exc)
+                    break
                 if inj is not None:
                     stall = inj.stall_cycles("engine_stall")
                     if stall:
@@ -113,9 +127,15 @@ class DMAEngine:
                     break
                 yield Timeout(cycles)
                 self.busy_cycles += cycles
+                try:
+                    copy_range(sub.src_as, sub.src_va, sub.dst_as, sub.dst_va,
+                               sub.nbytes)
+                except MemoryFault as exc:
+                    self.efaults += 1
+                    if error is None:
+                        error = DMAAbortError("EFAULT mid-batch: %s" % exc)
+                    break
                 self.bytes_copied += sub.nbytes
-                copy_range(sub.src_as, sub.src_va, sub.dst_as, sub.dst_va,
-                           sub.nbytes)
                 if sub.on_done is not None:
                     sub.on_done(sub)
             done.succeed(error)

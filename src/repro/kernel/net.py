@@ -37,17 +37,29 @@ class SKB:
 
 
 class Socket:
-    """One endpoint of a connected pair."""
+    """One endpoint of a connected pair.
+
+    The socket owns every skb between allocation and release: queued in
+    ``rx``, in transit on the wire, or popped-but-unfreed inside a recv
+    (``inflight``).  :meth:`close` releases them all, which is what makes
+    process teardown leak-free even when a kill lands mid-send/recv.
+    """
 
     def __init__(self, system, name=""):
         self.system = system
         self.name = name
         self.peer = None
         self.rx = deque()
+        self.inflight = set()
+        self.closed = False
         self._waiters = []
         self.delivered = 0
 
     def deliver(self, skb):
+        if self.closed:
+            # Arrived after teardown: free the buffer on the doorstep.
+            _release_skb(self.system, None, skb)
+            return
         self.rx.append(skb)
         self.delivered += 1
         waiters, self._waiters = self._waiters, []
@@ -61,6 +73,30 @@ class Socket:
         else:
             self._waiters.append(event)
         return event
+
+    def close(self):
+        """Release every skb this endpoint still owns (socket teardown)."""
+        if self.closed:
+            return
+        self.closed = True
+        while self.rx:
+            _release_skb(self.system, None, self.rx.popleft())
+        for skb in list(self.inflight):
+            _release_skb(self.system, self, skb)
+
+
+def _release_skb(system, sock, skb):
+    """Idempotently free an skb's kernel buffer and drop its ownership.
+
+    Pinned pages (an in-flight k-mode copy still holds the buffer) defer
+    via the lazy-teardown list and reclaim when the copy retires — so
+    releasing at socket close never races the copier.
+    """
+    if skb.kernel_va is not None:
+        system.free_kernel_buffer(skb.kernel_va, skb.length)
+        skb.kernel_va = None
+    if sock is not None:
+        sock.inflight.discard(skb)
 
 
 def socket_pair(system, name=""):
@@ -95,6 +131,9 @@ def send_body(system, proc, sock, va, nbytes, mode="sync", client=None):
     yield Compute(params.skb_alloc_cycles, tag="syscall")
     skb_va = system.alloc_kernel_buffer(nbytes)
     skb = SKB(skb_va, nbytes)
+    # Owned by the sending socket until it lands on the peer — a kill
+    # mid-send (copy submitted, not yet transmitted) frees it at close.
+    sock.inflight.add(skb)
     if (mode == "copier" and client is not None
             and nbytes >= params.copier_kernel_min_bytes):
         # Submit the user→skb copy and overlap protocol processing with it;
@@ -133,10 +172,22 @@ def _send_zerocopy(system, proc, sock, va, nbytes):
               completion=completion)
     # The NIC DMAs straight from the pinned user pages; the error-queue
     # completion fires once the TX ring drains — NOT when the peer recvs.
+    # Take a real pin and capture the physical spans now: the snapshot at
+    # TX-drain goes through the frames, so an exit/munmap racing the drain
+    # only defers the pages until unpin instead of faulting the NIC read.
     aspace = proc.aspace
+    aspace.pin(va, nbytes)
+    spans = aspace.frames_for(va, nbytes)
+    phys = aspace.phys
 
     def on_tx_done():
-        skb.payload = aspace.read(va, nbytes)
+        out = bytearray(nbytes)
+        pos = 0
+        for frame, offset, chunk in spans:
+            out[pos:pos + chunk] = phys.read(frame, offset, chunk)
+            pos += chunk
+        skb.payload = bytes(out)
+        aspace.unpin(va, nbytes)
         completion.succeed()
 
     tx_drain = int(nbytes / params.wire_bytes_per_cycle)
@@ -146,13 +197,26 @@ def _send_zerocopy(system, proc, sock, va, nbytes):
 
 
 def _transmit(system, sock, skb):
+    sock.inflight.add(skb)
     transit = system.params.wire_latency_cycles + int(
         skb.length / system.params.wire_bytes_per_cycle)
-    system.env.schedule(transit, lambda: sock.peer.deliver(skb))
+
+    def arrive():
+        sock.inflight.discard(skb)
+        sock.peer.deliver(skb)
+
+    system.env.schedule(transit, arrive)
 
 
 def zerocopy_reap(system, proc, completion):
     """Reap a MSG_ZEROCOPY completion before reusing the buffer."""
+    if proc.exited:
+        # The owning process is gone: no context to trap into.  Just wait
+        # for the TX ring to drain so the pin is dropped (the error-queue
+        # notification dies with the socket).
+        if not completion.triggered:
+            yield WaitEvent(completion)
+        return
     yield from proc.trap()
     yield Compute(system.params.zc_completion_check_cycles, tag="syscall")
     if not completion.triggered:
@@ -187,6 +251,9 @@ def recv_body(system, proc, sock, va, nbytes, mode="sync", lazy=False,
     if not sock.rx:
         yield WaitEvent(sock.wait_data())
     skb = sock.rx.popleft()
+    # Popped but not yet freed: if the receiver dies mid-recv the socket
+    # close releases the buffer (idempotent vs. the KFUNC below).
+    sock.inflight.add(skb)
     got = min(nbytes, skb.length)
     if skb.zerocopy_src is not None:
         # Receive a zerocopy-sent message: the bytes on the wire are the
@@ -194,6 +261,7 @@ def recv_body(system, proc, sock, va, nbytes, mode="sync", lazy=False,
         yield Compute(params.cpu_copy_cycles(got, engine="erms"),
                       tag="copy")
         proc.aspace.write(va, skb.payload[:got])
+        sock.inflight.discard(skb)
     elif (mode == "copier" and client is not None
             and got >= params.copier_kernel_min_bytes):
         # Async skb→user copy; KFUNC reclaims the buffer afterwards (§5.2).
@@ -201,13 +269,12 @@ def recv_body(system, proc, sock, va, nbytes, mode="sync", lazy=False,
             Region(system.kernel_as, skb.kernel_va, got),
             Region(proc.aspace, va, got),
             lazy=lazy,
-            handler=("kfunc", system.free_kernel_buffer,
-                     (skb.kernel_va, skb.length)))
+            handler=("kfunc", _release_skb, (system, sock, skb)))
     else:
         yield from system.sync_copy(
             proc, system.kernel_as, skb.kernel_va, proc.aspace, va, got,
             engine="erms")
-        system.free_kernel_buffer(skb.kernel_va, skb.length)
+        _release_skb(system, sock, skb)
     yield Compute(params.sock_state_cycles, tag="syscall")
     return got
 

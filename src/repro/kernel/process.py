@@ -24,6 +24,7 @@ class OSProcess:
         OSProcess._next_pid[0] += 1
         self.name = name or ("os-proc-%d" % self.pid)
         self.sim_proc = None  # set by spawn()
+        self.exited = False
 
     @property
     def cache_key(self):
@@ -39,6 +40,41 @@ class OSProcess:
         if self.client is not None:
             self.client.process = self.sim_proc
         return self.sim_proc
+
+    # --------------------------------------------------------- exit / kill
+
+    def exit(self):
+        """Clean process exit: reap in-flight copies, tear down the aspace.
+
+        The lifecycle order matters: the copier reaps (and unpins) every
+        in-flight task *first*, then the address space is torn down — any
+        page still pinned at teardown (a DMA batch racing the exit) parks
+        on the lazy-teardown list and is reclaimed when its last pin
+        drops, so the aspace is truly gone only after pins reach zero.
+        Returns the number of tasks reaped.
+        """
+        if self.exited:
+            return 0
+        self.exited = True
+        reaped = 0
+        if self.client is not None and self.system.copier is not None:
+            reaped = self.system.copier.reap_client(self.client)
+        self.aspace.teardown()
+        if self in self.system.processes:
+            self.system.processes.remove(self)
+        return reaped
+
+    def kill(self, exc=None):
+        """Forceful kill: stop the simulated process, then exit-reap.
+
+        The generator is interrupted at its next resumption; the copier
+        reap happens immediately — exactly the IDXD cancel-on-exit
+        ordering, where the driver quiesces descriptors before the mm
+        goes away.  Returns the number of tasks reaped.
+        """
+        if self.sim_proc is not None and self.sim_proc.is_alive:
+            self.sim_proc.kill(exc)
+        return self.exit()
 
     # ------------------------------------------------------ syscall costs
 

@@ -46,6 +46,26 @@ class System:
         self.processes.append(proc)
         return proc
 
+    def exit_process(self, proc):
+        """Cleanly exit ``proc`` (see :meth:`OSProcess.exit`)."""
+        return proc.exit()
+
+    def kill_process(self, proc, exc=None):
+        """Kill ``proc`` and reap its in-flight copies (chaos harness,
+        OOM-killer-style teardown)."""
+        return proc.kill(exc)
+
+    def leaked_pins(self):
+        """Outstanding pins across the kernel and every process aspace
+        (live and departed), deduplicated by asid."""
+        seen = {self.kernel_as.asid: self.kernel_as}
+        for proc in self.processes:
+            seen[proc.aspace.asid] = proc.aspace
+        if self.copier is not None:
+            for aspace in self.copier._all_aspaces():
+                seen[aspace.asid] = aspace
+        return sum(a.pins_outstanding() for a in seen.values())
+
     # ------------------------------------------------------- timing helpers
 
     def app_compute(self, proc, cycles, tag="app", instructions=None):

@@ -19,6 +19,11 @@ from repro.mem.faults import (
     ProtectionFault,
     SegmentationFault,
 )
+from repro.mem.errors import (
+    MemoryLifecycleError,
+    PinnedPageError,
+    UnpinMismatchError,
+)
 from repro.mem.addrspace import AddressSpace
 from repro.mem.vma import VMA
 from repro.mem.shm import SharedSegment
@@ -33,4 +38,7 @@ __all__ = [
     "NotPresentFault",
     "ProtectionFault",
     "SegmentationFault",
+    "MemoryLifecycleError",
+    "PinnedPageError",
+    "UnpinMismatchError",
 ]

@@ -1,10 +1,15 @@
 """Per-process address spaces: page tables, demand paging, CoW, pinning."""
 
 import os
+from collections import deque
 
+from repro.mem.errors import UnpinMismatchError
 from repro.mem.faults import NotPresentFault, ProtectionFault, SegmentationFault
 from repro.mem.phys import PAGE_SIZE
 from repro.mem.vma import VMA
+
+#: How many recently-unmapped ranges to remember for :meth:`was_unmapped`.
+_UNMAP_LOG_LIMIT = 64
 
 _DEFAULT_MMAP_BASE = 0x1000_0000
 
@@ -77,6 +82,13 @@ class AddressSpace:
         self._invalidation_hooks = []
         self._fastpath = not slowpath_enabled()
         self._run_cache = {}  # vpn -> (frame, writable); the software TLB
+        # Lazy teardown: pinned pages survive their VMA as (vpn, pte)
+        # entries here; the last unpin frees the frame (§4.3 lifecycle).
+        self._lazy_teardown = []
+        self.deferred_unmaps = 0     # pages deferred by munmap-while-pinned
+        self.deferred_reclaimed = 0  # deferred pages whose last pin dropped
+        self.pinned_fork_copies = 0  # pinned pages eagerly copied at fork
+        self._unmap_log = deque(maxlen=_UNMAP_LOG_LIMIT)  # (start, end) ranges
 
     # ------------------------------------------------------------------ VMAs
 
@@ -126,6 +138,14 @@ class AddressSpace:
         return base
 
     def munmap(self, va, length):
+        """Unmap [va, va+length); pinned pages are *deferred*, not an error.
+
+        A pinned page (an async copy holds it — §4.3) moves to the
+        lazy-teardown list: the translation disappears immediately (new
+        accesses fault), but the frame stays alive until the last pin
+        drops, at which point :meth:`unpin` reclaims it.  This is the
+        FOLL_PIN / io_uring answer to munmap racing an in-flight DMA.
+        """
         vma = self.find_vma(va)
         if vma is None or not vma.covers(va, length):
             raise SegmentationFault(va, "munmap outside VMA")
@@ -133,12 +153,47 @@ class AddressSpace:
             pte = self.page_table.get(vpn)
             if pte is not None:
                 if pte.pin_count:
-                    raise RuntimeError("munmap of pinned page vpn=%d" % vpn)
-                self.phys.free_frame(pte.frame)
+                    self._lazy_teardown.append((vpn, pte))
+                    self.deferred_unmaps += 1
+                else:
+                    self.phys.free_frame(pte.frame)
                 del self.page_table[vpn]
                 self._invalidate(vpn)
+        self._unmap_log.append((va, va + pages_needed(length) * PAGE_SIZE))
         if vma.start == va and vma.end == va + pages_needed(length) * PAGE_SIZE:
             self.vmas.remove(vma)
+
+    def was_unmapped(self, va, length):
+        """True if [va, va+length) overlaps a recently-unmapped range.
+
+        Lets the copy path distinguish an EFAULT-style lifecycle race
+        (buffer unmapped under an in-flight task) from a never-mapped
+        address (a bug, handled as SIGSEGV).  The log is bounded, so a
+        very old unmap can be forgotten — the consequence is the harsher
+        verdict, never a false EFAULT.
+        """
+        end = va + length
+        for start, stop in self._unmap_log:
+            if va < stop and start < end:
+                return True
+        return False
+
+    def teardown(self):
+        """Unmap every VMA (process exit).  Pinned pages defer as usual;
+        returns the number of pages parked on the lazy-teardown list."""
+        before = self.deferred_unmaps
+        for vma in list(self.vmas):
+            self.munmap(vma.start, vma.end - vma.start)
+        return self.deferred_unmaps - before
+
+    def pins_outstanding(self):
+        """Total pin count across live and lazily-torn-down pages."""
+        total = 0
+        for pte in self.page_table.values():
+            total += pte.pin_count
+        for _vpn, pte in self._lazy_teardown:
+            total += pte.pin_count
+        return total
 
     def find_vma(self, va):
         for vma in self.vmas:
@@ -456,8 +511,22 @@ class AddressSpace:
         for vpn in range(va // PAGE_SIZE, pages_end(va, length)):
             pte = page_table.get(vpn)
             if pte is None or pte.pin_count == 0:
-                raise RuntimeError("unpin of unpinned page vpn=%d" % vpn)
+                if self._unpin_deferred(vpn):
+                    continue
+                raise UnpinMismatchError(vpn)
             pte.pin_count -= 1
+
+    def _unpin_deferred(self, vpn):
+        """Drop one pin on a lazily-torn-down page; free on the last one."""
+        for i, (t_vpn, pte) in enumerate(self._lazy_teardown):
+            if t_vpn == vpn and pte.pin_count > 0:
+                pte.pin_count -= 1
+                if pte.pin_count == 0:
+                    self.phys.free_frame(pte.frame)
+                    del self._lazy_teardown[i]
+                    self.deferred_reclaimed += 1
+                return True
+        return False
 
     def fork(self, name=""):
         """Create a child address space sharing pages copy-on-write."""
@@ -479,6 +548,17 @@ class AddressSpace:
             if vma is not None and vma.shared_segment is not None:
                 self.phys.share_frame(pte.frame)
                 child.page_table[vpn] = PTE(pte.frame, pte.writable)
+                continue
+            if pte.pin_count:
+                # FOLL_PIN semantics: a pinned page is never CoW-shared.
+                # The child gets an eager copy (a consistent snapshot at
+                # fork time) and the parent's frame stays writable in
+                # place, so the in-flight DMA it is pinned for keeps
+                # landing in the frame the pin promised.
+                new_frame = self.phys.alloc_frame()
+                self.phys.copy_frame(pte.frame, new_frame)
+                child.page_table[vpn] = PTE(new_frame, pte.writable)
+                self.pinned_fork_copies += 1
                 continue
             self.phys.share_frame(pte.frame)
             child.page_table[vpn] = PTE(pte.frame, writable=False, cow=True)

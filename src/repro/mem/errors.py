@@ -1,0 +1,32 @@
+"""Typed lifecycle errors for the memory layer.
+
+Both subclass :class:`RuntimeError` so historic callers (and tests) that
+caught the bare ``RuntimeError`` keep working, while lifecycle-aware
+callers — the exit reaper, the chaos harness — can distinguish a
+teardown race from a genuine bug.
+"""
+
+
+class MemoryLifecycleError(RuntimeError):
+    """Base class for pin/unmap lifecycle violations."""
+
+
+class PinnedPageError(MemoryLifecycleError):
+    """An operation hit a page that is pinned by an in-flight copy.
+
+    Raised only for operations that cannot be deferred (e.g. freeing a
+    frame out from under a pin); plain ``munmap`` of a pinned page no
+    longer raises — the page moves to the lazy-teardown list instead.
+    """
+
+    def __init__(self, vpn, message="operation on pinned page"):
+        self.vpn = vpn
+        super().__init__("%s vpn=%d" % (message, vpn))
+
+
+class UnpinMismatchError(MemoryLifecycleError):
+    """``unpin`` of a page that is not pinned — a bookkeeping bug."""
+
+    def __init__(self, vpn):
+        self.vpn = vpn
+        super().__init__("unpin of unpinned page vpn=%d" % vpn)

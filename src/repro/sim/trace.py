@@ -30,11 +30,17 @@ event               emitted when
 ``watchdog-starved`` a client's oldest outstanding task aged past the
                     starvation threshold
 ``watchdog-quarantine`` backlog piling up behind a quarantined DMA engine
+``process-reaped``  a process exited (or was killed) and the lifecycle
+                    layer reaped its client's in-flight tasks
+``service-drained`` the service finished (or timed out) a
+                    ``shutdown(deadline=...)`` drain
 ==================  ========================================================
 
 ``task-finished`` additionally carries ``"cancelled"`` and
 ``"deadline-miss"`` outcomes for tasks retired by the overload-protection
-layer rather than by normal completion.
+layer, plus the lifecycle layer's ``"efault"`` (source/dest unmapped
+mid-flight), ``"exit-reap"`` (owning process exited) and ``"drain-reap"``
+(force-retired at the shutdown deadline) outcomes.
 
 The bus itself is policy-free: ``subscribe`` a callable, every event is
 delivered synchronously in emission order.  :class:`StageAggregator` is the
@@ -202,6 +208,32 @@ class WatchdogQuarantine(TraceEvent):
         self.backlog_tasks = backlog_tasks
 
 
+class ProcessReaped(TraceEvent):
+    """A process exited/was killed; its in-flight copies were reaped."""
+
+    kind = "process-reaped"
+    __slots__ = ("client_name", "tasks_reaped")
+
+    def __init__(self, ts, client_name, tasks_reaped):
+        super().__init__(ts)
+        self.client_name = client_name
+        self.tasks_reaped = tasks_reaped
+
+
+class ServiceDrained(TraceEvent):
+    """``CopierService.shutdown`` finished (or timed out) its drain."""
+
+    kind = "service-drained"
+    __slots__ = ("drained", "requeued", "force_reaped", "cycles")
+
+    def __init__(self, ts, drained, requeued, force_reaped, cycles):
+        super().__init__(ts)
+        self.drained = drained          # True when the backlog hit zero
+        self.requeued = requeued        # unfinished tasks at drain entry
+        self.force_reaped = force_reaped  # stragglers reaped at deadline
+        self.cycles = cycles
+
+
 class EngineFallback(TraceEvent):
     """DMA-assigned work re-routed to a CPU engine (graceful degradation)."""
 
@@ -335,6 +367,8 @@ class StageAggregator:
         self.shed_bytes = 0
         self.admission_rejects = 0
         self.watchdog_alerts = {}
+        self.processes_reaped = 0
+        self.drains = 0
         self.events_seen = 0
         self._submitted = {}
         self._ingested = {}
@@ -355,6 +389,8 @@ class StageAggregator:
             WatchdogStall: self._on_watchdog,
             WatchdogStarvation: self._on_watchdog,
             WatchdogQuarantine: self._on_watchdog,
+            ProcessReaped: self._on_process_reaped,
+            ServiceDrained: self._on_drained,
         }
         if bus is not None:
             bus.subscribe(self)
@@ -427,6 +463,12 @@ class StageAggregator:
         kind = event.kind
         self.watchdog_alerts[kind] = self.watchdog_alerts.get(kind, 0) + 1
 
+    def _on_process_reaped(self, event):
+        self.processes_reaped += 1
+
+    def _on_drained(self, event):
+        self.drains += 1
+
     # -------------------------------------------------------------- export
 
     def as_dict(self):
@@ -446,6 +488,8 @@ class StageAggregator:
             "shed_bytes": self.shed_bytes,
             "admission_rejects": self.admission_rejects,
             "watchdog_alerts": dict(self.watchdog_alerts),
+            "processes_reaped": self.processes_reaped,
+            "drains": self.drains,
             "in_flight": len(self._submitted),
             "events": self.events_seen,
         }

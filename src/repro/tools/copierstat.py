@@ -59,6 +59,8 @@ def render(snap):
         out(line)
     for line in render_faults(snap.get("faults")):
         out(line)
+    for line in render_lifecycle(snap.get("lifecycle")):
+        out(line)
     for line in render_stages(snap.get("stages")):
         out(line)
     for name, group in sorted(snap["cgroups"].items()):
@@ -135,6 +137,41 @@ def render_overload(overload):
                          wd.get("checks", 0), wd.get("stall_alerts", 0),
                          wd.get("starvation_alerts", 0),
                          wd.get("quarantine_alerts", 0), starved))
+    return lines
+
+
+def render_lifecycle(lifecycle):
+    """Render the lifecycle/teardown section as report lines.
+
+    ``lifecycle`` is the ``"lifecycle"`` entry of a snapshot; returns
+    ``[]`` when absent (old snapshots) or when no lifecycle event ever
+    fired, so steady-state reports stay byte-identical.
+    """
+    if not lifecycle:
+        return []
+    interesting = (lifecycle.get("exit_reaped", 0)
+                   or lifecycle.get("efault_tasks", 0)
+                   or lifecycle.get("deferred_unmaps", 0)
+                   or lifecycle.get("processes_reaped", 0)
+                   or lifecycle.get("drains", 0)
+                   or lifecycle.get("pins_outstanding", 0)
+                   or lifecycle.get("draining", False))
+    if not interesting:
+        return []
+    lines = ["  lifecycle: %d procs reaped (%d tasks), %d efault tasks%s" % (
+        lifecycle.get("processes_reaped", 0),
+        lifecycle.get("exit_reaped", 0),
+        lifecycle.get("efault_tasks", 0),
+        ", DRAINING" if lifecycle.get("draining") else "")]
+    lines.append("    unmaps: %d deferred / %d reclaimed, "
+                 "%d pins outstanding" % (
+                     lifecycle.get("deferred_unmaps", 0),
+                     lifecycle.get("deferred_reclaimed", 0),
+                     lifecycle.get("pins_outstanding", 0)))
+    if lifecycle.get("drains", 0):
+        lines.append("    drains: %d (requeued %d)" % (
+            lifecycle.get("drains", 0),
+            lifecycle.get("drain_requeued", 0)))
     return lines
 
 

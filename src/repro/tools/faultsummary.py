@@ -109,9 +109,13 @@ def check(service, aspace, bases, ops):
     for i, base in enumerate(bases):
         if aspace.read(base, BUF_BYTES) != expected[i]:
             failures.append("buffer %d diverged from the sync reference" % i)
-    leaked = sum(pte.pin_count for pte in aspace.page_table.values())
+    leaked = aspace.pins_outstanding()
     if leaked:
         failures.append("%d page pins leaked" % leaked)
+    lifecycle = service.stats_snapshot()["lifecycle"]
+    if lifecycle["pins_outstanding"]:
+        failures.append("%d pins outstanding service-wide"
+                        % lifecycle["pins_outstanding"])
     return failures
 
 
@@ -135,6 +139,12 @@ def main(argv=None):
     print("faultsummary: %d ops under plan=%s seed=%d admission=%s" % (
         len(ops), args.plan, args.seed, service.admission.policy.name))
     print(copierstat.report(service))
+    lifecycle = service.stats_snapshot()["lifecycle"]
+    print("lifecycle: exit_reaped=%d efault_tasks=%d deferred_unmaps=%d "
+          "drain_requeued=%d pins_outstanding=%d" % (
+              lifecycle["exit_reaped"], lifecycle["efault_tasks"],
+              lifecycle["deferred_unmaps"], lifecycle["drain_requeued"],
+              lifecycle["pins_outstanding"]))
     failures = check(service, aspace, bases, ops)
     for failure in failures:
         print("FAIL: %s" % failure)

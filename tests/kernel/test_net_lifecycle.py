@@ -1,0 +1,141 @@
+"""Network teardown: zerocopy completions racing process exit, socket
+close releasing in-flight skbs, and kill-mid-transfer leak freedom."""
+
+from repro.kernel import System, socket_pair
+from repro.kernel.net import recv, send, zerocopy_reap
+from repro.mem.phys import PAGE_SIZE
+
+
+def _mk(copier=True):
+    return System(n_cores=3, copier=copier, phys_frames=16384)
+
+
+def test_zerocopy_send_survives_sender_exit():
+    """MSG_ZEROCOPY pins the pages; an exit before TX-drain must neither
+    crash the NIC-side snapshot nor leak the pinned frames."""
+    system = _mk()
+    s_tx, s_rx = socket_pair(system)
+    sender = system.create_process("sender")
+    receiver = system.create_process("receiver")
+    nbytes = PAGE_SIZE * 4
+    payload = bytes([i % 251 for i in range(nbytes)])
+    tx_buf = sender.mmap(nbytes, populate=True)
+    rx_buf = receiver.mmap(nbytes, populate=True)
+    sender.write(tx_buf, payload)
+    baseline = system.phys.frames_in_use - 2 * (nbytes // PAGE_SIZE)
+
+    def tx():
+        completion = yield from send(system, sender, s_tx, tx_buf, nbytes,
+                                     mode="zerocopy")
+        return completion
+
+    tp = sender.spawn(tx(), affinity=0)
+    system.env.run_until(tp.terminated, limit=200_000_000)
+    completion = tp.result
+    # The sender dies before the TX ring drains: its pinned pages park on
+    # the lazy-teardown list instead of vanishing under the NIC.
+    assert not completion.triggered
+    system.exit_process(sender)
+    assert sender.aspace.pins_outstanding() > 0
+
+    def reap():
+        yield from zerocopy_reap(system, sender, completion)
+
+    def rx():
+        got = yield from recv(system, receiver, s_rx, rx_buf, nbytes,
+                              mode="sync")
+        return receiver.read(rx_buf, got)
+
+    reaper = system.env.spawn(reap(), name="reaper", affinity=0)
+    rp = receiver.spawn(rx(), affinity=1)
+    system.env.run_until(reaper.terminated, limit=200_000_000)
+    system.env.run_until(rp.terminated, limit=200_000_000)
+    # The NIC snapshot went through the pinned frames, so the wire data
+    # survived the exit byte-for-byte.
+    assert rp.result == payload
+    assert sender.aspace.pins_outstanding() == 0
+    s_tx.close()
+    s_rx.close()
+    system.exit_process(receiver)
+    assert system.leaked_pins() == 0
+    assert system.phys.frames_in_use == baseline
+
+
+def test_socket_close_releases_undelivered_skbs():
+    system = _mk()
+    s_tx, s_rx = socket_pair(system)
+    sender = system.create_process("sender")
+    nbytes = 8192
+    tx_buf = sender.mmap(nbytes, populate=True)
+    baseline = system.phys.frames_in_use
+
+    def tx():
+        for _ in range(3):
+            yield from send(system, sender, s_tx, tx_buf, nbytes,
+                            mode="sync")
+
+    tp = sender.spawn(tx(), affinity=0)
+    system.env.run_until(tp.terminated, limit=200_000_000)
+    system.env.run(until=system.env.now + 10_000_000)  # let skbs arrive
+    assert len(s_rx.rx) == 3
+    # Nobody ever recvs: closing the receiver must free the queued skbs.
+    s_rx.close()
+    s_tx.close()
+    system.exit_process(sender)
+    assert system.phys.frames_in_use == baseline - nbytes // PAGE_SIZE
+    assert system.leaked_pins() == 0
+
+
+def test_deliver_to_closed_socket_frees_on_arrival():
+    system = _mk()
+    s_tx, s_rx = socket_pair(system)
+    sender = system.create_process("sender")
+    nbytes = 4096
+    tx_buf = sender.mmap(nbytes, populate=True)
+
+    def tx():
+        yield from send(system, sender, s_tx, tx_buf, nbytes, mode="sync")
+
+    tp = sender.spawn(tx(), affinity=0)
+    system.env.run_until(tp.terminated, limit=200_000_000)
+    # The skb is on the wire; the receiver closes before it lands.
+    s_rx.close()
+    frames_with_skb = system.phys.frames_in_use
+    system.env.run(until=system.env.now + 10_000_000)
+    assert system.phys.frames_in_use == frames_with_skb - 1
+    assert not s_rx.rx
+
+
+def test_kill_mid_copier_recv_leaks_nothing():
+    """Kill the process between recv() submission and its csync: the
+    exit reap cancels the skb→user copy and socket close reclaims the
+    buffer, with no double-free from the KFUNC."""
+    system = _mk()
+    s_tx, s_rx = socket_pair(system)
+    proc = system.create_process("loopback")
+    nbytes = 32 * 1024
+    tx_buf = proc.mmap(nbytes, populate=True)
+    rx_buf = proc.mmap(nbytes, populate=True)
+    proc.write(tx_buf, bytes([7]) * nbytes)
+    baseline = system.phys.frames_in_use
+
+    marks = {}
+
+    def app():
+        yield from send(system, proc, s_tx, tx_buf, nbytes, mode="copier")
+        yield from recv(system, proc, s_rx, rx_buf, nbytes, mode="copier")
+        marks["recv_done"] = True
+        # Park forever with the skb→user copy possibly still in flight.
+        while True:
+            yield from proc.client.csync(rx_buf, nbytes)
+            yield from proc.client.amemcpy(tx_buf, rx_buf, nbytes)
+
+    proc.spawn(app(), affinity=0)
+    system.env.run(until=system.env.now + 2_000_000)
+    assert marks.get("recv_done")
+    system.kill_process(proc)
+    s_tx.close()
+    s_rx.close()
+    system.env.run(until=system.env.now + 10_000_000)
+    assert system.leaked_pins() == 0
+    assert system.phys.frames_in_use <= baseline

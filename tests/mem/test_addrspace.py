@@ -156,13 +156,58 @@ def test_shared_segment_cross_process_visibility(phys):
 # --------------------------------------------------------------------- pinning
 
 
-def test_pin_maps_and_blocks_munmap(aspace):
+def test_pin_defers_munmap_until_last_unpin(aspace, phys):
     va = aspace.mmap(PAGE_SIZE * 2)
     aspace.pin(va, PAGE_SIZE * 2)
-    with pytest.raises(RuntimeError):
-        aspace.munmap(va, PAGE_SIZE * 2)
-    aspace.unpin(va, PAGE_SIZE * 2)
+    frames_pinned = phys.frames_in_use
+    # munmap of a pinned range defers: translation gone, frames alive.
     aspace.munmap(va, PAGE_SIZE * 2)
+    assert aspace.deferred_unmaps == 2
+    assert phys.frames_in_use == frames_pinned
+    with pytest.raises(SegmentationFault):
+        aspace.translate(va)
+    assert aspace.was_unmapped(va, PAGE_SIZE * 2)
+    # The last unpin reclaims the deferred frames.
+    aspace.unpin(va, PAGE_SIZE * 2)
+    assert aspace.deferred_reclaimed == 2
+    assert phys.frames_in_use == frames_pinned - 2
+    assert aspace.pins_outstanding() == 0
+
+
+def test_fork_with_pinned_pages_copies_eagerly(aspace, phys):
+    va = aspace.mmap(PAGE_SIZE * 2, populate=True)
+    aspace.write(va, b"dma-target")
+    aspace.pin(va, PAGE_SIZE * 2)
+    parent_frame, _ = aspace.translate(va)
+    frames_before = phys.frames_in_use
+    child = aspace.fork()
+    # FOLL_PIN semantics: the pinned pages were copied for the child at
+    # fork time, not CoW-shared.
+    assert aspace.pinned_fork_copies == 2
+    assert phys.frames_in_use == frames_before + 2
+    assert child.read(va, 10) == b"dma-target"
+    assert child.translate(va)[0] != parent_frame
+    # The parent's mapping is untouched: still writable, same frame — an
+    # in-flight DMA keeps landing where the pin promised, and the child
+    # never sees those late writes.
+    frame_now, offset = aspace.translate(va, write=True)
+    assert frame_now == parent_frame
+    phys.write(parent_frame, offset, b"late-dma!!")
+    assert aspace.read(va, 10) == b"late-dma!!"
+    assert child.read(va, 10) == b"dma-target"
+    aspace.unpin(va, PAGE_SIZE * 2)
+    assert aspace.pins_outstanding() == 0
+
+
+def test_fork_pinned_child_unpinned(aspace):
+    va = aspace.mmap(PAGE_SIZE, populate=True)
+    aspace.pin(va, PAGE_SIZE)
+    child = aspace.fork()
+    # The pin belongs to the parent's in-flight copy, not the child.
+    assert child.pins_outstanding() == 0
+    with pytest.raises(RuntimeError):
+        child.unpin(va, PAGE_SIZE)
+    aspace.unpin(va, PAGE_SIZE)
 
 
 def test_unpin_unpinned_rejected(aspace):

@@ -112,3 +112,23 @@ def test_snapshot_shows_queue_backlog():
     snap = snapshot(setup.service)
     assert snap["clients"]["app"]["queues"]["u_copy"] == 4
     assert "uC=4" in report(setup.service)
+
+
+def test_render_lifecycle_section():
+    from repro.tools.copierstat import render_lifecycle
+
+    # Absent or all-quiet sections render nothing (old snapshots intact).
+    assert render_lifecycle(None) == []
+    assert render_lifecycle({"exit_reaped": 0, "efault_tasks": 0,
+                             "deferred_unmaps": 0, "processes_reaped": 0,
+                             "drains": 0, "pins_outstanding": 0,
+                             "draining": False}) == []
+
+    setup = Setup()
+    _run_some_work(setup)
+    setup.service.reap_client(setup.client)
+    text = report(setup.service)
+    assert "lifecycle: 1 procs reaped" in text
+    snap = snapshot(setup.service)
+    assert snap["lifecycle"]["processes_reaped"] == 1
+    assert snap["lifecycle"]["pins_outstanding"] == 0
