@@ -16,6 +16,7 @@ Protocol: requests are ``op(1) nkeys(1) key_ids(nkeys)``; SETs append
 
 from repro.api import LibCopier
 from repro.kernel.net import recv, send, socket_pair
+from repro.sim import DEFAULT_RUN_LIMIT
 
 OP_SET = 1
 OP_MGET = 2
@@ -122,7 +123,7 @@ class MemcachedServer:
 
 
 def run_memcached(system, mode, value_len, n_keys, n_requests,
-                  n_workers=2, limit=500_000_000_000):
+                  n_workers=2, limit=DEFAULT_RUN_LIMIT):
     """Workers serve closed-loop clients doing multi-gets.
 
     Returns (server, mean latency, elapsed).

@@ -21,6 +21,7 @@ paper's Binder/Parcel argument).
 from repro.api import LibCopier
 from repro.apps.protobuf import deserialize_bytes, serialize
 from repro.kernel.net import recv, send, socket_pair
+from repro.sim import DEFAULT_RUN_LIMIT
 
 HEADER = 16  # method id (4) + request id (4) + payload length (8)
 DISPATCH_CYCLES = 400
@@ -143,7 +144,7 @@ class RpcChannel:
 
 
 def run_rpc_benchmark(system, mode, payload_bytes, n_requests,
-                      n_connections=2, limit=500_000_000_000):
+                      n_connections=2, limit=DEFAULT_RUN_LIMIT):
     """n_connections client/worker pairs against one RpcServer.
 
     Returns (server, mean latency, elapsed cycles).

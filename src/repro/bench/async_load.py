@@ -1,0 +1,186 @@
+"""Closed-loop async load over the socket serving frontend.
+
+Spawns N real asyncio client coroutines, each holding its own localhost
+TCP connection to a :class:`~repro.serve.frontends.RedisSocketServer`,
+and drives a closed-loop SET+GET script whose payloads round-trip
+through simulated Copier tasks.  Every GET reply is verified
+byte-for-byte against the value the client SET, so a passing run proves
+the whole stack moved real data: socket → sim input buffer → amemcpy →
+store → amemcpy → sim output buffer → socket.
+
+The result records both time domains:
+
+* ``wall_s`` — host seconds for the full run (connect to teardown);
+* ``sim_cycles`` / ``events`` / ``sim_bytes`` — simulated counters,
+  run-to-run deterministic under the default ``gate`` pacing policy
+  (the perf-baseline suite asserts exactly that).
+
+The run finishes with the leak audit the CI smoke gates on: zero parked
+coroutines, zero leaked pins, and a clean ``CopierService.shutdown()``.
+
+CLI: ``python -m repro.bench.async_load --clients 200 --requests 2``
+(exit 1 on verification failures or leaks).
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.apps.common import encode_get, encode_set
+from repro.serve import RedisSocketServer, SimDriver, encode_hello
+
+_PAGE = 4096
+
+
+def _value(cid, r, value_len):
+    return bytes([(cid * 31 + r * 7) % 255 + 1]) * value_len
+
+
+async def _client(port, cid, n_requests, value_len, errors):
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    except OSError as exc:
+        errors.append("client %d: connect failed: %s" % (cid, exc))
+        return
+    try:
+        writer.write(encode_hello(cid))
+        key = b"k%06d" % cid
+        for r in range(n_requests):
+            val = _value(cid, r, value_len)
+            writer.write(encode_set(key, value_len) + val)
+            await writer.drain()
+            status = await reader.readexactly(1)
+            length = int.from_bytes(await reader.readexactly(8), "little")
+            if status != b"+" or length != 0:
+                errors.append("client %d req %d: SET status %r" %
+                              (cid, r, status))
+                return
+            writer.write(encode_get(key))
+            await writer.drain()
+            status = await reader.readexactly(1)
+            length = int.from_bytes(await reader.readexactly(8), "little")
+            data = await reader.readexactly(length) if length else b""
+            if status != b"+" or data != val:
+                errors.append("client %d req %d: GET mismatch (%r, %d bytes)"
+                              % (cid, r, status, length))
+                return
+    except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+        errors.append("client %d: connection error: %r" % (cid, exc))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run(n_clients, n_requests, value_len, pacing):
+    from repro.kernel.system import System
+
+    conn_buf = max(_PAGE, (value_len + _PAGE - 1) & ~(_PAGE - 1))
+    # in + out are populated up front, the store faults on first touch;
+    # size physical memory so 1000+ connections cannot run out of frames.
+    frames = n_clients * 3 * (conn_buf // _PAGE) + 16384
+    system = System(n_cores=4, phys_frames=max(65536, frames))
+    driver = SimDriver(system=system, pacing=pacing,
+                       expected_sessions=n_clients)
+    server = RedisSocketServer(system, driver, max_conns=n_clients,
+                               conn_buf_bytes=conn_buf,
+                               store_bytes=conn_buf)
+    errors = []
+    t0 = time.perf_counter()
+    async with driver:
+        port = await server.start()
+        await asyncio.gather(*[
+            _client(port, cid, n_requests, value_len, errors)
+            for cid in range(n_clients)])
+        await server.stop()
+    wall = time.perf_counter() - t0
+    parked = driver.parked_ops
+    leaked = system.leaked_pins()
+    shutdown = system.copier.shutdown()  # asserts zero pins itself
+    result = {
+        "app": "redis-sock",
+        "pacing": driver.pacing.name,
+        "clients": n_clients,
+        "requests_per_client": n_requests,
+        "value_bytes": value_len,
+        "requests_served": server.requests_served,
+        "errors": errors,
+        "wall_s": wall,
+        "sim_cycles": system.env.now,
+        "events": system.env.events_executed,
+        "sim_bytes": server.proc.client.stats.bytes_copied,
+        "parked": parked,
+        "leaked_pins": leaked,
+        "shutdown_drained": shutdown["drained"],
+        "shutdown_force_reaped": shutdown["force_reaped"],
+        "serve": driver.snapshot(),
+    }
+    return result
+
+
+def run_async_load(n_clients=200, n_requests=2, value_len=4096,
+                   pacing="gate"):
+    """Run the async load end to end; returns the result dict.
+
+    Raises ``RuntimeError`` on any data-verification failure, leaked
+    pin, or coroutine left parked after the run.
+    """
+    result = asyncio.run(_run(n_clients, n_requests, value_len, pacing))
+    expected = n_clients * n_requests * 2
+    if result["errors"]:
+        raise RuntimeError("async load verification failed: %s"
+                           % "; ".join(result["errors"][:5]))
+    if result["requests_served"] != expected:
+        raise RuntimeError("served %d of %d requests"
+                           % (result["requests_served"], expected))
+    if result["parked"]:
+        raise RuntimeError("%d coroutines still parked after the run"
+                           % result["parked"])
+    if result["leaked_pins"]:
+        raise RuntimeError("%d leaked pins after the run"
+                           % result["leaked_pins"])
+    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Closed-loop async load over the socket frontend.")
+    parser.add_argument("--clients", type=int, default=200)
+    parser.add_argument("--requests", type=int, default=2,
+                        help="SET+GET pairs per client")
+    parser.add_argument("--value-bytes", type=int, default=4096)
+    parser.add_argument("--pacing", default="gate",
+                        help="free | ratio[:cycles_per_s] | gate")
+    parser.add_argument("--json", default=None,
+                        help="write the result dict here")
+    args = parser.parse_args(argv)
+    try:
+        result = run_async_load(n_clients=args.clients,
+                                n_requests=args.requests,
+                                value_len=args.value_bytes,
+                                pacing=args.pacing)
+    except RuntimeError as exc:
+        print("FAIL: %s" % exc, file=sys.stderr)
+        return 1
+    print("async_load: %d clients x %d reqs (%d B values, %s pacing)"
+          % (result["clients"], result["requests_per_client"],
+             result["value_bytes"], result["pacing"]))
+    print("  wall %.3f s | sim %d cycles, %d events, %d bytes copied"
+          % (result["wall_s"], result["sim_cycles"], result["events"],
+             result["sim_bytes"]))
+    print("  served %d requests | parked %d | leaked pins %d"
+          % (result["requests_served"], result["parked"],
+             result["leaked_pins"]))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,11 @@ Scenario suite (keep this list stable — CI diffs by scenario name):
   ``sync_copy``/``user_memcpy`` rather than the service);
 * ``redis_set_16k`` — a Fig. 11 Redis slice (SET, 16 KB values);
 * ``overload_burst_2x`` — the open-loop overload driver at 2x load with
-  the deadline-feasible admission valve.
+  the deadline-feasible admission valve;
+* ``async_redis_1k_gate`` — 1000 real asyncio client coroutines over
+  localhost sockets driving the serving frontend under the
+  deterministic ``gate`` pacing policy (``bench/async_load.py``); the
+  sim counters double as the lockstep-determinism oracle.
 """
 
 import argparse
@@ -80,6 +84,17 @@ def _scenario_overload(load):
     return run
 
 
+def _scenario_async_load(n_clients, n_requests, value_len):
+    from repro.bench.async_load import run_async_load
+
+    def run(recorder):
+        res = run_async_load(n_clients=n_clients, n_requests=n_requests,
+                             value_len=value_len, pacing="gate")
+        recorder["sim_bytes"] = res["sim_bytes"]
+        recorder["requests"] = res["requests_served"]
+    return run
+
+
 def scenario_suite():
     """Ordered (name, runner) pairs; names are the CI diff keys."""
     return [
@@ -88,6 +103,7 @@ def scenario_suite():
         ("raw_copy_sync_avx", _scenario_raw_copy("avx", 64 * 1024, 48)),
         ("redis_set_16k", _scenario_redis("SET", 16 * 1024)),
         ("overload_burst_2x", _scenario_overload(2.0)),
+        ("async_redis_1k_gate", _scenario_async_load(1000, 2, 4096)),
     ]
 
 

@@ -3,7 +3,7 @@
 from repro.copier.errors import AdmissionReject
 from repro.kernel import System
 from repro.kernel.net import recv, send, socket_pair
-from repro.sim import Timeout
+from repro.sim import DEFAULT_RUN_LIMIT, Timeout
 
 
 def raw_copy_throughput(mode, task_bytes, n_tasks, repetition=0.0,
@@ -51,7 +51,7 @@ def raw_copy_throughput(mode, task_bytes, n_tasks, repetition=0.0,
         return system.env.now - t0
 
     p = proc.spawn(gen(), affinity=0)
-    system.env.run_until(p.terminated, limit=500_000_000_000)
+    system.env.run_until(p.terminated, limit=DEFAULT_RUN_LIMIT)
     cycles = p.result
     return (n_tasks * task_bytes) / cycles if cycles else 0.0
 
@@ -126,7 +126,7 @@ def overload_burst(policy="always", load=1.0, n_tasks=160,
         yield from proc.client.csync_all()
 
     p = proc.spawn(gen(), affinity=0)
-    system.env.run_until(p.terminated, limit=500_000_000_000)
+    system.env.run_until(p.terminated, limit=DEFAULT_RUN_LIMIT)
     system.env.trace.unsubscribe(collect)
     snap = system.copier.stats_snapshot()
     return {
@@ -221,5 +221,5 @@ def syscall_latency(op, mode, nbytes, n_ops=12, batch=None, n_cores=3):
     else:
         pp = peer.spawn(peer_gen(), affinity=1)
         ap = actor.spawn(actor_gen(), affinity=0)
-    system.env.run_until(ap.terminated, limit=500_000_000_000)
+    system.env.run_until(ap.terminated, limit=DEFAULT_RUN_LIMIT)
     return ap.result

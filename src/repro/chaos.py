@@ -38,7 +38,7 @@ from repro.copier.errors import AdmissionReject, CopyAborted
 from repro.kernel.net import recv, send, socket_pair
 from repro.kernel.system import System
 from repro.mem.faults import MemoryFault
-from repro.sim import Compute
+from repro.sim import DEFAULT_RUN_LIMIT, Compute
 from repro.sim.process import ProcessKilled
 
 BUF_BYTES = 16 * 1024
@@ -429,7 +429,7 @@ def run_campaign(seed=0, n_events=60, n_ops=60, drain_deadline=50_000_000,
     for app in apps:
         try:
             system.env.run_until(app.proc.sim_proc.terminated,
-                                 limit=500_000_000_000)
+                                 limit=DEFAULT_RUN_LIMIT)
         except ProcessKilled:
             pass  # a chaos kill: the teardown already ran via OSProcess.kill
 

@@ -107,19 +107,22 @@ class CopierClient:
     # ------------------------------------------------------------ submission
 
     def amemcpy(self, dst_va, src_va, nbytes, handler=None, segment_bytes=None,
-                lazy=False, descriptor=None, deadline=None):
+                lazy=False, descriptor=None, deadline=None, on_retire=None):
         """u-mode async copy within this client's address space.
 
         Generator; returns the task's descriptor.  ``deadline`` is an
         absolute cycle count: past it the task is reaped unexecuted
-        (``deadline-miss``) rather than copied late.
+        (``deadline-miss``) rather than copied late.  ``on_retire`` is an
+        optional ``fn(task, outcome)`` hook fired exactly once when the
+        task retires, whatever the path (see :class:`CopyTask`).
         """
         src = Region(self.aspace, src_va, nbytes)
         dst = Region(self.aspace, dst_va, nbytes)
         return (yield from self.submit_copy("u", src, dst, handler=handler,
                                             segment_bytes=segment_bytes,
                                             lazy=lazy, descriptor=descriptor,
-                                            deadline=deadline))
+                                            deadline=deadline,
+                                            on_retire=on_retire))
 
     def k_amemcpy(self, src, dst, handler=None, segment_bytes=None,
                   lazy=False, descriptor=None, deadline=None):
@@ -131,7 +134,7 @@ class CopierClient:
 
     def submit_copy(self, queue_kind, src, dst, handler=None,
                     segment_bytes=None, lazy=False, descriptor=None,
-                    deadline=None):
+                    deadline=None, on_retire=None):
         params = self.service.params
         cost = params.queue_submit_cycles
         pooled = descriptor is None
@@ -146,6 +149,7 @@ class CopierClient:
         )
         task.submitted_at = self.env.now
         task.deadline = deadline
+        task.on_retire = on_retire
         if lazy:
             task.lazy_deadline = self.env.now + self.service.lazy_period_cycles
         admission = self.service.admission
@@ -248,6 +252,9 @@ class CopierClient:
         if trace.active:
             trace.emit(TaskShed(self.env.now, task.task_id, self.name,
                                 task.length, self.env.now - t0, reason))
+        hook, task.on_retire = task.on_retire, None
+        if hook is not None:
+            hook(task, "shed")
 
     # ---------------------------------------------------------- cancellation
 

@@ -214,7 +214,9 @@ class CompletionHandler:
     def _finalize(self, client, task, outcome):
         """Post-retirement bookkeeping shared by every path: release the
         pins, settle the outstanding-byte meter, count global progress
-        (the watchdog's liveness signal) and emit ``task-finished``."""
+        (the watchdog's liveness signal), emit ``task-finished`` and fire
+        the task's ``on_retire`` hook (exactly once — the async facade
+        parks coroutine futures on it)."""
         self.unpin(task)
         client.outstanding_bytes = max(0,
                                        client.outstanding_bytes - task.length)
@@ -223,3 +225,6 @@ class CompletionHandler:
         if trace.active:
             trace.emit(TaskFinished(self.service.env.now, task.task_id,
                                     client.name, outcome, task.length))
+        hook, task.on_retire = task.on_retire, None
+        if hook is not None:
+            hook(task, outcome)

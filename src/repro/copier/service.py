@@ -96,6 +96,9 @@ class CopierService:
         self.lazy_period_cycles = lazy_period_cycles
         self.autoscale = autoscale
         self.clients = []
+        # Set by repro.serve.SimDriver when an async driver owns the
+        # event loop; surfaces its stats under stats_snapshot()["serve"].
+        self.serve_driver = None
         self.lifecycle = LifecycleStats()
         self.draining = False
         self._shutdown_report = None
@@ -224,12 +227,16 @@ class CopierService:
         """Drain and stop the service; returns a report dict.
 
         Stops admission (submissions raise ``AdmissionReject("draining")``),
-        then drives the event loop until the backlog drains or ``deadline``
-        (relative cycles) passes — work parked behind a quarantined DMA
-        engine drains too, because rounds fall back to the AVX stream.
-        Stragglers at the deadline are force-reaped (``drain-reap``), the
-        workers are stopped, and zero leaked pins is asserted.  Call from
-        outside the event loop (a driver, not a simulated process).
+        then drives the event loop in bounded ``env.step`` slices until
+        the backlog drains or ``deadline`` (relative cycles) passes —
+        work parked behind a quarantined DMA engine drains too, because
+        rounds fall back to the AVX stream.  Stragglers at the deadline
+        are force-reaped (``drain-reap``), the workers are stopped, and
+        zero leaked pins is asserted.  Call from outside the event loop
+        (a driver, not a simulated process); the stepping API's
+        re-entrancy guard enforces that, and also means the drain can
+        never fight an async :class:`~repro.serve.driver.SimDriver` for
+        the run loop — stop the driver first, then drain.
         """
         if self._shutdown_report is not None:
             return self._shutdown_report
@@ -244,12 +251,11 @@ class CopierService:
             if limit is not None and env.now >= limit:
                 break
             self.awaken()
-            until = env.now + _DRAIN_STEP_CYCLES
-            if limit is not None and until > limit:
-                until = limit
-            before = env.events_executed
-            env.run(until=until)
-            if env.events_executed == before:
+            budget = _DRAIN_STEP_CYCLES
+            if limit is not None and env.now + budget > limit:
+                budget = limit - env.now
+            report = env.step(max_cycles=budget)
+            if report.executed == 0:
                 break  # nothing left to execute: wedged or already idle
         force_reaped = 0
         for client in list(self.clients):
@@ -384,6 +390,8 @@ class CopierService:
                 pins_outstanding=self.leaked_pins(),
             ),
         }
+        if self.serve_driver is not None:
+            snap["serve"] = self.serve_driver.snapshot()
         if self.dma is not None:
             snap["dma"] = {
                 "bytes_copied": self.dma.bytes_copied,

@@ -91,6 +91,7 @@ class CopyTask:
         "deadline",
         "cancelled",
         "error",
+        "on_retire",
     )
 
     def __init__(self, client, queue_kind, src, dst, descriptor,
@@ -123,6 +124,10 @@ class CopyTask:
         #: The typed error (e.g. :class:`~repro.copier.errors.TaskEFault`)
         #: that retired this task, delivered to csyncs over its range.
         self.error = None
+        #: Retirement hook ``fn(task, outcome)``, fired exactly once on
+        #: every retirement path (done/shed/efault/cancel/reap).  The
+        #: async serving facade parks coroutine futures on it.
+        self.on_retire = None
 
     @property
     def length(self):

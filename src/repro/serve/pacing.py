@@ -1,0 +1,105 @@
+"""Pacing policies: how the async driver maps wall time to sim time.
+
+The simulator's clock is purely virtual (:mod:`repro.sim.engine`); a
+:class:`~repro.serve.driver.SimDriver` owns the only mapping between the
+two time domains, and these policy objects configure it:
+
+* ``free`` — **free-running**: step the simulator as fast as the host
+  allows whenever events are pending; never burn virtual time while
+  idle.  Maximum throughput, no determinism guarantee: the sim-time
+  point at which a socket-driven submission lands depends on wall-clock
+  arrival order.
+
+* ``ratio`` — **wall-clock-ratio**: tie the virtual clock to the wall
+  clock at ``cycles_per_second`` simulated cycles per real second
+  (default one simulated 2.9 GHz core in real time; scale it down to
+  watch a scenario in slow motion, up for fast-forward).  The driver
+  stops stepping when the sim runs ahead of the wall target and sleeps
+  the shortfall.
+
+* ``gate`` — **deterministic lockstep gate**: submissions from
+  registered sessions are *staged*, not injected; the simulator only
+  advances when every live session is parked on a staged operation, and
+  each round injects the staged batch in sorted ``(session, seq)``
+  order, then steps until the batch retires.  Wall-clock arrival order
+  becomes irrelevant, so simulated counters are run-to-run
+  deterministic for closed-loop workloads — the property the
+  fixed-seed socket benchmarks are gated on.  Requires every session's
+  operation sequence to be deterministic, and external input (socket
+  reads) to be producible without sim progress (true for closed-loop
+  clients).
+
+Select with the ``pacing=`` argument or the ``COPIER_PACING``
+environment variable (``free`` / ``ratio`` / ``ratio:<cycles_per_s>`` /
+``gate``).
+"""
+
+import os
+
+#: One simulated 2.9 GHz core advancing in real time (the calibration
+#: frequency used throughout the benchmarks).
+DEFAULT_CYCLES_PER_SECOND = 2.9e9
+
+
+class PacingPolicy:
+    """Base: shared knobs for the driver's stepping loop."""
+
+    name = "base"
+    #: Deterministic policies stage session submissions and advance the
+    #: sim only at gate points; non-deterministic ones inject eagerly.
+    deterministic = False
+
+    def __repr__(self):
+        return "<%s pacing>" % self.name
+
+
+class FreeRunning(PacingPolicy):
+    """Step whenever events are pending, as fast as the host allows."""
+
+    name = "free"
+
+
+class WallClockRatio(PacingPolicy):
+    """Pace the virtual clock against the wall clock.
+
+    ``cycles_per_second`` is the target virtual-cycle rate.  The driver
+    advances the sim toward ``start + elapsed_wall * rate`` and sleeps
+    when ahead; an idle simulation still advances (virtual time passes
+    at the configured rate, firing timers), which is what makes this
+    mode behave like a real-time machine rather than a batch solver.
+    """
+
+    name = "ratio"
+
+    def __init__(self, cycles_per_second=DEFAULT_CYCLES_PER_SECOND):
+        if cycles_per_second <= 0:
+            raise ValueError("cycles_per_second must be positive")
+        self.cycles_per_second = float(cycles_per_second)
+
+
+class LockstepGate(PacingPolicy):
+    """Deterministic lockstep gate (see module docstring)."""
+
+    name = "gate"
+    deterministic = True
+
+
+def make_pacing(spec=None):
+    """Build a pacing policy from a spec string or pass one through.
+
+    ``None`` consults ``COPIER_PACING`` and falls back to ``free``.
+    """
+    if isinstance(spec, PacingPolicy):
+        return spec
+    if spec is None:
+        spec = os.environ.get("COPIER_PACING") or "free"
+    name, _, arg = spec.partition(":")
+    if name == "free":
+        return FreeRunning()
+    if name == "gate":
+        return LockstepGate()
+    if name == "ratio":
+        if arg:
+            return WallClockRatio(cycles_per_second=float(arg))
+        return WallClockRatio()
+    raise ValueError("unknown pacing policy %r (free/ratio/gate)" % spec)

@@ -13,7 +13,7 @@ timed activities on this machine, so relative performance shapes (who
 overlaps with whom, who waits on which queue) are preserved.
 """
 
-from repro.sim.engine import Environment
+from repro.sim.engine import DEFAULT_RUN_LIMIT, Environment, StepReport
 from repro.sim.events import Event
 from repro.sim.process import Process, ProcessKilled
 from repro.sim.requests import Compute, Timeout, WaitEvent
@@ -22,7 +22,9 @@ from repro.sim.stats import CycleStats, EnergyModel
 from repro.sim.trace import StageAggregator, TraceBus, TraceEvent
 
 __all__ = [
+    "DEFAULT_RUN_LIMIT",
     "Environment",
+    "StepReport",
     "Event",
     "Process",
     "ProcessKilled",

@@ -1,4 +1,32 @@
-"""The simulation environment: virtual clock and event loop."""
+"""The simulation environment: virtual clock and event loop.
+
+Time model (the sim-time vs wall-time seam)
+-------------------------------------------
+
+The environment's clock is purely *virtual*: ``now`` advances only when
+events execute (or when a run/step horizon passes), and the environment
+never reads the host's wall clock.  Anything wall-time related — pacing
+the simulation against real time, serving real sockets, parking real
+coroutines on simulated completions — lives entirely *outside* this
+module, in a driver that owns the loop (:mod:`repro.serve.driver`).  The
+seam between the two worlds is the cooperative stepping API:
+
+* :meth:`Environment.step` executes a bounded slice of the event loop
+  and returns control (with a :class:`StepReport`), so an external
+  driver can interleave simulation with I/O, wall-clock pacing, or
+  other work;
+* :attr:`Environment.idle` / :meth:`Environment.next_event_time` expose
+  quiescence explicitly, so a driver can tell "nothing will ever happen
+  until new work is injected" apart from "work is pending".
+
+``run``/``run_until`` remain the batch drivers (run-to-horizon /
+run-to-event); they share the heap discipline with ``step``, so
+interleaved ``step`` calls execute the exact same event sequence — and
+therefore produce byte-identical counters — as a single batch run.  All
+three are mutually exclusive and non-reentrant: calling any of them from
+inside an executing event raises, which is what keeps an external driver
+and in-process drain loops from fighting over the run loop.
+"""
 
 import heapq
 
@@ -7,6 +35,26 @@ from repro.sim.events import Event
 from repro.sim.process import Process
 from repro.sim.stats import CycleStats
 from repro.sim.trace import TraceBus
+
+#: Default ``run_until`` safety limit (cycles) shared by benchmarks,
+#: tools and app drivers: generous enough for every workload in the
+#: repo, finite so a wedged simulation fails instead of spinning.
+DEFAULT_RUN_LIMIT = 500_000_000_000
+
+
+class StepReport:
+    """What one :meth:`Environment.step` call did."""
+
+    __slots__ = ("executed", "now", "idle")
+
+    def __init__(self, executed, now, idle):
+        self.executed = executed  # events executed by this step
+        self.now = now            # clock after the step
+        self.idle = idle          # True when the heap is empty
+
+    def __repr__(self):
+        return "StepReport(executed=%d, now=%d, idle=%s)" % (
+            self.executed, self.now, self.idle)
 
 
 class Environment:
@@ -21,6 +69,7 @@ class Environment:
         self.now = 0
         self._heap = []
         self._seq = 0
+        self._running = False
         self.events_executed = 0
         self.stats = CycleStats()
         self.trace = TraceBus()
@@ -44,6 +93,73 @@ class Environment:
         process.start()
         return process
 
+    # ----------------------------------------------------------- stepping
+
+    @property
+    def idle(self):
+        """True when no events remain: nothing will happen until new work
+        is scheduled from outside (quiescence, not just a pause)."""
+        return not self._heap
+
+    def next_event_time(self):
+        """Clock value of the earliest pending event, or ``None`` when
+        idle.  Lets an external driver bound how far ``step`` can go
+        without executing anything."""
+        return self._heap[0][0] if self._heap else None
+
+    def _enter(self):
+        if self._running:
+            raise RuntimeError(
+                "event loop re-entered: step()/run()/run_until() called "
+                "from inside an executing event")
+        self._running = True
+
+    def step(self, max_events=None, max_cycles=None):
+        """Execute a bounded slice of the event loop; returns a
+        :class:`StepReport`.
+
+        ``max_events`` bounds how many events execute; ``max_cycles``
+        bounds how far the clock advances (a relative horizon at
+        ``now + max_cycles`` — events exactly at the horizon still
+        execute, matching ``run(until=...)``).  With a cycle horizon the
+        clock advances *to* the horizon even when fewer events exist, so
+        ``step(max_cycles=c)`` is exactly ``run(until=now+c)``; with only
+        an event budget the clock stops at the last executed event, so a
+        driver that steps an idle simulation burns no virtual time.
+        With neither bound it runs to quiescence, like ``run()``.
+
+        Re-entrant *between* calls (call it as often as you like, from
+        wherever, interleaved with ``run``/``run_until``), but not from
+        inside an executing event — that raises ``RuntimeError``.
+        """
+        self._enter()
+        heap = self._heap
+        limit = None if max_cycles is None else self.now + max_cycles
+        executed = 0
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                when = heap[0][0]
+                if limit is not None and when > limit:
+                    break
+                _when, _seq, fn = heapq.heappop(heap)
+                self.now = when
+                self.events_executed += 1
+                executed += 1
+                fn()
+            if limit is not None and limit > self.now:
+                # Horizon semantics match run(until=...): the clock lands
+                # on the horizon whether or not events filled the slice —
+                # unless the event budget cut the slice short first.
+                if not heap or (max_events is None or executed < max_events):
+                    self.now = limit
+        finally:
+            self._running = False
+        return StepReport(executed, self.now, not heap)
+
+    # -------------------------------------------------------- batch drives
+
     def run(self, until=None):
         """Run the event loop.
 
@@ -51,29 +167,37 @@ class Environment:
         until the clock reaches ``until`` cycles (events at exactly
         ``until`` still execute).
         """
-        while self._heap:
-            when, _seq, fn = self._heap[0]
-            if until is not None and when > until:
+        self._enter()
+        try:
+            while self._heap:
+                when, _seq, fn = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._heap)
+                self.now = when
+                self.events_executed += 1
+                fn()
+            if until is not None and until > self.now:
                 self.now = until
-                return
-            heapq.heappop(self._heap)
-            self.now = when
-            self.events_executed += 1
-            fn()
-        if until is not None and until > self.now:
-            self.now = until
+        finally:
+            self._running = False
 
     def run_until(self, event, limit=None):
         """Run until ``event`` triggers; raises if the loop drains first."""
-        while not event.triggered:
-            if not self._heap:
-                raise RuntimeError("event loop drained before event triggered")
-            when, _seq, fn = heapq.heappop(self._heap)
-            if limit is not None and when > limit:
-                raise RuntimeError("simulation limit reached at %d" % when)
-            self.now = when
-            self.events_executed += 1
-            fn()
+        self._enter()
+        try:
+            while not event.triggered:
+                if not self._heap:
+                    raise RuntimeError("event loop drained before event triggered")
+                when, _seq, fn = heapq.heappop(self._heap)
+                if limit is not None and when > limit:
+                    raise RuntimeError("simulation limit reached at %d" % when)
+                self.now = when
+                self.events_executed += 1
+                fn()
+        finally:
+            self._running = False
         if event.exception is not None:
             raise event.exception
         return event.value

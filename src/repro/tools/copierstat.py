@@ -63,6 +63,8 @@ def render(snap):
         out(line)
     for line in render_stages(snap.get("stages")):
         out(line)
+    for line in render_serve(snap.get("serve")):
+        out(line)
     for name, group in sorted(snap["cgroups"].items()):
         out("  cgroup %-12s shares=%-4d total=%-10d clients=%d" % (
             name, group["shares"], group["total_copy_length"],
@@ -102,6 +104,30 @@ def render_stages(stages):
                      stages["in_flight"]))
     lines.append("    threads: %d sleeps / %d wakes, %d cycles slept" % (
         threads["sleeps"], threads["wakes"], threads["slept_cycles"]))
+    return lines
+
+
+def render_serve(serve):
+    """Render the async serving-driver section as report lines.
+
+    ``serve`` is the ``"serve"`` entry of a snapshot (present only when a
+    :class:`~repro.serve.driver.SimDriver` is attached to the service);
+    returns ``[]`` when absent so non-serving snapshots render unchanged.
+    """
+    if not serve:
+        return []
+    lines = ["  serve: pacing=%s steps=%d (%.1f events/step) idle_polls=%d "
+             "rounds=%d" % (serve.get("pacing", "?"), serve.get("steps", 0),
+                            serve.get("events_per_step", 0.0),
+                            serve.get("idle_polls", 0),
+                            serve.get("rounds", 0))]
+    lines.append("    ops: %d submitted / %d resolved (%d parked); "
+                 "sessions %d live (%d opened, %d closed)" % (
+                     serve.get("ops_submitted", 0),
+                     serve.get("ops_resolved", 0), serve.get("parked", 0),
+                     serve.get("sessions_live", 0),
+                     serve.get("sessions_opened", 0),
+                     serve.get("sessions_closed", 0)))
     return lines
 
 

@@ -27,7 +27,7 @@ from repro.copier import CopierService
 from repro.faultinject import PLAN_NAMES, FaultPlan
 from repro.hw import MachineParams
 from repro.mem import AddressSpace, PhysicalMemory
-from repro.sim import Environment
+from repro.sim import DEFAULT_RUN_LIMIT, Environment
 from repro.tools import copierstat
 
 N_BUFFERS = 4
@@ -98,7 +98,7 @@ def run_workload(plan, n_ops=120, admission=None):
         yield from client.csync_all()
 
     proc = env.spawn(app(), name="app", affinity=0)
-    env.run_until(proc.terminated, limit=500_000_000_000)
+    env.run_until(proc.terminated, limit=DEFAULT_RUN_LIMIT)
     return service, aspace, bases, ops
 
 

@@ -1,0 +1,47 @@
+"""The async-load benchmark driver: end-to-end runs, the leak audit, and
+the gate-mode determinism contract the perf baseline is gated on.
+
+Marked ``faultfree``: the determinism and exact-count assertions are
+calibrated against a healthy machine (the perf-baseline harness disarms
+the fault knobs the same way).
+"""
+
+import pytest
+
+from repro.bench.async_load import main, run_async_load
+
+pytestmark = pytest.mark.faultfree
+
+
+def _counters(result):
+    return (result["sim_cycles"], result["events"], result["sim_bytes"])
+
+
+def test_async_load_gate_is_deterministic():
+    a = run_async_load(n_clients=24, n_requests=2, value_len=4096,
+                       pacing="gate")
+    b = run_async_load(n_clients=24, n_requests=2, value_len=4096,
+                       pacing="gate")
+    assert _counters(a) == _counters(b)
+    assert a["requests_served"] == 24 * 2 * 2
+    assert a["errors"] == []
+    assert a["parked"] == 0
+    assert a["leaked_pins"] == 0
+    assert a["serve"]["rounds"] > 0
+    assert a["serve"]["pacing"] == "gate"
+    assert a["sim_bytes"] >= 24 * 2 * 2 * 4096  # SET+GET both copy
+
+
+def test_async_load_free_pacing_completes():
+    result = run_async_load(n_clients=8, n_requests=1, value_len=4096,
+                            pacing="free")
+    assert result["requests_served"] == 16
+    assert result["parked"] == 0
+    assert result["leaked_pins"] == 0
+
+
+def test_async_load_cli_smoke(capsys):
+    assert main(["--clients", "4", "--requests", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "async_load: 4 clients" in out
+    assert "leaked pins 0" in out

@@ -1,0 +1,223 @@
+"""SimDriver: pacing policies, sessions, the lockstep gate, and the
+driver stats surfaced through ``stats_snapshot()["serve"]``."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve import SimDriver, make_pacing
+from repro.serve.pacing import (
+    DEFAULT_CYCLES_PER_SECOND,
+    FreeRunning,
+    LockstepGate,
+    WallClockRatio,
+)
+from repro.sim import Timeout, WaitEvent
+from repro.tools import copierstat
+from tests.copier.conftest import Setup
+
+BUF = 16 * 1024
+
+
+def _serve_setup(pacing, **driver_kwargs):
+    from repro.serve.facade import AsyncCopier
+
+    setup = Setup(n_frames=4096)
+    driver = SimDriver(env=setup.env, service=setup.service, pacing=pacing,
+                       idle_sleep=0.0005, gate_poll=0.005, **driver_kwargs)
+    copier = AsyncCopier(driver, setup.client)
+    return setup, driver, copier
+
+
+def _buffers(setup, n=2, nbytes=BUF):
+    bufs = [setup.aspace.mmap(nbytes, populate=True) for _ in range(n)]
+    for i, buf in enumerate(bufs):
+        setup.aspace.write(buf, bytes([i + 1]) * nbytes)
+    return bufs
+
+
+# ---------------------------------------------------------------- pacing
+
+
+def test_make_pacing_specs():
+    assert isinstance(make_pacing(None), FreeRunning)
+    assert isinstance(make_pacing("free"), FreeRunning)
+    assert isinstance(make_pacing("gate"), LockstepGate)
+    ratio = make_pacing("ratio")
+    assert isinstance(ratio, WallClockRatio)
+    assert ratio.cycles_per_second == DEFAULT_CYCLES_PER_SECOND
+    assert make_pacing("ratio:1e6").cycles_per_second == 1e6
+    existing = LockstepGate()
+    assert make_pacing(existing) is existing
+    with pytest.raises(ValueError):
+        make_pacing("bogus")
+    assert make_pacing("gate").deterministic
+    assert not make_pacing("free").deterministic
+
+
+def test_make_pacing_env_default(monkeypatch):
+    monkeypatch.setenv("COPIER_PACING", "ratio:5e7")
+    pacing = make_pacing(None)
+    assert isinstance(pacing, WallClockRatio)
+    assert pacing.cycles_per_second == 5e7
+    monkeypatch.setenv("COPIER_PACING", "gate")
+    assert isinstance(make_pacing(None), LockstepGate)
+
+
+# ------------------------------------------------------------------ free
+
+
+def test_free_pacing_roundtrip_and_stats():
+    setup, driver, copier = _serve_setup("free")
+    src, dst = _buffers(setup)
+
+    async def go():
+        async with driver:
+            task = await copier.amemcpy(dst, src, BUF)
+            assert task.is_finished
+            await copier.csync(dst, BUF)
+
+    asyncio.run(go())
+    assert bytes(setup.aspace.read(dst, BUF)) == bytes([1]) * BUF
+    assert driver.parked_ops == 0
+    assert driver.stats.ops_submitted == 2
+    assert driver.stats.steps > 0
+
+    # The driver rides along in the service snapshot and copierstat.
+    snap = setup.service.stats_snapshot()
+    assert snap["serve"]["pacing"] == "free"
+    assert snap["serve"]["ops_resolved"] == 2
+    assert snap["serve"]["parked"] == 0
+    report = copierstat.render(snap)
+    assert "serve: pacing=free" in report
+    assert "2 submitted / 2 resolved (0 parked)" in report
+    # Snapshots without a driver render unchanged.
+    assert copierstat.render_serve(None) == []
+
+
+def test_driver_requires_env():
+    with pytest.raises(ValueError):
+        SimDriver()
+
+
+# ----------------------------------------------------------------- ratio
+
+
+def test_ratio_pacing_tracks_wall_clock():
+    # 100M cycles/s: the 2M-cycle timeout below needs >= ~20ms of wall
+    # time, so completion proves the driver waited for the wall clock.
+    setup, driver, copier = _serve_setup("ratio:1e8")
+
+    def timed():
+        yield Timeout(2_000_000)
+        return "done"
+
+    async def go():
+        async with driver:
+            t0 = time.monotonic()
+            result = await copier.acall(lambda: timed())
+            return result, time.monotonic() - t0
+
+    result, wall = asyncio.run(go())
+    assert result == "done"
+    assert setup.env.now >= 2_000_000
+    assert wall >= 0.005  # paced, not free-run (generous for slow CI)
+
+
+# -------------------------------------------------------------- sessions
+
+
+def test_duplicate_session_key_rejected():
+    _setup, driver, _copier = _serve_setup("free")
+    driver.session(("conn", 1))
+    with pytest.raises(ValueError):
+        driver.session(("conn", 1))
+
+
+def test_closed_session_rejects_external():
+    _setup, driver, _copier = _serve_setup("free")
+    sess = driver.session(("conn", 2))
+    sess.close()
+    assert driver.sessions_live == 0
+    sess.close()  # idempotent
+    assert driver.stats.sessions_closed == 1
+
+    async def go():
+        coro = asyncio.sleep(0)
+        with pytest.raises(RuntimeError):
+            await sess.external(coro)
+        coro.close()  # external() refused it before awaiting
+
+    asyncio.run(go())
+
+
+# ------------------------------------------------------------------ gate
+
+
+async def _gate_run(n_workers, launch_order, jitter):
+    """Closed-loop gate workload with host-visible scheduling noise.
+
+    Returns the sim counters that must be identical no matter how the
+    host interleaved the workers.
+    """
+    from repro.serve.facade import AsyncCopier
+
+    setup = Setup(n_frames=4096)
+    driver = SimDriver(env=setup.env, service=setup.service, pacing="gate",
+                       expected_sessions=n_workers, gate_poll=0.005)
+    copier = AsyncCopier(driver, setup.client)
+    bufs = _buffers(setup, n=2 * n_workers, nbytes=BUF)
+
+    async def worker(wid):
+        if jitter:
+            await asyncio.sleep(0.001 * ((wid * 7) % 3))
+        sess = driver.session(("w", wid))
+        src, dst = bufs[2 * wid], bufs[2 * wid + 1]
+        try:
+            for _ in range(3):
+                await copier.amemcpy(dst, src, BUF, session=sess)
+                await copier.csync(dst, BUF, session=sess)
+        finally:
+            sess.close()
+
+    async with driver:
+        await asyncio.gather(*[worker(wid) for wid in launch_order])
+
+    assert driver.parked_ops == 0
+    assert setup.service.leaked_pins() == 0
+    for wid in range(n_workers):
+        expected = bytes([2 * wid + 1]) * BUF
+        assert bytes(setup.aspace.read(bufs[2 * wid + 1], BUF)) == expected
+    return (setup.env.now, setup.env.events_executed, driver.stats.rounds,
+            setup.client.stats.bytes_copied)
+
+
+def test_gate_counters_ignore_host_scheduling():
+    """Launch order and sleep jitter must not leak into sim counters."""
+    n = 4
+    a = asyncio.run(_gate_run(n, list(range(n)), jitter=False))
+    b = asyncio.run(_gate_run(n, list(reversed(range(n))), jitter=True))
+    assert a == b
+    assert a[2] > 0  # the gate actually ran rounds
+
+
+def test_gate_fails_waiters_when_sim_goes_idle():
+    """An op the sim can never resolve must error out, not hang."""
+    setup, driver, copier = _serve_setup("gate", expected_sessions=1)
+    never = setup.env.event()
+
+    def stuck():
+        yield WaitEvent(never)
+
+    async def go():
+        sess = driver.session(("w", 0))
+        try:
+            async with driver:
+                with pytest.raises(RuntimeError, match="went idle"):
+                    await copier.acall(lambda: stuck(), session=sess)
+        finally:
+            sess.close()
+
+    asyncio.run(go())
+    assert driver.stats.rounds == 1

@@ -1,0 +1,162 @@
+"""AsyncCopier: outcome mapping from task retirement to awaited results.
+
+These tests drive the simulator *manually* (``env.run()`` from the test
+coroutine, no driver task) so the interleaving between submission, fault
+injection and stepping is fully deterministic: under ``free`` pacing the
+facade spawns generators at submit time, futures resolve from inside sim
+execution, and a plain ``env.run()`` settles everything.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.copier.errors import (
+    AdmissionReject,
+    CopyAborted,
+    DeadlineMissed,
+    TaskEFault,
+)
+from repro.serve import SimDriver
+from repro.serve.facade import AsyncCopier
+from repro.sim import Compute
+from tests.copier.conftest import Setup
+
+BUF = 16 * 1024
+
+
+def drive(gen):
+    """Run a submission generator inline: tasks land in the queues but
+    nothing ingests them yet (same helper as the lifecycle tests)."""
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+@pytest.fixture
+def serve():
+    # Pin the admission policy: under the overload-soak environment a
+    # deadline-feasible valve would reject the 1-cycle-deadline task at
+    # submit, masking the retirement outcome this file is about.
+    setup = Setup(n_frames=4096, admission="always")
+    driver = SimDriver(env=setup.env, service=setup.service, pacing="free")
+    return setup, driver, AsyncCopier(driver, setup.client)
+
+
+def _buffers(setup, n=2, nbytes=BUF):
+    bufs = [setup.aspace.mmap(nbytes, populate=True) for _ in range(n)]
+    for i, buf in enumerate(bufs):
+        setup.aspace.write(buf, bytes([i + 1]) * nbytes)
+    return bufs
+
+
+async def _settle(env, *futures):
+    """Let submissions reach the facade, then run the sim to quiescence."""
+    await asyncio.sleep(0)
+    env.run()
+    return futures
+
+
+def test_amemcpy_resolves_with_retired_task(serve):
+    setup, _driver, copier = serve
+    src, dst = _buffers(setup)
+
+    async def go():
+        t = asyncio.create_task(copier.amemcpy(dst, src, BUF))
+        await _settle(setup.env, t)
+        return await t
+
+    task = asyncio.run(go())
+    assert task.is_finished
+    assert bytes(setup.aspace.read(dst, BUF)) == bytes([1]) * BUF
+
+
+def test_csync_and_acall_deliver_return_values(serve):
+    setup, _driver, copier = serve
+    src, dst = _buffers(setup)
+
+    def compute():
+        yield Compute(10)
+        return 42
+
+    async def go():
+        a = asyncio.create_task(copier.amemcpy(dst, src, BUF))
+        s = asyncio.create_task(copier.csync(dst, BUF))
+        c = asyncio.create_task(copier.acall(lambda: compute()))
+        await _settle(setup.env, a, s, c)
+        return await a, await s, await c
+
+    _task, synced, value = asyncio.run(go())
+    assert synced == BUF
+    assert value == 42
+
+
+def test_deadline_miss_raises_deadline_missed(serve):
+    setup, _driver, copier = serve
+    src, dst = _buffers(setup)
+
+    async def go():
+        t = asyncio.create_task(copier.amemcpy(dst, src, BUF,
+                                               timeout_cycles=1))
+        await _settle(setup.env, t)
+        with pytest.raises(DeadlineMissed):
+            await t
+
+    asyncio.run(go())
+    assert setup.client.stats.deadline_misses == 1
+
+
+def test_acancel_aborts_the_parked_awaiter(serve):
+    setup, _driver, copier = serve
+    src, dst = _buffers(setup)
+
+    async def go():
+        # A lazy copy sits pending until the lazy period (2M cycles)
+        # elapses — cancel it long before that.
+        t = asyncio.create_task(copier.amemcpy(dst, src, BUF, lazy=True))
+        await asyncio.sleep(0)                    # submit + spawn
+        setup.env.step(max_cycles=10_000)         # queued, not kicked in
+        c = asyncio.create_task(copier.acancel(dst, BUF))
+        await _settle(setup.env, c)
+        assert await c == 1
+        with pytest.raises(CopyAborted):
+            await t
+
+    asyncio.run(go())
+    assert setup.client.stats.cancelled == 1
+    assert setup.aspace.pins_outstanding() == 0
+
+
+def test_efault_propagates_through_csync(serve):
+    setup, _driver, copier = serve
+    src, dst = _buffers(setup)
+    drive(setup.client.amemcpy(dst, src, BUF))  # queued, not ingested
+    setup.aspace.munmap(src, BUF)               # source vanishes mid-flight
+
+    async def go():
+        t = asyncio.create_task(copier.csync(dst, BUF))
+        await _settle(setup.env, t)
+        with pytest.raises(TaskEFault):
+            await t
+
+    asyncio.run(go())
+    assert setup.client.stats.efault_tasks == 1
+    assert setup.aspace.pins_outstanding() == 0
+
+
+def test_admission_reject_delivered_to_awaiter(serve):
+    setup, driver, copier = serve
+    src, dst = _buffers(setup)
+    setup.service.draining = True
+
+    async def go():
+        t = asyncio.create_task(copier.amemcpy(dst, src, BUF))
+        await _settle(setup.env, t)
+        with pytest.raises(AdmissionReject):
+            await t
+
+    asyncio.run(go())
+    # The submission failed *inside the sim*; the driver's books balance.
+    assert driver.parked_ops == 0
