@@ -32,6 +32,11 @@ Scenario suite (keep this list stable — CI diffs by scenario name):
   localhost sockets driving the serving frontend under the
   deterministic ``gate`` pacing policy (``bench/async_load.py``); the
   sim counters double as the lockstep-determinism oracle.
+* ``fleet_failover`` — closed-loop sharded SET/GET streams against a
+  3-node fleet with a forced node kill halfway through: aggregate p99
+  latency in cycles spans organic failure detection, backup promotion
+  and resync (pure sim — no sockets, explicit fleet knobs so
+  ``COPIER_FLEET_*`` env cannot perturb the pinned counters).
 """
 
 import argparse
@@ -95,6 +100,76 @@ def _scenario_async_load(n_clients, n_requests, value_len):
     return run
 
 
+def _scenario_fleet_failover(n_nodes=3, n_streams=4, n_ops=10,
+                             value_bytes=8 * 1024):
+    def run(recorder):
+        from repro.fleet import Fleet
+
+        fleet = Fleet(n_nodes=n_nodes, link_latency_cycles=20_000,
+                      link_bytes_per_cycle=16.0, lfd_period_cycles=100_000,
+                      gfd_timeout_cycles=400_000)
+        total = n_streams * n_ops
+        kill_after = total // 2
+        victim = n_nodes - 1
+        streams = [{"done": 0, "pending": None, "idx": 0}
+                   for _ in range(n_streams)]
+        latencies = []
+        completed = abandoned = sim_bytes = rounds = 0
+        killed = False
+
+        while any(s["done"] < n_ops or s["pending"] is not None
+                  for s in streams):
+            rounds += 1
+            if rounds > 400_000:
+                raise RuntimeError("fleet_failover scenario stalled")
+            for sid, s in enumerate(streams):
+                op = s["pending"]
+                if op is not None:
+                    if op.done:
+                        s["pending"] = None
+                        s["done"] += 1
+                        completed += 1
+                        if op.latency_cycles is not None:
+                            latencies.append(op.latency_cycles)
+                    elif not fleet.nodes[op.gateway_id].alive:
+                        # Connection to the killed gateway dropped.
+                        s["pending"] = None
+                        s["done"] += 1
+                        abandoned += 1
+                    else:
+                        continue
+                if s["done"] >= n_ops or s["pending"] is not None:
+                    continue
+                idx = s["idx"]
+                s["idx"] += 1
+                key = b"p%d-k%d" % (sid, idx % 4)
+                live = fleet.live_nodes
+                gw = live[(sid + idx) % len(live)].node_id
+                if idx % 3 == 2:
+                    s["pending"] = fleet.get(key, gateway=gw)
+                else:
+                    value = bytes([(sid * 31 + idx) % 251]) * value_bytes
+                    sim_bytes += value_bytes
+                    s["pending"] = fleet.set(key, value, gateway=gw)
+            if not killed and completed >= kill_after:
+                fleet.kill_node(victim)
+                killed = True
+            fleet.stepper.step_round()
+
+        fleet.stepper.settle(100)  # let the post-promotion resync finish
+        if not fleet.promotions:
+            raise RuntimeError("forced kill was never detected")
+        if fleet.leaked_pins():
+            raise RuntimeError("fleet leaked page pins")
+        latencies.sort()
+        recorder["sim_bytes"] = sim_bytes
+        recorder["requests"] = completed
+        recorder["abandoned"] = abandoned
+        recorder["promotions"] = len(fleet.promotions)
+        recorder["p99_cycles"] = latencies[int(0.99 * (len(latencies) - 1))]
+    return run
+
+
 def scenario_suite():
     """Ordered (name, runner) pairs; names are the CI diff keys."""
     return [
@@ -104,6 +179,7 @@ def scenario_suite():
         ("redis_set_16k", _scenario_redis("SET", 16 * 1024)),
         ("overload_burst_2x", _scenario_overload(2.0)),
         ("async_redis_1k_gate", _scenario_async_load(1000, 2, 4096)),
+        ("fleet_failover", _scenario_fleet_failover()),
     ]
 
 

@@ -29,17 +29,29 @@ return exactly to the pre-workload baseline.
 Events fire on a deterministic global *op tick* (not on sim time), so a
 seed fully determines the campaign: same seed → same events, same
 lifecycle counters, same surviving-buffer digests.
+
+Node-level chaos (``node_kill`` / ``link_partition`` / ``link_slow``
+against a multi-machine fleet) lives in :mod:`repro.fleet.chaos` and is
+re-exported here as :func:`run_fleet_campaign` /
+:func:`fleet_determinism_fingerprint` — same seeded-tick discipline,
+applied to whole machines and interconnect links instead of processes
+and buffers.
 """
 
 import hashlib
 import random
 
 from repro.copier.errors import AdmissionReject, CopyAborted
+from repro.fleet.chaos import (fleet_determinism_fingerprint,
+                               run_fleet_campaign)
 from repro.kernel.net import recv, send, socket_pair
 from repro.kernel.system import System
 from repro.mem.faults import MemoryFault
 from repro.sim import DEFAULT_RUN_LIMIT, Compute
 from repro.sim.process import ProcessKilled
+
+__all__ = ["run_campaign", "determinism_fingerprint",
+           "run_fleet_campaign", "fleet_determinism_fingerprint"]
 
 BUF_BYTES = 16 * 1024
 CHUNK_MIN = 2048

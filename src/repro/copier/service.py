@@ -30,6 +30,12 @@ from repro.sim.trace import ProcessReaped, ServiceDrained, StageAggregator
 #: Event-loop slice the shutdown drain advances per iteration.
 _DRAIN_STEP_CYCLES = 20_000
 
+#: Consecutive drain slices with executing events but a frozen backlog
+#: (no queue, state, or segment movement) before shutdown declares the
+#: service wedged — spinners (csync backoff loops) keep the clock busy
+#: without ever draining anything, so ``executed == 0`` never fires.
+_DRAIN_STALL_STEPS = 4
+
 
 class LifecycleStats:
     """Counters for the lifecycle layer (exit reaping, EFAULT, drain)."""
@@ -211,6 +217,24 @@ class CopierService:
                 return True
         return False
 
+    def _drain_signature(self):
+        """Progress fingerprint of the backlog the shutdown drain waits on.
+
+        Two equal signatures across a full drain slice mean no queue
+        shrank, no task changed state, and no segment landed — only
+        busy-waiters (csync spin loops) are keeping the clock alive.
+        """
+        sig = []
+        for client in self.clients:
+            tasks = tuple(
+                (t.task_id, t.state, len(t.segments_pending()),
+                 t.absorbed_bytes)
+                for t in list(client.task_index) + list(client.pending)
+                if not t.is_finished)
+            sig.append((len(client.u_queues.copy), len(client.k_queues.copy),
+                        client.stats.bytes_copied, tasks))
+        return tuple(sig)
+
     def _all_aspaces(self):
         seen = {}
         for client in self.clients:
@@ -230,7 +254,12 @@ class CopierService:
         then drives the event loop in bounded ``env.step`` slices until
         the backlog drains or ``deadline`` (relative cycles) passes —
         work parked behind a quarantined DMA engine drains too, because
-        rounds fall back to the AVX stream.  Stragglers at the deadline
+        rounds fall back to the AVX stream.  The drain is wedge-aware in
+        both directions: an idle slice (``executed == 0``) means nothing
+        can run, and ``_DRAIN_STALL_STEPS`` slices with events but a
+        frozen :meth:`_drain_signature` mean only busy-waiters are
+        running — e.g. a csync spinning on a copy whose worker wedged on
+        a dead fleet link.  Stragglers at the wedge or deadline
         are force-reaped (``drain-reap``), the workers are stopped, and
         zero leaked pins is asserted.  Call from outside the event loop
         (a driver, not a simulated process); the stepping API's
@@ -247,6 +276,8 @@ class CopierService:
                        for t in c.task_index if not t.is_finished)
         self.lifecycle.drain_requeued += requeued
         limit = None if deadline is None else start + deadline
+        stalled = 0
+        last_sig = None
         while self._outstanding():
             if limit is not None and env.now >= limit:
                 break
@@ -257,6 +288,14 @@ class CopierService:
             report = env.step(max_cycles=budget)
             if report.executed == 0:
                 break  # nothing left to execute: wedged or already idle
+            sig = self._drain_signature()
+            if sig == last_sig:
+                stalled += 1
+                if stalled >= _DRAIN_STALL_STEPS:
+                    break  # events fire but the backlog is frozen: wedged
+            else:
+                stalled = 0
+                last_sig = sig
         force_reaped = 0
         for client in list(self.clients):
             force_reaped += self._reap_tasks(client, "drain-reap")

@@ -1,0 +1,353 @@
+"""Node-level chaos: kill/partition/slow storms against a live fleet.
+
+The campaign drives seeded closed-loop client streams while firing
+node-level faults, then audits the fleet against a shadow-model
+oracle.  Each stream owns a disjoint set of write keys and runs one op
+at a time, so per key the acknowledged writes form a strict sequence —
+the oracle records every issued value and the index of the last one
+the fleet *acknowledged*.  The final audit (after healing and
+settling) demands that every key with an acknowledged write reads back
+a value at least as new as the last ack: **zero lost acknowledged
+writes**.  Unacknowledged writes may or may not have committed; both
+outcomes are legal.
+
+Fault kinds (all fired on the deterministic op-completion tick, like
+the single-node :class:`~repro.chaos.ChaosController`):
+
+* ``node_kill`` — a machine drops dead; detection is organic (missed
+  heartbeats), promotion and resync follow.  Kills are gated on the
+  previous death having been detected and resynced, matching the
+  replication factor of two: the storm stays within what the protocol
+  tolerates, which is exactly what the oracle proves.
+* ``link_partition`` — a node pair (or a node's GFD control link, which
+  manufactures a false-positive promotion) drops traffic for a seeded
+  number of ticks, then heals.
+* ``link_slow`` — a pair's latency/bandwidth degrade by a seeded factor
+  for a while.  Slow links delay, never drop: acks still flow.
+"""
+
+import random
+
+from repro.fleet.fleet import Fleet
+from repro.fleet.interconnect import GFD_ENDPOINT
+
+
+def _value(stream_id, key, idx, base_bytes):
+    """Deterministic, per-(key, idx) unique value with varying length."""
+    seedbytes = b"%d:%s:%d" % (stream_id, key, idx)
+    pattern = bytes((sum(seedbytes) + i) % 251 for i in range(97))
+    length = base_bytes + (idx % 5) * 128
+    reps = length // len(pattern) + 1
+    return (seedbytes + b"|" + pattern * reps)[:length]
+
+
+class _Stream:
+    """One closed-loop client: seeded ops, single-writer keys."""
+
+    def __init__(self, stream_id, fleet, seed, n_ops, n_keys, value_bytes,
+                 all_keys):
+        self.stream_id = stream_id
+        self.fleet = fleet
+        self.rng = random.Random(repr(("fleet-stream", seed, stream_id)))
+        self.n_ops = n_ops
+        self.value_bytes = value_bytes
+        self.keys = [b"s%d-k%d" % (stream_id, k) for k in range(n_keys)]
+        self.all_keys = all_keys
+        self.write_idx = {key: 0 for key in self.keys}
+        self.ops_done = 0
+        self.acked = 0
+        self.failed = 0
+        self.abandoned = 0
+        self.get_checked = 0
+        self.pending = None       # (op, kind, key, idx)
+        self.violations = []
+
+    @property
+    def finished(self):
+        return self.ops_done >= self.n_ops and self.pending is None
+
+    def _gateway(self):
+        live = self.fleet.live_nodes
+        return live[self.rng.randrange(len(live))].node_id
+
+    def submit_next(self, oracle):
+        if self.ops_done + (1 if self.pending else 0) >= self.n_ops:
+            return
+        rng = self.rng
+        if rng.random() < 0.7:
+            key = self.keys[rng.randrange(len(self.keys))]
+            idx = self.write_idx[key]
+            value = _value(self.stream_id, key, idx, self.value_bytes)
+            oracle[key]["issued"].append(value)
+            op = self.fleet.set(key, value, gateway=self._gateway())
+            self.pending = (op, "set", key, idx)
+        else:
+            key = self.all_keys[rng.randrange(len(self.all_keys))]
+            op = self.fleet.get(key, gateway=self._gateway())
+            self.pending = (op, "get", key, None)
+
+    def poll(self, oracle):
+        """Returns True when an op completed this round (a chaos tick)."""
+        if self.pending is None:
+            return False
+        op, kind, key, idx = self.pending
+        if not op.done:
+            if not self.fleet.nodes[op.gateway_id].alive:
+                # The gateway died under the op: the client sees a
+                # connection drop, never an ack.
+                self.pending = None
+                self.ops_done += 1
+                self.abandoned += 1
+                return True
+            return False
+        self.pending = None
+        self.ops_done += 1
+        if kind == "set":
+            if op.acked:
+                self.acked += 1
+                entry = oracle[key]
+                entry["acked_idx"] = max(entry["acked_idx"], idx)
+                self.write_idx[key] = idx + 1
+            else:
+                self.failed += 1
+                # Unacked: may or may not have committed.  Reuse of the
+                # same index would make "which commit won" ambiguous,
+                # so the writer moves on.
+                self.write_idx[key] = idx + 1
+        else:
+            if op.error is None and op.result is not None:
+                entry = oracle.get(key)
+                if entry is not None and op.result not in entry["issued"]:
+                    self.violations.append(
+                        ("phantom-read", key, len(op.result)))
+                self.get_checked += 1
+            elif op.error is not None:
+                self.failed += 1
+        return True
+
+
+class FleetChaosController:
+    """Fires node-level faults on the deterministic op-completion tick."""
+
+    def __init__(self, fleet, seed, n_events, total_ops):
+        self.fleet = fleet
+        self.rng = random.Random(repr(("fleet-chaos-controller", seed)))
+        self.events = []
+        self.kills = 0
+        self.max_kills = max(len(fleet.nodes) - 2, 0)
+        self.tick_count = 0
+        self.last_kill_tick = -100
+        self.heal_at = []  # (tick, kind, a, b)
+        window = max(n_events + 5, int(total_ops * 0.6))
+        self.schedule = sorted(self.rng.sample(range(3, 3 + window),
+                                               min(n_events, window)))
+
+    def tick(self):
+        self.tick_count += 1
+        while self.heal_at and self.heal_at[0][0] <= self.tick_count:
+            _, kind, a, b = self.heal_at.pop(0)
+            if kind == "partition":
+                self.fleet.interconnect.heal(a, b)
+            else:
+                self.fleet.interconnect.slow(a, b, 1.0)
+            self.events.append((self.tick_count, "heal-" + kind,
+                                "%s/%s" % (a, b)))
+        while self.schedule and self.schedule[0] <= self.tick_count:
+            self.schedule.pop(0)
+            self._fire()
+
+    def _membership_settled(self):
+        """No declared death is still resyncing, no real kill is still
+        undetected, and no control-plane partition is pending — the
+        windows in which losing another owner would exceed the
+        replication factor."""
+        fleet = self.fleet
+        if fleet.resyncs_active:
+            return False
+        declared = {node_id for _view, node_id in fleet.promotions}
+        if any(k not in declared for k in fleet.kills):
+            return False
+        if any(kind == "partition" and GFD_ENDPOINT in (a, b)
+               for _tick, kind, a, b in self.heal_at):
+            return False
+        # A node silent long enough to be halfway to declaration is a
+        # promotion in the making; wait it out.
+        if fleet.gfd is not None:
+            horizon = fleet.stepper.horizon
+            for node_id in fleet.gfd.alive:
+                if (fleet.nodes[node_id].alive
+                        and horizon - fleet.gfd.last_beat[node_id]
+                        > 3 * fleet.lfd_period):
+                    return False
+        return True
+
+    def _kill_allowed(self):
+        if self.kills >= self.max_kills:
+            return False
+        if len(self.fleet.live_nodes) <= 2:
+            return False
+        if not self._membership_settled():
+            return False
+        return self.tick_count - self.last_kill_tick >= 20
+
+    def _fire(self):
+        rng = self.rng
+        fleet = self.fleet
+        roll = rng.random()
+        if roll < 0.3 and self._kill_allowed():
+            live = fleet.live_nodes
+            victim = live[rng.randrange(len(live))].node_id
+            fleet.kill_node(victim)
+            self.kills += 1
+            self.last_kill_tick = self.tick_count
+            self.events.append((self.tick_count, "node_kill", victim))
+            return
+        node_ids = [node.node_id for node in fleet.nodes]
+        if roll < 0.65:
+            a = node_ids[rng.randrange(len(node_ids))]
+            if rng.random() < 0.3 and self._membership_settled():
+                b = GFD_ENDPOINT  # false-positive promotion fuel
+            else:
+                b = node_ids[rng.randrange(len(node_ids))]
+                if a == b:
+                    b = node_ids[(node_ids.index(a) + 1) % len(node_ids)]
+            fleet.interconnect.partition(a, b)
+            duration = rng.randrange(8, 25)
+            self.heal_at.append((self.tick_count + duration, "partition",
+                                 a, b))
+            self.heal_at.sort()
+            self.events.append((self.tick_count, "link_partition",
+                                "%s/%s" % (a, b)))
+        else:
+            a = node_ids[rng.randrange(len(node_ids))]
+            b = node_ids[rng.randrange(len(node_ids))]
+            if a == b:
+                b = node_ids[(node_ids.index(a) + 1) % len(node_ids)]
+            factor = rng.choice([2.0, 4.0, 8.0])
+            fleet.interconnect.slow(a, b, factor)
+            duration = rng.randrange(10, 30)
+            self.heal_at.append((self.tick_count + duration, "slow", a, b))
+            self.heal_at.sort()
+            self.events.append((self.tick_count, "link_slow",
+                                "%s/%s x%g" % (a, b, factor)))
+
+
+def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
+                       n_events=10, value_bytes=4096, max_rounds=400_000,
+                       settle_rounds=400, fleet_kwargs=None):
+    """Run one fleet chaos campaign; returns a result dict.
+
+    The result carries the fault log, promotion history, per-stream
+    outcomes, the zero-lost-acked-writes audit, leak checks and a
+    determinism fingerprint source — everything the fleet soak job and
+    ``tests/fleet`` assert on.
+    """
+    fleet = Fleet(n_nodes=n_nodes, **(fleet_kwargs or {}))
+    streams = []
+    all_keys = [b"s%d-k%d" % (s, k)
+                for s in range(n_streams) for k in range(n_keys)]
+    oracle = {key: {"issued": [], "acked_idx": -1} for key in all_keys}
+    for sid in range(n_streams):
+        streams.append(_Stream(sid, fleet, seed, n_ops, n_keys, value_bytes,
+                               all_keys))
+    controller = FleetChaosController(fleet, seed, n_events,
+                                      total_ops=n_streams * n_ops)
+
+    rounds = 0
+    while not all(stream.finished for stream in streams):
+        if rounds >= max_rounds:
+            raise RuntimeError("fleet chaos campaign stalled after %d rounds"
+                               % rounds)
+        for stream in streams:
+            if stream.poll(oracle):
+                controller.tick()
+            if stream.pending is None and not stream.finished:
+                stream.submit_next(oracle)
+        fleet.stepper.step_round()
+        rounds += 1
+
+    # Quiesce: heal every link, let pending detections/resyncs finish.
+    fleet.interconnect.heal_all()
+    fleet.stepper.settle(settle_rounds)
+
+    failures = []
+    lost_acked = []
+    audited = 0
+    live_ids = sorted(node.node_id for node in fleet.live_nodes)
+    audit_ops = []
+    for i, key in enumerate(sorted(oracle)):
+        gateway = live_ids[i % len(live_ids)]
+        audit_ops.append((key, fleet.get(key, gateway=gateway)))
+    fleet.run_ops([op for _, op in audit_ops])
+    for key, op in audit_ops:
+        entry = oracle[key]
+        if op.error is not None:
+            failures.append("final GET of %r failed: %r" % (key, op.error))
+            continue
+        audited += 1
+        if entry["acked_idx"] < 0:
+            if op.result is not None and op.result not in entry["issued"]:
+                lost_acked.append(("phantom", key))
+            continue
+        if op.result is None:
+            lost_acked.append(("missing", key, entry["acked_idx"]))
+            continue
+        try:
+            got_idx = entry["issued"].index(op.result)
+        except ValueError:
+            lost_acked.append(("phantom", key))
+            continue
+        if got_idx < entry["acked_idx"]:
+            lost_acked.append(("stale", key, got_idx, entry["acked_idx"]))
+    if lost_acked:
+        failures.append("lost acknowledged writes: %r" % (lost_acked,))
+
+    for stream in streams:
+        if stream.violations:
+            failures.append("stream %d consistency violations: %r"
+                            % (stream.stream_id, stream.violations))
+
+    leaked = fleet.leaked_pins()
+    if leaked:
+        failures.append("%d page pins leaked across the fleet" % leaked)
+
+    snap = fleet.snapshot()
+    return {
+        "seed": seed,
+        "n_nodes": n_nodes,
+        "events": controller.events,
+        "kills": controller.kills,
+        "promotions": list(fleet.promotions),
+        "rounds": rounds,
+        "streams": {s.stream_id: {"ops_done": s.ops_done, "acked": s.acked,
+                                  "failed": s.failed,
+                                  "abandoned": s.abandoned,
+                                  "gets_checked": s.get_checked}
+                    for s in streams},
+        "ops": snap["ops"],
+        "interconnect": {"messages": snap["interconnect"]["messages"],
+                         "bytes": snap["interconnect"]["bytes"],
+                         "dropped": snap["interconnect"]["dropped"]},
+        "nodes": snap["nodes"],
+        "store_digests": {node.node_id: node.store.digest()
+                          for node in fleet.live_nodes},
+        "audited_keys": audited,
+        "lost_acked": lost_acked,
+        "leaked_pins": leaked,
+        "failures": failures,
+    }
+
+
+def fleet_determinism_fingerprint(result):
+    """The parts of a fleet campaign result that must be identical
+    run-to-run for the same seed."""
+    return {
+        "events": result["events"],
+        "promotions": result["promotions"],
+        "rounds": result["rounds"],
+        "streams": result["streams"],
+        "ops": result["ops"],
+        "interconnect": result["interconnect"],
+        "nodes": result["nodes"],
+        "store_digests": result["store_digests"],
+    }

@@ -1,0 +1,571 @@
+"""The fleet composition root: N machines, one deterministic clock.
+
+Stepping model (conservative parallel discrete-event simulation): every
+node owns an independent :class:`~repro.sim.engine.Environment`; the
+:class:`FleetStepper` advances them round-robin, each round pushing
+every live node to a common horizon ``rounds * quantum`` with
+``env.step(max_cycles=...)``.  Determinism requires exactly one rule:
+**the quantum never exceeds the smallest interconnect latency** (data
+or control).  Then any cross-node message computed against the
+sender's clock arrives strictly in the receiver's future regardless of
+the order nodes step within a round, so the fleet behaves as one
+machine with a single virtual clock.  The GFD ticks at each horizon,
+after all nodes — membership changes happen at deterministic times, in
+sorted node order.
+
+Data path: keys shard on the consistent-hash ring.  A gateway node
+serves a key it owns locally, otherwise forwards over the per-pair
+:class:`~repro.fleet.netpath.Channel`.  A SET is acknowledged only
+after the primary has committed *and* every other current owner has
+applied a synchronous replica — together with the re-check of the
+owner set after replication and post-promotion resync, that is what
+makes acknowledged writes survive any storm that leaves a current
+owner standing.
+"""
+
+import os
+
+from repro.copier.errors import AdmissionReject, CopyAborted, DeadlineMissed
+from repro.fleet.errors import (FleetError, FleetTimeout, FleetUnavailable,
+                                NotOwner, StoreFull)
+from repro.fleet.gfd import GlobalFaultDetector
+from repro.fleet.interconnect import GFD_ENDPOINT, Interconnect
+from repro.fleet.lfd import LocalFaultDetector
+from repro.fleet.netpath import MAX_MSG, Channel
+from repro.fleet.node import FleetNode
+from repro.fleet.sharding import HashRing
+from repro.kernel.system import System
+from repro.sim import Timeout, WaitEvent
+
+# Message types on the inter-node wire.
+MSG_SET = 1
+MSG_GET = 2
+MSG_GET_ANY = 3   # owner-check-free read (backup fallback / read repair)
+MSG_REPL = 4
+ACK_OK = 16
+ACK_MISS = 17
+ACK_ERR = 18
+_ACKS = (ACK_OK, ACK_MISS, ACK_ERR)
+
+_COPY_ERRORS = (CopyAborted, DeadlineMissed, AdmissionReject)
+
+
+def encode_msg(mtype, op_id, key, value=b""):
+    if isinstance(key, str):
+        key = key.encode()
+    return (bytes([mtype]) + op_id.to_bytes(8, "little")
+            + len(key).to_bytes(2, "little") + key
+            + len(value).to_bytes(4, "little") + value)
+
+
+def decode_msg(data):
+    mtype = data[0]
+    op_id = int.from_bytes(data[1:9], "little")
+    key_len = int.from_bytes(data[9:11], "little")
+    key = bytes(data[11:11 + key_len])
+    pos = 11 + key_len
+    value_len = int.from_bytes(data[pos:pos + 4], "little")
+    value = bytes(data[pos + 4:pos + 4 + value_len])
+    return mtype, op_id, key, value
+
+
+def _env_int(name, default):
+    raw = os.environ.get(name)
+    return default if not raw else int(raw)
+
+
+def _env_float(name, default):
+    raw = os.environ.get(name)
+    return default if not raw else float(raw)
+
+
+class FleetOp:
+    """A client-visible fleet operation and its outcome."""
+
+    __slots__ = ("kind", "key", "value", "gateway_id", "done", "result",
+                 "error", "acked", "attempts", "t_start", "t_end",
+                 "callbacks")
+
+    def __init__(self, kind, key, value, gateway_id):
+        self.kind = kind
+        self.key = key
+        self.value = value
+        self.gateway_id = gateway_id
+        self.done = False
+        self.result = None
+        self.error = None
+        self.acked = False
+        self.attempts = 0
+        self.t_start = None
+        self.t_end = None
+        self.callbacks = []
+
+    @property
+    def latency_cycles(self):
+        if self.t_start is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def add_done_callback(self, fn):
+        if self.done:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _settle(self):
+        self.done = True
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self):
+        state = "done" if self.done else "pending"
+        return "<FleetOp %s %r %s>" % (self.kind, self.key, state)
+
+
+class FleetStepper:
+    """Round-robins ``Environment.step`` across live nodes (see module
+    docstring for the determinism rule it enforces)."""
+
+    def __init__(self, fleet, quantum):
+        self.fleet = fleet
+        self.quantum = quantum
+        self.horizon = 0
+        self.rounds = 0
+        self.events = 0
+
+    def step_round(self):
+        self.horizon += self.quantum
+        executed = 0
+        for node in self.fleet.nodes:
+            if not node.alive:
+                continue
+            budget = self.horizon - node.env.now
+            if budget > 0:
+                executed += node.env.step(max_cycles=budget).executed
+        if self.fleet.gfd is not None:
+            self.fleet.gfd.tick(self.horizon)
+        self.rounds += 1
+        self.events += executed
+        return executed
+
+    def run_until(self, predicate, max_rounds=200_000):
+        start = self.rounds
+        while not predicate():
+            if self.rounds - start >= max_rounds:
+                raise RuntimeError(
+                    "fleet made no progress in %d rounds" % max_rounds)
+            self.step_round()
+
+    def settle(self, rounds):
+        for _ in range(rounds):
+            self.step_round()
+
+
+class Fleet:
+    """N sharded, replicated Copier machines behind one virtual clock."""
+
+    def __init__(self, n_nodes=None, system_kwargs=None, store_kwargs=None,
+                 link_latency_cycles=None, link_bytes_per_cycle=None,
+                 quantum=None, detectors=True, lfd_period_cycles=None,
+                 gfd_timeout_cycles=None, reply_timeout_cycles=600_000,
+                 max_attempts=8, vnodes=32):
+        if n_nodes is None:
+            n_nodes = _env_int("COPIER_FLEET_NODES", 3)
+        if n_nodes < 1:
+            raise ValueError("a fleet needs at least one node")
+        link_latency = (link_latency_cycles if link_latency_cycles is not None
+                        else _env_int("COPIER_FLEET_LINK_LATENCY", 20_000))
+        link_bpc = (link_bytes_per_cycle if link_bytes_per_cycle is not None
+                    else _env_float("COPIER_FLEET_LINK_BPC", 16.0))
+        self.quantum = quantum if quantum is not None else min(link_latency,
+                                                               20_000)
+        if self.quantum > link_latency:
+            raise ValueError(
+                "stepping quantum (%d) must not exceed the link latency "
+                "(%d): cross-node deliveries could land in a receiver's "
+                "past and break determinism" % (self.quantum, link_latency))
+        self.lfd_period = (lfd_period_cycles if lfd_period_cycles is not None
+                           else _env_int("COPIER_FLEET_LFD_PERIOD", 100_000))
+        self.gfd_timeout = (gfd_timeout_cycles
+                            if gfd_timeout_cycles is not None
+                            else _env_int("COPIER_FLEET_GFD_TIMEOUT", 400_000))
+        self.reply_timeout = reply_timeout_cycles
+        self.max_attempts = max_attempts
+
+        system_kwargs = dict(system_kwargs or {})
+        self.nodes = [FleetNode(i, lambda: System(**system_kwargs),
+                                store_kwargs=store_kwargs)
+                      for i in range(n_nodes)]
+        self.interconnect = Interconnect(latency_cycles=link_latency,
+                                         bytes_per_cycle=link_bpc)
+        for node in self.nodes:
+            self.interconnect.attach(node.node_id, node.env)
+        self.ring = HashRing(range(n_nodes), vnodes=vnodes)
+
+        for src in self.nodes:
+            for dst in self.nodes:
+                if src is dst:
+                    continue
+                channel = Channel(self.interconnect, src, dst)
+                src.wire_peer(dst.node_id, out_channel=channel)
+                dst.wire_peer(src.node_id, in_channel=channel)
+                dst.spawn(self._channel_loop(dst, src.node_id, channel),
+                          name="n%s-rx-%s" % (dst.node_id, src.node_id))
+
+        self.detectors = detectors and n_nodes > 1
+        self.gfd = None
+        self.lfds = []
+        if self.detectors:
+            self.gfd = GlobalFaultDetector(self.ring, self.gfd_timeout,
+                                           on_death=self._on_death)
+            for node in self.nodes:
+                lfd = LocalFaultDetector(node, self.interconnect, self.gfd,
+                                         self.lfd_period, link_latency)
+                self.lfds.append(lfd)
+                node.spawn(lfd.loop(), name="n%s-lfd" % node.node_id)
+
+        self.stepper = FleetStepper(self, self.quantum)
+        self.promotions = []   # (view_id, dead node) in declaration order
+        self._resync_procs = []
+        self.kills = []        # node ids killed through kill_node
+        self.ops_submitted = 0
+        self.ops_acked = 0
+        self.ops_failed = 0
+        self.read_repairs = 0
+        self._op_seq = 0
+
+    # ------------------------------------------------------------ topology
+
+    @property
+    def live_nodes(self):
+        return [node for node in self.nodes if node.alive]
+
+    def node(self, node_id):
+        return self.nodes[node_id]
+
+    def kill_node(self, node_id):
+        """Node-level fault: the machine drops off the interconnect.
+
+        Detection stays organic — the GFD only learns through missed
+        heartbeats, so promotion happens a detection-timeout later.
+        """
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.kill()
+        self.kills.append(node_id)
+
+    def _on_death(self, node_id, view_id):
+        self.promotions.append((view_id, node_id))
+        for node in self.nodes:
+            if node.alive:
+                proc = node.spawn(self._resync(node),
+                                  name="n%s-resync-v%d" % (node.node_id,
+                                                           view_id))
+                self._resync_procs.append(proc)
+
+    @property
+    def resyncs_active(self):
+        """True while any post-promotion re-replication is still running.
+
+        The chaos controller consults this to keep the storm within the
+        replication factor: a second owner must not disappear before
+        the previous membership change finished re-propagating."""
+        self._resync_procs = [p for p in self._resync_procs if p.is_alive]
+        return bool(self._resync_procs)
+
+    # ----------------------------------------------------------- client API
+
+    def submit(self, kind, key, value=None, gateway=None):
+        if gateway is None:
+            live = self.live_nodes
+            if not live:
+                raise FleetUnavailable("no live nodes")
+            gateway = live[0].node_id
+        node = self.nodes[gateway]
+        if not node.alive:
+            raise FleetUnavailable("gateway %r is dead" % (gateway,))
+        op = FleetOp(kind, key, value, gateway)
+        self.ops_submitted += 1
+        node.spawn(self._gateway(op), name="n%s-op-%d" % (gateway,
+                                                          self._next_op_id()))
+        return op
+
+    def set(self, key, value, gateway=None):
+        return self.submit("set", key, value=value, gateway=gateway)
+
+    def get(self, key, gateway=None):
+        return self.submit("get", key, gateway=gateway)
+
+    def run_ops(self, ops, max_rounds=200_000):
+        """Step the fleet until every op in ``ops`` settles."""
+        ops = list(ops)
+        self.stepper.run_until(lambda: all(op.done for op in ops),
+                               max_rounds=max_rounds)
+        return ops
+
+    # ------------------------------------------------------------- op flow
+
+    def _next_op_id(self):
+        self._op_seq += 1
+        return self._op_seq
+
+    def _finish(self, op, node, result, acked=False):
+        op.result = result
+        op.acked = acked
+        op.t_end = node.env.now
+        if acked:
+            self.ops_acked += 1
+        op._settle()
+
+    def _fail(self, op, node, exc):
+        op.error = exc
+        op.t_end = node.env.now
+        self.ops_failed += 1
+        op._settle()
+
+    def _backoff(self, attempt):
+        yield Timeout(min(25_000 * attempt, 150_000))
+
+    def _gateway(self, op):
+        node = self.nodes[op.gateway_id]
+        op.t_start = node.env.now
+        try:
+            while op.attempts < self.max_attempts:
+                op.attempts += 1
+                owners = self.ring.owners(op.key)
+                if not owners:
+                    raise FleetUnavailable("ring is empty")
+                if owners[0] == node.node_id:
+                    try:
+                        if op.kind == "set":
+                            yield from self._serve_set(node, op.key, op.value)
+                            self._finish(op, node, True, acked=True)
+                        else:
+                            value = yield from self._serve_get(node, op.key)
+                            self._finish(op, node, value)
+                        return
+                    except (NotOwner, FleetTimeout):
+                        node.counters["local_retries"] += 1
+                        yield from self._backoff(op.attempts)
+                        continue
+                reply = yield from self._request(
+                    node, owners[0],
+                    MSG_SET if op.kind == "set" else MSG_GET,
+                    op.key, op.value if op.kind == "set" else b"")
+                if reply is None:
+                    node.counters["fwd_timeouts"] += 1
+                    yield from self._backoff(op.attempts)
+                    continue
+                mtype, payload = reply
+                if mtype == ACK_OK:
+                    if op.kind == "set":
+                        self._finish(op, node, True, acked=True)
+                    else:
+                        self._finish(op, node, payload)
+                    return
+                if mtype == ACK_MISS:
+                    self._finish(op, node, None)
+                    return
+                node.counters["fwd_errors"] += 1
+                yield from self._backoff(op.attempts)
+            self._fail(op, node, FleetUnavailable(
+                "%s %r gave up after %d attempts" % (op.kind, op.key,
+                                                     op.attempts)))
+        except (FleetError,) + _COPY_ERRORS as exc:
+            self._fail(op, node, exc)
+
+    # -------------------------------------------------------- server paths
+
+    def _serve_set(self, node, key, value):
+        """Commit + synchronously replicate to every other current owner.
+
+        The owner set is re-read after replication: if a membership
+        change landed mid-op the loop replicates against the new view
+        before acknowledging, so an acked value always lives on the
+        owners a subsequent GET will be routed to.
+        """
+        for _attempt in range(3):
+            owners = self.ring.owners(key)
+            if not owners or owners[0] != node.node_id:
+                raise NotOwner("node %s is not primary for %r"
+                               % (node.node_id, key))
+            yield from node.store.set_op(key, value)
+            node.counters["serve_sets"] += 1
+            for target in owners[1:]:
+                ok = yield from self._replicate(node, target, key, value)
+                if not ok:
+                    raise FleetTimeout("replica ack from %s for %r"
+                                       % (target, key))
+            if self.ring.owners(key) == owners:
+                return
+            node.counters["view_races"] += 1
+        raise FleetTimeout("owner view kept changing for %r" % (key,))
+
+    def _serve_get(self, node, key):
+        owners = self.ring.owners(key)
+        if not owners or owners[0] != node.node_id:
+            raise NotOwner("node %s is not primary for %r"
+                           % (node.node_id, key))
+        value = yield from node.store.get_op(key)
+        node.counters["serve_gets"] += 1
+        if value is None and len(owners) > 1:
+            # Freshly promoted primary racing resync: consult the backup.
+            reply = yield from self._request(node, owners[1], MSG_GET_ANY,
+                                             key, b"")
+            if reply is not None and reply[0] == ACK_OK:
+                value = reply[1]
+                self.read_repairs += 1
+                yield from node.store.set_op(key, value)
+        return value
+
+    def _replicate(self, node, target, key, value):
+        if not self.nodes[target].alive:
+            # Known-dead peer (the membership view just hasn't caught
+            # up): the ack can never come, so don't burn a timeout.
+            return False
+        node.counters["repl_sent"] += 1
+        reply = yield from self._request(node, target, MSG_REPL, key, value)
+        return reply is not None and reply[0] == ACK_OK
+
+    # -------------------------------------------------------- wire plumbing
+
+    def _send_msg(self, node, dst_id, mtype, op_id, key, value=b""):
+        message = encode_msg(mtype, op_id, key, value)
+        lock = node.tx_locks[dst_id]
+        channel = node.channels_out[dst_id]
+        yield from lock.acquire()
+        try:
+            node.store.proc.write(node.tx_bufs[dst_id], message)
+            ok = yield from channel.send(node.store.proc,
+                                         node.tx_bufs[dst_id], len(message))
+        finally:
+            lock.release()
+        node.counters["msgs_out"] += 1
+        return ok
+
+    def _request(self, node, dst_id, mtype, key, value):
+        """Send a request and wait for its ack; ``None`` on timeout."""
+        op_id = self._next_op_id()
+        event = node.env.event()
+        node.pending_replies[op_id] = event
+
+        def expire():
+            pending = node.pending_replies.pop(op_id, None)
+            if pending is not None and not pending.triggered:
+                pending.succeed(None)
+
+        node.env.schedule(self.reply_timeout, expire)
+        ok = yield from self._send_msg(node, dst_id, mtype, op_id, key, value)
+        if not ok:
+            # Dropped at the link: the expiry timer still owns the event.
+            node.counters["msgs_dropped"] += 1
+        reply = yield WaitEvent(event)
+        return reply
+
+    def _channel_loop(self, node, src_id, channel):
+        proc = node.store.proc
+        rx_va = node.rx_bufs[src_id]
+        while True:
+            got = yield from channel.recv(proc, rx_va, MAX_MSG)
+            node.counters["msgs_in"] += 1
+            mtype, op_id, key, value = decode_msg(bytes(proc.read(rx_va,
+                                                                  got)))
+            if mtype in _ACKS:
+                event = node.pending_replies.pop(op_id, None)
+                if event is not None and not event.triggered:
+                    event.succeed((mtype, value))
+            elif mtype == MSG_REPL:
+                node.spawn(self._handle_repl(node, src_id, op_id, key, value),
+                           name="n%s-repl-%d" % (node.node_id, op_id))
+            else:
+                node.spawn(self._handle_fwd(node, src_id, mtype, op_id, key,
+                                            value),
+                           name="n%s-fwd-%d" % (node.node_id, op_id))
+
+    def _reply(self, node, dst_id, op_id, mtype, key, value=b""):
+        yield from self._send_msg(node, dst_id, mtype, op_id, key, value)
+
+    def _handle_fwd(self, node, src_id, mtype, op_id, key, value):
+        try:
+            if mtype == MSG_SET:
+                yield from self._serve_set(node, key, value)
+                reply = (ACK_OK, b"")
+            elif mtype == MSG_GET:
+                got = yield from self._serve_get(node, key)
+                reply = (ACK_OK, got) if got is not None else (ACK_MISS, b"")
+            elif mtype == MSG_GET_ANY:
+                got = yield from node.store.get_op(key)
+                reply = (ACK_OK, got) if got is not None else (ACK_MISS, b"")
+            else:
+                reply = (ACK_ERR, b"badmsg")
+        except NotOwner:
+            reply = (ACK_ERR, b"notowner")
+        except (FleetError,) + _COPY_ERRORS:
+            reply = (ACK_ERR, b"error")
+        yield from self._reply(node, src_id, op_id, reply[0], key, reply[1])
+
+    def _handle_repl(self, node, src_id, op_id, key, value):
+        try:
+            yield from node.store.set_op(key, value)
+        except (FleetError,) + _COPY_ERRORS:
+            yield from self._reply(node, src_id, op_id, ACK_ERR, key,
+                                   b"error")
+            return
+        node.counters["repl_applied"] += 1
+        yield from self._reply(node, src_id, op_id, ACK_OK, key)
+
+    def _resync(self, node):
+        """After a membership change, push primary-owned keys to their
+        (possibly new) backups.  Replica application is idempotent, so
+        re-pushing keys that were already current is harmless.
+
+        Pushes retry (with backoff) until they land, the target dies,
+        or the key moves: an acked value must not sit on a single owner
+        just because a transient partition swallowed its resync — the
+        storm controller holds further kills while this runs.
+        """
+        pushed = 0
+        for key in sorted(node.store.db):
+            while True:
+                owners = self.ring.owners(key)
+                if not owners or owners[0] != node.node_id:
+                    break
+                value = node.store.value_bytes(key)
+                results = []
+                for target in owners[1:]:
+                    if not self.nodes[target].alive:
+                        results.append(True)  # their death gets its own view
+                        continue
+                    results.append((yield from self._replicate(node, target,
+                                                               key, value)))
+                if all(results):
+                    pushed += len(results)
+                    break
+                node.counters["resync_retries"] += 1
+                yield Timeout(100_000)
+        node.counters["resync_pushed"] += pushed
+
+    # -------------------------------------------------------------- audits
+
+    def leaked_pins(self):
+        return sum(node.leaked_pins() for node in self.nodes)
+
+    def shard_map(self, keys):
+        return self.ring.shard_map(keys)
+
+    def snapshot(self):
+        return {
+            "nodes": [node.snapshot() for node in self.nodes],
+            "interconnect": self.interconnect.snapshot(),
+            "gfd": self.gfd.snapshot() if self.gfd is not None else None,
+            "promotions": list(self.promotions),
+            "kills": list(self.kills),
+            "rounds": self.stepper.rounds,
+            "horizon": self.stepper.horizon,
+            "ops": {"submitted": self.ops_submitted,
+                    "acked": self.ops_acked,
+                    "failed": self.ops_failed,
+                    "read_repairs": self.read_repairs},
+        }

@@ -1,0 +1,65 @@
+"""Global fault detector: membership view and backup promotion.
+
+The GFD is control-plane state shared by the whole fleet (nodes
+consult the membership-bearing hash ring directly), so only failure
+*detection* is delayed — there is no per-node view divergence and
+therefore no split-brain.  It is ticked by the fleet stepper at every
+round horizon: heartbeats whose modeled arrival time has passed update
+``last_beat``, then any member silent for longer than
+``timeout_cycles`` is declared dead, removed from the ring (bumping
+``view_id``) and reported through ``on_death`` so the fleet can start
+re-replication.  Declarations happen in sorted node order at a
+deterministic virtual time, which is what makes two fixed-seed runs
+produce identical promotion sequences.
+"""
+
+
+class GlobalFaultDetector:
+    def __init__(self, ring, timeout_cycles, on_death=None):
+        self.ring = ring
+        self.timeout_cycles = timeout_cycles
+        self.on_death = on_death
+        self.view_id = 0
+        self.alive = set(ring.nodes)
+        self.last_beat = {node_id: 0 for node_id in self.alive}
+        self.beats_seen = 0
+        self.deaths = []  # (view_id, node_id, cause, declared_at)
+        self._inbox = []
+
+    def heartbeat(self, node_id, seq, arrival):
+        self._inbox.append((arrival, node_id, seq))
+
+    def tick(self, now):
+        """Ingest delivered heartbeats, then sweep for silent members."""
+        pending = []
+        for beat in self._inbox:
+            arrival, node_id, _seq = beat
+            if arrival <= now:
+                if node_id in self.alive:
+                    self.last_beat[node_id] = max(self.last_beat[node_id],
+                                                  arrival)
+                    self.beats_seen += 1
+            else:
+                pending.append(beat)
+        self._inbox = pending
+        for node_id in sorted(self.alive, key=repr):
+            if now - self.last_beat[node_id] > self.timeout_cycles:
+                self.declare_dead(node_id, "heartbeat-timeout", now)
+
+    def declare_dead(self, node_id, cause, now):
+        if node_id not in self.alive:
+            return
+        self.alive.discard(node_id)
+        self.ring.remove_node(node_id)
+        self.view_id += 1
+        self.deaths.append((self.view_id, node_id, cause, now))
+        if self.on_death is not None:
+            self.on_death(node_id, self.view_id)
+
+    def snapshot(self):
+        return {
+            "view_id": self.view_id,
+            "alive": sorted(self.alive, key=repr),
+            "beats_seen": self.beats_seen,
+            "deaths": list(self.deaths),
+        }

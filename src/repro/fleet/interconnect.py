@@ -1,0 +1,149 @@
+"""The modeled interconnect joining fleet nodes: RDMA-ish links.
+
+Every directed ``(src, dst)`` pair gets its own :class:`Link` with a
+propagation latency, a bandwidth, and a serialization point
+(``busy_until``): back-to-back messages queue behind each other on the
+wire while their latency pipelines.  Transfers are expressed as sim
+events on the *destination* node's environment, which is what lets the
+fleet stepper keep one deterministic virtual clock across machines: as
+long as the stepping quantum never exceeds the smallest link latency,
+a message computed against the sender's clock always lands in the
+receiver's future (see :class:`~repro.fleet.fleet.FleetStepper`).
+
+Faults are first-class: :meth:`Interconnect.partition` drops both
+directions of a pair (counted, never silently), :meth:`slow` scales a
+pair's latency and transfer time, and :meth:`heal` / :meth:`heal_all`
+restore service.  The GFD control plane is addressed as the pseudo
+endpoint :data:`GFD_ENDPOINT` so heartbeat paths partition just like
+data links.
+"""
+
+DEFAULT_LINK_LATENCY = 20_000       # cycles; ~7 µs at 2.9 GHz
+DEFAULT_LINK_BYTES_PER_CYCLE = 16.0  # ~46 GB/s per direction
+
+#: Pseudo node id for the global fault detector's control plane.
+GFD_ENDPOINT = "gfd"
+
+
+class Link:
+    """One directed link's service parameters, fault state and counters."""
+
+    __slots__ = ("src", "dst", "latency_cycles", "bytes_per_cycle",
+                 "partitioned", "slow_factor", "busy_until",
+                 "messages", "bytes_sent", "dropped", "queue_cycles")
+
+    def __init__(self, src, dst, latency_cycles, bytes_per_cycle):
+        self.src = src
+        self.dst = dst
+        self.latency_cycles = latency_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+        self.partitioned = False
+        self.slow_factor = 1.0
+        self.busy_until = 0
+        self.messages = 0
+        self.bytes_sent = 0
+        self.dropped = 0
+        self.queue_cycles = 0
+
+
+class Interconnect:
+    def __init__(self, latency_cycles=DEFAULT_LINK_LATENCY,
+                 bytes_per_cycle=DEFAULT_LINK_BYTES_PER_CYCLE):
+        if latency_cycles < 1:
+            raise ValueError("link latency must be >= 1 cycle")
+        if bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.latency_cycles = latency_cycles
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        self._envs = {}
+        self._links = {}
+
+    def attach(self, node_id, env):
+        self._envs[node_id] = env
+
+    def link(self, src, dst):
+        key = (src, dst)
+        lnk = self._links.get(key)
+        if lnk is None:
+            lnk = self._links[key] = Link(src, dst, self.latency_cycles,
+                                          self.bytes_per_cycle)
+        return lnk
+
+    # -------------------------------------------------------------- faults
+
+    def partition(self, a, b):
+        """Cut both directions between ``a`` and ``b`` (data or control)."""
+        self.link(a, b).partitioned = True
+        self.link(b, a).partitioned = True
+
+    def heal(self, a, b):
+        self.link(a, b).partitioned = False
+        self.link(b, a).partitioned = False
+
+    def is_partitioned(self, a, b):
+        return self.link(a, b).partitioned
+
+    def slow(self, a, b, factor):
+        """Degrade both directions by ``factor`` (latency and transfer)."""
+        if factor < 1.0:
+            raise ValueError("slow factor must be >= 1.0")
+        self.link(a, b).slow_factor = factor
+        self.link(b, a).slow_factor = factor
+
+    def heal_all(self):
+        for lnk in self._links.values():
+            lnk.partitioned = False
+            lnk.slow_factor = 1.0
+
+    # ------------------------------------------------------------ transfer
+
+    def transmit(self, src, dst, payload, deliver):
+        """Ship ``payload`` (bytes) from ``src`` to ``dst``.
+
+        Returns ``False`` (and counts the drop) when the link is
+        partitioned; otherwise schedules ``deliver(payload)`` on the
+        destination environment at the modeled arrival time and returns
+        ``True``.  Arrival is computed on the sender's clock; the
+        ``max(0, ...)`` clamp below is defensive only — with the
+        stepping quantum bounded by the link latency the destination
+        clock can never have passed the arrival time.
+        """
+        lnk = self.link(src, dst)
+        if lnk.partitioned:
+            lnk.dropped += 1
+            return False
+        src_env = self._envs[src]
+        dst_env = self._envs[dst]
+        now = src_env.now
+        start = max(now, lnk.busy_until)
+        wire = int(len(payload) / lnk.bytes_per_cycle * lnk.slow_factor)
+        lnk.busy_until = start + wire
+        arrival = start + wire + int(lnk.latency_cycles * lnk.slow_factor)
+        lnk.messages += 1
+        lnk.bytes_sent += len(payload)
+        lnk.queue_cycles += start - now
+        dst_env.schedule(max(0, arrival - dst_env.now),
+                         lambda: deliver(payload))
+        return True
+
+    # ------------------------------------------------------------- exports
+
+    def snapshot(self):
+        links = {}
+        for (src, dst), lnk in sorted(self._links.items(), key=repr):
+            links["%s->%s" % (src, dst)] = {
+                "messages": lnk.messages,
+                "bytes": lnk.bytes_sent,
+                "dropped": lnk.dropped,
+                "queue_cycles": lnk.queue_cycles,
+                "partitioned": lnk.partitioned,
+                "slow_factor": lnk.slow_factor,
+            }
+        return {
+            "latency_cycles": self.latency_cycles,
+            "bytes_per_cycle": self.bytes_per_cycle,
+            "messages": sum(k.messages for k in self._links.values()),
+            "bytes": sum(k.bytes_sent for k in self._links.values()),
+            "dropped": sum(k.dropped for k in self._links.values()),
+            "links": links,
+        }

@@ -1,0 +1,40 @@
+"""Local fault detector: the per-node heartbeat generator.
+
+Each node runs one LFD process that wakes every ``period_cycles`` and
+reports a sequence-numbered heartbeat to the global fault detector.
+The control path is modeled, not free: the beat arrives
+``control_latency`` cycles later and is suppressed entirely while the
+node's control link to :data:`~repro.fleet.interconnect.GFD_ENDPOINT`
+is partitioned — which is how the chaos campaign manufactures
+false-positive promotions of a perfectly healthy node.
+"""
+
+from repro.fleet.interconnect import GFD_ENDPOINT
+from repro.sim import Timeout
+
+
+class LocalFaultDetector:
+    def __init__(self, node, interconnect, gfd, period_cycles,
+                 control_latency):
+        self.node = node
+        self.interconnect = interconnect
+        self.gfd = gfd
+        self.period_cycles = period_cycles
+        self.control_latency = control_latency
+        self.beats = 0
+        self.suppressed = 0
+
+    def loop(self):
+        seq = 0
+        while True:
+            yield Timeout(self.period_cycles)
+            if not self.node.alive:
+                return
+            if self.interconnect.is_partitioned(self.node.node_id,
+                                                GFD_ENDPOINT):
+                self.suppressed += 1
+                continue
+            self.gfd.heartbeat(self.node.node_id, seq,
+                               self.node.env.now + self.control_latency)
+            self.beats += 1
+            seq += 1

@@ -1,0 +1,129 @@
+"""Cross-node message paths built on the kernel network stack.
+
+A :class:`Channel` is a directed ``src → dst`` datagram path.  The send
+side mirrors :func:`repro.kernel.net.send_body`'s copier mode — trap,
+skb alloc, ``k_amemcpy`` user→kbuf overlapped with protocol work, then
+a driver-side ``csync`` right before the wire — but hands the bytes to
+the :class:`~repro.fleet.interconnect.Interconnect` instead of a local
+peer socket.  The receive side *is* :func:`repro.kernel.net.recv` in
+copier mode against a real :class:`~repro.kernel.net.Socket` on the
+destination system, so skb ownership, kill-safety and KFUNC buffer
+reclaim all come from the proven single-node path.
+
+One skb is one message: the fleet's RPC layer never needs stream
+reassembly, matching the datagram semantics ``recv`` already has.
+"""
+
+from collections import deque
+
+from repro.copier.task import Region
+from repro.kernel.net import SKB, Socket, recv
+from repro.sim import Compute, WaitEvent
+
+#: Per-message ceiling; channel rx/tx buffers are sized to this.
+MAX_MSG = 64 * 1024
+
+
+class SimLock:
+    """A FIFO mutex for simulated processes sharing a buffer.
+
+    ``yield from lock.acquire()`` then ``lock.release()`` in a
+    ``finally``.  Release hands ownership straight to the next waiter,
+    so wake order (and therefore buffer-use order) is deterministic.
+    A waiter killed while queued would swallow the handoff — fleet
+    callers only kill whole nodes, never individual ops, so the lock
+    dies with its environment rather than wedging a live one.
+    """
+
+    __slots__ = ("env", "_held", "_waiters")
+
+    def __init__(self, env):
+        self.env = env
+        self._held = False
+        self._waiters = deque()
+
+    def acquire(self):
+        if not self._held:
+            self._held = True
+            return
+        event = self.env.event()
+        self._waiters.append(event)
+        yield WaitEvent(event)
+
+    def release(self):
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._held = False
+
+
+class Channel:
+    """A directed copy-offloaded message path between two fleet nodes."""
+
+    def __init__(self, interconnect, src_node, dst_node):
+        self.interconnect = interconnect
+        self.src = src_node
+        self.dst = dst_node
+        self.rx_sock = Socket(dst_node.system,
+                              name="ch-%s-%s" % (src_node.node_id,
+                                                 dst_node.node_id))
+        self.sent = 0
+        self.delivered = 0
+
+    def send(self, proc, va, nbytes, client=None):
+        """Transmit ``nbytes`` at ``va``; returns ``False`` on partition.
+
+        The caller may reuse the buffer as soon as this returns: the
+        kbuf copy is csynced before the payload snapshot, exactly like
+        the NIC-TX sync point in ``send_body``.
+        """
+        system = self.src.system
+        params = system.params
+        client = client if client is not None else proc.client
+        yield from proc.trap(client=client)
+        yield Compute(params.skb_alloc_cycles, tag="syscall")
+        kbuf = system.alloc_kernel_buffer(nbytes)
+        try:
+            if (client is not None
+                    and nbytes >= params.copier_kernel_min_bytes):
+                yield from client.k_amemcpy(
+                    Region(proc.aspace, va, nbytes),
+                    Region(system.kernel_as, kbuf, nbytes))
+                yield Compute(params.proto_cycles, tag="syscall")
+                yield from client.csync_region(
+                    Region(system.kernel_as, kbuf, nbytes), queue_kind="k")
+            else:
+                yield from system.sync_copy(
+                    proc, proc.aspace, va, system.kernel_as, kbuf, nbytes,
+                    engine="erms")
+                yield Compute(params.proto_cycles, tag="syscall")
+            payload = bytes(system.kernel_as.read(kbuf, nbytes))
+        finally:
+            system.free_kernel_buffer(kbuf, nbytes)
+        ok = self.interconnect.transmit(self.src.node_id, self.dst.node_id,
+                                        payload, self._deliver)
+        if ok:
+            self.sent += 1
+        yield from proc.sysret(client=client)
+        return ok
+
+    def _deliver(self, payload):
+        """Wire arrival on the destination node (dst env context)."""
+        if not self.dst.alive or self.rx_sock.closed:
+            return  # dropped on the floor: no kbuf was allocated yet
+        system = self.dst.system
+        kbuf = system.alloc_kernel_buffer(len(payload))
+        system.kernel_as.write(kbuf, payload)
+        self.rx_sock.deliver(SKB(kbuf, len(payload)))
+        self.delivered += 1
+
+    def recv(self, proc, va, nbytes, client=None):
+        """Receive one message into ``va`` and csync it ready for parse."""
+        got = yield from recv(self.dst.system, proc, self.rx_sock, va,
+                              nbytes, mode="copier", client=client)
+        client = client if client is not None else proc.client
+        yield from client.csync(va, got)
+        return got
+
+    def close(self):
+        self.rx_sock.close()

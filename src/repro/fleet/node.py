@@ -1,0 +1,108 @@
+"""One fleet node: a whole simulated machine plus its fleet plumbing."""
+
+from collections import defaultdict
+
+from repro.fleet.netpath import MAX_MSG, SimLock
+from repro.fleet.store import KVStore
+
+
+class FleetNode:
+    """A full ``System`` (own env + Copier service) wearing a node id.
+
+    The fleet wires per-peer channels into ``channels_out`` /
+    ``channels_in`` with matching tx/rx buffers; everything the node
+    spawns into its environment is tracked in ``_procs`` so a node kill
+    can interrupt all of it and let ``finally`` cleanup run.
+    """
+
+    def __init__(self, node_id, system_factory, store_kwargs=None):
+        self.node_id = node_id
+        self.system = system_factory()
+        self.env = self.system.env
+        self.store = KVStore(self.system, name="n%s-store" % node_id,
+                             **(store_kwargs or {}))
+        self.alive = True
+        self.channels_out = {}   # peer id -> Channel (we are src)
+        self.channels_in = {}    # peer id -> Channel (we are dst)
+        self.tx_bufs = {}
+        self.tx_locks = {}
+        self.rx_bufs = {}
+        self.pending_replies = {}  # op_id -> Event
+        self.counters = defaultdict(int)
+        self._procs = []
+
+    def wire_peer(self, peer_id, out_channel=None, in_channel=None):
+        proc = self.store.proc
+        if out_channel is not None:
+            self.channels_out[peer_id] = out_channel
+            self.tx_bufs[peer_id] = proc.mmap(
+                MAX_MSG, populate=True,
+                name="n%s-tx-%s" % (self.node_id, peer_id))
+            self.tx_locks[peer_id] = SimLock(self.env)
+        if in_channel is not None:
+            self.channels_in[peer_id] = in_channel
+            self.rx_bufs[peer_id] = proc.mmap(
+                MAX_MSG, populate=True,
+                name="n%s-rx-%s" % (self.node_id, peer_id))
+
+    def spawn(self, generator, name):
+        proc = self.env.spawn(generator, name=name)
+        self._procs.append(proc)
+        if len(self._procs) > 64:
+            self._procs = [p for p in self._procs if p.is_alive]
+        return proc
+
+    def kill(self):
+        """Node death: interrupt everything, reap, release every buffer.
+
+        Kill exceptions land at each process's next resumption, so the
+        environment is stepped locally (the node is about to leave the
+        fleet round-robin) until the interrupted generators have
+        unwound their ``finally`` blocks — that is what frees in-flight
+        kernel buffers.  Then the store process exit-reaps its copier
+        tasks, the aspace tears down, and the rx sockets release any
+        queued skbs.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.kill()
+        for _ in range(64):
+            report = self.env.step(max_events=4096)
+            if all(not p.is_alive for p in self._procs):
+                break
+            if report.executed == 0:
+                break
+        self.system.kill_process(self.store.proc)
+        for channel in self.channels_in.values():
+            channel.close()
+        self.pending_replies.clear()
+
+    def leaked_pins(self):
+        return self.system.leaked_pins()
+
+    def snapshot(self):
+        copier = self.system.copier
+        snap = {
+            "node": self.node_id,
+            "alive": self.alive,
+            "now": self.env.now,
+            "events": self.env.events_executed,
+            "store": self.store.snapshot(),
+            "counters": dict(sorted(self.counters.items())),
+        }
+        if copier is not None:
+            stats = copier.stats_snapshot()
+            snap["copier"] = {
+                "rounds": stats["dispatcher"]["rounds"],
+                "bytes_to_dma": stats["dispatcher"]["bytes_to_dma"],
+                "bytes_to_avx": stats["dispatcher"]["bytes_to_avx"],
+                "outcomes": stats["stages"]["outcomes"],
+            }
+        return snap
+
+    def __repr__(self):
+        return "<FleetNode %s %s>" % (self.node_id,
+                                      "up" if self.alive else "down")

@@ -1,0 +1,99 @@
+"""Consistent-hash sharding of the keyspace across fleet nodes.
+
+The ring hashes with :func:`hashlib.sha1` — never Python's builtin
+``hash()``, whose string seed is randomized per interpreter run and
+would destroy run-to-run determinism.  Each node owns ``vnodes``
+points on the ring; a key's *primary* is the first node clockwise from
+the key's point and its *backup* is the next **distinct** node.  The
+classic consistent-hashing property holds: removing a node only remaps
+keys that node owned (as primary or backup); every other key keeps its
+owners — the property the shard-router test suite locks down.
+"""
+
+import bisect
+import hashlib
+
+
+def _point(data):
+    """Map bytes to a 64-bit ring position, stable across runs."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+def key_point(key):
+    if isinstance(key, str):
+        key = key.encode()
+    return _point(b"key:" + bytes(key))
+
+
+class HashRing:
+    """A consistent-hash ring with an explicit, inspectable shard map."""
+
+    def __init__(self, node_ids=(), vnodes=32):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.nodes = set()
+        self._points = []   # sorted ring positions
+        self._owners = []   # node id at the matching position
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    def _vnode_points(self, node_id):
+        return [_point(b"node:%r:%d" % (node_id, v))
+                for v in range(self.vnodes)]
+
+    def add_node(self, node_id):
+        if node_id in self.nodes:
+            raise ValueError("node %r already on the ring" % (node_id,))
+        self.nodes.add(node_id)
+        for point in self._vnode_points(node_id):
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node_id)
+
+    def remove_node(self, node_id):
+        if node_id not in self.nodes:
+            return
+        self.nodes.discard(node_id)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != node_id]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def owners(self, key, n_replicas=2):
+        """The first ``n_replicas`` distinct nodes clockwise from ``key``.
+
+        Index 0 is the primary, index 1 the backup.  Fewer live nodes
+        than replicas yields a shorter list; an empty ring yields ``[]``.
+        """
+        if not self._points:
+            return []
+        idx = bisect.bisect_right(self._points, key_point(key))
+        owners = []
+        for step in range(len(self._points)):
+            owner = self._owners[(idx + step) % len(self._points)]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == n_replicas:
+                    break
+        return owners
+
+    def primary(self, key):
+        owners = self.owners(key, n_replicas=1)
+        return owners[0] if owners else None
+
+    def backup(self, key):
+        owners = self.owners(key, n_replicas=2)
+        return owners[1] if len(owners) > 1 else None
+
+    def shard_map(self, keys, n_replicas=2):
+        """Explicit ``key -> (owner, ...)`` map for a key set."""
+        return {key: tuple(self.owners(key, n_replicas=n_replicas))
+                for key in keys}
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __repr__(self):
+        return "<HashRing nodes=%d vnodes=%d>" % (len(self.nodes),
+                                                  self.vnodes)

@@ -1,0 +1,105 @@
+"""The per-node KV store engine: one System, copy-offloaded SET/GET.
+
+This is the storage half of the socket frontends factored into a
+fleet-agnostic engine, so the differential suite can run the *same*
+code on a bare :class:`~repro.kernel.system.System` and inside a
+single-node :class:`~repro.fleet.fleet.Fleet` and demand identical
+counters.  A SET lands its payload in the staging buffer (NIC-DMA
+stand-in), ``amemcpy``s it into the arena and ``csync``s to publish; a
+GET copies the stored value into the out buffer and reads it back.
+
+Staging and out buffers are shared across the node's concurrent ops,
+so both op generators hold the store's :class:`SimLock` end to end —
+the csync inside the critical section guarantees the shared buffer is
+quiescent before the next holder writes it.
+"""
+
+import hashlib
+
+from repro.fleet.errors import StoreFull
+from repro.fleet.netpath import MAX_MSG, SimLock
+
+_ALIGN = 4096
+
+
+class KVStore:
+    def __init__(self, system, name="store", staging_bytes=MAX_MSG,
+                 arena_bytes=4 * 1024 * 1024, queue_capacity=2048):
+        self.system = system
+        self.name = name
+        self.proc = system.create_process(name, queue_capacity=queue_capacity)
+        self.client = self.proc.client
+        self.staging = self.proc.mmap(staging_bytes, populate=True,
+                                      name=name + "-staging")
+        self.out = self.proc.mmap(staging_bytes, populate=True,
+                                  name=name + "-out")
+        self.staging_bytes = staging_bytes
+        self.arena = self.proc.mmap(arena_bytes, name=name + "-arena")
+        self.arena_bytes = arena_bytes
+        self._cursor = 0
+        self.lock = SimLock(system.env)
+        self.db = {}  # key -> (va, length)
+        self.sets = 0
+        self.gets = 0
+        self.misses = 0
+
+    def _alloc(self, length):
+        aligned = (length + _ALIGN - 1) & ~(_ALIGN - 1)
+        if self._cursor + aligned > self.arena_bytes:
+            raise StoreFull("%s arena exhausted at %d bytes"
+                            % (self.name, self._cursor))
+        va = self.arena + self._cursor
+        self._cursor += aligned
+        return va
+
+    def set_op(self, key, value):
+        """Commit ``key = value`` through the copy path (generator)."""
+        if len(value) > self.staging_bytes:
+            raise StoreFull("value of %d bytes exceeds staging" % len(value))
+        yield from self.lock.acquire()
+        try:
+            self.proc.write(self.staging, value)
+            existing = self.db.get(key)
+            if existing is not None and existing[1] == len(value):
+                va = existing[0]  # same-size slot reuse
+            else:
+                va = self._alloc(len(value))
+            yield from self.client.amemcpy(va, self.staging, len(value))
+            yield from self.client.csync(va, len(value))
+            self.db[key] = (va, len(value))
+            self.sets += 1
+        finally:
+            self.lock.release()
+
+    def get_op(self, key):
+        """Read ``key`` through the copy path; returns bytes or ``None``."""
+        self.gets += 1
+        entry = self.db.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        yield from self.lock.acquire()
+        try:
+            va, length = entry
+            yield from self.client.amemcpy(self.out, va, length)
+            yield from self.client.csync(self.out, length)
+            return bytes(self.proc.read(self.out, length))
+        finally:
+            self.lock.release()
+
+    def value_bytes(self, key):
+        """Raw arena read (resync/audit paths; no simulated cost)."""
+        va, length = self.db[key]
+        return bytes(self.proc.read(va, length))
+
+    def digest(self):
+        """Order-independent content hash of the whole store."""
+        h = hashlib.sha1()
+        for key in sorted(self.db):
+            h.update(repr(key).encode())
+            h.update(self.value_bytes(key))
+        return h.hexdigest()
+
+    def snapshot(self):
+        return {"keys": len(self.db), "sets": self.sets, "gets": self.gets,
+                "misses": self.misses, "arena_used": self._cursor}

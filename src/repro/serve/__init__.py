@@ -12,6 +12,7 @@ Layering::
 
 from repro.serve.driver import AsyncSession, PendingOp, ServeStats, SimDriver
 from repro.serve.facade import AsyncCopier
+from repro.serve.fleetfront import FleetDriver, FleetRedisServer
 from repro.serve.frontends import (
     MemcachedSocketServer,
     RedisSocketServer,
@@ -21,6 +22,7 @@ from repro.serve.pacing import (
     FreeRunning,
     LockstepGate,
     PacingPolicy,
+    PacingSpecError,
     WallClockRatio,
     make_pacing,
 )
@@ -28,10 +30,13 @@ from repro.serve.pacing import (
 __all__ = [
     "AsyncCopier",
     "AsyncSession",
+    "FleetDriver",
+    "FleetRedisServer",
     "FreeRunning",
     "LockstepGate",
     "MemcachedSocketServer",
     "PacingPolicy",
+    "PacingSpecError",
     "PendingOp",
     "RedisSocketServer",
     "ServeStats",

@@ -41,6 +41,20 @@ import os
 DEFAULT_CYCLES_PER_SECOND = 2.9e9
 
 
+class PacingSpecError(ValueError):
+    """A pacing spec string failed to parse.
+
+    Raised with the offending spec for unknown policy names, malformed
+    or non-positive ``ratio:<cycles_per_s>`` arguments.  Subclasses
+    ``ValueError`` so pre-existing callers keep working.
+    """
+
+    def __init__(self, spec, reason):
+        super().__init__("bad pacing spec %r: %s" % (spec, reason))
+        self.spec = spec
+        self.reason = reason
+
+
 class PacingPolicy:
     """Base: shared knobs for the driver's stepping loop."""
 
@@ -100,6 +114,14 @@ def make_pacing(spec=None):
         return LockstepGate()
     if name == "ratio":
         if arg:
-            return WallClockRatio(cycles_per_second=float(arg))
+            try:
+                rate = float(arg)
+            except ValueError:
+                raise PacingSpecError(
+                    spec, "ratio argument %r is not a number" % arg) from None
+            if rate <= 0:
+                raise PacingSpecError(
+                    spec, "cycles_per_second must be positive, got %g" % rate)
+            return WallClockRatio(cycles_per_second=rate)
         return WallClockRatio()
-    raise ValueError("unknown pacing policy %r (free/ratio/gate)" % spec)
+    raise PacingSpecError(spec, "unknown policy %r (free/ratio/gate)" % name)

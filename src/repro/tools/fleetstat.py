@@ -1,0 +1,125 @@
+"""FleetStat: run a seeded fleet chaos campaign and report how it held.
+
+CI's fleet-soak job runs this after ``tests/fleet`` and uploads the
+output as an artifact: the node-level fault log (kills, partitions,
+slow links), every backup promotion, per-stream client outcomes, the
+per-node store digests and copier counters, and the verdict of the
+zero-lost-acknowledged-writes audit.  A non-zero exit means the fleet
+lost an acknowledged write, leaked a page pin, or failed to reproduce
+itself under ``--check-determinism``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.fleetstat [--seed 0]
+        [--nodes 4] [--streams 6] [--ops 12] [--events 10]
+        [--check-determinism] [--json]
+
+``--seed`` defaults to ``COPIER_FLEET_SEED`` (falling back to 0).  The
+fleet arms ``COPIER_FAULT_PLAN``/``COPIER_FAULT_SEED`` from the
+environment on every node's Copier service, so the soak job can layer
+engine-level fault injection under the node-level storm with no extra
+flags here.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.fleet.chaos import fleet_determinism_fingerprint, run_fleet_campaign
+
+
+def render(result):
+    lines = []
+    out = lines.append
+    out("fleetstat: seed=%d nodes=%d events=%d kills=%d promotions=%d "
+        "rounds=%d" % (result["seed"], result["n_nodes"],
+                       len(result["events"]), result["kills"],
+                       len(result["promotions"]), result["rounds"]))
+    for tick, kind, target in result["events"]:
+        out("  tick %-4d %-14s %s" % (tick, kind, target))
+    for view, node_id in result["promotions"]:
+        out("  view %-3d promoted around dead node %s" % (view, node_id))
+    ops = result["ops"]
+    out("  ops: %d submitted, %d acked, %d failed, %d read repairs" % (
+        ops["submitted"], ops["acked"], ops["failed"], ops["read_repairs"]))
+    for sid, stream in sorted(result["streams"].items()):
+        out("  stream %-2d ops=%-3d acked=%-3d failed=%-2d abandoned=%-2d "
+            "gets=%d" % (sid, stream["ops_done"], stream["acked"],
+                         stream["failed"], stream["abandoned"],
+                         stream["gets_checked"]))
+    net = result["interconnect"]
+    out("  interconnect: %d messages, %d bytes, %d dropped" % (
+        net["messages"], net["bytes"], net["dropped"]))
+    for snap in result["nodes"]:
+        copier = snap.get("copier") or {}
+        out("  node %-3s %-4s keys=%-3d events=%-7d copier_rounds=%s" % (
+            snap["node"], "up" if snap["alive"] else "DEAD",
+            snap["store"]["keys"], snap["events"],
+            copier.get("rounds", "-")))
+    out("  audit: %d keys audited, %d lost acked writes, %d pins leaked" % (
+        result["audited_keys"], len(result["lost_acked"]),
+        result["leaked_pins"]))
+    return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, bytes):
+        return value.decode("latin-1")
+    if isinstance(value, dict):
+        return {_jsonable(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="fleetstat", description=__doc__.split("\n\n")[0])
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("COPIER_FLEET_SEED", "0")))
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--streams", type=int, default=6)
+    parser.add_argument("--ops", type=int, default=12,
+                        help="operations per client stream")
+    parser.add_argument("--events", type=int, default=10,
+                        help="node-level chaos events to schedule")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the campaign twice and require identical "
+                             "events, promotions, counters and digests")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw result dict as JSON instead of "
+                             "the human-readable summary")
+    args = parser.parse_args(argv)
+
+    result = run_fleet_campaign(seed=args.seed, n_nodes=args.nodes,
+                                n_streams=args.streams, n_ops=args.ops,
+                                n_events=args.events)
+    if args.json:
+        print(json.dumps(_jsonable(result), indent=2, sort_keys=True))
+    else:
+        print(render(result))
+
+    failures = list(result["failures"])
+    if args.check_determinism:
+        rerun = run_fleet_campaign(seed=args.seed, n_nodes=args.nodes,
+                                   n_streams=args.streams, n_ops=args.ops,
+                                   n_events=args.events)
+        if (fleet_determinism_fingerprint(result)
+                != fleet_determinism_fingerprint(rerun)):
+            failures.append("fleet campaign is not deterministic for seed %d"
+                            % args.seed)
+        else:
+            print("determinism: re-run reproduced the campaign exactly")
+
+    for failure in failures:
+        print("FAIL: %s" % failure)
+    if not failures:
+        print("OK: zero lost acknowledged writes across %d events "
+              "(%d kills) on seed %d"
+              % (len(result["events"]), result["kills"], result["seed"]))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Differential suite: a single-node fleet IS the bare-System path.
+
+The same op script runs twice — once through ``KVStore`` on a bare
+:class:`~repro.kernel.system.System` stepped in fleet-sized quanta, and
+once through a one-node :class:`~repro.fleet.fleet.Fleet` — and every
+counter both sides share must be identical: virtual clock, events
+executed, store content digest and counters, client copy bytes, and
+the copier service's full ``stats_snapshot()`` (minus the volatile
+clock keys).  This pins the fleet wrapping (gateway generators, ring
+lookups, op settling) to zero simulated cost: sharding is pure
+control-plane.
+"""
+
+from repro.fleet import Fleet, KVStore
+from repro.kernel.system import System
+
+QUANTUM = 20_000
+
+
+def _script():
+    ops = []
+    for i in range(6):
+        key = b"diff-k%d" % (i % 3)
+        ops.append(("set", key, bytes([i + 1]) * (3000 + 512 * i)))
+        ops.append(("get", key, None))
+    ops.append(("get", b"missing", None))
+    return ops
+
+
+def _scrub(value):
+    """Drop volatile wall/virtual-clock keys from a nested snapshot."""
+    if isinstance(value, dict):
+        return {k: _scrub(v) for k, v in value.items() if k != "now"}
+    if isinstance(value, list):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def _run_fleet():
+    fleet = Fleet(n_nodes=1, detectors=False)
+    node = fleet.nodes[0]
+    results = []
+    for kind, key, value in _script():
+        op = (fleet.set(key, value) if kind == "set"
+              else fleet.get(key))
+        fleet.run_ops([op])
+        assert op.error is None
+        results.append(op.result)
+    return node.system, node.store, results
+
+
+def _run_bare():
+    system = System()
+    store = KVStore(system, name="n0-store")
+    env = system.env
+    results = []
+    horizon = 0
+    for kind, key, value in _script():
+        out = []
+
+        def runner(kind=kind, key=key, value=value, out=out):
+            if kind == "set":
+                yield from store.set_op(key, value)
+                out.append(True)
+            else:
+                out.append((yield from store.get_op(key)))
+
+        env.spawn(runner(), name="bare-op")
+        while not out:
+            horizon += QUANTUM
+            env.step(max_cycles=horizon - env.now)
+        results.append(out[0])
+    return system, store, results
+
+
+def test_single_node_fleet_is_counter_identical_to_bare_system():
+    f_system, f_store, f_results = _run_fleet()
+    b_system, b_store, b_results = _run_bare()
+
+    # Byte-identical data plane.
+    assert f_results == b_results
+    assert f_store.digest() == b_store.digest()
+    assert f_store.snapshot() == b_store.snapshot()
+
+    # Counter-identical simulation: the fleet wrapper added zero
+    # simulated work.
+    assert f_system.env.now == b_system.env.now
+    assert f_system.env.events_executed == b_system.env.events_executed
+    assert (f_store.client.stats.bytes_copied
+            == b_store.client.stats.bytes_copied)
+    assert (_scrub(f_system.copier.stats_snapshot())
+            == _scrub(b_system.copier.stats_snapshot()))
+
+    # Clean teardown on both sides.
+    assert f_system.leaked_pins() == 0
+    assert b_system.leaked_pins() == 0
+    assert f_system.copier.shutdown()["drained"]
+    assert b_system.copier.shutdown()["drained"]
+
+
+def test_single_node_fleet_acks_and_misses():
+    fleet = Fleet(n_nodes=1, detectors=False)
+    set_op = fleet.set(b"k", b"v" * 4096)
+    fleet.run_ops([set_op])
+    get_hit = fleet.get(b"k")
+    get_miss = fleet.get(b"other")
+    fleet.run_ops([get_hit, get_miss])
+    assert set_op.acked and set_op.result is True
+    assert get_hit.result == b"v" * 4096
+    assert get_miss.result is None and get_miss.error is None
+    assert set_op.latency_cycles > 0
+    assert fleet.leaked_pins() == 0

@@ -1,0 +1,93 @@
+"""The modeled interconnect: latency, bandwidth, queuing, faults."""
+
+import pytest
+
+from repro.fleet.interconnect import Interconnect
+from repro.sim import Environment
+
+
+def _pair(latency=1000, bpc=16.0):
+    net = Interconnect(latency_cycles=latency, bytes_per_cycle=bpc)
+    envs = {"a": Environment(), "b": Environment()}
+    for node_id, env in envs.items():
+        net.attach(node_id, env)
+    return net, envs
+
+
+def test_delivery_time_is_wire_plus_latency():
+    net, envs = _pair(latency=1000, bpc=16.0)
+    arrivals = []
+    payload = b"x" * 1600  # wire time = 1600/16 = 100 cycles
+    assert net.transmit("a", "b", payload,
+                        lambda p: arrivals.append(envs["b"].now))
+    envs["b"].step(max_cycles=10_000)
+    assert arrivals == [1100]
+
+
+def test_back_to_back_messages_queue_on_the_wire():
+    net, envs = _pair(latency=1000, bpc=16.0)
+    arrivals = []
+    payload = b"x" * 1600  # 100 cycles of wire time each
+    for _ in range(3):
+        net.transmit("a", "b", payload, lambda p: arrivals.append(
+            envs["b"].now))
+    envs["b"].step(max_cycles=10_000)
+    # Serialization: each message waits for the previous transfer, while
+    # propagation latency pipelines.
+    assert arrivals == [1100, 1200, 1300]
+    lnk = net.link("a", "b")
+    assert lnk.messages == 3
+    assert lnk.bytes_sent == 4800
+    assert lnk.queue_cycles == 100 + 200
+
+
+def test_partition_drops_and_counts():
+    net, envs = _pair()
+    delivered = []
+    net.partition("a", "b")
+    assert net.is_partitioned("a", "b") and net.is_partitioned("b", "a")
+    assert not net.transmit("a", "b", b"payload", delivered.append)
+    assert not net.transmit("b", "a", b"payload", delivered.append)
+    envs["a"].step(max_cycles=10_000)
+    envs["b"].step(max_cycles=10_000)
+    assert delivered == []
+    assert net.link("a", "b").dropped == 1
+    assert net.link("b", "a").dropped == 1
+    net.heal("a", "b")
+    assert net.transmit("a", "b", b"payload", delivered.append)
+    envs["b"].step(max_cycles=10_000)
+    assert delivered == [b"payload"]
+
+
+def test_slow_scales_latency_and_transfer():
+    net, envs = _pair(latency=1000, bpc=16.0)
+    net.slow("a", "b", 4.0)
+    arrivals = []
+    net.transmit("a", "b", b"x" * 1600, lambda p: arrivals.append(
+        envs["b"].now))
+    envs["b"].step(max_cycles=20_000)
+    assert arrivals == [4 * 100 + 4 * 1000]
+    net.heal_all()
+    assert net.link("a", "b").slow_factor == 1.0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        Interconnect(latency_cycles=0)
+    with pytest.raises(ValueError):
+        Interconnect(bytes_per_cycle=0)
+    net, _envs = _pair()
+    with pytest.raises(ValueError):
+        net.slow("a", "b", 0.5)
+
+
+def test_snapshot_aggregates_links():
+    net, envs = _pair()
+    net.transmit("a", "b", b"x" * 64, lambda p: None)
+    net.partition("a", "b")
+    net.transmit("a", "b", b"x" * 64, lambda p: None)
+    snap = net.snapshot()
+    assert snap["messages"] == 1
+    assert snap["bytes"] == 64
+    assert snap["dropped"] == 1
+    assert snap["links"]["a->b"]["partitioned"] is True

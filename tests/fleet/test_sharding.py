@@ -1,0 +1,97 @@
+"""Property tests for the consistent-hash shard router.
+
+Randomized over seeded key sets and ring sizes: every key maps to
+exactly one primary plus one *distinct* backup, owners are always ring
+members, insertion order never matters, and removing a node only
+remaps keys that node owned — the monotone consistent-hashing property
+the fleet's promotion protocol depends on.
+"""
+
+import random
+
+import pytest
+
+from repro.fleet.sharding import HashRing, key_point
+
+SEEDS = [0, 1, 2]
+
+
+def _keys(rng, n=200):
+    return [("key-%d-%d" % (rng.randrange(10**6), i)).encode()
+            for i in range(n)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n_nodes", [2, 3, 5, 8])
+def test_every_key_has_one_primary_and_a_distinct_backup(seed, n_nodes):
+    rng = random.Random(("shard-prop", seed, n_nodes).__repr__())
+    ring = HashRing(range(n_nodes))
+    for key in _keys(rng):
+        owners = ring.owners(key)
+        assert len(owners) == 2
+        primary, backup = owners
+        assert primary != backup
+        assert primary in ring.nodes and backup in ring.nodes
+        assert ring.primary(key) == primary
+        assert ring.backup(key) == backup
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_removing_a_node_only_remaps_its_own_keys(seed):
+    rng = random.Random(("shard-remove", seed).__repr__())
+    n_nodes = rng.choice([3, 4, 6])
+    ring = HashRing(range(n_nodes))
+    keys = _keys(rng)
+    before = ring.shard_map(keys)
+    victim = rng.randrange(n_nodes)
+    ring.remove_node(victim)
+    after = ring.shard_map(keys)
+    for key in keys:
+        if victim not in before[key]:
+            # Monotone: a key the victim never owned keeps its owners.
+            assert after[key] == before[key], key
+        else:
+            assert victim not in after[key]
+            # The survivor of the old pair is still an owner.
+            survivors = [n for n in before[key] if n != victim]
+            assert set(survivors) <= set(after[key])
+
+
+def test_single_node_ring_has_no_backup():
+    ring = HashRing([7])
+    assert ring.owners(b"anything") == [7]
+    assert ring.primary(b"anything") == 7
+    assert ring.backup(b"anything") is None
+
+
+def test_empty_ring_owns_nothing():
+    ring = HashRing()
+    assert ring.owners(b"k") == []
+    assert ring.primary(b"k") is None
+
+
+def test_insertion_order_does_not_matter():
+    a = HashRing([0, 1, 2, 3])
+    b = HashRing([3, 1, 0, 2])
+    keys = [b"k%d" % i for i in range(100)]
+    assert a.shard_map(keys) == b.shard_map(keys)
+
+
+def test_duplicate_node_rejected():
+    ring = HashRing([0, 1])
+    with pytest.raises(ValueError):
+        ring.add_node(1)
+
+
+def test_remove_then_readd_restores_the_map():
+    ring = HashRing(range(4))
+    keys = [b"key-%d" % i for i in range(100)]
+    before = ring.shard_map(keys)
+    ring.remove_node(2)
+    ring.add_node(2)
+    assert ring.shard_map(keys) == before
+
+
+def test_key_point_is_stable_and_type_tolerant():
+    assert key_point("alpha") == key_point(b"alpha")
+    assert key_point(b"alpha") != key_point(b"beta")

@@ -1,0 +1,81 @@
+"""``CopierService.shutdown`` wedge detection inside a fleet node.
+
+A node whose copier workers are wedged while a fleet peer holds the
+link (partitioned interconnect, a forwarded request stuck in its
+retry/timeout loop) must still shut down in bounded steps: the drain
+loop detects that the environment stopped making progress, force-reaps
+the stragglers, reports ``drained=False`` — and emits ``ServiceDrained``
+exactly once, with zero leaked pins.
+"""
+
+from repro.fleet import Fleet
+from repro.sim.trace import ServiceDrained
+
+DEADLINE = 10**9
+
+
+def test_shutdown_breaks_wedge_with_peer_holding_the_link():
+    fleet = Fleet(n_nodes=2, detectors=False)
+    node = fleet.nodes[0]
+    service = node.system.copier
+
+    # Healthy warm-up: one committed, replicated write.
+    warm = fleet.set(b"wedge-warm", b"w" * 4096, gateway=0)
+    fleet.run_ops([warm])
+    assert warm.acked
+
+    # The peer now "holds the link": both directions partition, and a
+    # forwarded op wedges in its retry/timeout loop on node 0.
+    fleet.interconnect.partition(0, 1)
+    remote_key = next(k for k in (b"wk-%d" % i for i in range(256))
+                      if fleet.ring.primary(k) == 1)
+    stuck = fleet.set(remote_key, b"s" * 512, gateway=0)
+    for _ in range(3):
+        fleet.stepper.step_round()
+    assert not stuck.done
+
+    # The workers stop — the model of copier threads wedged on the
+    # dead link — and then a local copy is queued behind them: it can
+    # never drain on its own.
+    service.stop()
+
+    def local_copy():
+        yield from node.store.client.amemcpy(node.store.arena,
+                                             node.store.staging, 8192)
+
+    node.env.spawn(local_copy(), name="wedge-local-copy")
+    node.env.step(max_events=64)  # submission lands in the queue
+
+    drained_events = []
+    node.env.trace.subscribe(
+        lambda ev: drained_events.append(ev)
+        if isinstance(ev, ServiceDrained) else None)
+
+    report = service.shutdown(deadline=DEADLINE)
+
+    # Wedge break: bounded steps, nowhere near the deadline.
+    assert report["cycles"] < DEADLINE // 10
+    assert not report["drained"]
+    assert report["force_reaped"] >= 1
+    assert report["leaked_pins"] == 0
+    assert len(drained_events) == 1
+    event = drained_events[0]
+    assert event.drained is False
+    assert event.force_reaped == report["force_reaped"]
+
+    # Idempotent: a second shutdown returns the same report and does
+    # not emit a second ServiceDrained.
+    assert service.shutdown(deadline=1) is report
+    assert len(drained_events) == 1
+    assert node.system.leaked_pins() == 0
+
+
+def test_clean_fleet_shutdown_reports_drained():
+    fleet = Fleet(n_nodes=2, detectors=False)
+    op = fleet.set(b"clean-k", b"c" * 4096, gateway=0)
+    fleet.run_ops([op])
+    for node in fleet.nodes:
+        report = node.system.copier.shutdown(deadline=DEADLINE)
+        assert report["drained"]
+        assert report["force_reaped"] == 0
+        assert report["leaked_pins"] == 0

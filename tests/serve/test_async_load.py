@@ -6,9 +6,12 @@ calibrated against a healthy machine (the perf-baseline harness disarms
 the fault knobs the same way).
 """
 
+import asyncio
+
 import pytest
 
-from repro.bench.async_load import main, run_async_load
+from repro.apps.common import HEADER_LEN, KEY_LEN, decode_header
+from repro.bench.async_load import _client, main, run_async_load
 
 pytestmark = pytest.mark.faultfree
 
@@ -45,3 +48,67 @@ def test_async_load_cli_smoke(capsys):
     out = capsys.readouterr().out
     assert "async_load: 4 clients" in out
     assert "leaked pins 0" in out
+
+
+async def _toy_server(serve_pairs, abort_mid_reply=False):
+    """A minimal Redis-framing server that serves ``serve_pairs``
+    SET+GET pairs per connection and then abruptly drops the socket —
+    modeling a server tearing connections down during shutdown."""
+    db = {}
+
+    async def handle(reader, writer):
+        await reader.readexactly(4)  # hello
+        try:
+            for _ in range(serve_pairs * 2):
+                meta = await reader.readexactly(HEADER_LEN + KEY_LEN)
+                op, key, value_len = decode_header(meta)
+                if op == "SET":
+                    db[bytes(key)] = await reader.readexactly(value_len)
+                    writer.write(b"+" + (0).to_bytes(8, "little"))
+                else:
+                    val = db[bytes(key)]
+                    writer.write(b"+" + len(val).to_bytes(8, "little") + val)
+                await writer.drain()
+            if abort_mid_reply:
+                # One more request gets a truncated reply: status byte
+                # only, then the connection dies.
+                await reader.readexactly(HEADER_LEN + KEY_LEN)
+                writer.write(b"+")
+                await writer.drain()
+        except asyncio.IncompleteReadError:
+            pass
+        writer.transport.abort()  # RST, not FIN: a hard reset
+
+    return await asyncio.start_server(handle, "127.0.0.1", 0)
+
+
+def test_post_verification_disconnect_is_benign():
+    """A reset after every received byte was verified is not a failure."""
+    async def go():
+        server = await _toy_server(serve_pairs=1)
+        port = server.sockets[0].getsockname()[1]
+        errors, resets = [], []
+        # The client wants 3 pairs but the server hangs up after 1: the
+        # drop lands at a reply boundary, with 2 requests verified.
+        verified = await _client(port, 0, 3, 4096, errors, resets)
+        server.close()
+        await server.wait_closed()
+        assert errors == []
+        assert len(resets) == 1 and "after 2 verified" in resets[0]
+        assert verified == 2
+    asyncio.run(go())
+
+
+def test_mid_reply_truncation_is_still_a_failure():
+    """A reset that truncates a reply mid-read keeps failing the audit."""
+    async def go():
+        server = await _toy_server(serve_pairs=1, abort_mid_reply=True)
+        port = server.sockets[0].getsockname()[1]
+        errors, resets = [], []
+        verified = await _client(port, 0, 3, 4096, errors, resets)
+        server.close()
+        await server.wait_closed()
+        assert resets == []
+        assert len(errors) == 1 and "mid-reply" in errors[0]
+        assert verified == 2
+    asyncio.run(go())

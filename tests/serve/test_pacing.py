@@ -1,0 +1,72 @@
+"""Pacing spec parsing: policy selection, env fallback, typed errors."""
+
+import pytest
+
+from repro.serve.pacing import (
+    DEFAULT_CYCLES_PER_SECOND,
+    FreeRunning,
+    LockstepGate,
+    PacingSpecError,
+    WallClockRatio,
+    make_pacing,
+)
+
+
+def test_named_policies_parse():
+    assert isinstance(make_pacing("free"), FreeRunning)
+    assert isinstance(make_pacing("gate"), LockstepGate)
+    ratio = make_pacing("ratio")
+    assert isinstance(ratio, WallClockRatio)
+    assert ratio.cycles_per_second == DEFAULT_CYCLES_PER_SECOND
+    assert not ratio.deterministic
+    assert make_pacing("gate").deterministic
+
+
+def test_ratio_argument_parses_and_floats():
+    assert make_pacing("ratio:1000").cycles_per_second == 1000.0
+    assert make_pacing("ratio:2.5e6").cycles_per_second == 2.5e6
+
+
+def test_policy_instance_passes_through():
+    policy = LockstepGate()
+    assert make_pacing(policy) is policy
+
+
+def test_none_consults_environment(monkeypatch):
+    monkeypatch.setenv("COPIER_PACING", "gate")
+    assert isinstance(make_pacing(None), LockstepGate)
+    monkeypatch.delenv("COPIER_PACING")
+    assert isinstance(make_pacing(None), FreeRunning)
+
+
+def test_unknown_policy_raises_typed_error():
+    with pytest.raises(PacingSpecError) as exc_info:
+        make_pacing("warp")
+    err = exc_info.value
+    assert err.spec == "warp"
+    assert "free/ratio/gate" in err.reason
+    # Compatibility: the typed error is still a ValueError.
+    assert isinstance(err, ValueError)
+
+
+def test_bad_ratio_value_raises_typed_error():
+    with pytest.raises(PacingSpecError) as exc_info:
+        make_pacing("ratio:fast")
+    assert exc_info.value.spec == "ratio:fast"
+    assert "not a number" in exc_info.value.reason
+
+
+@pytest.mark.parametrize("spec", ["ratio:0", "ratio:-2.9e9"])
+def test_non_positive_ratio_raises_typed_error(spec):
+    with pytest.raises(PacingSpecError) as exc_info:
+        make_pacing(spec)
+    assert "positive" in exc_info.value.reason
+
+
+def test_bad_env_spec_raises_typed_error(monkeypatch):
+    monkeypatch.setenv("COPIER_PACING", "ratio:")
+    # "ratio:" has an empty argument: that is the default-rate form.
+    assert isinstance(make_pacing(None), WallClockRatio)
+    monkeypatch.setenv("COPIER_PACING", "turbo")
+    with pytest.raises(PacingSpecError):
+        make_pacing(None)
