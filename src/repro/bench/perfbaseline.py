@@ -170,6 +170,62 @@ def _scenario_fleet_failover(n_nodes=3, n_streams=4, n_ops=10,
     return run
 
 
+def _scenario_fleet_restart_recovery(n_nodes=4, n_keys=24,
+                                     value_bytes=8 * 1024):
+    """Kill → declare → restart → rejoin, measured end to end.
+
+    The victim's recovery time (restart to resync-drained, the fleet's
+    MTTR) is the headline sim-side number; the scenario also pins the
+    disk-replay and delta-resync counters so a regression in either
+    shows up as a strict-sim diff.
+    """
+    def run(recorder):
+        from repro.fleet import Fleet
+
+        fleet = Fleet(n_nodes=n_nodes, link_latency_cycles=20_000,
+                      link_bytes_per_cycle=16.0, lfd_period_cycles=100_000,
+                      gfd_timeout_cycles=400_000, ckpt_period=64)
+        keys = [b"r-k%d" % i for i in range(n_keys)]
+        sim_bytes = 0
+        ops = []
+        for i, key in enumerate(keys):
+            value = bytes([(i * 37) % 251]) * value_bytes
+            sim_bytes += value_bytes
+            ops.append(fleet.set(key, value))
+        fleet.run_ops(ops)
+        victim = n_nodes - 1
+        fleet.kill_node(victim)
+        fleet.stepper.run_until(
+            lambda: any(n == victim for _v, n in fleet.promotions))
+        # Half the keys move forward while the victim is down, so the
+        # rejoin has a real delta to push, not just a no-op handshake.
+        ops = []
+        for i, key in enumerate(keys[:n_keys // 2]):
+            value = bytes([(i * 41 + 1) % 251]) * value_bytes
+            sim_bytes += value_bytes
+            ops.append(fleet.set(key, value))
+        fleet.run_ops(ops)
+        fleet.stepper.run_until(lambda: not fleet.resyncs_active)
+
+        node = fleet.restart_node(victim)
+        fleet.stepper.run_until(lambda: not fleet.recovering_nodes
+                                and not fleet.resyncs_active)
+        gets = fleet.run_ops([fleet.get(key) for key in keys])
+        if any(op.error is not None or op.result is None for op in gets):
+            raise RuntimeError("restart recovery lost data")
+        if fleet.leaked_pins():
+            raise RuntimeError("fleet leaked page pins")
+        recorder["sim_bytes"] = sim_bytes
+        recorder["requests"] = len(keys) + n_keys // 2 + len(gets)
+        recorder["promotions"] = len(fleet.promotions)
+        recorder["restarts"] = len(fleet.restarts)
+        recorder["recovered_keys"] = node.counters["recovered_keys"]
+        recorder["rejoin_pushed"] = sum(
+            peer.counters.get("rejoin_pushed", 0) for peer in fleet.nodes)
+        recorder["mttr_cycles"] = node.counters["recovery_cycles"]
+    return run
+
+
 def scenario_suite():
     """Ordered (name, runner) pairs; names are the CI diff keys."""
     return [
@@ -180,6 +236,7 @@ def scenario_suite():
         ("overload_burst_2x", _scenario_overload(2.0)),
         ("async_redis_1k_gate", _scenario_async_load(1000, 2, 4096)),
         ("fleet_failover", _scenario_fleet_failover()),
+        ("fleet_restart_recovery", _scenario_fleet_restart_recovery()),
     ]
 
 
@@ -284,7 +341,7 @@ def run_suite(repeat=3, quick=False, names=None):
     _install_interposers()
     saved = {}
     for knob in ("COPIER_FAULT_PLAN", "COPIER_FAULT_SEED",
-                 "COPIER_ADMISSION"):
+                 "COPIER_ADMISSION", "COPIER_CKPT_PERIOD"):
         saved[knob] = os.environ.pop(knob, None)
     try:
         results = {}

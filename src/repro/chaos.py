@@ -43,7 +43,7 @@ import random
 
 from repro.copier.errors import AdmissionReject, CopyAborted
 from repro.fleet.chaos import (fleet_determinism_fingerprint,
-                               run_fleet_campaign)
+                               run_fleet_campaign, run_restart_campaign)
 from repro.kernel.net import recv, send, socket_pair
 from repro.kernel.system import System
 from repro.mem.faults import MemoryFault
@@ -51,7 +51,8 @@ from repro.sim import DEFAULT_RUN_LIMIT, Compute
 from repro.sim.process import ProcessKilled
 
 __all__ = ["run_campaign", "determinism_fingerprint",
-           "run_fleet_campaign", "fleet_determinism_fingerprint"]
+           "run_fleet_campaign", "run_restart_campaign",
+           "fleet_determinism_fingerprint"]
 
 BUF_BYTES = 16 * 1024
 CHUNK_MIN = 2048

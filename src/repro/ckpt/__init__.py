@@ -1,0 +1,36 @@
+"""Checkpoint/restore of a simulated machine (see :mod:`repro.ckpt.machine`).
+
+Public surface::
+
+    from repro.ckpt import checkpoint, restore, Checkpoint, CheckpointError
+
+    ckpt = checkpoint(system)          # quiesces, serializes
+    ckpt.save("machine.rckp")          # versioned, checksummed envelope
+    system.copier.resume()             # keep running the same machine
+    system2, stores = restore(ckpt)    # or restore("machine.rckp")
+"""
+
+from repro.ckpt.errors import (
+    CheckpointChecksumError,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointStateError,
+    CheckpointTruncatedError,
+    CheckpointVersionError,
+)
+from repro.ckpt.format import MAGIC, VERSION
+from repro.ckpt.machine import Checkpoint, checkpoint, restore
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "Checkpoint",
+    "CheckpointChecksumError",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointStateError",
+    "CheckpointTruncatedError",
+    "CheckpointVersionError",
+    "checkpoint",
+    "restore",
+]

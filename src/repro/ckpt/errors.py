@@ -1,0 +1,35 @@
+"""Typed checkpoint errors.
+
+Every failure mode of the checkpoint/restore path raises a subclass of
+:class:`CheckpointError`, so callers can distinguish a damaged file
+(format/checksum/truncation/version) from a machine that cannot reach a
+checkpointable state (:class:`CheckpointStateError`).  A failed load
+never hands back a half-restored machine: restore builds a *fresh*
+``System`` and only returns it after the whole overlay succeeded.
+"""
+
+
+class CheckpointError(Exception):
+    """Base class for every checkpoint/restore failure."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """The file is not a checkpoint (bad magic, unreadable payload)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint's format version is not supported by this build."""
+
+
+class CheckpointChecksumError(CheckpointError):
+    """The payload does not match its recorded checksum (corruption)."""
+
+
+class CheckpointTruncatedError(CheckpointError):
+    """The file ends before the declared payload does."""
+
+
+class CheckpointStateError(CheckpointError):
+    """The machine cannot be checkpointed (or restored) in this state:
+    wedged backlog, queued FUNC handlers, live foreign sim processes,
+    shared-segment VMAs, and similar non-quiescent shapes."""

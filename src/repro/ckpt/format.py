@@ -1,0 +1,84 @@
+"""The on-disk checkpoint envelope: versioned, length-framed, checksummed.
+
+Layout (big-endian)::
+
+    4s  magic    b"RCKP"
+    H   version  format version (1)
+    Q   length   payload length in bytes
+    32s sha256   checksum of the payload
+    ... payload  pickled plain data (dicts/lists/tuples/bytes/ints only)
+
+The payload is *pure data* — no repo classes are pickled, so loading an
+envelope never constructs simulation objects; :mod:`repro.ckpt.machine`
+rebuilds the machine from the decoded dictionaries.  Every decode
+failure maps to a typed :class:`~repro.ckpt.errors.CheckpointError`
+subclass, checked in order: truncated header, bad magic, unsupported
+version, truncated payload, checksum mismatch, undecodable payload.
+"""
+
+import hashlib
+import pickle
+import struct
+
+from repro.ckpt.errors import (
+    CheckpointChecksumError,
+    CheckpointFormatError,
+    CheckpointTruncatedError,
+    CheckpointVersionError,
+)
+
+MAGIC = b"RCKP"
+VERSION = 1
+
+_HEADER = struct.Struct(">4sHQ32s")
+
+
+def dump_bytes(payload, version=VERSION):
+    """Serialize ``payload`` into a framed, checksummed envelope."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).digest()
+    return _HEADER.pack(MAGIC, version, len(blob), digest) + blob
+
+
+def load_bytes(data):
+    """Decode an envelope produced by :func:`dump_bytes`.
+
+    Raises a typed :class:`~repro.ckpt.errors.CheckpointError` subclass
+    on any damage; returns the decoded payload otherwise.
+    """
+    if len(data) < _HEADER.size:
+        raise CheckpointTruncatedError(
+            "checkpoint is %d bytes; the header alone is %d"
+            % (len(data), _HEADER.size))
+    magic, version, length, digest = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CheckpointFormatError(
+            "bad magic %r (want %r): not a checkpoint" % (magic, MAGIC))
+    if version != VERSION:
+        raise CheckpointVersionError(
+            "checkpoint format version %d; this build reads version %d"
+            % (version, VERSION))
+    blob = data[_HEADER.size:]
+    if len(blob) < length:
+        raise CheckpointTruncatedError(
+            "payload truncated: %d of %d bytes present" % (len(blob), length))
+    blob = blob[:length]
+    if hashlib.sha256(blob).digest() != digest:
+        raise CheckpointChecksumError("payload checksum mismatch")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointFormatError(
+            "payload does not decode: %s" % exc) from None
+
+
+def dump_file(payload, path, version=VERSION):
+    data = dump_bytes(payload, version=version)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def load_file(path):
+    with open(path, "rb") as fh:
+        return load_bytes(fh.read())

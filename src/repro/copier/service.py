@@ -107,6 +107,7 @@ class CopierService:
         self.serve_driver = None
         self.lifecycle = LifecycleStats()
         self.draining = False
+        self.quiesced = False
         self._shutdown_report = None
         self._departed_aspaces = []  # kept so counters survive client reaping
         self.running = True
@@ -317,6 +318,143 @@ class CopierService:
         if leaked:
             raise RuntimeError("shutdown leaked %d pins" % leaked)
         return report
+
+    # ------------------------------------------------------ quiesce/resume
+
+    def _quiesce_pending(self):
+        """True while anything short of a checkpointable standstill remains:
+        unfinished copy work, or sync entries the workers still must drain."""
+        if self._outstanding():
+            return True
+        for client in self.clients:
+            if len(client.u_queues.sync) or len(client.k_queues.sync):
+                return True
+        return False
+
+    def quiesce(self, deadline=None):
+        """Drain the service to a checkpointable standstill — pause, not reap.
+
+        The same wedge-aware bounded drain as :meth:`shutdown`, with pause
+        semantics: admission freezes (``draining``), every in-flight task
+        retires normally, the sync rings empty, the workers park (their
+        loop generators exit), the DMA device process is killed and the
+        event heap drains to idle.  Nothing is force-reaped and no
+        shutdown report is recorded; :meth:`resume` restarts the service
+        in place.  Raises :class:`~repro.ckpt.errors.CheckpointStateError`
+        when the machine cannot reach a quiescent point (wedged backlog,
+        queued FUNC handlers whose owning process never ran them).
+        """
+        from repro.ckpt.errors import CheckpointStateError
+
+        if self._shutdown_report is not None:
+            raise CheckpointStateError("service already shut down")
+        if self.quiesced:
+            return
+        env = self.env
+        start = env.now
+        self.draining = True
+        # Lazy tasks are deferred-until-convenient work and the checkpoint
+        # is the convenient moment: kick them in now instead of letting the
+        # stall detector read a multi-megacycle lazy timer as a wedge.
+        for client in self.clients:
+            for task in client.pending:
+                if task.lazy and not task.is_finished and \
+                        task.lazy_deadline is not None:
+                    task.lazy_deadline = min(task.lazy_deadline, env.now)
+        limit = None if deadline is None else start + deadline
+        stalled = 0
+        last_sig = None
+        while self._quiesce_pending():
+            if limit is not None and env.now >= limit:
+                raise CheckpointStateError(
+                    "quiesce deadline passed with work outstanding")
+            self.awaken()
+            budget = _DRAIN_STEP_CYCLES
+            if limit is not None and env.now + budget > limit:
+                budget = limit - env.now
+            report = env.step(max_cycles=budget)
+            if report.executed == 0:
+                raise CheckpointStateError(
+                    "quiesce wedged: backlog remains but nothing can run")
+            sig = self._drain_signature()
+            if sig == last_sig:
+                stalled += 1
+                if stalled >= _DRAIN_STALL_STEPS:
+                    raise CheckpointStateError(
+                        "quiesce wedged: events fire but nothing drains")
+            else:
+                stalled = 0
+                last_sig = sig
+        for client in self.clients:
+            if len(client.u_queues.handler) or len(client.k_queues.handler):
+                # Refusal, not a wedge: the drain finished, so thaw
+                # admission and let the caller run post_handlers().
+                self.draining = False
+                raise CheckpointStateError(
+                    "client %r has queued FUNC handlers; run post_handlers()"
+                    " before checkpointing" % client.name)
+        # Park: stop the worker loops and the DMA device process, then step
+        # the heap (parked wakeups, watchdog ticks and lazy timers firing as
+        # no-ops) down to a truly idle event loop.
+        self.running = False
+        self.watchdog.stop()
+        self._wake_all()
+        if self.dma is not None and self.dma._proc.is_alive:
+            self.dma._proc.kill()
+        for _ in range(256):
+            if env.idle:
+                break
+            env.step(max_cycles=_DRAIN_STEP_CYCLES)
+        if not env.idle:
+            raise CheckpointStateError("event heap did not drain to idle")
+        for proc in self.threads:
+            if proc.is_alive:
+                raise CheckpointStateError("worker %s failed to park"
+                                           % proc.name)
+        if self._wake_events:
+            raise CheckpointStateError("parked workers left wake events")
+        # Canonical parked shape — identical on the resume-in-place path
+        # and the restore-from-blob path: retired tasks compacted away.
+        for client in self.clients:
+            client._prune_index(force=True)
+            for task in [t for t in client.pending if t.is_finished]:
+                client.pending.remove(task)
+        self.quiesced = True
+
+    def resume(self):
+        """Restart a quiesced service in place: respawn workers and DMA.
+
+        Reverses :meth:`quiesce` — admission thaws, the watchdog re-arms
+        from the current retirement count, the DMA device process is
+        respawned and every worker loop restarts on its dedicated core
+        (paying the same SIMD state-save cost as at boot, so a resumed
+        machine and a restored one advance identically).
+        """
+        from repro.ckpt.errors import CheckpointStateError
+
+        if not self.quiesced:
+            raise CheckpointStateError("service is not quiesced")
+        env = self.env
+        self.quiesced = False
+        self.draining = False
+        self.running = True
+        wd = self.watchdog
+        wd._stopped = False
+        wd._armed = False
+        wd._last_retired = self.tasks_retired
+        wd._last_progress_at = env.now
+        wd._stall_streak = 0
+        wd._flagged_starved.clear()
+        self._wake_events = {}
+        if self.dma is not None:
+            self.dma.restart()
+        threads = []
+        for tid, worker in enumerate(self.workers):
+            core = self.dedicated_cores[tid % len(self.dedicated_cores)]
+            proc = env.spawn(worker.loop(), name="copier-%d" % tid,
+                             affinity=core)
+            threads.append(proc)
+        self.threads = threads
 
     # ----------------------------------------------------------- wake/sleep
 

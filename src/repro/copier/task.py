@@ -5,8 +5,6 @@ a descriptor; Sync Tasks promote ranges (or abort pending copies); Barrier
 Tasks record cross-queue positions for order-dependency tracking.
 """
 
-import itertools
-
 # Task lifecycle states.
 PENDING = "pending"
 RUNNING = "running"
@@ -17,7 +15,27 @@ ABORTED = "aborted"
 TYPE_NORMAL = "normal"
 TYPE_LAZY = "lazy"
 
-_task_ids = itertools.count(1)
+
+class _TaskIdCounter:
+    """Monotonic task-id source with a *readable* position.
+
+    ``itertools.count`` hides its next value, which makes the machine
+    checkpoint (repro.ckpt) unable to save/restore the id stream; this
+    is the same iterator protocol with ``next_value`` exposed.
+    """
+
+    __slots__ = ("next_value",)
+
+    def __init__(self, start=1):
+        self.next_value = start
+
+    def __next__(self):
+        value = self.next_value
+        self.next_value = value + 1
+        return value
+
+
+_task_ids = _TaskIdCounter(1)
 
 
 class Region:

@@ -232,6 +232,135 @@ class FleetChaosController:
                                 "%s/%s x%g" % (a, b, factor)))
 
 
+class RestartChaosController(FleetChaosController):
+    """Kill → restart → rejoin storms on top of the base fault mix.
+
+    Every kill is eventually answered by a restart: ``on-declare``
+    restarts the node at the first tick after the GFD declares it dead
+    — the death resyncs have just been spawned, so the rejoin lands
+    *mid-resync*, the nastiest window.  ``delayed`` waits a seeded
+    number of ticks after declaration first.  A seeded fraction of
+    restarts wipe the node's disk and recover peer-assisted over the
+    checkpoint-shipping path.  With ``double_crash`` armed, once the
+    fleet is whole and settled the controller kills *both* current
+    owners of a seeded key in the same tick — acked data for that shard
+    survives only through the disks and the version-reconciled rejoin.
+    """
+
+    def __init__(self, fleet, seed, n_events, total_ops, all_keys,
+                 restart_policy="on-declare", restart_delay=(5, 15),
+                 wipe_prob=0.25, double_crash=False):
+        super().__init__(fleet, seed, n_events, total_ops)
+        self.rng_restart = random.Random(repr(("fleet-restart", seed)))
+        self.restart_policy = restart_policy
+        self.restart_delay = restart_delay
+        self.wipe_prob = wipe_prob
+        self.all_keys = all_keys
+        # Nodes come back, so the storm can afford more kills than the
+        # one-shot campaign without ever dropping below two live nodes.
+        self.max_kills = 2 * max(len(fleet.nodes) - 2, 1)
+        self.restart_due = {}    # node_id -> tick (delayed policy)
+        self.restart_log = []    # (tick, node_id, during_resync, wiped)
+        self.double_crash_armed = double_crash and len(fleet.nodes) >= 4
+        # Don't fire into an empty store: wait until a good fraction of
+        # the streams' writes have been acknowledged, so the crashed
+        # pair actually holds data the oracle will come asking about.
+        self.double_crash_after = max(10, total_ops // 4)
+        self.double_crashes = []  # (tick, key, owners)
+
+    def tick(self):
+        super().tick()
+        self._restart_pass()
+        self._double_crash_pass()
+
+    def _membership_settled(self):
+        """Restart-aware settling: a kill is resolved once the node is
+        back alive *or* currently declared dead (the base campaign's
+        declared-set check breaks as soon as a node is killed twice),
+        and a recovering node counts as an owner in flight."""
+        fleet = self.fleet
+        if fleet.recovering_nodes or fleet.resyncs_active:
+            return False
+        if any(kind == "partition" and GFD_ENDPOINT in (a, b)
+               for _tick, kind, a, b in self.heal_at):
+            return False
+        if fleet.gfd is not None:
+            for node_id in set(fleet.kills):
+                node = fleet.nodes[node_id]
+                if not node.alive and node_id in fleet.gfd.alive:
+                    return False  # killed, not yet declared
+            horizon = fleet.stepper.horizon
+            for node_id in fleet.gfd.alive:
+                if (fleet.nodes[node_id].alive
+                        and horizon - fleet.gfd.last_beat[node_id]
+                        > 3 * fleet.lfd_period):
+                    return False
+        return True
+
+    def _restart_pass(self):
+        fleet = self.fleet
+        for node in fleet.nodes:
+            node_id = node.node_id
+            if node.alive:
+                self.restart_due.pop(node_id, None)
+                continue
+            if fleet.gfd is not None and node_id in fleet.gfd.alive:
+                continue  # not declared yet; rejoin would be a non-event
+            if self.restart_policy == "delayed":
+                due = self.restart_due.get(node_id)
+                if due is None:
+                    lo, hi = self.restart_delay
+                    self.restart_due[node_id] = (
+                        self.tick_count + self.rng_restart.randrange(lo, hi))
+                    continue
+                if self.tick_count < due:
+                    continue
+                self.restart_due.pop(node_id, None)
+            during_resync = fleet.resyncs_active
+            # Disk loss is only survivable while every *other* replica
+            # holder is whole: wiping a second disk inside one
+            # overlapping outage destroys both durable copies, which no
+            # replication-factor-2 protocol can recover from.  The roll
+            # is drawn unconditionally to keep the rng stream stable.
+            roll = self.rng_restart.random()
+            others_whole = all(peer.alive and not peer.recovering
+                               for peer in fleet.nodes if peer is not node)
+            wiped = others_whole and roll < self.wipe_prob
+            if wiped:
+                node.disk.wipe()
+            fleet.restart_node(node_id, peer_assist=wiped)
+            self.restart_log.append((self.tick_count, node_id,
+                                     during_resync, wiped))
+            self.events.append(
+                (self.tick_count, "node_restart",
+                 "%s%s%s" % (node_id,
+                             "/mid-resync" if during_resync else "",
+                             "/wiped" if wiped else "")))
+
+    def _double_crash_pass(self):
+        if not self.double_crash_armed:
+            return
+        if self.tick_count < self.double_crash_after:
+            return
+        fleet = self.fleet
+        if not all(node.alive for node in fleet.nodes):
+            return
+        if not self._membership_settled():
+            return
+        if self.tick_count - self.last_kill_tick < 20:
+            return
+        key = self.all_keys[self.rng_restart.randrange(len(self.all_keys))]
+        owners = list(fleet.ring.owners(key)[:2])
+        for node_id in owners:
+            fleet.kill_node(node_id)
+        self.kills += len(owners)
+        self.last_kill_tick = self.tick_count
+        self.double_crash_armed = False
+        self.double_crashes.append((self.tick_count, key, tuple(owners)))
+        self.events.append((self.tick_count, "double_crash",
+                            "%r -> %s" % (key, owners)))
+
+
 def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
                        n_events=10, value_bytes=4096, max_rounds=400_000,
                        settle_rounds=400, fleet_kwargs=None):
@@ -338,10 +467,148 @@ def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
     }
 
 
+def run_restart_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
+                         n_events=10, value_bytes=4096, max_rounds=400_000,
+                         settle_rounds=400, restart_policy="on-declare",
+                         wipe_prob=0.25, double_crash=False,
+                         fleet_kwargs=None):
+    """Crash-recovery chaos: kill → restart → rejoin storms, audited.
+
+    Same closed-loop streams and shadow oracle as
+    :func:`run_fleet_campaign`, but every killed node comes back from
+    its disk (or a peer's shipped checkpoint when the seed wipes the
+    disk) and rejoins the ring mid-campaign.  After the streams drain,
+    any still-dead node is restarted, links heal, and the fleet runs
+    until every resync and recovery is finished — then the audit runs
+    against the *whole* fleet: zero lost acknowledged writes, zero
+    phantom reads, zero leaked pins, and per-node recovery (MTTR)
+    counters for the bench scenario.
+    """
+    fleet = Fleet(n_nodes=n_nodes, **(fleet_kwargs or {}))
+    streams = []
+    all_keys = [b"s%d-k%d" % (s, k)
+                for s in range(n_streams) for k in range(n_keys)]
+    oracle = {key: {"issued": [], "acked_idx": -1} for key in all_keys}
+    for sid in range(n_streams):
+        streams.append(_Stream(sid, fleet, seed, n_ops, n_keys, value_bytes,
+                               all_keys))
+    controller = RestartChaosController(
+        fleet, seed, n_events, total_ops=n_streams * n_ops,
+        all_keys=all_keys, restart_policy=restart_policy,
+        wipe_prob=wipe_prob, double_crash=double_crash)
+
+    rounds = 0
+    while not all(stream.finished for stream in streams):
+        if rounds >= max_rounds:
+            raise RuntimeError("restart chaos campaign stalled after %d "
+                               "rounds" % rounds)
+        for stream in streams:
+            if stream.poll(oracle):
+                controller.tick()
+            if stream.pending is None and not stream.finished:
+                stream.submit_next(oracle)
+        fleet.stepper.step_round()
+        rounds += 1
+
+    # Finalize: heal, bring every dead node home, drain recovery fully.
+    fleet.interconnect.heal_all()
+    for node in fleet.nodes:
+        if not node.alive:
+            fleet.restart_node(node.node_id)
+            controller.restart_log.append((controller.tick_count,
+                                           node.node_id, False, False))
+            controller.events.append((controller.tick_count, "node_restart",
+                                      "%s/final" % node.node_id))
+    fleet.stepper.run_until(
+        lambda: not fleet.resyncs_active and not fleet.recovering_nodes,
+        max_rounds=max_rounds)
+    fleet.stepper.settle(settle_rounds)
+
+    failures = []
+    lost_acked = []
+    audited = 0
+    live_ids = sorted(node.node_id for node in fleet.live_nodes)
+    if len(live_ids) != n_nodes:
+        failures.append("not every node rejoined: %r" % (live_ids,))
+    audit_ops = []
+    for i, key in enumerate(sorted(oracle)):
+        gateway = live_ids[i % len(live_ids)]
+        audit_ops.append((key, fleet.get(key, gateway=gateway)))
+    fleet.run_ops([op for _, op in audit_ops])
+    for key, op in audit_ops:
+        entry = oracle[key]
+        if op.error is not None:
+            failures.append("final GET of %r failed: %r" % (key, op.error))
+            continue
+        audited += 1
+        if entry["acked_idx"] < 0:
+            if op.result is not None and op.result not in entry["issued"]:
+                lost_acked.append(("phantom", key))
+            continue
+        if op.result is None:
+            lost_acked.append(("missing", key, entry["acked_idx"]))
+            continue
+        try:
+            got_idx = entry["issued"].index(op.result)
+        except ValueError:
+            lost_acked.append(("phantom", key))
+            continue
+        if got_idx < entry["acked_idx"]:
+            lost_acked.append(("stale", key, got_idx, entry["acked_idx"]))
+    if lost_acked:
+        failures.append("lost acknowledged writes: %r" % (lost_acked,))
+
+    for stream in streams:
+        if stream.violations:
+            failures.append("stream %d consistency violations: %r"
+                            % (stream.stream_id, stream.violations))
+
+    leaked = fleet.leaked_pins()
+    if leaked:
+        failures.append("%d page pins leaked across the fleet" % leaked)
+
+    recoveries = sum(node.counters.get("recoveries", 0)
+                     for node in fleet.nodes)
+    recovery_cycles = [node.counters["recovery_cycles"]
+                       for node in fleet.nodes
+                       if node.counters.get("recovery_cycles")]
+    snap = fleet.snapshot()
+    return {
+        "seed": seed,
+        "n_nodes": n_nodes,
+        "events": controller.events,
+        "kills": controller.kills,
+        "promotions": list(fleet.promotions),
+        "restarts": list(fleet.restarts),
+        "restart_log": list(controller.restart_log),
+        "double_crashes": list(controller.double_crashes),
+        "recoveries": recoveries,
+        "mttr_cycles": (sum(recovery_cycles) // len(recovery_cycles)
+                        if recovery_cycles else 0),
+        "rounds": rounds,
+        "streams": {s.stream_id: {"ops_done": s.ops_done, "acked": s.acked,
+                                  "failed": s.failed,
+                                  "abandoned": s.abandoned,
+                                  "gets_checked": s.get_checked}
+                    for s in streams},
+        "ops": snap["ops"],
+        "interconnect": {"messages": snap["interconnect"]["messages"],
+                         "bytes": snap["interconnect"]["bytes"],
+                         "dropped": snap["interconnect"]["dropped"]},
+        "nodes": snap["nodes"],
+        "store_digests": {node.node_id: node.store.digest()
+                          for node in fleet.live_nodes},
+        "audited_keys": audited,
+        "lost_acked": lost_acked,
+        "leaked_pins": leaked,
+        "failures": failures,
+    }
+
+
 def fleet_determinism_fingerprint(result):
     """The parts of a fleet campaign result that must be identical
     run-to-run for the same seed."""
-    return {
+    fingerprint = {
         "events": result["events"],
         "promotions": result["promotions"],
         "rounds": result["rounds"],
@@ -351,3 +618,7 @@ def fleet_determinism_fingerprint(result):
         "nodes": result["nodes"],
         "store_digests": result["store_digests"],
     }
+    for key in ("restarts", "restart_log", "double_crashes"):
+        if key in result:
+            fingerprint[key] = result[key]
+    return fingerprint

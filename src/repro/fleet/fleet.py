@@ -25,6 +25,8 @@ owner standing.
 
 import os
 
+from repro.ckpt import format as ckpt_format
+from repro.ckpt.errors import CheckpointError
 from repro.copier.errors import AdmissionReject, CopyAborted, DeadlineMissed
 from repro.fleet.errors import (FleetError, FleetTimeout, FleetUnavailable,
                                 NotOwner, StoreFull)
@@ -42,10 +44,14 @@ MSG_SET = 1
 MSG_GET = 2
 MSG_GET_ANY = 3   # owner-check-free read (backup fallback / read repair)
 MSG_REPL = 4
+MSG_CKPT = 5      # checkpoint shipping: key = chunk offset, reply = chunk
 ACK_OK = 16
 ACK_MISS = 17
 ACK_ERR = 18
 _ACKS = (ACK_OK, ACK_MISS, ACK_ERR)
+
+#: Checkpoint-shipping chunk size; headroom under MAX_MSG for the header.
+CKPT_CHUNK = MAX_MSG - 4096
 
 _COPY_ERRORS = (CopyAborted, DeadlineMissed, AdmissionReject)
 
@@ -147,6 +153,14 @@ class FleetStepper:
             self.fleet.gfd.tick(self.horizon)
         self.rounds += 1
         self.events += executed
+        period = self.fleet.ckpt_period
+        if period and self.rounds % period == 0:
+            # Periodic durability point at the round boundary: each live
+            # node snapshots its store to local disk (host-side work —
+            # free in simulated cycles) and truncates its WAL.
+            for node in self.fleet.nodes:
+                if node.alive:
+                    node.disk.take_checkpoint(node.store, node.versions)
         return executed
 
     def run_until(self, predicate, max_rounds=200_000):
@@ -169,7 +183,7 @@ class Fleet:
                  link_latency_cycles=None, link_bytes_per_cycle=None,
                  quantum=None, detectors=True, lfd_period_cycles=None,
                  gfd_timeout_cycles=None, reply_timeout_cycles=600_000,
-                 max_attempts=8, vnodes=32):
+                 max_attempts=8, vnodes=32, ckpt_period=None):
         if n_nodes is None:
             n_nodes = _env_int("COPIER_FLEET_NODES", 3)
         if n_nodes < 1:
@@ -192,6 +206,8 @@ class Fleet:
                             else _env_int("COPIER_FLEET_GFD_TIMEOUT", 400_000))
         self.reply_timeout = reply_timeout_cycles
         self.max_attempts = max_attempts
+        self.ckpt_period = (ckpt_period if ckpt_period is not None
+                            else _env_int("COPIER_CKPT_PERIOD", 256))
 
         system_kwargs = dict(system_kwargs or {})
         self.nodes = [FleetNode(i, lambda: System(**system_kwargs),
@@ -227,6 +243,7 @@ class Fleet:
 
         self.stepper = FleetStepper(self, self.quantum)
         self.promotions = []   # (view_id, dead node) in declaration order
+        self.restarts = []     # (view_id, node id) in rejoin order
         self._resync_procs = []
         self.kills = []        # node ids killed through kill_node
         self.ops_submitted = 0
@@ -234,6 +251,15 @@ class Fleet:
         self.ops_failed = 0
         self.read_repairs = 0
         self._op_seq = 0
+        # Commit versioning: one fleet-wide sequencer orders every
+        # committed write; commit_versions is the control-plane digest
+        # table of the newest committed version per key (shared state,
+        # like the ring — see the module docstring on split-brain).
+        # _wire_versions models the per-message version header: same
+        # op-id on both ends, zero modeled wire bytes.
+        self.commit_versions = {}
+        self._version_seq = 0
+        self._wire_versions = {}
 
     # ------------------------------------------------------------ topology
 
@@ -275,6 +301,177 @@ class Fleet:
         self._resync_procs = [p for p in self._resync_procs if p.is_alive]
         return bool(self._resync_procs)
 
+    @property
+    def recovering_nodes(self):
+        """Node ids restarted but not yet fully resynced."""
+        return [node.node_id for node in self.nodes if node.recovering]
+
+    def restart_node(self, node_id, from_checkpoint=True, peer_assist=False):
+        """Bring a killed node back from its last durable state.
+
+        The machine-local half (:meth:`FleetNode.restart`) boots a fresh
+        ``System`` and replays the node's disk checkpoint + WAL tail;
+        this method does the fleet half of the rejoin protocol:
+
+        1. fast-forward the fresh clock to the stepper horizon (stepped,
+           never assigned — boot events replay beneath it);
+        2. re-home the rx sockets (:meth:`Channel.reopen`) and respawn
+           the per-peer receive loops and the LFD on the new machine;
+        3. rejoin the membership view — ``declare_alive`` restores the
+           ring entry and bumps ``view_id`` if the node had been
+           declared dead, and resets its heartbeat clock either way;
+        4. optionally fetch a peer's checkpoint over the data plane
+           (``peer_assist`` — the disk-loss path; the blob ships in
+           ``MSG_CKPT`` chunks through the same NIC discipline as every
+           other message);
+        5. start the checkpoint-aware delta resync: peers push any key
+           the rejoined node owns whose version is newer than what its
+           checkpoint announced, and every node re-runs the ordinary
+           primary→backup resync for the remapped shards.  Stale pushes
+           from the rejoined node itself are version-discarded at apply.
+
+        The node serves immediately but stays ``recovering`` until the
+        resync fleet drains; recovering primaries answer reads through
+        the backup-consult path whenever their local version lags the
+        commit table, so a stale pre-crash value is never returned for
+        a key that took writes while the node was down.
+        """
+        node = self.nodes[node_id]
+        if node.alive:
+            return
+        node.restart(from_checkpoint=from_checkpoint)
+        if self.stepper.horizon > node.env.now:
+            node.env.step(max_cycles=self.stepper.horizon - node.env.now)
+        self.interconnect.attach(node_id, node.env)
+        for peer_id, channel in node.channels_in.items():
+            channel.reopen()
+            node.spawn(self._channel_loop(node, peer_id, channel),
+                       name="n%s-rx-%s" % (node_id, peer_id))
+        view = -1
+        if self.gfd is not None:
+            view = self.gfd.declare_alive(node_id, self.stepper.horizon)
+            lfd = LocalFaultDetector(node, self.interconnect, self.gfd,
+                                     self.lfd_period,
+                                     self.interconnect.latency_cycles)
+            for i, old in enumerate(self.lfds):
+                if old.node is node:
+                    self.lfds[i] = lfd
+                    break
+            node.spawn(lfd.loop(), name="n%s-lfd" % node_id)
+        self.restarts.append((view, node_id))
+        node.recovering = True
+        started_at = node.env.now
+        announced = dict(node.versions)
+        procs = []
+        if peer_assist:
+            # A recovering peer may itself be mid-fetch with an empty
+            # store — never elect one as donor.
+            donors = sorted(n.node_id for n in self.live_nodes
+                            if n is not node and not n.recovering)
+            if donors:
+                procs.append(node.spawn(
+                    self._fetch_peer_checkpoint(node, donors[0]),
+                    name="n%s-ckptfetch" % node_id))
+        for peer in self.nodes:
+            if not peer.alive:
+                continue
+            if peer is not node:
+                procs.append(peer.spawn(
+                    self._rejoin_resync(peer, node, announced),
+                    name="n%s-rejoinsync-%s" % (peer.node_id, node_id)))
+            procs.append(peer.spawn(
+                self._resync(peer),
+                name="n%s-resync-r%s" % (peer.node_id, node_id)))
+        self._resync_procs.extend(procs)
+        node.spawn(self._recovery_watch(node, procs, started_at),
+                   name="n%s-recovery" % node_id)
+        return node
+
+    def _recovery_watch(self, node, procs, started_at):
+        while any(p.is_alive for p in procs):
+            yield Timeout(50_000)
+        node.recovering = False
+        node.counters["recoveries"] += 1
+        node.counters["recovery_cycles"] = node.env.now - started_at
+
+    def _rejoin_resync(self, node, target, announced):
+        """Checkpoint-aware delta push to a freshly rejoined node.
+
+        ``announced`` is the version map the target recovered from its
+        own disk — anything it already has at that version is skipped
+        (the delta), anything ``node`` holds newer is pushed, whether
+        ``node`` is an owner or the orphaned interim primary whose
+        shard just moved back.  Apply-side version checks discard any
+        push that loses the race to a fresher one.
+        """
+        pushed = 0
+        for key in sorted(node.store.db):
+            attempt = 0
+            while target.alive:
+                owners = self.ring.owners(key)
+                if target.node_id not in owners:
+                    break
+                version = node.versions.get(key, 0)
+                if version <= announced.get(key, 0):
+                    break
+                ok = yield from self._replicate(node, target.node_id, key,
+                                                node.store.value_bytes(key),
+                                                version)
+                if ok:
+                    pushed += 1
+                    break
+                attempt += 1
+                node.counters["rejoin_retries"] += 1
+                yield Timeout(100_000)
+        node.counters["rejoin_pushed"] += pushed
+
+    def _fetch_peer_checkpoint(self, node, donor_id):
+        """Disk-loss recovery: pull a whole-store checkpoint off a peer.
+
+        The donor snapshots its store into a :mod:`repro.ckpt.format`
+        envelope on the first chunk request and serves it in
+        ``CKPT_CHUNK`` slices; every chunk rides the ordinary channel
+        send/recv path, paying trap, skb, copy and wire costs like any
+        data message.  A damaged blob is refused typed, never half
+        applied.
+        """
+        parts = []
+        offset = 0
+        attempt = 0
+        while True:
+            reply = yield from self._request(node, donor_id, MSG_CKPT,
+                                             offset.to_bytes(8, "little"),
+                                             b"")
+            if reply is None or reply[0] != ACK_OK:
+                attempt += 1
+                if (attempt > self.max_attempts
+                        or not self.nodes[donor_id].alive):
+                    node.counters["ckpt_fetch_failed"] += 1
+                    return
+                yield from self._backoff(attempt)
+                parts = []
+                offset = 0
+                continue
+            chunk = reply[1]
+            parts.append(chunk)
+            offset += len(chunk)
+            if len(chunk) < CKPT_CHUNK:
+                break
+        blob = b"".join(parts)
+        try:
+            payload = ckpt_format.load_bytes(blob)
+        except CheckpointError:
+            node.counters["ckpt_fetch_corrupt"] += 1
+            return
+        applied = 0
+        for key, (version, value) in sorted(payload["db"].items()):
+            if version and version <= node.versions.get(key, 0):
+                continue
+            yield from self._commit(node, key, value, version)
+            applied += 1
+        node.counters["ckpt_fetch_keys"] = applied
+        node.counters["ckpt_fetch_bytes"] = len(blob)
+
     # ----------------------------------------------------------- client API
 
     def submit(self, kind, key, value=None, gateway=None):
@@ -310,6 +507,20 @@ class Fleet:
     def _next_op_id(self):
         self._op_seq += 1
         return self._op_seq
+
+    def _next_version(self):
+        self._version_seq += 1
+        return self._version_seq
+
+    def _commit(self, node, key, value, version):
+        """Apply one versioned write on ``node``: store, version map,
+        commit table, and the node's durable WAL (generator)."""
+        yield from node.store.set_op(key, value)
+        if version:
+            node.versions[key] = version
+            if version > self.commit_versions.get(key, 0):
+                self.commit_versions[key] = version
+        node.disk.log(version or 0, key, value)
 
     def _finish(self, op, node, result, acked=False):
         op.result = result
@@ -358,7 +569,7 @@ class Fleet:
                     node.counters["fwd_timeouts"] += 1
                     yield from self._backoff(op.attempts)
                     continue
-                mtype, payload = reply
+                mtype, payload, _version = reply
                 if mtype == ACK_OK:
                     if op.kind == "set":
                         self._finish(op, node, True, acked=True)
@@ -391,10 +602,12 @@ class Fleet:
             if not owners or owners[0] != node.node_id:
                 raise NotOwner("node %s is not primary for %r"
                                % (node.node_id, key))
-            yield from node.store.set_op(key, value)
+            version = self._next_version()
+            yield from self._commit(node, key, value, version)
             node.counters["serve_sets"] += 1
             for target in owners[1:]:
-                ok = yield from self._replicate(node, target, key, value)
+                ok = yield from self._replicate(node, target, key, value,
+                                                version)
                 if not ok:
                     raise FleetTimeout("replica ack from %s for %r"
                                        % (target, key))
@@ -409,24 +622,39 @@ class Fleet:
             raise NotOwner("node %s is not primary for %r"
                            % (node.node_id, key))
         value = yield from node.store.get_op(key)
+        read_version = node.versions.get(key, 0)
         node.counters["serve_gets"] += 1
-        if value is None and len(owners) > 1:
-            # Freshly promoted primary racing resync: consult the backup.
+        # Consult the backup when the local copy cannot be trusted:
+        # a freshly promoted primary racing resync (miss), or a
+        # recovering restarted primary whose checkpointed version lags
+        # the commit table (stale — returning it would un-acknowledge a
+        # write that landed while this node was down).
+        stale = (node.recovering
+                 and read_version < self.commit_versions.get(key, 0))
+        if (value is None or stale) and len(owners) > 1:
             reply = yield from self._request(node, owners[1], MSG_GET_ANY,
                                              key, b"")
             if reply is not None and reply[0] == ACK_OK:
-                value = reply[1]
-                self.read_repairs += 1
-                yield from node.store.set_op(key, value)
+                version = reply[2]
+                if value is None or (version or 0) > node.versions.get(key, 0):
+                    value = reply[1]
+                    self.read_repairs += 1
+                    yield from self._commit(node, key, value, version or 0)
+                    return value
+            if node.versions.get(key, 0) > read_version:
+                # A fresher commit (a rejoin push landing mid-consult)
+                # raced us: the pre-consult bytes are stale, re-read.
+                value = yield from node.store.get_op(key)
         return value
 
-    def _replicate(self, node, target, key, value):
+    def _replicate(self, node, target, key, value, version=None):
         if not self.nodes[target].alive:
             # Known-dead peer (the membership view just hasn't caught
             # up): the ack can never come, so don't burn a timeout.
             return False
         node.counters["repl_sent"] += 1
-        reply = yield from self._request(node, target, MSG_REPL, key, value)
+        reply = yield from self._request(node, target, MSG_REPL, key, value,
+                                         version=version)
         return reply is not None and reply[0] == ACK_OK
 
     # -------------------------------------------------------- wire plumbing
@@ -445,13 +673,24 @@ class Fleet:
         node.counters["msgs_out"] += 1
         return ok
 
-    def _request(self, node, dst_id, mtype, key, value):
-        """Send a request and wait for its ack; ``None`` on timeout."""
+    def _request(self, node, dst_id, mtype, key, value, version=None):
+        """Send a request and wait for its ack.
+
+        Returns ``None`` on timeout, else ``(mtype, payload, version)``
+        where ``version`` is the commit version the replier attached (or
+        ``None``).  ``version=`` attaches a commit version to the
+        *outgoing* request — the modeled per-message header that REPL
+        carries (see ``_wire_versions``); the expiry timer sweeps the
+        entry if the message never lands.
+        """
         op_id = self._next_op_id()
+        if version is not None:
+            self._wire_versions[op_id] = version
         event = node.env.event()
         node.pending_replies[op_id] = event
 
         def expire():
+            self._wire_versions.pop(op_id, None)
             pending = node.pending_replies.pop(op_id, None)
             if pending is not None and not pending.triggered:
                 pending.succeed(None)
@@ -462,7 +701,9 @@ class Fleet:
             # Dropped at the link: the expiry timer still owns the event.
             node.counters["msgs_dropped"] += 1
         reply = yield WaitEvent(event)
-        return reply
+        if reply is None:
+            return None
+        return reply + (self._wire_versions.pop(op_id, None),)
 
     def _channel_loop(self, node, src_id, channel):
         proc = node.store.proc
@@ -476,6 +717,10 @@ class Fleet:
                 event = node.pending_replies.pop(op_id, None)
                 if event is not None and not event.triggered:
                     event.succeed((mtype, value))
+                else:
+                    # Stale ack (request already expired): drop any
+                    # version header the replier attached for it.
+                    self._wire_versions.pop(op_id, None)
             elif mtype == MSG_REPL:
                 node.spawn(self._handle_repl(node, src_id, op_id, key, value),
                            name="n%s-repl-%d" % (node.node_id, op_id))
@@ -497,7 +742,15 @@ class Fleet:
                 reply = (ACK_OK, got) if got is not None else (ACK_MISS, b"")
             elif mtype == MSG_GET_ANY:
                 got = yield from node.store.get_op(key)
-                reply = (ACK_OK, got) if got is not None else (ACK_MISS, b"")
+                if got is not None:
+                    # Attach the local commit version so the consulting
+                    # primary can judge freshness against its own copy.
+                    self._wire_versions[op_id] = node.versions.get(key, 0)
+                    reply = (ACK_OK, got)
+                else:
+                    reply = (ACK_MISS, b"")
+            elif mtype == MSG_CKPT:
+                reply = (ACK_OK, self._ckpt_chunk(node, src_id, key))
             else:
                 reply = (ACK_ERR, b"badmsg")
         except NotOwner:
@@ -506,9 +759,37 @@ class Fleet:
             reply = (ACK_ERR, b"error")
         yield from self._reply(node, src_id, op_id, reply[0], key, reply[1])
 
+    def _ckpt_chunk(self, node, src_id, key):
+        """Serve one checkpoint-shipping chunk (key = offset, LE64).
+
+        Offset 0 snapshots the whole store into a fresh envelope cached
+        per requester, so a multi-chunk transfer reads one consistent
+        image even while the donor keeps committing.
+        """
+        offset = int.from_bytes(key[:8], "little")
+        if offset == 0:
+            db = {k: (node.versions.get(k, 0), node.store.value_bytes(k))
+                  for k in sorted(node.store.db)}
+            node.ckpt_ship[src_id] = ckpt_format.dump_bytes(
+                {"node": node.node_id, "lsn": node.disk.lsn, "db": db})
+            node.counters["ckpt_shipped"] += 1
+        blob = node.ckpt_ship.get(src_id, b"")
+        chunk = blob[offset:offset + CKPT_CHUNK]
+        if offset + len(chunk) >= len(blob):
+            node.ckpt_ship.pop(src_id, None)
+        return chunk
+
     def _handle_repl(self, node, src_id, op_id, key, value):
+        version = self._wire_versions.pop(op_id, None)
+        if version is not None and version < node.versions.get(key, 0):
+            # Stale push (a rejoined node re-offering pre-crash data
+            # that a newer commit superseded): the wire cost is already
+            # paid — discard the apply, ack so the pusher moves on.
+            node.counters["repl_stale_discarded"] += 1
+            yield from self._reply(node, src_id, op_id, ACK_OK, key)
+            return
         try:
-            yield from node.store.set_op(key, value)
+            yield from self._commit(node, key, value, version or 0)
         except (FleetError,) + _COPY_ERRORS:
             yield from self._reply(node, src_id, op_id, ACK_ERR, key,
                                    b"error")
@@ -533,13 +814,14 @@ class Fleet:
                 if not owners or owners[0] != node.node_id:
                     break
                 value = node.store.value_bytes(key)
+                version = node.versions.get(key)
                 results = []
                 for target in owners[1:]:
                     if not self.nodes[target].alive:
                         results.append(True)  # their death gets its own view
                         continue
-                    results.append((yield from self._replicate(node, target,
-                                                               key, value)))
+                    results.append((yield from self._replicate(
+                        node, target, key, value, version)))
                 if all(results):
                     pushed += len(results)
                     break
@@ -562,6 +844,7 @@ class Fleet:
             "gfd": self.gfd.snapshot() if self.gfd is not None else None,
             "promotions": list(self.promotions),
             "kills": list(self.kills),
+            "restarts": list(self.restarts),
             "rounds": self.stepper.rounds,
             "horizon": self.stepper.horizon,
             "ops": {"submitted": self.ops_submitted,

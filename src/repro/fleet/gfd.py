@@ -24,6 +24,7 @@ class GlobalFaultDetector:
         self.last_beat = {node_id: 0 for node_id in self.alive}
         self.beats_seen = 0
         self.deaths = []  # (view_id, node_id, cause, declared_at)
+        self.rebirths = []  # (view_id, node_id, declared_at)
         self._inbox = []
 
     def heartbeat(self, node_id, seq, arrival):
@@ -56,10 +57,28 @@ class GlobalFaultDetector:
         if self.on_death is not None:
             self.on_death(node_id, self.view_id)
 
+    def declare_alive(self, node_id, now):
+        """A restarted node rejoins the membership view.
+
+        If it was declared dead the ring gets it back and the view bumps
+        (promoting it into its old shards); if it restarted before the
+        timeout fired it never left, so only its heartbeat clock resets
+        — either way the fresh ``last_beat`` stops an instant re-declare.
+        """
+        self.last_beat[node_id] = now
+        if node_id in self.alive:
+            return self.view_id
+        self.alive.add(node_id)
+        self.ring.add_node(node_id)
+        self.view_id += 1
+        self.rebirths.append((self.view_id, node_id, now))
+        return self.view_id
+
     def snapshot(self):
         return {
             "view_id": self.view_id,
             "alive": sorted(self.alive, key=repr),
             "beats_seen": self.beats_seen,
             "deaths": list(self.deaths),
+            "rebirths": list(self.rebirths),
         }

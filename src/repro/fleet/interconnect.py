@@ -29,7 +29,7 @@ class Link:
     """One directed link's service parameters, fault state and counters."""
 
     __slots__ = ("src", "dst", "latency_cycles", "bytes_per_cycle",
-                 "partitioned", "slow_factor", "busy_until",
+                 "partition_depth", "slow_factor", "busy_until",
                  "messages", "bytes_sent", "dropped", "queue_cycles")
 
     def __init__(self, src, dst, latency_cycles, bytes_per_cycle):
@@ -37,13 +37,17 @@ class Link:
         self.dst = dst
         self.latency_cycles = latency_cycles
         self.bytes_per_cycle = bytes_per_cycle
-        self.partitioned = False
+        self.partition_depth = 0
         self.slow_factor = 1.0
         self.busy_until = 0
         self.messages = 0
         self.bytes_sent = 0
         self.dropped = 0
         self.queue_cycles = 0
+
+    @property
+    def partitioned(self):
+        return self.partition_depth > 0
 
 
 class Interconnect:
@@ -72,13 +76,19 @@ class Interconnect:
     # -------------------------------------------------------------- faults
 
     def partition(self, a, b):
-        """Cut both directions between ``a`` and ``b`` (data or control)."""
-        self.link(a, b).partitioned = True
-        self.link(b, a).partitioned = True
+        """Cut both directions between ``a`` and ``b`` (data or control).
+
+        Partitions nest: two overlapping ``partition`` calls need two
+        ``heal`` calls (each fault event heals exactly once, so the link
+        stays down until the *last* overlapping fault clears).
+        """
+        self.link(a, b).partition_depth += 1
+        self.link(b, a).partition_depth += 1
 
     def heal(self, a, b):
-        self.link(a, b).partitioned = False
-        self.link(b, a).partitioned = False
+        """Undo one ``partition``; extra heals are no-ops (floored at 0)."""
+        for lnk in (self.link(a, b), self.link(b, a)):
+            lnk.partition_depth = max(0, lnk.partition_depth - 1)
 
     def is_partitioned(self, a, b):
         return self.link(a, b).partitioned
@@ -92,7 +102,7 @@ class Interconnect:
 
     def heal_all(self):
         for lnk in self._links.values():
-            lnk.partitioned = False
+            lnk.partition_depth = 0
             lnk.slow_factor = 1.0
 
     # ------------------------------------------------------------ transfer

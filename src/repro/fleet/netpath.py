@@ -127,3 +127,14 @@ class Channel:
 
     def close(self):
         self.rx_sock.close()
+
+    def reopen(self):
+        """Re-home the rx socket on the destination's (new) system.
+
+        Part of node restart: the old socket died with the old machine;
+        messages delivered between close and reopen were dropped on the
+        floor, exactly like frames arriving at a rebooting NIC.
+        """
+        self.rx_sock = Socket(self.dst.system,
+                              name="ch-%s-%s" % (self.src.node_id,
+                                                 self.dst.node_id))

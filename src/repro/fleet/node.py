@@ -2,6 +2,7 @@
 
 from collections import defaultdict
 
+from repro.fleet.disk import NodeDisk
 from repro.fleet.netpath import MAX_MSG, SimLock
 from repro.fleet.store import KVStore
 
@@ -13,21 +14,35 @@ class FleetNode:
     ``channels_in`` with matching tx/rx buffers; everything the node
     spawns into its environment is tracked in ``_procs`` so a node kill
     can interrupt all of it and let ``finally`` cleanup run.
+
+    The node object itself outlives its machine: :meth:`kill` drops the
+    ``System``, :meth:`restart` builds a fresh one and recovers the
+    store from the :class:`~repro.fleet.disk.NodeDisk`, which is the
+    only state that survives the crash.  ``versions`` maps each key to
+    the fleet-global version of the locally committed value — the
+    currency of the checkpoint-aware delta resync that runs on rejoin.
     """
 
     def __init__(self, node_id, system_factory, store_kwargs=None):
         self.node_id = node_id
+        self._system_factory = system_factory
+        self._store_kwargs = dict(store_kwargs or {})
         self.system = system_factory()
         self.env = self.system.env
         self.store = KVStore(self.system, name="n%s-store" % node_id,
-                             **(store_kwargs or {}))
+                             **self._store_kwargs)
+        self.disk = NodeDisk(node_id)
         self.alive = True
+        self.recovering = False
+        self.restarts = 0
+        self.versions = {}       # key -> fleet-global commit version
         self.channels_out = {}   # peer id -> Channel (we are src)
         self.channels_in = {}    # peer id -> Channel (we are dst)
         self.tx_bufs = {}
         self.tx_locks = {}
         self.rx_bufs = {}
         self.pending_replies = {}  # op_id -> Event
+        self.ckpt_ship = {}      # requester id -> in-flight checkpoint blob
         self.counters = defaultdict(int)
         self._procs = []
 
@@ -61,11 +76,16 @@ class FleetNode:
         unwound their ``finally`` blocks — that is what frees in-flight
         kernel buffers.  Then the store process exit-reaps its copier
         tasks, the aspace tears down, and the rx sockets release any
-        queued skbs.
+        queued skbs.  A second kill is a no-op: the machine is already
+        gone, there is nothing left to tear down.
+
+        The :class:`NodeDisk` survives — committed writes stay durable
+        through the crash, which is what :meth:`restart` recovers from.
         """
         if not self.alive:
             return
         self.alive = False
+        self.recovering = False
         for proc in self._procs:
             if proc.is_alive:
                 proc.kill()
@@ -80,6 +100,46 @@ class FleetNode:
             channel.close()
         self.pending_replies.clear()
 
+    def restart(self, from_checkpoint=True):
+        """Boot a fresh machine for this node id and recover its store.
+
+        With ``from_checkpoint`` the disk's last checkpoint plus WAL
+        tail is replayed into the new store (version map included); a
+        wiped/ignored disk boots empty — peer-assisted recovery must
+        fill it.  Fleet-side wiring (channels, rx loops, LFD, GFD
+        rejoin, resync) is :meth:`Fleet.restart_node`'s job; this method
+        is purely machine-local.
+        """
+        if self.alive:
+            raise RuntimeError("node %s is alive; kill it before restart"
+                               % self.node_id)
+        self.system = self._system_factory()
+        self.env = self.system.env
+        self.store = KVStore(self.system, name="n%s-store" % self.node_id,
+                             **self._store_kwargs)
+        self.versions = {}
+        self.pending_replies = {}
+        self.ckpt_ship = {}
+        self._procs = []
+        self.restarts += 1
+        proc = self.store.proc
+        for peer_id in self.channels_out:
+            self.tx_bufs[peer_id] = proc.mmap(
+                MAX_MSG, populate=True,
+                name="n%s-tx-%s" % (self.node_id, peer_id))
+            self.tx_locks[peer_id] = SimLock(self.env)
+        for peer_id in self.channels_in:
+            self.rx_bufs[peer_id] = proc.mmap(
+                MAX_MSG, populate=True,
+                name="n%s-rx-%s" % (self.node_id, peer_id))
+        if from_checkpoint:
+            for key, (version, value) in sorted(self.disk.recover().items()):
+                self.store.load_value(key, value)
+                if version:
+                    self.versions[key] = version
+            self.counters["recovered_keys"] = len(self.store.db)
+        self.alive = True
+
     def leaked_pins(self):
         return self.system.leaked_pins()
 
@@ -88,9 +148,12 @@ class FleetNode:
         snap = {
             "node": self.node_id,
             "alive": self.alive,
+            "recovering": self.recovering,
+            "restarts": self.restarts,
             "now": self.env.now,
             "events": self.env.events_executed,
             "store": self.store.snapshot(),
+            "disk": self.disk.snapshot(),
             "counters": dict(sorted(self.counters.items())),
         }
         if copier is not None:

@@ -74,18 +74,36 @@ class KVStore:
     def get_op(self, key):
         """Read ``key`` through the copy path; returns bytes or ``None``."""
         self.gets += 1
-        entry = self.db.get(key)
-        if entry is None:
+        if key not in self.db:
             self.misses += 1
             return None
         yield from self.lock.acquire()
         try:
-            va, length = entry
+            # Re-read under the lock: a concurrent set may have moved
+            # the value to a new slot while this reader queued, and the
+            # returned bytes must match the store's version bookkeeping
+            # as of the moment the copy starts.
+            va, length = self.db[key]
             yield from self.client.amemcpy(self.out, va, length)
             yield from self.client.csync(self.out, length)
             return bytes(self.proc.read(self.out, length))
         finally:
             self.lock.release()
+
+    def load_value(self, key, value):
+        """Install ``key = value`` directly (disk recovery; no sim cost).
+
+        Restart-time WAL/checkpoint replay is local disk I/O, modeled
+        free like :meth:`value_bytes`; live data still goes through the
+        copy path via :meth:`set_op`.
+        """
+        existing = self.db.get(key)
+        if existing is not None and existing[1] == len(value):
+            va = existing[0]
+        else:
+            va = self._alloc(len(value))
+        self.proc.write(va, value)
+        self.db[key] = (va, len(value))
 
     def value_bytes(self, key):
         """Raw arena read (resync/audit paths; no simulated cost)."""

@@ -81,6 +81,19 @@ class DMAEngine:
     def pending_batches(self):
         return len(self._queue)
 
+    def restart(self):
+        """Respawn the device process after a checkpoint quiesce killed it.
+
+        Only legal with an empty submission queue (the quiesce drained all
+        in-flight batches); counters survive untouched so a restored
+        machine keeps the device's history.
+        """
+        if self._queue:
+            raise RuntimeError("DMA restart with %d batches queued"
+                               % len(self._queue))
+        self._wake = self.env.event()
+        self._proc = self.env.spawn(self._run(), name="dma-engine")
+
     def _run(self):
         while True:
             if not self._queue:

@@ -22,6 +22,11 @@ class System:
                  fragmented=False, copier=True, timeslice=100_000,
                  copier_kwargs=None):
         self.params = params if params is not None else MachineParams()
+        # Construction recipe, kept so repro.ckpt can rebuild an identical
+        # shell before overlaying the serialized machine state.
+        self._init_kwargs = dict(n_cores=n_cores, phys_frames=phys_frames,
+                                 fragmented=fragmented, copier=bool(copier),
+                                 timeslice=timeslice)
         self.env = Environment(n_cores=n_cores, timeslice=timeslice)
         self.phys = PhysicalMemory(phys_frames, fragmented=fragmented)
         self.kernel_as = AddressSpace(self.phys, name="kernel")

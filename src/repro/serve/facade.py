@@ -30,8 +30,23 @@ time (inside the generator), not at staging time.
 
 import asyncio
 
-from repro.copier.errors import CopyAborted, DeadlineMissed
+from repro.copier.errors import (AdmissionReject, CopierSecurityError,
+                                 CopyAborted, DeadlineMissed,
+                                 TransientCopierError)
+from repro.copier.queues import QueueFull
+from repro.fleet.errors import FleetError
+from repro.mem.errors import MemoryLifecycleError
+from repro.mem.faults import MemoryFault
+from repro.mem.phys import OutOfMemory
 from repro.serve.driver import PARKED, RUNNING, PendingOp
+
+#: The simulated kernel/copier failure surface an op generator may raise.
+#: These are *results* of the submitted operation and belong in its
+#: future; anything else (a TypeError in user code, a bug in the sim)
+#: must unwind the driver loudly, not masquerade as an op failure.
+SIM_OP_ERRORS = (CopyAborted, AdmissionReject, DeadlineMissed,
+                 CopierSecurityError, TransientCopierError, QueueFull,
+                 MemoryFault, MemoryLifecycleError, OutOfMemory, FleetError)
 
 
 def _retire_error(task, outcome):
@@ -144,10 +159,13 @@ class AsyncCopier:
         def wrapped():
             try:
                 value = yield from factory()
-            except Exception as exc:
+            except SIM_OP_ERRORS as exc:
                 # Deliver sim-side failures (AdmissionReject, QueueFull,
                 # DeadlineMissed...) into the awaiting coroutine instead
                 # of letting them unwind the driver's stepping loop.
+                # Non-sim exceptions (a bug in a handler, a TypeError in
+                # user code) deliberately propagate: swallowing them into
+                # the future would disguise broken code as a failed copy.
                 if not future.done():
                     future.set_exception(exc)
                 return

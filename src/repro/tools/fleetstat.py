@@ -12,7 +12,13 @@ Usage::
 
     PYTHONPATH=src python -m repro.tools.fleetstat [--seed 0]
         [--nodes 4] [--streams 6] [--ops 12] [--events 10]
-        [--check-determinism] [--json]
+        [--restart] [--double-crash] [--check-determinism] [--json]
+
+``--restart`` switches to the crash-recovery campaign: every killed
+node restarts from its disk (or a peer's shipped checkpoint) and
+rejoins mid-storm, and the audit additionally requires every node back
+alive with recovery (MTTR) counters recorded.  ``--double-crash`` arms
+the simultaneous kill of both owners of one seeded key.
 
 ``--seed`` defaults to ``COPIER_FLEET_SEED`` (falling back to 0).  The
 fleet arms ``COPIER_FAULT_PLAN``/``COPIER_FAULT_SEED`` from the
@@ -26,7 +32,8 @@ import json
 import os
 import sys
 
-from repro.fleet.chaos import fleet_determinism_fingerprint, run_fleet_campaign
+from repro.fleet.chaos import (fleet_determinism_fingerprint,
+                               run_fleet_campaign, run_restart_campaign)
 
 
 def render(result):
@@ -36,6 +43,16 @@ def render(result):
         "rounds=%d" % (result["seed"], result["n_nodes"],
                        len(result["events"]), result["kills"],
                        len(result["promotions"]), result["rounds"]))
+    if "restart_log" in result:
+        out("  restarts: %d (%d mid-resync, %d disk-wiped), "
+            "recoveries=%d mttr=%d cycles" % (
+                len(result["restart_log"]),
+                sum(1 for _t, _n, d, _w in result["restart_log"] if d),
+                sum(1 for _t, _n, _d, w in result["restart_log"] if w),
+                result["recoveries"], result["mttr_cycles"]))
+        for tick, key, owners in result.get("double_crashes", []):
+            out("  tick %-4d double crash of owners %s for key %r"
+                % (tick, list(owners), key))
     for tick, kind, target in result["events"]:
         out("  tick %-4d %-14s %s" % (tick, kind, target))
     for view, node_id in result["promotions"]:
@@ -84,6 +101,12 @@ def main(argv=None):
                         help="operations per client stream")
     parser.add_argument("--events", type=int, default=10,
                         help="node-level chaos events to schedule")
+    parser.add_argument("--restart", action="store_true",
+                        help="run the crash-recovery campaign: killed nodes "
+                             "restart from disk and rejoin mid-storm")
+    parser.add_argument("--double-crash", action="store_true",
+                        help="with --restart: also kill both owners of one "
+                             "seeded key simultaneously")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run the campaign twice and require identical "
                              "events, promotions, counters and digests")
@@ -92,9 +115,17 @@ def main(argv=None):
                              "the human-readable summary")
     args = parser.parse_args(argv)
 
-    result = run_fleet_campaign(seed=args.seed, n_nodes=args.nodes,
-                                n_streams=args.streams, n_ops=args.ops,
-                                n_events=args.events)
+    def campaign():
+        if args.restart:
+            return run_restart_campaign(seed=args.seed, n_nodes=args.nodes,
+                                        n_streams=args.streams,
+                                        n_ops=args.ops, n_events=args.events,
+                                        double_crash=args.double_crash)
+        return run_fleet_campaign(seed=args.seed, n_nodes=args.nodes,
+                                  n_streams=args.streams, n_ops=args.ops,
+                                  n_events=args.events)
+
+    result = campaign()
     if args.json:
         print(json.dumps(_jsonable(result), indent=2, sort_keys=True))
     else:
@@ -102,9 +133,7 @@ def main(argv=None):
 
     failures = list(result["failures"])
     if args.check_determinism:
-        rerun = run_fleet_campaign(seed=args.seed, n_nodes=args.nodes,
-                                   n_streams=args.streams, n_ops=args.ops,
-                                   n_events=args.events)
+        rerun = campaign()
         if (fleet_determinism_fingerprint(result)
                 != fleet_determinism_fingerprint(rerun)):
             failures.append("fleet campaign is not deterministic for seed %d"

@@ -1,0 +1,109 @@
+"""Damaged checkpoint files raise typed errors, never half-machines.
+
+Every corruption mode maps to its own :class:`CheckpointError` subclass
+(truncated header/payload, foreign magic, unsupported version, flipped
+payload byte, garbage file), ``restore`` refuses them all, and the
+``repro.tools.ckpt`` CLI turns them into non-zero exits.
+"""
+
+import struct
+
+import pytest
+
+from repro.ckpt import (
+    MAGIC,
+    Checkpoint,
+    CheckpointChecksumError,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointTruncatedError,
+    CheckpointVersionError,
+    checkpoint,
+    restore,
+)
+from repro.kernel.system import System
+from repro.tools import ckpt as ckpt_cli
+
+
+@pytest.fixture(scope="module")
+def blob():
+    system = System(n_cores=2, phys_frames=4096)
+    proc = system.create_process("app")
+    proc.mmap(8192, populate=True)
+    return checkpoint(system).to_bytes()
+
+
+def test_header_truncation(blob):
+    with pytest.raises(CheckpointTruncatedError):
+        Checkpoint.from_bytes(blob[:10])
+
+
+def test_payload_truncation(blob):
+    with pytest.raises(CheckpointTruncatedError):
+        Checkpoint.from_bytes(blob[: len(blob) // 2])
+
+
+def test_bad_magic(blob):
+    with pytest.raises(CheckpointFormatError):
+        Checkpoint.from_bytes(b"XXXX" + blob[4:])
+
+
+def test_version_mismatch(blob):
+    bumped = bytearray(blob)
+    bumped[4:6] = struct.pack(">H", 99)
+    with pytest.raises(CheckpointVersionError):
+        Checkpoint.from_bytes(bytes(bumped))
+
+
+def test_flipped_payload_byte(blob):
+    flipped = bytearray(blob)
+    flipped[-20] ^= 0xFF
+    with pytest.raises(CheckpointChecksumError):
+        Checkpoint.from_bytes(bytes(flipped))
+
+
+def test_garbage_file(blob):
+    with pytest.raises(CheckpointError):
+        Checkpoint.from_bytes(b"\x00" * 4096)
+
+
+def test_restore_refuses_damage(blob, tmp_path):
+    """restore() on a damaged file raises before any machine exists."""
+    path = tmp_path / "damaged.rckp"
+    flipped = bytearray(blob)
+    flipped[len(flipped) // 2] ^= 0x55
+    path.write_bytes(bytes(flipped))
+    with pytest.raises(CheckpointChecksumError):
+        restore(str(path))
+
+
+def test_every_error_is_a_checkpoint_error():
+    for cls in (CheckpointFormatError, CheckpointVersionError,
+                CheckpointChecksumError, CheckpointTruncatedError):
+        assert issubclass(cls, CheckpointError)
+
+
+def test_envelope_round_trip(blob, tmp_path):
+    ck = Checkpoint.from_bytes(blob)
+    path = tmp_path / "ok.rckp"
+    ck.save(path)
+    assert Checkpoint.load(str(path)).payload == ck.payload
+    assert blob[:4] == MAGIC
+
+
+def test_cli_verify_and_info(blob, tmp_path):
+    good = tmp_path / "good.rckp"
+    good.write_bytes(blob)
+    bad = tmp_path / "bad.rckp"
+    bad.write_bytes(blob[: len(blob) - 30])
+    assert ckpt_cli.main(["verify", str(good)]) == 0
+    assert ckpt_cli.main(["info", str(good)]) == 0
+    assert ckpt_cli.main(["verify", str(bad)]) == 1
+    assert ckpt_cli.main(["info", str(bad)]) == 1
+
+
+def test_cli_selftest(tmp_path):
+    out = tmp_path / "selftest.rckp"
+    assert ckpt_cli.main(["selftest", "--seed", "2", "--plan", "mixed",
+                          "-o", str(out)]) == 0
+    assert not out.exists()  # cleaned up without --keep

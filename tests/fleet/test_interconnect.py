@@ -59,6 +59,47 @@ def test_partition_drops_and_counts():
     assert delivered == [b"payload"]
 
 
+def test_overlapping_partitions_nest_and_heals_are_floored():
+    # Two overlapping partitions of the same pair need two heals: a
+    # single heal must not reconnect a link someone else still holds
+    # partitioned (the chaos controller schedules heals independently).
+    net, envs = _pair()
+    delivered = []
+    net.partition("a", "b")
+    net.partition("a", "b")
+    net.heal("a", "b")
+    assert net.is_partitioned("a", "b")
+    assert not net.transmit("a", "b", b"payload", delivered.append)
+    net.heal("a", "b")
+    assert not net.is_partitioned("a", "b")
+    # Extra heals are a no-op, never an "anti-partition" credit.
+    net.heal("a", "b")
+    net.heal("a", "b")
+    assert net.link("a", "b").partition_depth == 0
+    net.partition("a", "b")
+    assert net.is_partitioned("a", "b")
+    net.heal("a", "b")
+    assert net.transmit("a", "b", b"payload", delivered.append)
+    envs["b"].step(max_cycles=10_000)
+    assert delivered == [b"payload"]
+
+
+def test_heal_all_clears_nested_partitions_and_slowness():
+    net, _envs = _pair()
+    net.partition("a", "b")
+    net.partition("a", "b")
+    net.partition("b", "a")
+    net.slow("a", "b", 8.0)
+    net.heal_all()
+    assert not net.is_partitioned("a", "b")
+    assert not net.is_partitioned("b", "a")
+    assert net.link("a", "b").partition_depth == 0
+    assert net.link("a", "b").slow_factor == 1.0
+    # heal_all is itself idempotent.
+    net.heal_all()
+    assert not net.is_partitioned("a", "b")
+
+
 def test_slow_scales_latency_and_transfer():
     net, envs = _pair(latency=1000, bpc=16.0)
     net.slow("a", "b", 4.0)

@@ -160,3 +160,42 @@ def test_admission_reject_delivered_to_awaiter(serve):
     asyncio.run(go())
     # The submission failed *inside the sim*; the driver's books balance.
     assert driver.parked_ops == 0
+
+
+def test_typed_sim_error_is_delivered_to_awaiter(serve):
+    setup, _driver, copier = serve
+    from repro.copier.queues import QueueFull
+
+    def boom():
+        yield Compute(10)
+        raise QueueFull("synthetic backpressure")
+
+    async def go():
+        t = asyncio.create_task(copier.acall(lambda: boom()))
+        await _settle(setup.env, t)
+        with pytest.raises(QueueFull):
+            await t
+
+    asyncio.run(go())
+
+
+def test_non_sim_error_is_not_swallowed_into_the_future(serve):
+    # A bug in user code (here a ZeroDivisionError) must unwind the
+    # simulator loudly instead of masquerading as a failed copy op:
+    # the blanket ``except Exception`` this guards against would have
+    # parked it in the future and kept the driver stepping.
+    setup, _driver, copier = serve
+
+    def buggy():
+        yield Compute(10)
+        return 1 // 0
+
+    async def go():
+        t = asyncio.create_task(copier.acall(lambda: buggy()))
+        await asyncio.sleep(0)
+        with pytest.raises(ZeroDivisionError):
+            setup.env.run()
+        assert not t.done()   # the op future never absorbed the bug
+        t.cancel()
+
+    asyncio.run(go())
