@@ -1,0 +1,132 @@
+"""Where does the wall-clock go?  cProfile over the perf-baseline suite.
+
+:mod:`repro.bench.perfbaseline` answers "how fast"; this module answers
+"why".  Each scenario runs twice: once un-instrumented under
+``time.perf_counter`` (the honest wall number, same as perfbaseline),
+once under :mod:`cProfile` with every function's self-time attributed to
+a *subsystem* by source path — engine (event loop, processes, cores),
+translate (address spaces, page tables, physical memory), copy (Copier
+service + hardware engines), trace (stats and trace buses), kernel,
+workload (apps/bench/serve/fleet drivers), and other (stdlib).  The
+result is a plain-data breakdown artifact, so a perf PR can show *where*
+the time went instead of just totals — and a regression in CI points at
+a subsystem, not at a scenario.
+
+Profiling does not perturb the simulation: the cycle counters of the
+profiled run are asserted identical to the un-instrumented run.
+"""
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.bench import perfbaseline
+
+#: Ordered (subsystem, path fragments) rules; first match wins.  The
+#: trace bus lives under ``sim/`` but is its own line item — it is the
+#: classic hidden cost of an instrumented simulator.
+SUBSYSTEM_RULES = (
+    ("trace", ("repro/sim/trace", "repro/sim/stats")),
+    ("engine", ("repro/sim/",)),
+    ("translate", ("repro/mem/",)),
+    ("copy", ("repro/copier/", "repro/hw/")),
+    ("kernel", ("repro/kernel/",)),
+    ("workload", ("repro/apps/", "repro/bench/", "repro/serve/",
+                  "repro/fleet/", "repro/ckpt/", "repro/api/")),
+)
+
+SUBSYSTEMS = tuple(name for name, _ in SUBSYSTEM_RULES) + ("other",)
+
+
+def classify(filename):
+    """Map a profiled source path to its subsystem name."""
+    path = filename.replace("\\", "/")
+    for name, fragments in SUBSYSTEM_RULES:
+        for fragment in fragments:
+            if fragment in path:
+                return name
+    return "other"
+
+
+def profile_scenario(runner, top=10):
+    """Profile one perfbaseline runner; returns a plain-data breakdown.
+
+    ``wall_s`` is the un-instrumented wall time; ``profiled_s`` is the
+    (slower) instrumented total that the per-subsystem seconds sum to.
+    """
+    recorder = {}
+    runner(recorder)  # warm: imports, first-touch allocations
+    recorder = {}
+    t0 = time.perf_counter()
+    runner(recorder)
+    wall = time.perf_counter() - t0
+    baseline_sig = (recorder.get("sim_bytes"), perfbaseline._last_env_now())
+
+    profiler = cProfile.Profile()
+    recorder = {}
+    profiler.enable()
+    runner(recorder)
+    profiler.disable()
+    profiled_sig = (recorder.get("sim_bytes"), perfbaseline._last_env_now())
+    if profiled_sig != baseline_sig:
+        raise RuntimeError(
+            "profiling perturbed the simulation: %r vs %r"
+            % (profiled_sig, baseline_sig))
+
+    stats = pstats.Stats(profiler)
+    subsystems = {name: 0.0 for name in SUBSYSTEMS}
+    functions = []
+    profiled_total = 0.0
+    for (filename, lineno, funcname), (_cc, ncalls, tottime, _cum, _callers) \
+            in stats.stats.items():
+        profiled_total += tottime
+        subsystems[classify(filename)] += tottime
+        functions.append((tottime, ncalls, filename, lineno, funcname))
+    functions.sort(reverse=True)
+    top_functions = [
+        {
+            "self_s": round(tottime, 6),
+            "calls": ncalls,
+            "where": "%s:%d:%s" % (_shorten(filename), lineno, funcname),
+        }
+        for tottime, ncalls, filename, lineno, funcname in functions[:top]
+    ]
+    return {
+        "wall_s": wall,
+        "profiled_s": round(profiled_total, 6),
+        "subsystems": {name: round(secs, 6)
+                       for name, secs in subsystems.items()},
+        "top_functions": top_functions,
+    }
+
+
+def _shorten(filename):
+    path = filename.replace("\\", "/")
+    marker = "repro/"
+    i = path.rfind(marker)
+    return path[i:] if i >= 0 else path
+
+
+def profile_suite(names=None, top=10):
+    """Profile every (or the named) perfbaseline scenario.
+
+    Returns the artifact dict; ``schema`` guards downstream parsers.
+    """
+    perfbaseline._install_interposers()
+    suite = perfbaseline.scenario_suite()
+    if names:
+        known = {name for name, _ in suite}
+        unknown = set(names) - known
+        if unknown:
+            raise SystemExit("unknown scenario(s): %s" % ", ".join(sorted(unknown)))
+        suite = [(name, runner) for name, runner in suite if name in names]
+    scenarios = {}
+    for name, runner in suite:
+        scenarios[name] = profile_scenario(runner, top=top)
+    return {
+        "schema": 1,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "subsystems": list(SUBSYSTEMS),
+        "scenarios": scenarios,
+    }

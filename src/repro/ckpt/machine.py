@@ -404,8 +404,7 @@ def checkpoint(system, stores=(), deadline=None):
             "task_id": task_mod._task_ids.next_value,
         },
         "phys": {
-            "data": {frame: bytes(buf)
-                     for frame, buf in system.phys._data.items()},
+            "data": system.phys.snapshot_frames(),
             "refcount": dict(system.phys._refcount),
             "free": list(system.phys._free),
             "free_sorted": system.phys._free_sorted,
@@ -498,7 +497,7 @@ def _restore_copier(system, cp, trace_data, asid_map):
     system.copier = svc
     # Discard the constructor's spawned workers/DMA and their start
     # events; resume() respawns them against the restored clock.
-    env._heap.clear()
+    env.clear_pending()
     env.processes.clear()
     svc.threads = []
     svc._wake_events = {}
@@ -685,7 +684,7 @@ def restore(source, resume=True):
                     fragmented=sys_sec["fragmented"], copier=False,
                     timeslice=sys_sec["timeslice"])
     env = system.env
-    env._heap.clear()
+    env.clear_pending()
     env.processes.clear()
     e = p["env"]
     env.now = e["now"]
@@ -706,8 +705,7 @@ def restore(source, resume=True):
     for core, busy in zip(env.cores.cores, e["core_busy"]):
         core.busy_cycles = busy
     phys = system.phys
-    phys._data = {frame: bytearray(buf)
-                  for frame, buf in p["phys"]["data"].items()}
+    phys.load_frames(p["phys"]["data"])
     phys._refcount = dict(p["phys"]["refcount"])
     phys._free = list(p["phys"]["free"])
     phys._free_sorted = p["phys"]["free_sorted"]

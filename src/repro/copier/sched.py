@@ -98,7 +98,10 @@ class CopierScheduler:
         for client in ready:
             groups.setdefault(self._client_group[client], []).append(client)
         group = min(groups, key=lambda g: (g.weighted_length, g.name))
-        return min(groups[group], key=lambda c: (self._client_length[c], id(c)))
+        # min() is stable, so equal-length clients resolve to the first in
+        # ``ready`` (registration) order — never by memory address, which
+        # would make the pick depend on allocator/GC history.
+        return min(groups[group], key=lambda c: self._client_length[c])
 
     def charge(self, client, nbytes):
         """Account ``nbytes`` of copy done on behalf of ``client``."""

@@ -50,7 +50,10 @@ class Socket:
         self.name = name
         self.peer = None
         self.rx = deque()
-        self.inflight = set()
+        # skb -> None, used as an insertion-ordered set: close() must
+        # release buffers in ownership order, not id-hash order, so frame
+        # reuse after a teardown is reproducible run to run.
+        self.inflight = {}
         self.closed = False
         self._waiters = []
         self.delivered = 0
@@ -96,7 +99,7 @@ def _release_skb(system, sock, skb):
         system.free_kernel_buffer(skb.kernel_va, skb.length)
         skb.kernel_va = None
     if sock is not None:
-        sock.inflight.discard(skb)
+        sock.inflight.pop(skb, None)
 
 
 def socket_pair(system, name=""):
@@ -133,7 +136,7 @@ def send_body(system, proc, sock, va, nbytes, mode="sync", client=None):
     skb = SKB(skb_va, nbytes)
     # Owned by the sending socket until it lands on the peer — a kill
     # mid-send (copy submitted, not yet transmitted) frees it at close.
-    sock.inflight.add(skb)
+    sock.inflight[skb] = None
     if (mode == "copier" and client is not None
             and nbytes >= params.copier_kernel_min_bytes):
         # Submit the user→skb copy and overlap protocol processing with it;
@@ -177,14 +180,16 @@ def _send_zerocopy(system, proc, sock, va, nbytes):
     # only defers the pages until unpin instead of faulting the NIC read.
     aspace = proc.aspace
     aspace.pin(va, nbytes)
-    spans = aspace.frames_for(va, nbytes)
+    runs = aspace.translate_run(va, nbytes)
     phys = aspace.phys
 
     def on_tx_done():
+        # Snapshot through the captured physical runs: one slice copy per
+        # maximal physically-contiguous run on the flat frame backing.
         out = bytearray(nbytes)
         pos = 0
-        for frame, offset, chunk in spans:
-            out[pos:pos + chunk] = phys.read(frame, offset, chunk)
+        for frame, offset, chunk in runs:
+            phys.read_run(frame, offset, out, pos, chunk)
             pos += chunk
         skb.payload = bytes(out)
         aspace.unpin(va, nbytes)
@@ -197,12 +202,12 @@ def _send_zerocopy(system, proc, sock, va, nbytes):
 
 
 def _transmit(system, sock, skb):
-    sock.inflight.add(skb)
+    sock.inflight[skb] = None
     transit = system.params.wire_latency_cycles + int(
         skb.length / system.params.wire_bytes_per_cycle)
 
     def arrive():
-        sock.inflight.discard(skb)
+        sock.inflight.pop(skb, None)
         sock.peer.deliver(skb)
 
     system.env.schedule(transit, arrive)
@@ -253,7 +258,7 @@ def recv_body(system, proc, sock, va, nbytes, mode="sync", lazy=False,
     skb = sock.rx.popleft()
     # Popped but not yet freed: if the receiver dies mid-recv the socket
     # close releases the buffer (idempotent vs. the KFUNC below).
-    sock.inflight.add(skb)
+    sock.inflight[skb] = None
     got = min(nbytes, skb.length)
     if skb.zerocopy_src is not None:
         # Receive a zerocopy-sent message: the bytes on the wire are the
@@ -261,7 +266,7 @@ def recv_body(system, proc, sock, va, nbytes, mode="sync", lazy=False,
         yield Compute(params.cpu_copy_cycles(got, engine="erms"),
                       tag="copy")
         proc.aspace.write(va, skb.payload[:got])
-        sock.inflight.discard(skb)
+        sock.inflight.pop(skb, None)
     elif (mode == "copier" and client is not None
             and got >= params.copier_kernel_min_bytes):
         # Async skb→user copy; KFUNC reclaims the buffer afterwards (§5.2).

@@ -3,9 +3,42 @@
 Frame numbers double as physical addresses (``paddr = frame * PAGE_SIZE``),
 which is what the DMA engine's physical-contiguity requirement (§4.3) is
 checked against when Copier splits tasks into subtasks.
+
+Storage layout (flat backing)
+-----------------------------
+
+All frames live in **one contiguous bytearray**, at byte offset
+``frame * PAGE_SIZE``.  The historic layout kept a separate bytearray per
+frame, which forced every bulk primitive to loop page-by-page even when
+the physical run was contiguous; with the flat backing,
+``read_run``/``write_run``/``copy_run`` are each a *single* slice copy
+regardless of how many frames the run spans, and
+:func:`repro.mem.addrspace.copy_range` collapses adjacent physical runs
+into one move.  The backing grows geometrically and only as far as the
+highest frame ever claimed, so a sparsely-used pool (e.g. 262144 frames
+with a few thousand touched) costs memory proportional to use, not to
+``n_frames``.
+
+Free-list discipline (sorted prefix)
+------------------------------------
+
+``_free`` is kept in descending order so ``alloc_frame`` pops the lowest
+frame in O(1).  Frees append; ``_sorted_len`` tracks the length of the
+prefix that is still descending-sorted.  A burst of frees costs O(1)
+each — once the first out-of-order free lands, subsequent frees don't
+even compare (the prefix check short-circuits).  Contiguous allocation
+restores full order only when the discipline shows the list is actually
+dirty, and then with one timsort pass whose run detection consumes the
+sorted prefix as a single run — O(n + k log k) for k frees since the
+last sort, in C; ``sort_work`` accumulates dirty-tail sizes so tests
+can pin the discipline without wall-clock flakiness.  The result is
+element-for-element identical to a full descending sort, so allocation
+semantics are unchanged.
 """
 
 PAGE_SIZE = 4096
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
 
 
 class OutOfMemory(Exception):
@@ -13,7 +46,7 @@ class OutOfMemory(Exception):
 
 
 class PhysicalMemory:
-    """A pool of ``n_frames`` page frames backed by bytearrays.
+    """A pool of ``n_frames`` page frames in one flat backing buffer.
 
     ``fragmented=True`` makes the allocator hand out alternating frames so
     that multi-page buffers are physically non-contiguous — the worst case
@@ -25,11 +58,12 @@ class PhysicalMemory:
     def __init__(self, n_frames=65536, fragmented=False):
         self.n_frames = n_frames
         self.fragmented = fragmented
-        self._data = {}
+        self._backing = bytearray()
         self._refcount = {}
         self._free = list(range(n_frames - 1, -1, -1))  # pop() yields frame 0 first
-        self._free_sorted = True  # descending-order invariant of _free
+        self._sorted_len = n_frames  # descending-sorted prefix of _free
         self._alloc_parity = 0
+        self.sort_work = 0  # elements sorted by contiguous allocs (perf counter)
 
     @property
     def frames_in_use(self):
@@ -39,6 +73,35 @@ class PhysicalMemory:
     def frames_free(self):
         return len(self._free)
 
+    @property
+    def _free_sorted(self):
+        """Back-compat view of the sorted-prefix state (ckpt payload key)."""
+        return self._sorted_len == len(self._free)
+
+    @_free_sorted.setter
+    def _free_sorted(self, value):
+        self._sorted_len = len(self._free) if value else 0
+
+    # ------------------------------------------------------------ backing
+
+    def _claim(self, frame):
+        """Zero ``frame``'s page and mark it allocated (refcount 1)."""
+        end = (frame + 1) * PAGE_SIZE
+        backing = self._backing
+        if end > len(backing):
+            # Geometric growth, zero-filled; capped at the pool size.
+            grow = max(end, 2 * len(backing), 1 << 20)
+            cap = self.n_frames * PAGE_SIZE
+            if grow > cap:
+                grow = cap
+            backing.extend(bytes(grow - len(backing)))
+        else:
+            # Reclaimed page: scrub whatever the previous owner left.
+            backing[end - PAGE_SIZE : end] = _ZERO_PAGE
+        self._refcount[frame] = 1
+
+    # --------------------------------------------------------- allocation
+
     def alloc_frame(self):
         """Allocate one zeroed frame; returns the frame number."""
         if not self._free:
@@ -47,11 +110,17 @@ class PhysicalMemory:
             # Alternate between the two ends of the free list to break up
             # physically-contiguous runs.
             self._alloc_parity ^= 1
-            frame = self._free.pop() if self._alloc_parity else self._free.pop(0)
+            if self._alloc_parity:
+                frame = self._free.pop()
+            else:
+                frame = self._free.pop(0)
+                if self._sorted_len:
+                    self._sorted_len -= 1
         else:
             frame = self._free.pop()
-        self._data[frame] = bytearray(PAGE_SIZE)
-        self._refcount[frame] = 1
+        if self._sorted_len > len(self._free):
+            self._sorted_len = len(self._free)
+        self._claim(frame)
         return frame
 
     def alloc_frame_in(self, lo, hi):
@@ -64,10 +133,30 @@ class PhysicalMemory:
             frame = self._free[i]
             if lo <= frame < hi:
                 self._free.pop(i)
-                self._data[frame] = bytearray(PAGE_SIZE)
-                self._refcount[frame] = 1
+                if self._sorted_len > i:
+                    self._sorted_len -= 1
+                self._claim(frame)
                 return frame
         raise OutOfMemory("no free frames in [%d, %d)" % (lo, hi))
+
+    def _resort_free(self):
+        """Restore the full descending order of ``_free``.
+
+        No-op when the sorted-prefix discipline shows the list is still
+        fully ordered (the common case under LIFO churn).  When dirty,
+        one timsort pass: its run detection picks up the sorted prefix
+        as a single run, so the cost is O(n + k log k) for a k-element
+        dirty tail, done entirely in C.  ``sort_work`` accumulates the
+        dirty-tail sizes so tests can pin the discipline without
+        wall-clock flakiness.
+        """
+        free = self._free
+        n = len(free)
+        if self._sorted_len == n:
+            return
+        self.sort_work += n - self._sorted_len
+        free.sort(reverse=True)
+        self._sorted_len = n
 
     def alloc_frames(self, n, contiguous=False):
         """Allocate ``n`` frames; with ``contiguous=True`` they are adjacent.
@@ -75,16 +164,13 @@ class PhysicalMemory:
         A contiguous allocation picks the *lowest* free run of ``n`` frames
         and leaves the free list sorted descending (so subsequent single
         allocations pop the lowest frame) — the historic behaviour, now
-        without re-sorting the whole list on every call: a dirty flag
-        tracks whether frees broke the descending invariant, and the
-        chosen run is removed with one slice deletion (it occupies
+        restored with a tail-sort + merge instead of a full re-sort, and
+        the chosen run removed with one slice deletion (it occupies
         adjacent positions in the sorted list).
         """
         if contiguous:
+            self._resort_free()
             free = self._free
-            if not self._free_sorted:
-                free.sort(reverse=True)
-                self._free_sorted = True
             # Scan from the end (ascending frame numbers) for the lowest
             # run of ``n`` consecutive frames.
             start_idx = None  # index of the run's lowest frame (highest idx)
@@ -111,9 +197,9 @@ class PhysicalMemory:
             # Consecutive frames occupy adjacent positions in the
             # descending-sorted list: one slice removes them all.
             del free[idx : start_idx + 1]
+            self._sorted_len = len(free)
             for frame in frames:
-                self._data[frame] = bytearray(PAGE_SIZE)
-                self._refcount[frame] = 1
+                self._claim(frame)
             return frames
         if n > len(self._free):
             # All-or-nothing: never leave a half-allocated batch behind
@@ -134,90 +220,110 @@ class PhysicalMemory:
             raise ValueError("double free of frame %d" % frame)
         if count == 1:
             del self._refcount[frame]
-            del self._data[frame]
             free = self._free
-            if free and frame > free[-1]:
-                self._free_sorted = False
+            # Extend the sorted prefix only while the whole list is still
+            # sorted AND the freed frame keeps it descending; once dirty,
+            # a free burst appends without even comparing frames.
+            if self._sorted_len == len(free) and (not free or frame < free[-1]):
+                self._sorted_len += 1
             free.append(frame)
         else:
             self._refcount[frame] = count - 1
+
+    # ------------------------------------------------------- byte movers
 
     def read(self, frame, offset, length):
         """Read ``length`` bytes from ``frame`` starting at ``offset``."""
         if offset < 0 or offset + length > PAGE_SIZE:
             raise ValueError("read outside frame: off=%d len=%d" % (offset, length))
-        return bytes(self._data[frame][offset : offset + length])
+        start = frame * PAGE_SIZE + offset
+        return bytes(self._backing[start : start + length])
 
     def write(self, frame, offset, data):
         if offset < 0 or offset + len(data) > PAGE_SIZE:
             raise ValueError("write outside frame: off=%d len=%d" % (offset, len(data)))
-        self._data[frame][offset : offset + len(data)] = data
+        start = frame * PAGE_SIZE + offset
+        self._backing[start : start + len(data)] = data
 
     def copy_frame(self, src_frame, dst_frame):
         """Copy a whole frame (the CoW handler's page copy)."""
-        self._data[dst_frame][:] = self._data[src_frame]
+        self.copy_run(src_frame, 0, dst_frame, 0, PAGE_SIZE)
 
     # ----------------------------------------------------- bulk run movers
     #
-    # Frames are stored as separate per-frame bytearrays, so even a
-    # physically-contiguous run crosses buffer boundaries — but these
-    # primitives keep the page loop here, moving each page with a single
-    # memoryview slice assignment (no temporary bytes objects), which is
-    # what :func:`repro.mem.addrspace.copy_range` rides on.
+    # With the flat backing a physically-contiguous run is contiguous in
+    # the buffer, so each mover is one slice copy no matter how many
+    # frames it spans.  :func:`repro.mem.addrspace.copy_range` rides on
+    # these.
 
     def read_run(self, frame, offset, out, pos, nbytes):
         """Copy ``nbytes`` starting at ``(frame, offset)`` into writable
         buffer ``out`` at ``pos``; the run may span multiple frames."""
-        data = self._data
-        while nbytes > 0:
-            chunk = PAGE_SIZE - offset
-            if chunk > nbytes:
-                chunk = nbytes
-            out[pos : pos + chunk] = memoryview(data[frame])[offset : offset + chunk]
-            pos += chunk
-            nbytes -= chunk
-            frame += 1
-            offset = 0
+        start = frame * PAGE_SIZE + offset
+        out[pos : pos + nbytes] = memoryview(self._backing)[start : start + nbytes]
 
     def write_run(self, frame, offset, data_mv, pos, nbytes):
         """Copy ``nbytes`` from buffer ``data_mv`` at ``pos`` into the run
         starting at ``(frame, offset)``."""
-        data = self._data
-        while nbytes > 0:
-            chunk = PAGE_SIZE - offset
-            if chunk > nbytes:
-                chunk = nbytes
-            data[frame][offset : offset + chunk] = data_mv[pos : pos + chunk]
-            pos += chunk
-            nbytes -= chunk
-            frame += 1
-            offset = 0
+        start = frame * PAGE_SIZE + offset
+        self._backing[start : start + nbytes] = data_mv[pos : pos + nbytes]
 
     def copy_run(self, src_frame, src_off, dst_frame, dst_off, nbytes):
         """Frame-to-frame run copy (``memcpy`` between physical runs)."""
-        data = self._data
-        while nbytes > 0:
-            chunk = PAGE_SIZE - src_off
-            dst_room = PAGE_SIZE - dst_off
-            if dst_room < chunk:
-                chunk = dst_room
-            if chunk > nbytes:
-                chunk = nbytes
-            data[dst_frame][dst_off : dst_off + chunk] = \
-                memoryview(data[src_frame])[src_off : src_off + chunk]
-            nbytes -= chunk
-            src_off += chunk
-            if src_off == PAGE_SIZE:
-                src_frame += 1
-                src_off = 0
-            dst_off += chunk
-            if dst_off == PAGE_SIZE:
-                dst_frame += 1
-                dst_off = 0
+        backing = self._backing
+        src = src_frame * PAGE_SIZE + src_off
+        dst = dst_frame * PAGE_SIZE + dst_off
+        if src == dst or nbytes <= 0:
+            return
+        if src < dst + nbytes and dst < src + nbytes:
+            # Overlapping ranges: slicing the bytearray materializes a
+            # temporary copy, making the assignment a memmove.
+            backing[dst : dst + nbytes] = backing[src : src + nbytes]
+        else:
+            backing[dst : dst + nbytes] = memoryview(backing)[src : src + nbytes]
 
     def view(self, frame):
-        """Mutable memoryview of a frame's bytes (engine fast path)."""
-        return memoryview(self._data[frame])
+        """Mutable memoryview of a frame's bytes (engine fast path).
+
+        Transient use only: a live view pins the backing buffer and
+        blocks growth (``BufferError`` on the next first-touch alloc).
+        """
+        start = frame * PAGE_SIZE
+        return memoryview(self._backing)[start : start + PAGE_SIZE]
+
+    # -------------------------------------------------------- checkpointing
+
+    def snapshot_frames(self):
+        """Plain-data image of every allocated frame: ``{frame: bytes}``.
+
+        The per-frame dict shape is the ckpt payload contract (stable
+        across the flat-backing rewrite): restore into a pool of any
+        layout via :meth:`load_frames`.
+        """
+        backing = self._backing
+        out = {}
+        for frame in self._refcount:
+            start = frame * PAGE_SIZE
+            out[frame] = bytes(backing[start : start + PAGE_SIZE])
+        return out
+
+    def load_frames(self, mapping):
+        """Replace frame contents from a :meth:`snapshot_frames` image.
+
+        Only touches the backing bytes; the caller restores refcounts and
+        the free list separately (ckpt machine restore).
+        """
+        del self._backing[:]
+        backing = self._backing
+        for frame in sorted(mapping):
+            end = (frame + 1) * PAGE_SIZE
+            if end > len(backing):
+                grow = max(end, 2 * len(backing), 1 << 20)
+                cap = self.n_frames * PAGE_SIZE
+                if grow > cap:
+                    grow = cap
+                backing.extend(bytes(grow - len(backing)))
+            backing[end - PAGE_SIZE : end] = mapping[frame]
 
     def paddr(self, frame, offset=0):
         return frame * PAGE_SIZE + offset

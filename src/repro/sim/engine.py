@@ -20,15 +20,37 @@ seam between the two worlds is the cooperative stepping API:
   until new work is injected" apart from "work is pending".
 
 ``run``/``run_until`` remain the batch drivers (run-to-horizon /
-run-to-event); they share the heap discipline with ``step``, so
+run-to-event); they share the queue discipline with ``step``, so
 interleaved ``step`` calls execute the exact same event sequence — and
 therefore produce byte-identical counters — as a single batch run.  All
 three are mutually exclusive and non-reentrant: calling any of them from
 inside an executing event raises, which is what keeps an external driver
 and in-process drain loops from fighting over the run loop.
+
+Queue engineering (the calendar queue)
+--------------------------------------
+
+The historic loop kept every pending event in one ``heapq`` of
+``(when, seq, fn)`` tuples: every schedule and every pop paid an
+O(log n) sift *per event*, with tuple allocation and tuple comparison on
+the hot path.  The production loop is a **calendar/bucket queue** keyed
+on the cycle: events scheduled for the same cycle share one bucket (a
+plain list, appended in schedule order — which *is* ``seq`` order, since
+``seq`` grows monotonically), and a small heap orders only the distinct
+pending cycles.  Scheduling into an existing bucket is O(1); the heap
+fallback pays its O(log d) only once per *distinct* future cycle, not
+once per event.  Execution drains a whole bucket in one dispatch loop —
+same-cycle batching — and events that schedule more work at the current
+cycle land in the bucket being drained, exactly where the heap's
+``(when, seq)`` total order would have put them.  The observable event
+order is therefore bit-exact with the historic loop, and
+``COPIER_SLOWHEAP=1`` (read once per :class:`Environment` construction)
+keeps that historic heapq loop alive as a differential oracle, mirroring
+the ``COPIER_SLOWPATH`` discipline of the memory fast paths.
 """
 
 import heapq
+import os
 
 from repro.sim.cores import CoreSet
 from repro.sim.events import Event
@@ -42,6 +64,36 @@ from repro.sim.trace import TraceBus
 DEFAULT_RUN_LIMIT = 500_000_000_000
 
 
+def slowheap_enabled():
+    """True when ``COPIER_SLOWHEAP=1`` forces the historic heapq loop.
+
+    Read once per :class:`Environment` construction — the differential
+    determinism tests build one environment per setting.
+    """
+    return os.environ.get("COPIER_SLOWHEAP") == "1"
+
+
+def _normalize_delay(delay):
+    """Validate/normalize a schedule delay at the seam (once, here).
+
+    Cycles are integral by definition.  Integral ``float``s (a common
+    artifact of latency arithmetic) are normalized to ``int``; anything
+    non-integral or non-numeric is a typed error instead of a silent
+    drift of the clock into float territory.
+    """
+    if isinstance(delay, bool) or not isinstance(delay, (int, float)):
+        raise TypeError(
+            "schedule delay must be an integral number of cycles, got %r"
+            % type(delay).__name__)
+    if isinstance(delay, float):
+        if not delay.is_integer():
+            raise TypeError(
+                "schedule delay must be a whole number of cycles, got %r"
+                % (delay,))
+        delay = int(delay)
+    return delay
+
+
 class StepReport:
     """What one :meth:`Environment.step` call did."""
 
@@ -50,7 +102,7 @@ class StepReport:
     def __init__(self, executed, now, idle):
         self.executed = executed  # events executed by this step
         self.now = now            # clock after the step
-        self.idle = idle          # True when the heap is empty
+        self.idle = idle          # True when the queue is empty
 
     def __repr__(self):
         return "StepReport(executed=%d, now=%d, idle=%s)" % (
@@ -67,10 +119,24 @@ class Environment:
 
     def __init__(self, n_cores=4, timeslice=100_000):
         self.now = 0
+        # Calendar queue: cycle -> [fn, ...] in schedule order, plus a
+        # heap of the distinct pending cycles (each pushed exactly once).
+        self._buckets = {}
+        self._times = []
+        # Historic heapq storage, used only under COPIER_SLOWHEAP=1.
         self._heap = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        self.slowheap = slowheap_enabled()
+        if self.slowheap:
+            # Bind the oracle loop per-instance: zero per-call branching
+            # on the production path, and the oracle stays byte-for-byte
+            # the historic implementation.
+            self.schedule = self._schedule_slowheap
+            self.run = self._run_slowheap
+            self.step = self._step_slowheap
+            self.run_until = self._run_until_slowheap
         self.stats = CycleStats()
         self.trace = TraceBus()
         self.cores = CoreSet(self, n_cores, timeslice)
@@ -78,10 +144,18 @@ class Environment:
 
     def schedule(self, delay, fn):
         """Run ``fn()`` after ``delay`` cycles."""
+        if type(delay) is not int:
+            delay = _normalize_delay(delay)
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        when = self.now + delay
         self._seq += 1
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [fn]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(fn)
 
     def event(self):
         return Event(self)
@@ -99,13 +173,29 @@ class Environment:
     def idle(self):
         """True when no events remain: nothing will happen until new work
         is scheduled from outside (quiescence, not just a pause)."""
-        return not self._heap
+        return not self._times and not self._heap
 
     def next_event_time(self):
         """Clock value of the earliest pending event, or ``None`` when
         idle.  Lets an external driver bound how far ``step`` can go
         without executing anything."""
-        return self._heap[0][0] if self._heap else None
+        if self._times:
+            return self._times[0]
+        if self._heap:
+            return self._heap[0][0]
+        return None
+
+    def pending_events(self):
+        """Number of events currently queued (both loop flavors)."""
+        if self._heap:
+            return len(self._heap)
+        return sum(len(b) for b in self._buckets.values())
+
+    def clear_pending(self):
+        """Drop every queued event (checkpoint/restore surgery)."""
+        self._buckets.clear()
+        del self._times[:]
+        del self._heap[:]
 
     def _enter(self):
         if self._running:
@@ -133,6 +223,141 @@ class Environment:
         inside an executing event — that raises ``RuntimeError``.
         """
         self._enter()
+        buckets = self._buckets
+        times = self._times
+        limit = None if max_cycles is None else self.now + max_cycles
+        executed = 0
+        try:
+            while times:
+                when = times[0]
+                if limit is not None and when > limit:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                bucket = buckets[when]
+                self.now = when
+                i = 0
+                try:
+                    while i < len(bucket):
+                        if max_events is not None and executed >= max_events:
+                            break
+                        fn = bucket[i]
+                        i += 1
+                        self.events_executed += 1
+                        executed += 1
+                        fn()
+                finally:
+                    if i < len(bucket):
+                        # Budget (or an exception) cut the bucket short:
+                        # keep the unexecuted suffix pending.
+                        del bucket[:i]
+                    else:
+                        del buckets[when]
+                        heapq.heappop(times)
+            if limit is not None and limit > self.now:
+                # Horizon semantics match run(until=...): the clock lands
+                # on the horizon whether or not events filled the slice —
+                # unless the event budget cut the slice short first.
+                if not times or (max_events is None or executed < max_events):
+                    self.now = limit
+        finally:
+            self._running = False
+        return StepReport(executed, self.now, not times)
+
+    # -------------------------------------------------------- batch drives
+
+    def run(self, until=None):
+        """Run the event loop.
+
+        With ``until=None`` runs until no events remain; otherwise runs
+        until the clock reaches ``until`` cycles (events at exactly
+        ``until`` still execute).
+        """
+        self._enter()
+        buckets = self._buckets
+        times = self._times
+        try:
+            while times:
+                when = times[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                bucket = buckets[when]
+                self.now = when
+                i = 0
+                try:
+                    # Same-cycle batch: one dispatch loop per bucket.
+                    # Events scheduling at the current cycle append to
+                    # this bucket and are picked up by the length check.
+                    while i < len(bucket):
+                        fn = bucket[i]
+                        i += 1
+                        self.events_executed += 1
+                        fn()
+                finally:
+                    if i < len(bucket):
+                        del bucket[:i]
+                    else:
+                        del buckets[when]
+                        heapq.heappop(times)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until(self, event, limit=None):
+        """Run until ``event`` triggers; raises if the loop drains first."""
+        self._enter()
+        buckets = self._buckets
+        times = self._times
+        try:
+            while not event.triggered:
+                if not times:
+                    raise RuntimeError("event loop drained before event triggered")
+                when = times[0]
+                if limit is not None and when > limit:
+                    raise RuntimeError("simulation limit reached at %d" % when)
+                bucket = buckets[when]
+                self.now = when
+                i = 0
+                try:
+                    while i < len(bucket):
+                        if event.triggered:
+                            break
+                        fn = bucket[i]
+                        i += 1
+                        self.events_executed += 1
+                        fn()
+                finally:
+                    if i < len(bucket):
+                        del bucket[:i]
+                    else:
+                        del buckets[when]
+                        heapq.heappop(times)
+        finally:
+            self._running = False
+        if event.exception is not None:
+            raise event.exception
+        return event.value
+
+    # ------------------------------------------- historic heapq loop (oracle)
+    #
+    # COPIER_SLOWHEAP=1 binds these in place of the calendar loop above.
+    # They are the pre-calendar implementation, kept verbatim as the
+    # differential oracle: any ordering drift in the calendar queue shows
+    # up against these in tests/sim/test_calendar.py.
+
+    def _schedule_slowheap(self, delay, fn):
+        """Run ``fn()`` after ``delay`` cycles (historic heapq loop)."""
+        if type(delay) is not int:
+            delay = _normalize_delay(delay)
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def _step_slowheap(self, max_events=None, max_cycles=None):
+        self._enter()
         heap = self._heap
         limit = None if max_cycles is None else self.now + max_cycles
         executed = 0
@@ -149,24 +374,13 @@ class Environment:
                 executed += 1
                 fn()
             if limit is not None and limit > self.now:
-                # Horizon semantics match run(until=...): the clock lands
-                # on the horizon whether or not events filled the slice —
-                # unless the event budget cut the slice short first.
                 if not heap or (max_events is None or executed < max_events):
                     self.now = limit
         finally:
             self._running = False
         return StepReport(executed, self.now, not heap)
 
-    # -------------------------------------------------------- batch drives
-
-    def run(self, until=None):
-        """Run the event loop.
-
-        With ``until=None`` runs until no events remain; otherwise runs
-        until the clock reaches ``until`` cycles (events at exactly
-        ``until`` still execute).
-        """
+    def _run_slowheap(self, until=None):
         self._enter()
         try:
             while self._heap:
@@ -183,8 +397,7 @@ class Environment:
         finally:
             self._running = False
 
-    def run_until(self, event, limit=None):
-        """Run until ``event`` triggers; raises if the loop drains first."""
+    def _run_until_slowheap(self, event, limit=None):
         self._enter()
         try:
             while not event.triggered:

@@ -1,0 +1,67 @@
+"""simprof — per-subsystem wall-time breakdown of the perf scenarios.
+
+Wraps :mod:`repro.bench.profile`: runs every perf-baseline scenario
+under cProfile, attributes self-time to subsystems (engine / translate /
+copy / trace / kernel / workload / other), prints a breakdown table and
+writes the plain-data artifact for CI upload.
+
+Usage::
+
+    python -m repro.tools.simprof [-o simprof.json] [--names a,b] [--top N]
+
+The table shows, per scenario, the honest (un-instrumented) wall time
+and each subsystem's share of the profiled self-time.  Exit is non-zero
+only on operational errors — this tool observes, the perfdiff gate
+judges.
+"""
+
+import argparse
+import json
+
+from repro.bench.profile import SUBSYSTEMS, profile_suite
+
+
+def render(artifact):
+    lines = []
+    subsystems = artifact.get("subsystems", list(SUBSYSTEMS))
+    header = "%-24s %7s " % ("scenario", "wall s")
+    header += " ".join("%9s" % name for name in subsystems)
+    lines.append("== Simulator wall-time breakdown (cProfile self-time %) ==")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, data in artifact["scenarios"].items():
+        total = data["profiled_s"] or 1.0
+        row = "%-24s %7.3f " % (name, data["wall_s"])
+        row += " ".join(
+            "%8.1f%%" % (100.0 * data["subsystems"].get(sub, 0.0) / total)
+            for sub in subsystems)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="simprof",
+        description="Per-subsystem wall-time breakdown of the perf scenarios.")
+    parser.add_argument("-o", "--out", default=None,
+                        help="write the JSON artifact here")
+    parser.add_argument("--names", default=None,
+                        help="comma-separated subset of scenario names")
+    parser.add_argument("--top", type=int, default=10,
+                        help="hottest functions to record per scenario")
+    args = parser.parse_args(argv)
+
+    names = None
+    if args.names:
+        names = [n.strip() for n in args.names.split(",") if n.strip()]
+    artifact = profile_suite(names=names, top=args.top)
+    print(render(artifact))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        print("\nwrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -159,3 +159,115 @@ def test_contiguous_alloc_matches_reference_semantics():
     if expected is not None:
         assert phys.alloc_frames(2, contiguous=True) == expected
         assert phys._free == shadow
+
+
+# ------------------------------------------------ free-list sort pressure
+
+
+def test_lifo_churn_never_resorts_free_list():
+    """Alloc/free in LIFO order keeps the descending invariant intact, so
+    contiguous allocation never pays a re-sort (``sort_work`` stays 0)."""
+    phys = PhysicalMemory(n_frames=4096)
+    a = phys.alloc_frames(64, contiguous=True)
+    for frame in reversed(a):
+        phys.free_frame(frame)
+    b = phys.alloc_frames(64, contiguous=True)
+    assert b == a
+    assert phys.sort_work == 0
+
+
+def test_free_burst_sort_work_bounded_by_dirty_tail():
+    """A burst of out-of-order frees dirties only its own tail: the next
+    contiguous alloc sorts the k burst entries, not the whole free list.
+
+    The counter-based assertion pins the complexity class (the historic
+    path charged the full list length every time) without wall-clock
+    flakiness.
+    """
+    phys = PhysicalMemory(n_frames=4096)
+    frames = phys.alloc_frames(64, contiguous=True)
+    for frame in frames:  # ascending frees break descending order fast
+        phys.free_frame(frame)
+    again = phys.alloc_frames(64, contiguous=True)
+    assert again == frames  # semantics identical to a full re-sort
+    assert 0 < phys.sort_work <= len(frames)  # dirty tail only, not ~4096
+    # The list is fully ordered again: further allocs stay sort-free.
+    work = phys.sort_work
+    phys.alloc_frames(8, contiguous=True)
+    assert phys.sort_work == work
+
+
+def test_free_frame_keeps_refcount_semantics_on_shared_frames():
+    phys = PhysicalMemory(n_frames=16)
+    frame = phys.alloc_frame()
+    phys.share_frame(frame)
+    phys.free_frame(frame)           # one ref left: frame stays allocated
+    assert phys.refcount(frame) == 1
+    assert frame not in phys._free
+    phys.free_frame(frame)           # last ref: really freed
+    assert phys.refcount(frame) == 0
+    assert frame in phys._free
+
+
+# ------------------------------------------------------ flat frame backing
+
+
+def test_run_movers_cross_frame_boundaries():
+    phys = PhysicalMemory(n_frames=64)
+    src = phys.alloc_frames(3, contiguous=True)
+    dst = phys.alloc_frames(3, contiguous=True)
+    blob = bytes((i * 37 + 11) % 256 for i in range(3 * PAGE_SIZE))
+    phys.write_run(src[0], 0, memoryview(blob), 0, len(blob))
+    # Unaligned, multi-frame copy between the two runs.
+    nbytes = 2 * PAGE_SIZE + 123
+    phys.copy_run(src[0], 17, dst[0], 513, nbytes)
+    out = bytearray(nbytes)
+    phys.read_run(dst[0], 513, memoryview(out), 0, nbytes)
+    assert bytes(out) == blob[17:17 + nbytes]
+
+
+def test_copy_run_overlapping_ranges_is_a_memmove():
+    phys = PhysicalMemory(n_frames=16)
+    frames = phys.alloc_frames(2, contiguous=True)
+    blob = bytes(range(256)) * (2 * PAGE_SIZE // 256)
+    phys.write_run(frames[0], 0, memoryview(blob), 0, len(blob))
+    # Forward-overlapping copy within the run (dst inside [src, src+n)).
+    phys.copy_run(frames[0], 0, frames[0], 1000, PAGE_SIZE + 500)
+    expect = bytearray(blob)
+    expect[1000:1000 + PAGE_SIZE + 500] = blob[:PAGE_SIZE + 500]
+    out = bytearray(len(blob))
+    phys.read_run(frames[0], 0, memoryview(out), 0, len(blob))
+    assert out == expect
+    # Backward-overlapping copy too.
+    phys.write_run(frames[0], 0, memoryview(blob), 0, len(blob))
+    phys.copy_run(frames[0], 900, frames[0], 100, PAGE_SIZE)
+    expect = bytearray(blob)
+    expect[100:100 + PAGE_SIZE] = blob[900:900 + PAGE_SIZE]
+    out = bytearray(len(blob))
+    phys.read_run(frames[0], 0, memoryview(out), 0, len(blob))
+    assert out == expect
+
+
+def test_reclaimed_frame_is_scrubbed():
+    phys = PhysicalMemory(n_frames=8)
+    frame = phys.alloc_frame()
+    phys.write(frame, 0, b"\xaa" * PAGE_SIZE)
+    phys.free_frame(frame)
+    again = phys.alloc_frame()
+    assert again == frame  # LIFO: same frame comes right back
+    assert phys.read(again, 0, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+
+
+def test_snapshot_frames_roundtrip():
+    phys = PhysicalMemory(n_frames=32)
+    frames = [phys.alloc_frame() for _ in range(5)]
+    for i, frame in enumerate(frames):
+        phys.write(frame, 0, bytes([i + 1]) * 64)
+    phys.free_frame(frames.pop())
+    image = phys.snapshot_frames()
+    assert sorted(image) == sorted(frames)  # only live frames captured
+
+    other = PhysicalMemory(n_frames=32)
+    other.load_frames(image)
+    for i, frame in enumerate(frames):
+        assert other.read(frame, 0, 64) == bytes([i + 1]) * 64

@@ -116,6 +116,35 @@ def test_step_max_cycles_equals_run_until_horizon():
     assert sa["n"] == sb["n"] == 40
 
 
+# ------------------------------------------------- schedule delay typing
+
+
+@pytest.mark.parametrize("slowheap", [False, True], ids=["calendar", "slowheap"])
+def test_schedule_delay_validated_at_the_seam(monkeypatch, slowheap):
+    """Delays are whole cycles: non-integral or non-numeric delays are a
+    typed error, integral floats normalize to int, negatives stay a
+    ValueError — identically in both queue flavors."""
+    if slowheap:
+        monkeypatch.setenv("COPIER_SLOWHEAP", "1")
+    else:
+        monkeypatch.delenv("COPIER_SLOWHEAP", raising=False)
+    env = Environment()
+    for bad in (1.5, float("nan"), float("inf"), "10", None, True, 10 + 0j):
+        with pytest.raises(TypeError, match="delay"):
+            env.schedule(bad, lambda: None)
+    with pytest.raises(ValueError):
+        env.schedule(-1, lambda: None)
+    with pytest.raises(ValueError):
+        env.schedule(-2.0, lambda: None)  # normalized first, then rejected
+    assert env.idle  # nothing leaked into the queue
+
+    fired = []
+    env.schedule(5.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [5] and env.now == 5  # float 5.0 became int cycle 5
+    assert type(env.now) is int
+
+
 # ------------------------------------------------------------- reentrancy
 
 
