@@ -37,6 +37,10 @@ Scenario suite (keep this list stable — CI diffs by scenario name):
   latency in cycles spans organic failure detection, backup promotion
   and resync (pure sim — no sockets, explicit fleet knobs so
   ``COPIER_FLEET_*`` env cannot perturb the pinned counters).
+* ``fleet_lossy_links`` — the same sharded traffic over links that
+  drop/dup/reorder/corrupt at fixed rates, carried by the reliable
+  exactly-once transport: pins the goodput, retransmit overhead ratio
+  and p99 cost of surviving a hostile wire.
 """
 
 import argparse
@@ -226,6 +230,66 @@ def _scenario_fleet_restart_recovery(n_nodes=4, n_keys=24,
     return run
 
 
+def _scenario_fleet_lossy_links(n_nodes=3, n_streams=4, n_ops=12,
+                                value_bytes=8 * 1024):
+    """Sharded SET/GET traffic over a fixed-rate lossy wire.
+
+    Every link drops, duplicates, reorders and corrupts frames at the
+    pinned rates below; the reliable exactly-once channel absorbs it.
+    The recorded retransmit ratio and CRC-drop count are the overhead
+    of surviving the hostile wire — a transport regression (extra
+    retransmits, wedged streams) moves them and fails the strict-sim
+    gate.
+    """
+    def run(recorder):
+        from repro.fleet import Fleet
+        from repro.fleet.interconnect import LinkFaultPlan
+
+        plan = LinkFaultPlan("perf", seed=0, drop_rate=0.10, dup_rate=0.05,
+                             reorder_rate=0.10, reorder_window=4,
+                             corrupt_rate=0.05)
+        fleet = Fleet(n_nodes=n_nodes, link_latency_cycles=20_000,
+                      link_bytes_per_cycle=16.0, lfd_period_cycles=100_000,
+                      gfd_timeout_cycles=400_000, link_fault_plan=plan,
+                      backoff_jitter_seed=0)
+        sim_bytes = 0
+        sets, gets = [], []
+        values = {}
+        for sid in range(n_streams):
+            for idx in range(n_ops):
+                # Unique key per op: concurrent rewrites of one key have
+                # no deterministic winner to assert against.
+                key = b"l%d-k%d" % (sid, idx)
+                gw = (sid + idx) % n_nodes
+                value = bytes([(sid * 29 + idx) % 251]) * value_bytes
+                values[key] = value
+                sim_bytes += value_bytes
+                sets.append(fleet.set(key, value, gateway=gw))
+        fleet.run_ops(sets)
+        if not all(op.acked for op in sets):
+            raise RuntimeError("lossy wire lost an acknowledged write")
+        for i, key in enumerate(sorted(values)):
+            gets.append(fleet.get(key, gateway=i % n_nodes))
+        fleet.run_ops(gets)
+        for op in gets:
+            if op.result != values[op.key]:
+                raise RuntimeError("lossy wire served a wrong value")
+        if fleet.leaked_pins():
+            raise RuntimeError("fleet leaked page pins")
+        latencies = sorted(op.latency_cycles for op in sets + gets
+                           if op.latency_cycles is not None)
+        transport = fleet.netpath_stats()
+        totals = fleet.interconnect.stats()["totals"]
+        recorder["sim_bytes"] = sim_bytes
+        recorder["requests"] = len(sets) + len(gets)
+        recorder["retransmits"] = transport["retransmits"]
+        recorder["frames_sent"] = transport["frames_sent"]
+        recorder["crc_dropped"] = transport["crc_dropped"]
+        recorder["wire_lost"] = totals["lossy_dropped"]
+        recorder["p99_cycles"] = latencies[int(0.99 * (len(latencies) - 1))]
+    return run
+
+
 def scenario_suite():
     """Ordered (name, runner) pairs; names are the CI diff keys."""
     return [
@@ -237,6 +301,7 @@ def scenario_suite():
         ("async_redis_1k_gate", _scenario_async_load(1000, 2, 4096)),
         ("fleet_failover", _scenario_fleet_failover()),
         ("fleet_restart_recovery", _scenario_fleet_restart_recovery()),
+        ("fleet_lossy_links", _scenario_fleet_lossy_links()),
     ]
 
 
@@ -341,7 +406,9 @@ def run_suite(repeat=3, quick=False, names=None):
     _install_interposers()
     saved = {}
     for knob in ("COPIER_FAULT_PLAN", "COPIER_FAULT_SEED",
-                 "COPIER_ADMISSION", "COPIER_CKPT_PERIOD"):
+                 "COPIER_ADMISSION", "COPIER_CKPT_PERIOD",
+                 "COPIER_LINK_FAULT_PLAN", "COPIER_LINK_FAULT_SEED",
+                 "COPIER_E2E_CRC"):
         saved[knob] = os.environ.pop(knob, None)
     try:
         results = {}

@@ -65,9 +65,15 @@ def load_bytes(data):
     blob = blob[:length]
     if hashlib.sha256(blob).digest() != digest:
         raise CheckpointChecksumError("payload checksum mismatch")
+    # Only the failures a checksum-valid-but-undecodable payload can
+    # actually produce: unpickling protocol errors, short reads, missing
+    # classes/attributes, and malformed primitive encodings.  Anything
+    # else (KeyboardInterrupt, MemoryError, a bug in a __setstate__)
+    # should propagate, not masquerade as a corrupt checkpoint.
     try:
         return pickle.loads(blob)
-    except Exception as exc:
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError,
+            TypeError) as exc:
         raise CheckpointFormatError(
             "payload does not decode: %s" % exc) from None
 

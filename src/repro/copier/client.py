@@ -30,7 +30,7 @@ class ClientStats:
                  "sync_tasks", "bytes_copied", "bytes_absorbed",
                  "queue_overflows", "shed_tasks", "shed_bytes",
                  "rejected_submits", "cancelled", "deadline_misses",
-                 "efault_tasks", "exit_reaped")
+                 "efault_tasks", "exit_reaped", "poisoned_tasks")
 
     def __init__(self):
         self.submitted = 0
@@ -48,6 +48,7 @@ class ClientStats:
         self.deadline_misses = 0
         self.efault_tasks = 0
         self.exit_reaped = 0
+        self.poisoned_tasks = 0
 
     def as_dict(self):
         """Plain-dict snapshot of every counter."""

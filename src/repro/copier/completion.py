@@ -18,9 +18,14 @@ per-iteration sweep the worker loop runs over each client's pending
 list.
 """
 
+import zlib
+
 from repro.copier import task as task_mod
+from repro.copier.absorption import resolve_sources
+from repro.faultinject import fold_segment_crc
+from repro.mem.faults import MemoryFault
 from repro.sim import Compute
-from repro.sim.trace import TaskFinished
+from repro.sim.trace import IntegrityMismatch, TaskFinished
 
 
 class CompletionHandler:
@@ -36,6 +41,7 @@ class CompletionHandler:
         without charging handler-dispatch time inline."""
         for task in list(client.pending):
             if not task.is_finished and task.descriptor.all_ready:
+                self.verify_integrity(client, task)
                 task.state = task_mod.DONE
                 task.completed_at = self.service.env.now
                 client.pending.remove(task)
@@ -47,6 +53,7 @@ class CompletionHandler:
 
     def finish_task(self, client, task):
         """Retire a task whose segments all landed (generator)."""
+        self.verify_integrity(client, task)
         task.state = task_mod.DONE
         task.completed_at = self.service.env.now
         try:
@@ -56,6 +63,120 @@ class CompletionHandler:
         client.stats.completed += 1
         self._finalize(client, task, "done")
         yield from self.run_handler(client, task)
+
+    # ------------------------------------------------------------- integrity
+
+    def verify_integrity(self, client, task):
+        """End-to-end CRC check at retirement (``COPIER_E2E_CRC=1``).
+
+        ``task.crc_expect`` accumulated the intended bytes of every
+        completed segment (folded order-independently); here — with the
+        pins still held — the destination is re-read and checked.  On a
+        mismatch the engines lied: the task is re-executed synchronously
+        on the CPU from its (re-resolved) sources, and if any segment
+        ran on the DMA engine that engine is quarantined, reusing the
+        persistent-failure quarantine spine.  Repair is per-segment:
+        segments whose destination a newer pending task overlaps are
+        skipped (and counted) — re-executing those would clobber the
+        newer task's bytes, and its own verification covers the range.
+        """
+        if task.crc_expect is None:
+            return
+        try:
+            self._verify_integrity(client, task)
+        except MemoryFault:
+            # The range was unmapped between the last byte landing and
+            # retirement (the same lifecycle race retire_efault covers
+            # on the write path).  Nothing can read the destination any
+            # more, so there is nothing left to protect — skip.
+            pass
+
+    def _verify_integrity(self, client, task):
+        service = self.service
+        integ = service.integrity
+        integ.crc_checks += 1
+        dst_as = task.dst.aspace
+        actual = 0
+        for seg in range(task.descriptor.n_segments):
+            region = task.dst_range_of_segment(seg)
+            crc = zlib.crc32(bytes(dst_as.read(region.start,
+                                               region.length))) & 0xFFFFFFFF
+            actual = fold_segment_crc(actual, seg, crc)
+        if actual == task.crc_expect:
+            return
+        integ.crc_mismatches += 1
+        # Synchronous CPU repair: re-resolve the sources (absorption may
+        # still be feeding some spans from an earlier pending task) and
+        # rewrite each segment host-side while the pins are held.  A
+        # segment whose destination a *newer* pending task overlaps is
+        # left alone — re-writing it would clobber the newer task's
+        # bytes, and that task's own verification covers the range.
+        newer = [o for o in client.pending
+                 if (o is not task and not o.is_finished
+                     and o.task_id > task.task_id
+                     and o.dst.overlaps(task.dst))]
+        use_absorption = service.dispatcher.use_absorption
+        repaired_bytes = skipped = 0
+        for seg in range(task.descriptor.n_segments):
+            dst_region = task.dst_range_of_segment(seg)
+            if any(o.dst.overlaps(dst_region) for o in newer):
+                skipped += 1
+                continue
+            src_region = task.src_range_of_segment(seg)
+            spans = resolve_sources(client.pending, task, src_region,
+                                    enabled=use_absorption)
+            pos = dst_region.start
+            for span in spans:
+                dst_as.write(pos, bytes(span.aspace.read(span.va,
+                                                         span.nbytes)))
+                pos += span.nbytes
+            repaired_bytes += dst_region.length
+        if skipped:
+            integ.overlap_skips += 1
+        trace = service.trace
+        action = "reexec" if repaired_bytes else "overlap-skip"
+        if trace.active:
+            trace.emit(IntegrityMismatch(service.env.now, task.task_id,
+                                         client.name, task.length, action))
+        if not repaired_bytes:
+            return
+        integ.reexec_tasks += 1
+        integ.reexec_bytes += repaired_bytes
+        if task.dma_used:
+            service.dispatcher.quarantine_dma()
+            integ.quarantines += 1
+
+    def retire_poisoned(self, client, task, exc):
+        """Retire a task that consumed an uncorrectable (poisoned) frame.
+
+        The machine-check analogue of :meth:`retire_efault`: nothing
+        partial is trusted, the task retires loudly with a typed
+        :class:`~repro.copier.errors.TaskPoisoned` parked on it, and the
+        next csync touching the range delivers the error.  Pins release
+        exactly once.
+        """
+        from repro.copier.errors import TaskPoisoned
+
+        if task.is_finished:
+            return
+        task.state = task_mod.ABORTED
+        if task.error is None:
+            va = getattr(exc, "va", task.dst.start)
+            task.error = TaskPoisoned(task.task_id, va, str(exc))
+        task.descriptor.abort()
+        try:
+            client.pending.remove(task)
+        except ValueError:
+            pass  # not ingested yet, or already plucked — benign
+        client.stats.poisoned_tasks += 1
+        self.service.integrity.poisoned_tasks += 1
+        trace = self.service.trace
+        if trace.active:
+            trace.emit(IntegrityMismatch(self.service.env.now, task.task_id,
+                                         client.name, task.length,
+                                         "poisoned"))
+        self._finalize(client, task, "poisoned")
+        self.queue_handler(client, task)
 
     def abort_task(self, client, task):
         """Discard a pending task (abort Sync Task path, §4.4)."""

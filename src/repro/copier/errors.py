@@ -8,14 +8,16 @@ hardware layer can raise them without importing the copier package) and
 re-exported here, where copy-path code looks for them.
 """
 
-from repro.faultinject import (DMAAbortError, DMASubmitError, PagePinError,
-                               TransientCopierError)
+from repro.faultinject import (DMAAbortError, DMASubmitError, FramePoisonError,
+                               PagePinError, TransientCopierError)
 from repro.mem.errors import (MemoryLifecycleError, PinnedPageError,
                               UnpinMismatchError)
 
 __all__ = [
     "CopyAborted",
     "TaskEFault",
+    "TaskPoisoned",
+    "FramePoisonError",
     "CopierSecurityError",
     "TransientCopierError",
     "DMASubmitError",
@@ -47,6 +49,26 @@ class TaskEFault(CopyAborted):
         self.task_id = task_id
         self.va = va
         msg = "task #%d faulted at 0x%x" % (task_id, va)
+        if detail:
+            msg += " (%s)" % detail
+        super().__init__(msg)
+
+
+class TaskPoisoned(CopyAborted):
+    """An uncorrectable (poisoned) frame was consumed by a copy task.
+
+    The machine-check answer to silent data corruption: when an engine
+    hits poison under a task's range the task retires with a
+    ``poisoned`` outcome — nothing partial is trusted — and this error
+    is delivered to the submitter at the next csync touching the range,
+    exactly like :class:`TaskEFault`.  Subclasses :class:`CopyAborted`
+    so existing abort handling (fleet read fallback included) applies.
+    """
+
+    def __init__(self, task_id, va, detail=""):
+        self.task_id = task_id
+        self.va = va
+        msg = "task #%d hit poisoned frame at 0x%x" % (task_id, va)
         if detail:
             msg += " (%s)" % detail
         super().__init__(msg)

@@ -23,8 +23,12 @@ task is ever dropped.  Every absorbed fault is recorded in the service's
 :class:`~repro.faultinject.RecoveryStats`.
 """
 
+import zlib
+
 from repro.copier.absorption import resolve_sources
-from repro.copier.errors import DMAAbortError, DMASubmitError, PagePinError
+from repro.copier.errors import (DMAAbortError, DMASubmitError,
+                                 FramePoisonError, PagePinError)
+from repro.faultinject import fold_segment_crc
 from repro.hw.dma import DMASubtask
 from repro.mem.addrspace import copy_range
 from repro.mem.faults import MemoryFault, SegmentationFault
@@ -123,6 +127,11 @@ class CopyExecutor:
                 cost += _PIN_RETRY_BACKOFF_CYCLES
         if attempts:
             stats.pin_retries_ok += 1
+        if self.service.e2e_crc:
+            # Arm the end-to-end checksum at prepare: every completed
+            # segment folds its intended-bytes CRC in, and retirement
+            # verifies the destination against the accumulator.
+            task.crc_expect = 0
         client.pending.add(task)
         trace = self.service.trace
         if trace.active:
@@ -255,6 +264,9 @@ class CopyExecutor:
                 # security check then): a lifecycle race, not a bug.
                 self.completion.retire_efault(client, task, exc)
                 return
+            except FramePoisonError as exc:
+                self.completion.retire_poisoned(client, task, exc)
+                return
         if not task.is_finished and task.descriptor.all_ready:
             yield from self.completion.finish_task(client, task)
 
@@ -360,6 +372,8 @@ class CopyExecutor:
                                  job.spans)
             except MemoryFault as exc:
                 self.completion.retire_efault(client, job.task, exc)
+            except FramePoisonError as exc:
+                self.completion.retire_poisoned(client, job.task, exc)
         if dma_done is not None:
             try:
                 yield WaitEvent(dma_done)
@@ -414,6 +428,9 @@ class CopyExecutor:
                 except MemoryFault as exc:
                     self.completion.retire_efault(client, job.task, exc)
                     break
+                except FramePoisonError as exc:
+                    self.completion.retire_poisoned(client, job.task, exc)
+                    break
 
     def _make_dma_callback(self, client, run):
         service = self.service
@@ -425,6 +442,17 @@ class CopyExecutor:
                 # csync waiters fire once per run, not once per segment.
                 run.task.descriptor.mark_range(run.jobs[0].seg_index,
                                                run.jobs[-1].seg_index)
+                run.task.dma_used = True
+                if run.task.crc_expect is not None:
+                    # Fold the intended bytes from the (pinned, still
+                    # pristine) source — a device that corrupted the
+                    # destination cannot also doctor this checksum.
+                    for job in run.jobs:
+                        src = run.task.src_range_of_segment(job.seg_index)
+                        crc = zlib.crc32(bytes(src.aspace.read(
+                            src.start, src.length))) & 0xFFFFFFFF
+                        run.task.crc_expect = fold_segment_crc(
+                            run.task.crc_expect, job.seg_index, crc)
             client.stats.bytes_copied += run.nbytes
             service.scheduler.charge(client, run.nbytes)
             trace = service.trace
@@ -436,13 +464,31 @@ class CopyExecutor:
     def write_spans(self, client, task, seg_index, dst_region, spans):
         service = self.service
         dst_as = task.dst.aspace
+        inj = service.faults
+        if inj.armed and inj.fire("frame_poison"):
+            # Uncorrectable memory error under the copy: loud, typed,
+            # nothing written — the caller retires the task poisoned.
+            raise FramePoisonError(dst_region.start)
+        torn = inj.armed and inj.fire("engine_torn_write")
         if len(spans) == 1:
             # Common case: one resolved span — move it run-to-run with no
             # intermediate buffer (snapshot semantics are preserved by
             # copy_range's alias check).
             span = spans[0]
-            copy_range(span.aspace, span.va, dst_as, dst_region.start,
-                       span.nbytes)
+            if task.crc_expect is not None:
+                task.crc_expect = fold_segment_crc(
+                    task.crc_expect, seg_index,
+                    zlib.crc32(bytes(span.aspace.read(
+                        span.va, span.nbytes))) & 0xFFFFFFFF)
+            if torn:
+                # Silent torn write: half the segment lands, the engine
+                # still reports success below.  Only the E2E CRC at
+                # retirement can tell.
+                copy_range(span.aspace, span.va, dst_as, dst_region.start,
+                           span.nbytes // 2)
+            else:
+                copy_range(span.aspace, span.va, dst_as, dst_region.start,
+                           span.nbytes)
             absorbed = span.nbytes if span.absorbed else 0
         else:
             data = bytearray(dst_region.length)
@@ -454,7 +500,15 @@ class CopyExecutor:
                 pos += span.nbytes
                 if span.absorbed:
                     absorbed += span.nbytes
-            dst_as.write(dst_region.start, data)
+            if task.crc_expect is not None:
+                task.crc_expect = fold_segment_crc(
+                    task.crc_expect, seg_index,
+                    zlib.crc32(data) & 0xFFFFFFFF)
+            if torn:
+                dst_as.write(dst_region.start,
+                             bytes(view[:dst_region.length // 2]))
+            else:
+                dst_as.write(dst_region.start, data)
         task.descriptor.mark(seg_index)
         task.absorbed_bytes += absorbed
         client.stats.bytes_copied += dst_region.length

@@ -23,7 +23,10 @@ from repro.copier.watchdog import CopierWatchdog
 from repro.copier.worker import AutoScaler, CopierWorker
 from repro.copier.atcache import ATCache
 from repro.copier.sched import CopierScheduler
-from repro.faultinject import FaultInjector, FaultPlan, RecoveryStats
+import os
+
+from repro.faultinject import (FaultInjector, FaultPlan, IntegrityStats,
+                               RecoveryStats)
 from repro.hw.dma import DMAEngine
 from repro.sim.trace import ProcessReaped, ServiceDrained, StageAggregator
 
@@ -62,7 +65,7 @@ class CopierService:
                  n_threads=1, max_threads=4, dedicated_cores=None,
                  lazy_period_cycles=2_000_000, autoscale=False, trace=None,
                  fault_plan=None, admission=None, watchdog_cycles=None,
-                 watchdog_starvation_cycles=None):
+                 watchdog_starvation_cycles=None, e2e_crc=None):
         self.env = env
         self.params = params
         self.policy = make_policy(polling)
@@ -81,6 +84,13 @@ class CopierService:
             fault_plan = FaultPlan.from_env()
         self.faults = FaultInjector(fault_plan, env=env, trace=self.trace)
         self.fault_stats = RecoveryStats()
+        # End-to-end copy-path integrity (opt-in): checksum each task's
+        # intended bytes as they are produced and verify the destination
+        # at retirement.  Explicit argument wins over COPIER_E2E_CRC=1.
+        if e2e_crc is None:
+            e2e_crc = os.environ.get("COPIER_E2E_CRC", "") == "1"
+        self.e2e_crc = bool(e2e_crc)
+        self.integrity = IntegrityStats()
         self.dma = dma_engine if dma_engine is not None else (
             DMAEngine(env, params,
                       injector=self.faults if self.faults.armed else None)
@@ -567,6 +577,15 @@ class CopierService:
                 pins_outstanding=self.leaked_pins(),
             ),
         }
+        if self.e2e_crc or self.integrity.interesting():
+            # Presence-gated: the key appears only when the end-to-end
+            # CRC is armed (or something tripped it), so unarmed snapshots
+            # stay byte-identical to pre-integrity builds.
+            snap["integrity"] = dict(
+                self.integrity.as_dict(),
+                e2e_crc=self.e2e_crc,
+                dma_bitflips=self.dma.bitflips if self.dma is not None else 0,
+            )
         if self.serve_driver is not None:
             snap["serve"] = self.serve_driver.snapshot()
         if self.dma is not None:

@@ -110,6 +110,8 @@ class CopyTask:
         "cancelled",
         "error",
         "on_retire",
+        "crc_expect",
+        "dma_used",
     )
 
     def __init__(self, client, queue_kind, src, dst, descriptor,
@@ -146,6 +148,14 @@ class CopyTask:
         #: every retirement path (done/shed/efault/cancel/reap).  The
         #: async serving facade parks coroutine futures on it.
         self.on_retire = None
+        #: End-to-end CRC accumulator (``COPIER_E2E_CRC=1``): the
+        #: intended-bytes checksum folded in per completed segment and
+        #: verified against the destination at retirement.  ``None``
+        #: while the defense is disarmed.
+        self.crc_expect = None
+        #: True once any segment of this task ran on the DMA engine —
+        #: the quarantine target when verification catches corruption.
+        self.dma_used = False
 
     @property
     def length(self):

@@ -29,6 +29,17 @@ fault kind                  site and degradation
 ``spurious_wakeup``         a sleeping Copier thread is woken with no work
 ``delayed_trap_return``     the kernel's return-to-user barrier snapshot is
                             delayed by a drawn number of cycles
+``dma_bitflip``             the DMA engine silently flips one destination
+                            bit after a subtask lands; only the opt-in
+                            end-to-end CRC (``COPIER_E2E_CRC=1``) catches
+                            it, re-executes on the CPU and quarantines
+``engine_torn_write``       an engine writes only part of a segment yet
+                            marks it complete — silent torn write, same
+                            E2E-CRC detect/re-execute defense
+``frame_poison``            an uncorrectable memory error under the copy:
+                            the engine raises :class:`FramePoisonError`
+                            and the task retires *loudly* with a typed
+                            ``TaskPoisoned`` delivered at csync
 ==========================  ==================================================
 
 Determinism: each fault kind draws from its own ``random.Random`` seeded
@@ -72,6 +83,19 @@ class PagePinError(TransientCopierError):
     """Pinning a task's pages failed transiently during ingest (§4.5.4)."""
 
 
+class FramePoisonError(Exception):
+    """An uncorrectable (poisoned) frame was hit mid-copy.
+
+    Raised by the engine layer; the executor retires the task with a
+    typed ``TaskPoisoned`` (a ``CopyAborted`` sibling) delivered to the
+    submitter at csync — loud, attributable, never silent corruption.
+    """
+
+    def __init__(self, va=0):
+        self.va = va
+        super().__init__("poisoned frame at 0x%x" % va)
+
+
 #: Every fault kind a plan may name, in documentation order.
 FAULT_KINDS = (
     "engine_stall",
@@ -81,6 +105,9 @@ FAULT_KINDS = (
     "queue_overflow",
     "spurious_wakeup",
     "delayed_trap_return",
+    "dma_bitflip",
+    "engine_torn_write",
+    "frame_poison",
 )
 
 
@@ -163,12 +190,29 @@ class FaultPlan:
                    [FaultSpec("dma_submit_fail", 1.0, max_consecutive=16)])
 
     @classmethod
+    def integrity(cls, seed=0):
+        """The silent-corruption plan: bit flips, torn writes, poison.
+
+        Kept out of :meth:`mixed` on purpose — mixed's rates are pinned
+        by the differential suites, and silent corruption without the
+        E2E-CRC defense armed would (correctly) fail any data check.
+        Arm this plan together with ``COPIER_E2E_CRC=1``.
+        """
+        return cls("integrity", seed, [
+            FaultSpec("dma_bitflip", 0.08, max_consecutive=2),
+            FaultSpec("engine_torn_write", 0.05, max_consecutive=2),
+            FaultSpec("frame_poison", 0.02, max_consecutive=1),
+        ])
+
+    @classmethod
     def named(cls, name, seed=0):
         """Build a plan from its registered name (see :data:`PLAN_NAMES`)."""
         if name == "mixed":
             return cls.mixed(seed)
         if name == "dma_submit_persistent":
             return cls.dma_submit_persistent(seed)
+        if name == "integrity":
+            return cls.integrity(seed)
         if name in FAULT_KINDS:
             return cls.single(name, seed)
         raise ValueError("unknown fault plan %r (have: %s)"
@@ -190,7 +234,45 @@ class FaultPlan:
 
 
 #: Names accepted by :meth:`FaultPlan.named` (and the CI env var).
-PLAN_NAMES = ("mixed", "dma_submit_persistent") + FAULT_KINDS
+PLAN_NAMES = ("mixed", "dma_submit_persistent", "integrity") + FAULT_KINDS
+
+
+def fold_segment_crc(acc, seg_index, crc):
+    """Fold one segment's CRC32 into a task-level accumulator.
+
+    XOR makes the fold order-independent (segments complete out of
+    order across AVX and DMA engines); mixing the segment index in
+    first keeps identical payloads at different positions from
+    cancelling out.
+    """
+    return acc ^ ((crc + seg_index * 0x9E3779B1) & 0xFFFFFFFF)
+
+
+class IntegrityStats:
+    """Counters for the end-to-end copy-integrity defense.
+
+    ``crc_checks`` / ``crc_mismatches`` count verification at task
+    retirement; ``reexec_tasks`` / ``reexec_bytes`` the CPU repairs;
+    ``overlap_skips`` verifications skipped because a newer task's
+    destination overlapped (re-executing would clobber it);
+    ``quarantines`` DMA engines benched for corrupting; and
+    ``poisoned_tasks`` the loud frame-poison retirements.
+    """
+
+    __slots__ = ("crc_checks", "crc_mismatches", "reexec_tasks",
+                 "reexec_bytes", "overlap_skips", "quarantines",
+                 "poisoned_tasks")
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def interesting(self):
+        """True once any counter moved (or checking is armed)."""
+        return any(getattr(self, name) for name in self.__slots__)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class RecoveryStats:
@@ -288,6 +370,15 @@ class FaultInjector:
     #: ``delayed_trap_return`` / ``spurious_wakeup`` draw durations the
     #: same way stalls do.
     delay_cycles = stall_cycles
+
+    def draw_int(self, kind, n):
+        """A deterministic draw in ``[0, n)`` from ``kind``'s stream.
+
+        Corruption sites use this to pick *where* to damage (byte
+        offset, bit index) from the same seeded stream that decided
+        *whether* to fire, keeping campaigns replayable bit-for-bit.
+        """
+        return self._rngs[kind].randrange(n)
 
     def _trace(self, kind):
         trace = self.trace

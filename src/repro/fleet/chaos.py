@@ -24,12 +24,26 @@ the single-node :class:`~repro.chaos.ChaosController`):
   number of ticks, then heals.
 * ``link_slow`` — a pair's latency/bandwidth degrade by a seeded factor
   for a while.  Slow links delay, never drop: acks still flow.
+
+The lossy campaign (``lossy=True``) arms the per-link fault plan and
+layers two more storm kinds on top via
+:class:`LossyChaosController`:
+
+* ``link_lossy`` — a pair's drop/dup/reorder/corrupt rates burst to
+  seeded values for a while, then fall back to the plan's baseline.
+  The reliable channel must deliver exactly-once anyway.
+* ``bitflip_storm`` — every live node's Copier service swaps in an
+  ``integrity`` fault injector (silent DMA bit flips, torn engine
+  writes, poisoned frames) with the end-to-end CRC armed.  The oracle's
+  phantom-read and final-audit checks double as the *no corrupted
+  payload is ever acked or served* proof.
 """
 
 import random
 
+from repro.faultinject import FaultInjector, FaultPlan
 from repro.fleet.fleet import Fleet
-from repro.fleet.interconnect import GFD_ENDPOINT
+from repro.fleet.interconnect import GFD_ENDPOINT, LinkFaultPlan
 
 
 def _value(stream_id, key, idx, base_bytes):
@@ -146,15 +160,18 @@ class FleetChaosController:
         self.tick_count += 1
         while self.heal_at and self.heal_at[0][0] <= self.tick_count:
             _, kind, a, b = self.heal_at.pop(0)
-            if kind == "partition":
-                self.fleet.interconnect.heal(a, b)
-            else:
-                self.fleet.interconnect.slow(a, b, 1.0)
+            self._heal_one(kind, a, b)
             self.events.append((self.tick_count, "heal-" + kind,
                                 "%s/%s" % (a, b)))
         while self.schedule and self.schedule[0] <= self.tick_count:
             self.schedule.pop(0)
             self._fire()
+
+    def _heal_one(self, kind, a, b):
+        if kind == "partition":
+            self.fleet.interconnect.heal(a, b)
+        else:
+            self.fleet.interconnect.slow(a, b, 1.0)
 
     def _membership_settled(self):
         """No declared death is still resyncing, no real kill is still
@@ -230,6 +247,105 @@ class FleetChaosController:
             self.heal_at.sort()
             self.events.append((self.tick_count, "link_slow",
                                 "%s/%s x%g" % (a, b, factor)))
+
+
+class LossyChaosController(FleetChaosController):
+    """Adds lossy-link bursts and node-local bitflip storms to the mix.
+
+    All extra draws come from a dedicated ``fleet-lossy`` RNG stream so
+    arming the controller never perturbs the base controller's kill /
+    partition / slow sequences for the same seed.  Lossy bursts require
+    the fleet's :class:`~repro.fleet.interconnect.LinkFaultPlan` to be
+    armed (the burst is ``set_link_faults`` on top of the plan's
+    baseline; healing is ``reset_link_faults`` back to it).  Bitflip
+    storms swap an ``integrity`` fault plan into every live node's
+    Copier service — with the end-to-end CRC armed, so the silent
+    corruption is caught and repaired before anything is acked.
+    """
+
+    def __init__(self, fleet, seed, n_events, total_ops):
+        super().__init__(fleet, seed, n_events, total_ops)
+        self.rng_lossy = random.Random(repr(("fleet-lossy", seed)))
+        self.seed = seed
+        self.bitflip_storms = 0
+        self.lossy_bursts = 0
+        self._armed_nodes = {}   # node_id -> (copier, prev_faults, prev_e2e)
+
+    def _heal_one(self, kind, a, b):
+        if kind == "lossy":
+            self.fleet.interconnect.reset_link_faults(a, b)
+        elif kind == "bitflip":
+            self._disarm_bitflips()
+        else:
+            super()._heal_one(kind, a, b)
+
+    def _fire(self):
+        roll = self.rng_lossy.random()
+        if roll < 0.45:
+            super()._fire()
+            return
+        rng = self.rng_lossy
+        fleet = self.fleet
+        node_ids = [node.node_id for node in fleet.nodes]
+        if roll < 0.8:
+            a = node_ids[rng.randrange(len(node_ids))]
+            b = node_ids[rng.randrange(len(node_ids))]
+            if a == b:
+                b = node_ids[(node_ids.index(a) + 1) % len(node_ids)]
+            rates = {
+                "drop_rate": rng.uniform(0.05, 0.30),
+                "dup_rate": rng.uniform(0.0, 0.20),
+                "reorder_rate": rng.uniform(0.0, 0.25),
+                "reorder_window": rng.randint(1, 4),
+                "corrupt_rate": rng.uniform(0.0, 0.15),
+            }
+            fleet.interconnect.set_link_faults(a, b, **rates)
+            duration = rng.randrange(8, 25)
+            self.heal_at.append((self.tick_count + duration, "lossy", a, b))
+            self.heal_at.sort()
+            self.lossy_bursts += 1
+            self.events.append(
+                (self.tick_count, "link_lossy",
+                 "%s/%s drop=%.2f dup=%.2f reorder=%.2f corrupt=%.2f"
+                 % (a, b, rates["drop_rate"], rates["dup_rate"],
+                    rates["reorder_rate"], rates["corrupt_rate"])))
+        else:
+            self._arm_bitflips()
+            duration = rng.randrange(10, 30)
+            self.heal_at.append((self.tick_count + duration, "bitflip",
+                                 "fleet", "fleet"))
+            self.heal_at.sort()
+            self.events.append((self.tick_count, "bitflip_storm",
+                                "%d nodes" % len(self._armed_nodes)))
+
+    def _arm_bitflips(self):
+        self.bitflip_storms += 1
+        plan = FaultPlan.integrity(
+            seed=(self.seed, self.bitflip_storms).__repr__())
+        for node in self.fleet.live_nodes:
+            copier = node.system.copier
+            if copier is None or node.node_id in self._armed_nodes:
+                continue
+            inj = FaultInjector(plan, env=copier.env, trace=copier.trace)
+            self._armed_nodes[node.node_id] = (copier, copier.faults,
+                                               copier.e2e_crc)
+            copier.faults = inj
+            copier.e2e_crc = True
+            if copier.dma is not None:
+                copier.dma.injector = inj
+
+    def _disarm_bitflips(self):
+        for node_id, (copier, prev_faults, prev_e2e) in (
+                self._armed_nodes.items()):
+            node = self.fleet.nodes[node_id]
+            if node.system.copier is not copier:
+                continue  # the node restarted mid-storm with a fresh machine
+            copier.faults = prev_faults
+            copier.e2e_crc = prev_e2e
+            if copier.dma is not None:
+                copier.dma.injector = (prev_faults if prev_faults.armed
+                                       else None)
+        self._armed_nodes.clear()
 
 
 class RestartChaosController(FleetChaosController):
@@ -363,15 +479,26 @@ class RestartChaosController(FleetChaosController):
 
 def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
                        n_events=10, value_bytes=4096, max_rounds=400_000,
-                       settle_rounds=400, fleet_kwargs=None):
+                       settle_rounds=400, fleet_kwargs=None, lossy=False):
     """Run one fleet chaos campaign; returns a result dict.
 
     The result carries the fault log, promotion history, per-stream
     outcomes, the zero-lost-acked-writes audit, leak checks and a
     determinism fingerprint source — everything the fleet soak job and
     ``tests/fleet`` assert on.
+
+    With ``lossy=True`` the fleet runs with the per-link fault plan
+    armed (``mixed`` baseline unless ``fleet_kwargs`` overrides it),
+    the reliable channel carrying every fleet message, and the storm
+    mix extended with lossy bursts and bitflip storms — the audit then
+    additionally proves no corrupted payload was ever acked or served.
     """
-    fleet = Fleet(n_nodes=n_nodes, **(fleet_kwargs or {}))
+    fleet_kwargs = dict(fleet_kwargs or {})
+    if lossy:
+        fleet_kwargs.setdefault("link_fault_plan",
+                                LinkFaultPlan.named("mixed", seed))
+        fleet_kwargs.setdefault("backoff_jitter_seed", seed)
+    fleet = Fleet(n_nodes=n_nodes, **fleet_kwargs)
     streams = []
     all_keys = [b"s%d-k%d" % (s, k)
                 for s in range(n_streams) for k in range(n_keys)]
@@ -379,8 +506,9 @@ def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
     for sid in range(n_streams):
         streams.append(_Stream(sid, fleet, seed, n_ops, n_keys, value_bytes,
                                all_keys))
-    controller = FleetChaosController(fleet, seed, n_events,
-                                      total_ops=n_streams * n_ops)
+    controller_cls = LossyChaosController if lossy else FleetChaosController
+    controller = controller_cls(fleet, seed, n_events,
+                                total_ops=n_streams * n_ops)
 
     rounds = 0
     while not all(stream.finished for stream in streams):
@@ -395,7 +523,14 @@ def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
         fleet.stepper.step_round()
         rounds += 1
 
-    # Quiesce: heal every link, let pending detections/resyncs finish.
+    # Quiesce: drain outstanding storms (lossy bursts fall back to the
+    # plan baseline, bitflip injectors disarm), heal every link, let
+    # pending detections/resyncs finish.  The baseline link plan stays
+    # armed through the audit — the reliable channel must carry the
+    # final reads over the same lossy wire it served all campaign.
+    for _tick, kind, a, b in list(controller.heal_at):
+        controller._heal_one(kind, a, b)
+    controller.heal_at.clear()
     fleet.interconnect.heal_all()
     fleet.stepper.settle(settle_rounds)
 
@@ -441,7 +576,7 @@ def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
         failures.append("%d page pins leaked across the fleet" % leaked)
 
     snap = fleet.snapshot()
-    return {
+    result = {
         "seed": seed,
         "n_nodes": n_nodes,
         "events": controller.events,
@@ -465,6 +600,17 @@ def run_fleet_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
         "leaked_pins": leaked,
         "failures": failures,
     }
+    if fleet.link_fault_plan is not None:
+        result["link_faults"] = fleet.interconnect.stats()["totals"]
+        result["netpath"] = fleet.netpath_stats()
+        result["integrity"] = {
+            node.node_id: node.system.copier.integrity.as_dict()
+            for node in fleet.live_nodes
+            if node.system.copier is not None}
+        if lossy:
+            result["lossy_bursts"] = controller.lossy_bursts
+            result["bitflip_storms"] = controller.bitflip_storms
+    return result
 
 
 def run_restart_campaign(seed=0, n_nodes=4, n_streams=6, n_ops=12, n_keys=3,
@@ -618,7 +764,9 @@ def fleet_determinism_fingerprint(result):
         "nodes": result["nodes"],
         "store_digests": result["store_digests"],
     }
-    for key in ("restarts", "restart_log", "double_crashes"):
+    for key in ("restarts", "restart_log", "double_crashes",
+                "link_faults", "netpath", "integrity",
+                "lossy_bursts", "bitflip_storms"):
         if key in result:
             fingerprint[key] = result[key]
     return fingerprint

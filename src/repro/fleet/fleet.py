@@ -24,6 +24,7 @@ owner standing.
 """
 
 import os
+import random
 
 from repro.ckpt import format as ckpt_format
 from repro.ckpt.errors import CheckpointError
@@ -31,7 +32,8 @@ from repro.copier.errors import AdmissionReject, CopyAborted, DeadlineMissed
 from repro.fleet.errors import (FleetError, FleetTimeout, FleetUnavailable,
                                 NotOwner, StoreFull)
 from repro.fleet.gfd import GlobalFaultDetector
-from repro.fleet.interconnect import GFD_ENDPOINT, Interconnect
+from repro.fleet.interconnect import (GFD_ENDPOINT, Interconnect,
+                                      LinkFaultPlan)
 from repro.fleet.lfd import LocalFaultDetector
 from repro.fleet.netpath import MAX_MSG, Channel
 from repro.fleet.node import FleetNode
@@ -75,6 +77,19 @@ def decode_msg(data):
     return mtype, op_id, key, value
 
 
+def _pack_version(version):
+    """In-payload version header for SET/REPL under the reliable
+    transport.  The ``_wire_versions`` side-channel is swept by the RPC
+    expiry timer, but a reliable frame can outlive its RPC and be
+    delivered later — the version must ride *inside* the message so a
+    zombie delivery still carries its (stale, discardable) version."""
+    return version.to_bytes(8, "little")
+
+
+def _unpack_version(value):
+    return int.from_bytes(value[:8], "little"), value[8:]
+
+
 def _env_int(name, default):
     raw = os.environ.get(name)
     return default if not raw else int(raw)
@@ -90,13 +105,14 @@ class FleetOp:
 
     __slots__ = ("kind", "key", "value", "gateway_id", "done", "result",
                  "error", "acked", "attempts", "t_start", "t_end",
-                 "callbacks")
+                 "callbacks", "version")
 
     def __init__(self, kind, key, value, gateway_id):
         self.kind = kind
         self.key = key
         self.value = value
         self.gateway_id = gateway_id
+        self.version = None
         self.done = False
         self.result = None
         self.error = None
@@ -183,7 +199,8 @@ class Fleet:
                  link_latency_cycles=None, link_bytes_per_cycle=None,
                  quantum=None, detectors=True, lfd_period_cycles=None,
                  gfd_timeout_cycles=None, reply_timeout_cycles=600_000,
-                 max_attempts=8, vnodes=32, ckpt_period=None):
+                 max_attempts=8, vnodes=32, ckpt_period=None,
+                 link_fault_plan=None, backoff_jitter_seed=0):
         if n_nodes is None:
             n_nodes = _env_int("COPIER_FLEET_NODES", 3)
         if n_nodes < 1:
@@ -208,22 +225,38 @@ class Fleet:
         self.max_attempts = max_attempts
         self.ckpt_period = (ckpt_period if ckpt_period is not None
                             else _env_int("COPIER_CKPT_PERIOD", 256))
+        # Seeded retry jitter: deterministic per fleet instance, but
+        # concurrent ops draw different offsets so colliding retries
+        # desynchronize instead of hammering in lock-step.
+        self._backoff_rng = random.Random(
+            repr(("fleet-backoff", backoff_jitter_seed)))
 
         system_kwargs = dict(system_kwargs or {})
         self.nodes = [FleetNode(i, lambda: System(**system_kwargs),
                                 store_kwargs=store_kwargs)
                       for i in range(n_nodes)]
+        if link_fault_plan is None:
+            link_fault_plan = LinkFaultPlan.from_env()
+        self.link_fault_plan = link_fault_plan
         self.interconnect = Interconnect(latency_cycles=link_latency,
-                                         bytes_per_cycle=link_bpc)
+                                         bytes_per_cycle=link_bpc,
+                                         fault_plan=link_fault_plan)
         for node in self.nodes:
             self.interconnect.attach(node.node_id, node.env)
         self.ring = HashRing(range(n_nodes), vnodes=vnodes)
 
+        # A lossy wire needs the reliable exactly-once transport; a
+        # lossless one must stay byte-identical to the raw datagram
+        # path, so reliability arms with (and only with) the plan.
+        reliable = link_fault_plan is not None
+        self.channels = []
         for src in self.nodes:
             for dst in self.nodes:
                 if src is dst:
                     continue
-                channel = Channel(self.interconnect, src, dst)
+                channel = Channel(self.interconnect, src, dst,
+                                  reliable=reliable)
+                self.channels.append(channel)
                 src.wire_peer(dst.node_id, out_channel=channel)
                 dst.wire_peer(src.node_id, in_channel=channel)
                 dst.spawn(self._channel_loop(dst, src.node_id, channel),
@@ -347,6 +380,12 @@ class Fleet:
             channel.reopen()
             node.spawn(self._channel_loop(node, peer_id, channel),
                        name="n%s-rx-%s" % (node_id, peer_id))
+        if self.link_fault_plan is not None:
+            # Reliable channels whose *source* is the rebooted machine
+            # lost their retransmit timers with the old env — re-arm
+            # them so in-flight frames from before the crash still land.
+            for channel in node.channels_out.values():
+                channel.resume_tx()
         view = -1
         if self.gfd is not None:
             view = self.gfd.declare_alive(node_id, self.stepper.horizon)
@@ -537,11 +576,23 @@ class Fleet:
         op._settle()
 
     def _backoff(self, attempt):
-        yield Timeout(min(25_000 * attempt, 150_000))
+        # Linear base plus a bounded seeded jitter (under one stepping
+        # quantum): two ops that failed in the same round otherwise
+        # retry in lock-step forever, re-colliding on every attempt.
+        base = min(25_000 * attempt, 150_000)
+        yield Timeout(base + self._backoff_rng.randrange(self.quantum))
 
     def _gateway(self, op):
         node = self.nodes[op.gateway_id]
         op.t_start = node.env.now
+        if op.kind == "set" and self.link_fault_plan is not None:
+            # With the reliable transport armed, a forwarded SET can be
+            # delivered arbitrarily late (retransmits outlive the RPC
+            # timeout).  Its commit version is therefore allocated once
+            # per *op* and shipped in the message, so a zombie delivery
+            # of an already-superseded attempt is version-discarded at
+            # the owner instead of stamped newest-ever.
+            op.version = self._next_version()
         try:
             while op.attempts < self.max_attempts:
                 op.attempts += 1
@@ -551,7 +602,8 @@ class Fleet:
                 if owners[0] == node.node_id:
                     try:
                         if op.kind == "set":
-                            yield from self._serve_set(node, op.key, op.value)
+                            yield from self._serve_set(node, op.key, op.value,
+                                                       version=op.version)
                             self._finish(op, node, True, acked=True)
                         else:
                             value = yield from self._serve_get(node, op.key)
@@ -561,10 +613,15 @@ class Fleet:
                         node.counters["local_retries"] += 1
                         yield from self._backoff(op.attempts)
                         continue
+                if op.kind == "set":
+                    wire_value = (op.value if op.version is None
+                                  else _pack_version(op.version) + op.value)
+                else:
+                    wire_value = b""
                 reply = yield from self._request(
                     node, owners[0],
                     MSG_SET if op.kind == "set" else MSG_GET,
-                    op.key, op.value if op.kind == "set" else b"")
+                    op.key, wire_value)
                 if reply is None:
                     node.counters["fwd_timeouts"] += 1
                     yield from self._backoff(op.attempts)
@@ -589,25 +646,35 @@ class Fleet:
 
     # -------------------------------------------------------- server paths
 
-    def _serve_set(self, node, key, value):
+    def _serve_set(self, node, key, value, version=None):
         """Commit + synchronously replicate to every other current owner.
 
         The owner set is re-read after replication: if a membership
         change landed mid-op the loop replicates against the new view
         before acknowledging, so an acked value always lives on the
         owners a subsequent GET will be routed to.
+
+        ``version`` is the op-scoped commit version under the reliable
+        transport (allocated once at the gateway); a serve whose version
+        the key has already moved past is a zombie — a late redelivery
+        of an attempt the writer superseded long ago — and is discarded
+        as a success, like any other stale-version apply.
         """
         for _attempt in range(3):
             owners = self.ring.owners(key)
             if not owners or owners[0] != node.node_id:
                 raise NotOwner("node %s is not primary for %r"
                                % (node.node_id, key))
-            version = self._next_version()
-            yield from self._commit(node, key, value, version)
+            if version is not None and node.versions.get(key, 0) > version:
+                node.counters["set_stale_discarded"] += 1
+                return
+            commit_version = (version if version is not None
+                              else self._next_version())
+            yield from self._commit(node, key, value, commit_version)
             node.counters["serve_sets"] += 1
             for target in owners[1:]:
                 ok = yield from self._replicate(node, target, key, value,
-                                                version)
+                                                commit_version)
                 if not ok:
                     raise FleetTimeout("replica ack from %s for %r"
                                        % (target, key))
@@ -616,12 +683,28 @@ class Fleet:
             node.counters["view_races"] += 1
         raise FleetTimeout("owner view kept changing for %r" % (key,))
 
+    def _get_checked(self, node, key):
+        """Local read, downgrading an integrity abort to a miss.
+
+        A read whose copy path detects corruption (a poisoned frame
+        under the store buffer, surfacing as :class:`CopyAborted` at
+        csync) must not fail the GET outright: the caller treats the
+        miss like any untrusted local copy and falls back to the
+        backup via ``MSG_GET_ANY`` read-repair.
+        """
+        try:
+            value = yield from node.store.get_op(key)
+        except CopyAborted:
+            node.counters["get_integrity_fallbacks"] += 1
+            return None
+        return value
+
     def _serve_get(self, node, key):
         owners = self.ring.owners(key)
         if not owners or owners[0] != node.node_id:
             raise NotOwner("node %s is not primary for %r"
                            % (node.node_id, key))
-        value = yield from node.store.get_op(key)
+        value = yield from self._get_checked(node, key)
         read_version = node.versions.get(key, 0)
         node.counters["serve_gets"] += 1
         # Consult the backup when the local copy cannot be trusted:
@@ -644,7 +727,7 @@ class Fleet:
             if node.versions.get(key, 0) > read_version:
                 # A fresher commit (a rejoin push landing mid-consult)
                 # raced us: the pre-consult bytes are stale, re-read.
-                value = yield from node.store.get_op(key)
+                value = yield from self._get_checked(node, key)
         return value
 
     def _replicate(self, node, target, key, value, version=None):
@@ -653,8 +736,16 @@ class Fleet:
             # up): the ack can never come, so don't burn a timeout.
             return False
         node.counters["repl_sent"] += 1
-        reply = yield from self._request(node, target, MSG_REPL, key, value,
-                                         version=version)
+        if self.link_fault_plan is not None:
+            # In-payload version header: survives RPC expiry, so even a
+            # zombie redelivery is version-checked at apply (the
+            # side-channel header would have been swept by then).
+            reply = yield from self._request(
+                node, target, MSG_REPL, key,
+                _pack_version(version or 0) + value)
+        else:
+            reply = yield from self._request(node, target, MSG_REPL, key,
+                                             value, version=version)
         return reply is not None and reply[0] == ACK_OK
 
     # -------------------------------------------------------- wire plumbing
@@ -666,8 +757,16 @@ class Fleet:
         yield from lock.acquire()
         try:
             node.store.proc.write(node.tx_bufs[dst_id], message)
-            ok = yield from channel.send(node.store.proc,
-                                         node.tx_bufs[dst_id], len(message))
+            try:
+                ok = yield from channel.send(node.store.proc,
+                                             node.tx_bufs[dst_id],
+                                             len(message))
+            except CopyAborted:
+                # Poisoned frame while marshalling into the kernel buffer:
+                # nothing trustworthy reached the wire, so report the send
+                # like a link drop — the RPC timeout/retry re-drives it.
+                node.counters["tx_poisoned"] += 1
+                ok = False
         finally:
             lock.release()
         node.counters["msgs_out"] += 1
@@ -709,7 +808,15 @@ class Fleet:
         proc = node.store.proc
         rx_va = node.rx_bufs[src_id]
         while True:
-            got = yield from channel.recv(proc, rx_va, MAX_MSG)
+            try:
+                got = yield from channel.recv(proc, rx_va, MAX_MSG)
+            except CopyAborted:
+                # The copy landing the message in the rx buffer hit a
+                # poisoned frame: the message is untrustworthy, so it is
+                # treated exactly like a frame the wire lost — dropped
+                # here, re-driven by the requester's RPC timeout/retry.
+                node.counters["rx_poisoned"] += 1
+                continue
             node.counters["msgs_in"] += 1
             mtype, op_id, key, value = decode_msg(bytes(proc.read(rx_va,
                                                                   got)))
@@ -735,13 +842,16 @@ class Fleet:
     def _handle_fwd(self, node, src_id, mtype, op_id, key, value):
         try:
             if mtype == MSG_SET:
-                yield from self._serve_set(node, key, value)
+                version = None
+                if self.link_fault_plan is not None:
+                    version, value = _unpack_version(value)
+                yield from self._serve_set(node, key, value, version=version)
                 reply = (ACK_OK, b"")
             elif mtype == MSG_GET:
                 got = yield from self._serve_get(node, key)
                 reply = (ACK_OK, got) if got is not None else (ACK_MISS, b"")
             elif mtype == MSG_GET_ANY:
-                got = yield from node.store.get_op(key)
+                got = yield from self._get_checked(node, key)
                 if got is not None:
                     # Attach the local commit version so the consulting
                     # primary can judge freshness against its own copy.
@@ -780,7 +890,11 @@ class Fleet:
         return chunk
 
     def _handle_repl(self, node, src_id, op_id, key, value):
-        version = self._wire_versions.pop(op_id, None)
+        if self.link_fault_plan is not None:
+            version, value = _unpack_version(value)
+            version = version or None  # 0 marks an unversioned push
+        else:
+            version = self._wire_versions.pop(op_id, None)
         if version is not None and version < node.versions.get(key, 0):
             # Stale push (a rejoined node re-offering pre-crash data
             # that a newer commit superseded): the wire cost is already
@@ -837,8 +951,16 @@ class Fleet:
     def shard_map(self, keys):
         return self.ring.shard_map(keys)
 
+    def netpath_stats(self):
+        """Aggregate reliable-transport counters across every channel."""
+        totals = {}
+        for channel in self.channels:
+            for field, count in channel.transport_stats().items():
+                totals[field] = totals.get(field, 0) + count
+        return totals
+
     def snapshot(self):
-        return {
+        snap = {
             "nodes": [node.snapshot() for node in self.nodes],
             "interconnect": self.interconnect.snapshot(),
             "gfd": self.gfd.snapshot() if self.gfd is not None else None,
@@ -852,3 +974,8 @@ class Fleet:
                     "failed": self.ops_failed,
                     "read_repairs": self.read_repairs},
         }
+        if self.link_fault_plan is not None:
+            # Armed-only so lossless snapshots stay byte-identical to
+            # the pre-reliable shape pinned by differential suites.
+            snap["netpath"] = self.netpath_stats()
+        return snap

@@ -16,7 +16,25 @@ pair's latency and transfer time, and :meth:`heal` / :meth:`heal_all`
 restore service.  The GFD control plane is addressed as the pseudo
 endpoint :data:`GFD_ENDPOINT` so heartbeat paths partition just like
 data links.
+
+On top of the loud faults sits the *lossy* fault model: a seeded
+:class:`LinkFaultPlan` arms per-link ``drop_rate`` / ``dup_rate`` /
+``reorder_rate`` (bounded by ``reorder_window``) / ``corrupt_rate``
+processes.  Unlike a partition, a lossy drop is **silent** — transmit
+still returns ``True`` because the sender's NIC saw the frame leave;
+the loss happens on the wire.  Duplicates deliver the same payload
+twice, reorders delay one frame past its successors, and corruption
+flips a single payload bit.  Every event is counted per link and the
+per-link RNG is seeded from ``(plan seed, src, dst)`` so campaigns are
+reproducible message-for-message.  Arm via the ``COPIER_LINK_FAULT_PLAN``
+/ ``COPIER_LINK_FAULT_SEED`` environment knobs (consumed by
+:class:`~repro.fleet.fleet.Fleet`, mirroring ``COPIER_FAULT_PLAN``) or
+by passing ``fault_plan=`` explicitly.  With no plan armed the transmit
+path is byte-identical to the lossless model.
 """
+
+import os
+import random
 
 DEFAULT_LINK_LATENCY = 20_000       # cycles; ~7 µs at 2.9 GHz
 DEFAULT_LINK_BYTES_PER_CYCLE = 16.0  # ~46 GB/s per direction
@@ -24,15 +42,99 @@ DEFAULT_LINK_BYTES_PER_CYCLE = 16.0  # ~46 GB/s per direction
 #: Pseudo node id for the global fault detector's control plane.
 GFD_ENDPOINT = "gfd"
 
+#: Recognized lossy fault processes, in the order they are drawn.
+LINK_FAULT_KINDS = ("drop", "dup", "reorder", "corrupt")
+
+#: Named plans for ``COPIER_LINK_FAULT_PLAN``.  Rates are chosen so a
+#: multi-op fleet run exercises every process without drowning: the
+#: reliable channel's retransmit budget tolerates ~15% aggregate loss.
+_NAMED_LINK_PLANS = {
+    "mixed": dict(drop_rate=0.08, dup_rate=0.05, reorder_rate=0.08,
+                  reorder_window=4, corrupt_rate=0.05),
+    "drop": dict(drop_rate=0.15),
+    "dup": dict(dup_rate=0.15),
+    "reorder": dict(reorder_rate=0.20, reorder_window=4),
+    "corrupt": dict(corrupt_rate=0.10),
+}
+
+LINK_PLAN_NAMES = tuple(sorted(_NAMED_LINK_PLANS))
+
+_OFF_VALUES = ("", "none", "off", "0")
+
+
+class LinkFaultPlan:
+    """A seeded description of how lossy every link should be."""
+
+    __slots__ = ("name", "seed", "drop_rate", "dup_rate", "reorder_rate",
+                 "reorder_window", "corrupt_rate")
+
+    def __init__(self, name, seed=0, drop_rate=0.0, dup_rate=0.0,
+                 reorder_rate=0.0, reorder_window=0, corrupt_rate=0.0):
+        for label, rate in (("drop_rate", drop_rate), ("dup_rate", dup_rate),
+                            ("reorder_rate", reorder_rate),
+                            ("corrupt_rate", corrupt_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("%s must be in [0, 1), got %r"
+                                 % (label, rate))
+        if reorder_window < 0:
+            raise ValueError("reorder_window must be >= 0")
+        if reorder_rate > 0.0 and reorder_window < 1:
+            raise ValueError("reorder_rate needs a reorder_window >= 1")
+        self.name = name
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.reorder_rate = reorder_rate
+        self.reorder_window = reorder_window
+        self.corrupt_rate = corrupt_rate
+
+    @classmethod
+    def named(cls, name, seed=0):
+        try:
+            rates = _NAMED_LINK_PLANS[name]
+        except KeyError:
+            raise ValueError("unknown link fault plan %r (choose from %s)"
+                             % (name, ", ".join(LINK_PLAN_NAMES))) from None
+        return cls(name, seed=seed, **rates)
+
+    @classmethod
+    def from_env(cls, environ=None):
+        """Build the env-armed plan, or ``None`` when disarmed."""
+        environ = environ if environ is not None else os.environ
+        name = environ.get("COPIER_LINK_FAULT_PLAN", "").strip().lower()
+        if name in _OFF_VALUES:
+            return None
+        seed = int(environ.get("COPIER_LINK_FAULT_SEED", "0"))
+        return cls.named(name, seed=seed)
+
+    def link_rng(self, src, dst):
+        """The per-link fault RNG: stable across runs, distinct per link."""
+        return random.Random(repr((self.seed, src, dst)))
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "reorder_window": self.reorder_window,
+            "corrupt_rate": self.corrupt_rate,
+        }
+
 
 class Link:
     """One directed link's service parameters, fault state and counters."""
 
     __slots__ = ("src", "dst", "latency_cycles", "bytes_per_cycle",
                  "partition_depth", "slow_factor", "busy_until",
-                 "messages", "bytes_sent", "dropped", "queue_cycles")
+                 "messages", "bytes_sent", "dropped", "queue_cycles",
+                 "rng", "drop_rate", "dup_rate", "reorder_rate",
+                 "reorder_window", "corrupt_rate",
+                 "lossy_dropped", "dups", "reorders", "corruptions")
 
-    def __init__(self, src, dst, latency_cycles, bytes_per_cycle):
+    def __init__(self, src, dst, latency_cycles, bytes_per_cycle,
+                 fault_plan=None):
         self.src = src
         self.dst = dst
         self.latency_cycles = latency_cycles
@@ -44,6 +146,44 @@ class Link:
         self.bytes_sent = 0
         self.dropped = 0
         self.queue_cycles = 0
+        self.rng = None
+        self.drop_rate = 0.0
+        self.dup_rate = 0.0
+        self.reorder_rate = 0.0
+        self.reorder_window = 0
+        self.corrupt_rate = 0.0
+        self.lossy_dropped = 0
+        self.dups = 0
+        self.reorders = 0
+        self.corruptions = 0
+        if fault_plan is not None:
+            self.arm(fault_plan)
+
+    def arm(self, plan):
+        """Seed this link's fault processes from ``plan``."""
+        self.rng = plan.link_rng(self.src, self.dst)
+        self.set_rates(drop_rate=plan.drop_rate, dup_rate=plan.dup_rate,
+                       reorder_rate=plan.reorder_rate,
+                       reorder_window=plan.reorder_window,
+                       corrupt_rate=plan.corrupt_rate)
+
+    def set_rates(self, drop_rate=None, dup_rate=None, reorder_rate=None,
+                  reorder_window=None, corrupt_rate=None):
+        """Override individual fault rates (chaos storms boost and restore).
+
+        The RNG is untouched: a storm changes the odds, not the dice, so
+        a seeded run replays identically event-for-event.
+        """
+        if drop_rate is not None:
+            self.drop_rate = min(drop_rate, 0.95)
+        if dup_rate is not None:
+            self.dup_rate = min(dup_rate, 0.95)
+        if reorder_rate is not None:
+            self.reorder_rate = min(reorder_rate, 0.95)
+        if reorder_window is not None:
+            self.reorder_window = reorder_window
+        if corrupt_rate is not None:
+            self.corrupt_rate = min(corrupt_rate, 0.95)
 
     @property
     def partitioned(self):
@@ -52,13 +192,15 @@ class Link:
 
 class Interconnect:
     def __init__(self, latency_cycles=DEFAULT_LINK_LATENCY,
-                 bytes_per_cycle=DEFAULT_LINK_BYTES_PER_CYCLE):
+                 bytes_per_cycle=DEFAULT_LINK_BYTES_PER_CYCLE,
+                 fault_plan=None):
         if latency_cycles < 1:
             raise ValueError("link latency must be >= 1 cycle")
         if bytes_per_cycle <= 0:
             raise ValueError("link bandwidth must be positive")
         self.latency_cycles = latency_cycles
         self.bytes_per_cycle = float(bytes_per_cycle)
+        self.fault_plan = fault_plan
         self._envs = {}
         self._links = {}
 
@@ -70,7 +212,8 @@ class Interconnect:
         lnk = self._links.get(key)
         if lnk is None:
             lnk = self._links[key] = Link(src, dst, self.latency_cycles,
-                                          self.bytes_per_cycle)
+                                          self.bytes_per_cycle,
+                                          fault_plan=self.fault_plan)
         return lnk
 
     # -------------------------------------------------------------- faults
@@ -100,6 +243,29 @@ class Interconnect:
         self.link(a, b).slow_factor = factor
         self.link(b, a).slow_factor = factor
 
+    def set_link_faults(self, a, b, **rates):
+        """Override both directions' lossy rates (see ``Link.set_rates``).
+
+        Requires an armed fault plan: the per-link RNGs exist only when
+        the interconnect was built lossy, so a rate boost never has to
+        invent entropy mid-run.
+        """
+        if self.fault_plan is None:
+            raise ValueError("set_link_faults needs an armed fault_plan")
+        self.link(a, b).set_rates(**rates)
+        self.link(b, a).set_rates(**rates)
+
+    def reset_link_faults(self, a, b):
+        """Restore both directions to the armed plan's baseline rates."""
+        if self.fault_plan is None:
+            raise ValueError("reset_link_faults needs an armed fault_plan")
+        plan = self.fault_plan
+        for lnk in (self.link(a, b), self.link(b, a)):
+            lnk.set_rates(drop_rate=plan.drop_rate, dup_rate=plan.dup_rate,
+                          reorder_rate=plan.reorder_rate,
+                          reorder_window=plan.reorder_window,
+                          corrupt_rate=plan.corrupt_rate)
+
     def heal_all(self):
         for lnk in self._links.values():
             lnk.partition_depth = 0
@@ -117,6 +283,11 @@ class Interconnect:
         ``max(0, ...)`` clamp below is defensive only — with the
         stepping quantum bounded by the link latency the destination
         clock can never have passed the arrival time.
+
+        When a :class:`LinkFaultPlan` is armed the frame then runs the
+        lossy gauntlet — drop (silently: still returns ``True``),
+        corrupt (one bit flipped in the delivered copy), reorder (extra
+        latency, bounded by the window), duplicate (a second delivery).
         """
         lnk = self.link(src, dst)
         if lnk.partitioned:
@@ -132,16 +303,73 @@ class Interconnect:
         lnk.messages += 1
         lnk.bytes_sent += len(payload)
         lnk.queue_cycles += start - now
+        rng = lnk.rng
+        if rng is not None:
+            # The frame occupied the wire (accounted above) but is lost
+            # in flight: the sender cannot tell, so this returns True.
+            if lnk.drop_rate and rng.random() < lnk.drop_rate:
+                lnk.lossy_dropped += 1
+                return True
+            if lnk.corrupt_rate and payload and (
+                    rng.random() < lnk.corrupt_rate):
+                buf = bytearray(payload)
+                pos = rng.randrange(len(buf))
+                buf[pos] ^= 1 << rng.randrange(8)
+                payload = bytes(buf)
+                lnk.corruptions += 1
+            if lnk.reorder_rate and rng.random() < lnk.reorder_rate:
+                hold = rng.randint(1, lnk.reorder_window)
+                arrival += hold * max(
+                    1, int(lnk.latency_cycles * lnk.slow_factor))
+                lnk.reorders += 1
+            if lnk.dup_rate and rng.random() < lnk.dup_rate:
+                lnk.dups += 1
+                dup_arrival = arrival + rng.randint(1, lnk.latency_cycles)
+                dst_env.schedule(max(0, dup_arrival - dst_env.now),
+                                 lambda p=payload: deliver(p))
         dst_env.schedule(max(0, arrival - dst_env.now),
-                         lambda: deliver(payload))
+                         lambda p=payload: deliver(p))
         return True
 
     # ------------------------------------------------------------- exports
 
-    def snapshot(self):
+    def stats(self):
+        """Full per-link counters plus totals (always available).
+
+        Unlike :meth:`snapshot` — whose shape is pinned by differential
+        fingerprints — this always reports the lossy counters, so tools
+        and tests can assert the totals/per-link consistency invariant.
+        """
         links = {}
         for (src, dst), lnk in sorted(self._links.items(), key=repr):
             links["%s->%s" % (src, dst)] = {
+                "messages": lnk.messages,
+                "bytes_sent": lnk.bytes_sent,
+                "dropped": lnk.dropped,
+                "lossy_dropped": lnk.lossy_dropped,
+                "dups": lnk.dups,
+                "reorders": lnk.reorders,
+                "corruptions": lnk.corruptions,
+                "queue_cycles": lnk.queue_cycles,
+                "partitioned": lnk.partitioned,
+                "slow_factor": lnk.slow_factor,
+            }
+        totals = {}
+        for field in ("messages", "bytes_sent", "dropped", "lossy_dropped",
+                      "dups", "reorders", "corruptions", "queue_cycles"):
+            totals[field] = sum(getattr(k, field)
+                                for k in self._links.values())
+        return {
+            "fault_plan": (self.fault_plan.as_dict()
+                           if self.fault_plan is not None else None),
+            "totals": totals,
+            "links": links,
+        }
+
+    def snapshot(self):
+        links = {}
+        for (src, dst), lnk in sorted(self._links.items(), key=repr):
+            entry = {
                 "messages": lnk.messages,
                 "bytes": lnk.bytes_sent,
                 "dropped": lnk.dropped,
@@ -149,7 +377,13 @@ class Interconnect:
                 "partitioned": lnk.partitioned,
                 "slow_factor": lnk.slow_factor,
             }
-        return {
+            if self.fault_plan is not None:
+                entry["lossy_dropped"] = lnk.lossy_dropped
+                entry["dups"] = lnk.dups
+                entry["reorders"] = lnk.reorders
+                entry["corruptions"] = lnk.corruptions
+            links["%s->%s" % (src, dst)] = entry
+        snap = {
             "latency_cycles": self.latency_cycles,
             "bytes_per_cycle": self.bytes_per_cycle,
             "messages": sum(k.messages for k in self._links.values()),
@@ -157,3 +391,14 @@ class Interconnect:
             "dropped": sum(k.dropped for k in self._links.values()),
             "links": links,
         }
+        if self.fault_plan is not None:
+            snap["link_faults"] = {
+                "plan": self.fault_plan.as_dict(),
+                "lossy_dropped": sum(k.lossy_dropped
+                                     for k in self._links.values()),
+                "dups": sum(k.dups for k in self._links.values()),
+                "reorders": sum(k.reorders for k in self._links.values()),
+                "corruptions": sum(k.corruptions
+                                   for k in self._links.values()),
+            }
+        return snap

@@ -12,8 +12,35 @@ reclaim all come from the proven single-node path.
 
 One skb is one message: the fleet's RPC layer never needs stream
 reassembly, matching the datagram semantics ``recv`` already has.
+
+When the interconnect is lossy (a :class:`~repro.fleet.interconnect.
+LinkFaultPlan` is armed) the channel layers a reliable, exactly-once
+transport over the raw datagram path, shaped like the classic
+reliable-RPC stack:
+
+* every DATA frame carries a 13-byte header — type byte, little-endian
+  64-bit sequence number, and a CRC32 over header+payload — so a
+  corrupted frame (wire bit flip, including in the header) is detected
+  and dropped at the receiver, never delivered;
+* the sender keeps unacked frames and retransmits on a timer with the
+  same exponential-backoff discipline the fleet's RPC retries use
+  (base RTO of a few link RTTs, doubling, capped).  A frame is *never*
+  abandoned while its channel lives: dropping one would leave a
+  permanent gap at the receiver's next-expected cursor and wedge
+  everything behind it.  While the destination is down the timer keeps
+  the frame and merely probes again later — a restarted receiver
+  resumes the stream exactly where it left off;
+* the receiver acks cumulatively (an ACK for ``n`` means "everything
+  below ``n`` arrived"), dedups via the next-expected sequence number
+  plus a bounded out-of-order hold window, and delivers payloads
+  upward in order, exactly once — duplicated or reordered wire frames
+  never double-apply or jump the queue.
+
+With no plan armed none of this exists on the wire: frames are raw
+payloads and the transmit path is byte-identical to the lossless model.
 """
 
+import zlib
 from collections import deque
 
 from repro.copier.task import Region
@@ -22,6 +49,31 @@ from repro.sim import Compute, WaitEvent
 
 #: Per-message ceiling; channel rx/tx buffers are sized to this.
 MAX_MSG = 64 * 1024
+
+#: Reliable-mode framing: type + seq (LE64) + crc32 (LE32).
+FRAME_HDR = 13
+_DATA = b"D"
+_ACK = b"A"
+
+#: Out-of-order frames held at the receiver awaiting the gap fill.
+RX_WINDOW = 64
+
+
+def _frame(ftype, seq, payload):
+    head = ftype + seq.to_bytes(8, "little")
+    crc = zlib.crc32(payload, zlib.crc32(head)) & 0xFFFFFFFF
+    return head + crc.to_bytes(4, "little") + payload
+
+
+def _parse_frame(frame):
+    """Return ``(ftype, seq, payload)`` or ``None`` on a CRC mismatch."""
+    if len(frame) < FRAME_HDR:
+        return None
+    crc = zlib.crc32(frame[FRAME_HDR:], zlib.crc32(frame[:9])) & 0xFFFFFFFF
+    if crc != int.from_bytes(frame[9:FRAME_HDR], "little"):
+        return None
+    return (frame[:1], int.from_bytes(frame[1:9], "little"),
+            frame[FRAME_HDR:])
 
 
 class SimLock:
@@ -60,7 +112,7 @@ class SimLock:
 class Channel:
     """A directed copy-offloaded message path between two fleet nodes."""
 
-    def __init__(self, interconnect, src_node, dst_node):
+    def __init__(self, interconnect, src_node, dst_node, reliable=False):
         self.interconnect = interconnect
         self.src = src_node
         self.dst = dst_node
@@ -69,6 +121,24 @@ class Channel:
                                                  dst_node.node_id))
         self.sent = 0
         self.delivered = 0
+        self.reliable = reliable
+        # Sender state: next sequence number and the unacked frame map
+        # (seq -> [frame, attempts]); timers live on the source env.
+        self._seq_next = 0
+        self._unacked = {}
+        self._rto = 5 * interconnect.latency_cycles
+        # Receiver state: next expected sequence and the bounded
+        # out-of-order hold window (seq -> payload).
+        self._rx_expected = 0
+        self._rx_hold = {}
+        # Reliable-transport counters (all zero when not reliable).
+        self.frames_sent = 0
+        self.retransmits = 0
+        self.acks_tx = 0
+        self.acks_rx = 0
+        self.crc_dropped = 0
+        self.dups_deduped = 0
+        self.reorders_held = 0
 
     def send(self, proc, va, nbytes, client=None):
         """Transmit ``nbytes`` at ``va``; returns ``False`` on partition.
@@ -100,15 +170,114 @@ class Channel:
             payload = bytes(system.kernel_as.read(kbuf, nbytes))
         finally:
             system.free_kernel_buffer(kbuf, nbytes)
-        ok = self.interconnect.transmit(self.src.node_id, self.dst.node_id,
-                                        payload, self._deliver)
+        if self.reliable:
+            ok = self._send_reliable(payload)
+        else:
+            ok = self.interconnect.transmit(
+                self.src.node_id, self.dst.node_id, payload, self._deliver)
         if ok:
             self.sent += 1
         yield from proc.sysret(client=client)
         return ok
 
+    # ---------------------------------------------------- reliable sender
+
+    def _send_reliable(self, payload):
+        """Frame, transmit, and register ``payload`` for retransmission."""
+        seq = self._seq_next
+        self._seq_next += 1
+        frame = _frame(_DATA, seq, payload)
+        self._unacked[seq] = [frame, 0]
+        ok = self.interconnect.transmit(self.src.node_id, self.dst.node_id,
+                                        frame, self._on_frame)
+        self.frames_sent += 1
+        self.src.env.schedule(self._rto,
+                              lambda: self._retransmit(seq, self._rto))
+        return ok
+
+    def _retransmit(self, seq, prev_delay):
+        """Timer fire on the source env: resend ``seq`` if still unacked.
+
+        The frame is never abandoned — an acked-then-dropped gap would
+        wedge the receiver's in-order cursor forever.  While the
+        destination is down the timer holds the frame without touching
+        the wire and probes again after the backoff.
+        """
+        entry = self._unacked.get(seq)
+        if entry is None or not self.src.alive:
+            return
+        delay = min(prev_delay * 2, 8 * self._rto)
+        if self.dst.alive:
+            entry[1] += 1
+            if self.interconnect.transmit(self.src.node_id,
+                                          self.dst.node_id,
+                                          entry[0], self._on_frame):
+                self.retransmits += 1
+        self.src.env.schedule(delay, lambda: self._retransmit(seq, delay))
+
+    def resume_tx(self):
+        """Re-arm retransmit timers after the *source* node restarted.
+
+        The old machine's timers died with its environment, but the
+        channel (and its unacked frames) outlives the crash — without
+        this, any frame in flight at the kill would never be resent and
+        the receiver's in-order stream would wedge on the gap.
+        """
+        for seq in list(self._unacked):
+            self.src.env.schedule(self._rto,
+                                  lambda s=seq: self._retransmit(s,
+                                                                 self._rto))
+
+    def _on_ack(self, frame):
+        """ACK arrival on the *source* node (src env context)."""
+        parsed = _parse_frame(frame)
+        if parsed is None:
+            self.crc_dropped += 1
+            return
+        _ftype, acked_below, _payload = parsed
+        if not self.src.alive:
+            return
+        self.acks_rx += 1
+        for seq in [s for s in self._unacked if s < acked_below]:
+            del self._unacked[seq]
+
+    # -------------------------------------------------- reliable receiver
+
+    def _on_frame(self, frame):
+        """DATA frame arrival on the destination node (dst env context)."""
+        parsed = _parse_frame(frame)
+        if parsed is None:
+            self.crc_dropped += 1
+            return  # no ack: the sender's timer retransmits
+        _ftype, seq, payload = parsed
+        if not self.dst.alive or self.rx_sock.closed:
+            return  # rebooting NIC: no ack, sender retries
+        if seq < self._rx_expected or seq in self._rx_hold:
+            self.dups_deduped += 1
+            self._send_ack()  # re-ack so the sender stops resending
+            return
+        if seq - self._rx_expected >= RX_WINDOW:
+            return  # beyond the hold window; retransmit will refit
+        if seq != self._rx_expected:
+            self.reorders_held += 1
+        self._rx_hold[seq] = payload
+        while self._rx_expected in self._rx_hold:
+            ready = self._rx_hold.pop(self._rx_expected)
+            self._rx_expected += 1
+            self._deliver(ready)
+        self._send_ack()
+
+    def _send_ack(self):
+        """Cumulative ack: everything below ``_rx_expected`` arrived."""
+        ack = _frame(_ACK, self._rx_expected, b"")
+        if self.interconnect.transmit(self.dst.node_id, self.src.node_id,
+                                      ack, self._on_ack):
+            self.acks_tx += 1
+
+    # ------------------------------------------------------------ receive
+
     def _deliver(self, payload):
-        """Wire arrival on the destination node (dst env context)."""
+        """In-order arrival on the destination node (dst env context)."""
         if not self.dst.alive or self.rx_sock.closed:
             return  # dropped on the floor: no kbuf was allocated yet
         system = self.dst.system
@@ -116,6 +285,19 @@ class Channel:
         system.kernel_as.write(kbuf, payload)
         self.rx_sock.deliver(SKB(kbuf, len(payload)))
         self.delivered += 1
+
+    def transport_stats(self):
+        """Reliable-transport counters (all zero when not reliable)."""
+        return {
+            "frames_sent": self.frames_sent,
+            "retransmits": self.retransmits,
+            "acks_tx": self.acks_tx,
+            "acks_rx": self.acks_rx,
+            "crc_dropped": self.crc_dropped,
+            "dups_deduped": self.dups_deduped,
+            "reorders_held": self.reorders_held,
+            "unacked": len(self._unacked),
+        }
 
     def recv(self, proc, va, nbytes, client=None):
         """Receive one message into ``va`` and csync it ready for parse."""

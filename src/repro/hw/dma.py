@@ -53,6 +53,7 @@ class DMAEngine:
         self.aborted_batches = 0
         self.stall_cycles = 0
         self.efaults = 0
+        self.bitflips = 0
         self._proc = env.spawn(self._run(), name="dma-engine")
 
     def submit(self, subtasks):
@@ -149,6 +150,18 @@ class DMAEngine:
                         error = DMAAbortError("EFAULT mid-batch: %s" % exc)
                     break
                 self.bytes_copied += sub.nbytes
+                if (inj is not None and sub.nbytes > 0
+                        and inj.fire("dma_bitflip")):
+                    # Silent corruption: the device reports success but
+                    # one destination bit is wrong.  Nothing here tells
+                    # the copier — only the opt-in end-to-end CRC at
+                    # retirement can catch it.
+                    off = inj.draw_int("dma_bitflip", sub.nbytes)
+                    bit = inj.draw_int("dma_bitflip", 8)
+                    byte = sub.dst_as.read(sub.dst_va + off, 1)[0]
+                    sub.dst_as.write(sub.dst_va + off,
+                                     bytes([byte ^ (1 << bit)]))
+                    self.bitflips += 1
                 if sub.on_done is not None:
                     sub.on_done(sub)
             done.succeed(error)

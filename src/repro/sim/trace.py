@@ -21,6 +21,10 @@ event               emitted when
                     submit failure or a mid-transfer abort
 ``fault-injected``  the fault-injection layer fired at a site
                     (:mod:`repro.faultinject`)
+``integrity-mismatch`` the end-to-end CRC defense caught corruption at
+                    retirement (``reexec``), declined to repair under a
+                    newer overlapping writer (``overlap-skip``), or a
+                    poisoned frame retired a task loudly (``poisoned``)
 ``task-shed``       admission control executed a copy synchronously in the
                     submitter's context instead of queueing it
                     (:mod:`repro.copier.admission`)
@@ -39,8 +43,9 @@ event               emitted when
 ``task-finished`` additionally carries ``"cancelled"`` and
 ``"deadline-miss"`` outcomes for tasks retired by the overload-protection
 layer, plus the lifecycle layer's ``"efault"`` (source/dest unmapped
-mid-flight), ``"exit-reap"`` (owning process exited) and ``"drain-reap"``
-(force-retired at the shutdown deadline) outcomes.
+mid-flight), ``"exit-reap"`` (owning process exited), ``"drain-reap"``
+(force-retired at the shutdown deadline) and ``"poisoned"``
+(uncorrectable frame under the copy) outcomes.
 
 The bus itself is policy-free: ``subscribe`` a callable, every event is
 delivered synchronously in emission order.  :class:`StageAggregator` is the
@@ -255,6 +260,26 @@ class FaultInjected(TraceEvent):
     def __init__(self, ts, fault_kind):
         super().__init__(ts)
         self.fault_kind = fault_kind
+
+
+class IntegrityMismatch(TraceEvent):
+    """The end-to-end copy-integrity defense caught (or skipped) damage.
+
+    ``action`` is ``"reexec"`` (CRC mismatch repaired on the CPU),
+    ``"overlap-skip"`` (verification declined: a newer task's
+    destination overlaps), or ``"poisoned"`` (uncorrectable frame —
+    the task retired loudly with ``TaskPoisoned``).
+    """
+
+    kind = "integrity-mismatch"
+    __slots__ = ("task_id", "client_name", "nbytes", "action")
+
+    def __init__(self, ts, task_id, client_name, nbytes, action):
+        super().__init__(ts)
+        self.task_id = task_id
+        self.client_name = client_name
+        self.nbytes = nbytes
+        self.action = action
 
 
 class ThreadSleep(TraceEvent):

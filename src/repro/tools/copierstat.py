@@ -59,6 +59,8 @@ def render(snap):
         out(line)
     for line in render_faults(snap.get("faults")):
         out(line)
+    for line in render_integrity(snap.get("integrity")):
+        out(line)
     for line in render_lifecycle(snap.get("lifecycle")):
         out(line)
     for line in render_stages(snap.get("stages")):
@@ -229,6 +231,35 @@ def render_faults(faults):
                  % (rec["pin_retries_ok"], rec["pin_failures"],
                     rec["spurious_wakeups"],
                     ", DMA QUARANTINED" if faults["dma_quarantined"] else ""))
+    return lines
+
+
+def render_integrity(integrity):
+    """Render the end-to-end integrity section as report lines.
+
+    ``integrity`` is the ``"integrity"`` entry of a snapshot; the key is
+    present only when the end-to-end CRC is armed (or something tripped
+    it), so reports from unarmed runs stay byte-identical — returns
+    ``[]`` when absent.
+    """
+    if not integrity:
+        return []
+    lines = ["  integrity: e2e_crc=%s %d checks, %d mismatches "
+             "(%d overlap-skips)" % (
+                 "on" if integrity.get("e2e_crc") else "off",
+                 integrity["crc_checks"], integrity["crc_mismatches"],
+                 integrity["overlap_skips"])]
+    if integrity["reexec_tasks"] or integrity["quarantines"]:
+        lines.append("    repaired: %d tasks (%d B) re-executed host-side, "
+                     "%d engine quarantines" % (
+                         integrity["reexec_tasks"],
+                         integrity["reexec_bytes"],
+                         integrity["quarantines"]))
+    if integrity["poisoned_tasks"] or integrity.get("dma_bitflips"):
+        lines.append("    hardware: %d silent dma bitflips injected, "
+                     "%d tasks retired poisoned" % (
+                         integrity.get("dma_bitflips", 0),
+                         integrity["poisoned_tasks"]))
     return lines
 
 

@@ -12,13 +12,22 @@ Usage::
 
     PYTHONPATH=src python -m repro.tools.fleetstat [--seed 0]
         [--nodes 4] [--streams 6] [--ops 12] [--events 10]
-        [--restart] [--double-crash] [--check-determinism] [--json]
+        [--restart] [--double-crash] [--lossy]
+        [--check-determinism] [--json]
 
 ``--restart`` switches to the crash-recovery campaign: every killed
 node restarts from its disk (or a peer's shipped checkpoint) and
 rejoins mid-storm, and the audit additionally requires every node back
 alive with recovery (MTTR) counters recorded.  ``--double-crash`` arms
 the simultaneous kill of both owners of one seeded key.
+
+``--lossy`` switches to the silent-failure campaign: every link runs
+the seeded drop/dup/reorder/corrupt fault plan under the reliable
+exactly-once transport, the chaos mix adds lossy bursts and node-local
+bitflip storms (with the end-to-end copy CRC armed), and the report
+grows link-fault, transport and integrity counter sections.  The audit
+is unchanged: zero lost acknowledged writes, zero corrupted bytes
+served.
 
 ``--seed`` defaults to ``COPIER_FLEET_SEED`` (falling back to 0).  The
 fleet arms ``COPIER_FAULT_PLAN``/``COPIER_FAULT_SEED`` from the
@@ -68,6 +77,8 @@ def render(result):
     net = result["interconnect"]
     out("  interconnect: %d messages, %d bytes, %d dropped" % (
         net["messages"], net["bytes"], net["dropped"]))
+    for line in render_lossy(result):
+        out(line)
     for snap in result["nodes"]:
         copier = snap.get("copier") or {}
         out("  node %-3s %-4s keys=%-3d events=%-7d copier_rounds=%s" % (
@@ -78,6 +89,41 @@ def render(result):
         result["audited_keys"], len(result["lost_acked"]),
         result["leaked_pins"]))
     return "\n".join(lines)
+
+
+def render_lossy(result):
+    """Link-fault / transport / integrity report lines (lossy campaigns).
+
+    Returns ``[]`` when the campaign ran without a link fault plan, so
+    lossless reports stay byte-identical.
+    """
+    if "link_faults" not in result:
+        return []
+    lines = []
+    lf = result["link_faults"]
+    lines.append("  link faults: %d dropped, %d corrupted, %d duplicated, "
+                 "%d reordered on the wire" % (
+                     lf["lossy_dropped"], lf["corruptions"], lf["dups"],
+                     lf["reorders"]))
+    np = result["netpath"]
+    lines.append("  transport: %d frames (+%d retransmits), %d acks, "
+                 "%d crc-dropped, %d deduped, %d held, %d unacked" % (
+                     np["frames_sent"], np["retransmits"],
+                     np["acks_rx"], np["crc_dropped"],
+                     np["dups_deduped"], np["reorders_held"],
+                     np["unacked"]))
+    checks = sum(i["crc_checks"] for i in result["integrity"].values())
+    mismatches = sum(i["crc_mismatches"] for i in result["integrity"].values())
+    reexec = sum(i["reexec_tasks"] for i in result["integrity"].values())
+    poisoned = sum(i["poisoned_tasks"] for i in result["integrity"].values())
+    if checks or mismatches:
+        lines.append("  integrity: %d e2e crc checks, %d mismatches "
+                     "(%d repaired, %d poisoned)" % (
+                         checks, mismatches, reexec, poisoned))
+    if "lossy_bursts" in result:
+        lines.append("  storms: %d lossy bursts, %d bitflip storms" % (
+            result["lossy_bursts"], result["bitflip_storms"]))
+    return lines
 
 
 def _jsonable(value):
@@ -107,6 +153,10 @@ def main(argv=None):
     parser.add_argument("--double-crash", action="store_true",
                         help="with --restart: also kill both owners of one "
                              "seeded key simultaneously")
+    parser.add_argument("--lossy", action="store_true",
+                        help="run the silent-failure campaign: seeded lossy/"
+                             "corrupting links under the reliable transport, "
+                             "plus bitflip storms with the e2e CRC armed")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run the campaign twice and require identical "
                              "events, promotions, counters and digests")
@@ -114,6 +164,9 @@ def main(argv=None):
                         help="emit the raw result dict as JSON instead of "
                              "the human-readable summary")
     args = parser.parse_args(argv)
+
+    if args.restart and args.lossy:
+        parser.error("--lossy is the base campaign only (not --restart)")
 
     def campaign():
         if args.restart:
@@ -123,7 +176,7 @@ def main(argv=None):
                                         double_crash=args.double_crash)
         return run_fleet_campaign(seed=args.seed, n_nodes=args.nodes,
                                   n_streams=args.streams, n_ops=args.ops,
-                                  n_events=args.events)
+                                  n_events=args.events, lossy=args.lossy)
 
     result = campaign()
     if args.json:

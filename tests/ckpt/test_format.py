@@ -6,10 +6,13 @@ payload byte, garbage file), ``restore`` refuses them all, and the
 ``repro.tools.ckpt`` CLI turns them into non-zero exits.
 """
 
+import hashlib
+import pickle
 import struct
 
 import pytest
 
+from repro.ckpt import format as ckpt_format
 from repro.ckpt import (
     MAGIC,
     Checkpoint,
@@ -107,3 +110,38 @@ def test_cli_selftest(tmp_path):
     assert ckpt_cli.main(["selftest", "--seed", "2", "--plan", "mixed",
                           "-o", str(out)]) == 0
     assert not out.exists()  # cleaned up without --keep
+
+
+# ------------------------------------------------- undecodable payloads
+#
+# The decode guard in format.load_bytes must be narrow: a checksum-valid
+# envelope whose payload is not a pickle maps to CheckpointFormatError,
+# but an exception raised *by* the payload's own reconstruction (a bug,
+# not corruption) must propagate untouched.
+
+def _envelope(blob_bytes):
+    """A well-framed envelope around an arbitrary (even bogus) payload."""
+    digest = hashlib.sha256(blob_bytes).digest()
+    return ckpt_format._HEADER.pack(MAGIC, ckpt_format.VERSION,
+                                    len(blob_bytes), digest) + blob_bytes
+
+
+def _detonate():
+    raise RuntimeError("armed payload")
+
+
+class _Grenade:
+    def __reduce__(self):
+        return (_detonate, ())
+
+
+def test_undecodable_payload_is_format_error():
+    truncated_pickle = pickle.dumps({"a": 1})[:-1]
+    with pytest.raises(CheckpointFormatError):
+        ckpt_format.load_bytes(_envelope(truncated_pickle))
+
+
+def test_payload_reconstruction_bug_propagates():
+    blob_bytes = pickle.dumps(_Grenade(), protocol=pickle.HIGHEST_PROTOCOL)
+    with pytest.raises(RuntimeError, match="armed payload"):
+        ckpt_format.load_bytes(_envelope(blob_bytes))

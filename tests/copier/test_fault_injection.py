@@ -72,10 +72,16 @@ def _oracle(ops):
     return [proc.read(base, BUF_BYTES) for base in bases]
 
 
-def _run_faulted(plan, ops):
+#: Kinds that corrupt silently — the engines report success, so plain
+#: recovery machinery cannot preserve correctness; only the opt-in
+#: end-to-end CRC (or the typed poison abort) defends against them.
+SILENT_KINDS = ("dma_bitflip", "engine_torn_write", "frame_poison")
+
+
+def _run_faulted(plan, ops, **setup_kwargs):
     """Run ``ops`` on a Copier service with ``plan`` armed; returns
     ``(setup, final_buffers)``."""
-    setup = Setup(n_frames=8192, fault_plan=plan)
+    setup = Setup(n_frames=8192, fault_plan=plan, **setup_kwargs)
     aspace, client = setup.aspace, setup.client
     bases = [aspace.mmap(BUF_BYTES, populate=True, contiguous=True)
              for _ in range(N_BUFFERS)]
@@ -124,7 +130,9 @@ class TestFaultedWorkloads:
         assert sum(snap["faults"]["injected"].values()) >= 1
         assert snap["stages"]["engine_fallbacks"] == rec["engine_fallbacks"]
 
-    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("kind",
+                             [k for k in FAULT_KINDS
+                              if k not in SILENT_KINDS])
     def test_each_fault_kind_preserves_correctness(self, kind):
         ops = _make_ops(seed=3, n_ops=30)
         plan = FaultPlan.single(kind, seed=2, rate=0.3)
@@ -132,6 +140,21 @@ class TestFaultedWorkloads:
         assert bufs == _oracle(ops), "torn copy under %s" % kind
         assert _leaked_pins(setup.aspace) == 0, "leaked pins under %s" % kind
         assert setup.service.stats_snapshot()["faults"]["plan"] == kind
+
+    @pytest.mark.parametrize("kind", ["dma_bitflip", "engine_torn_write"])
+    def test_silent_corruption_caught_by_e2e_crc(self, kind):
+        """The silent kinds lie about success; with the end-to-end CRC
+        armed the mismatch is caught at retirement and repaired, so the
+        final memory still equals the fault-free oracle."""
+        ops = _make_ops(seed=3, n_ops=30)
+        plan = FaultPlan.single(kind, seed=2, rate=0.3)
+        setup, bufs = _run_faulted(plan, ops, e2e_crc=True)
+        assert bufs == _oracle(ops), "corruption survived e2e crc (%s)" % kind
+        assert _leaked_pins(setup.aspace) == 0, "leaked pins under %s" % kind
+        integ = setup.service.stats_snapshot()["integrity"]
+        assert integ["crc_checks"] >= 1
+        assert integ["crc_mismatches"] >= 1, "fault never fired (%s)" % kind
+        assert integ["reexec_tasks"] >= 1
 
     def test_persistent_submit_failure_quarantines_dma(self):
         ops = _make_ops(seed=5, n_ops=40)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fleet.interconnect import Interconnect
+from repro.fleet.interconnect import Interconnect, LinkFaultPlan
 from repro.sim import Environment
 
 
@@ -132,3 +132,103 @@ def test_snapshot_aggregates_links():
     assert snap["bytes"] == 64
     assert snap["dropped"] == 1
     assert snap["links"]["a->b"]["partitioned"] is True
+
+
+# ----------------------------------------------------- lossy-link faults
+
+def _lossy_pair(seed=2, **rates):
+    plan = LinkFaultPlan("test", seed=seed, **rates)
+    net = Interconnect(latency_cycles=1000, bytes_per_cycle=16.0,
+                       fault_plan=plan)
+    envs = {"a": Environment(), "b": Environment()}
+    for node_id, env in envs.items():
+        net.attach(node_id, env)
+    return net, envs
+
+
+def test_stats_totals_match_per_link_counters():
+    net, envs = _lossy_pair(drop_rate=0.2, dup_rate=0.2, reorder_rate=0.2,
+                            reorder_window=3, corrupt_rate=0.2)
+    for i in range(200):
+        net.transmit("a", "b", b"x" * (64 + i), lambda p: None)
+        net.transmit("b", "a", b"y" * (64 + i), lambda p: None)
+    net.partition("a", "b")
+    net.transmit("a", "b", b"blocked", lambda p: None)
+    for env in envs.values():
+        env.step(max_cycles=1_000_000)
+    stats = net.stats()
+    assert stats["fault_plan"]["name"] == "test"
+    for field, total in stats["totals"].items():
+        assert total == sum(link[field] for link in stats["links"].values()), \
+            field
+    totals = stats["totals"]
+    assert totals["messages"] == 400
+    assert totals["dropped"] == 1           # the partitioned transmit
+    for field in ("lossy_dropped", "dups", "reorders", "corruptions"):
+        assert totals[field] > 0, field
+    # Silent losses are invisible to the sender: they are *not* in
+    # ``dropped`` (the loud partition counter).
+    assert totals["lossy_dropped"] != totals["dropped"]
+
+
+def test_stats_available_and_quiet_without_a_plan():
+    net, envs = _pair()
+    net.transmit("a", "b", b"x" * 64, lambda p: None)
+    envs["b"].step(max_cycles=10_000)
+    stats = net.stats()
+    assert stats["fault_plan"] is None
+    assert stats["totals"]["messages"] == 1
+    assert stats["totals"]["bytes_sent"] == 64
+    for field in ("lossy_dropped", "dups", "reorders", "corruptions"):
+        assert stats["totals"][field] == 0
+    assert stats["links"]["a->b"]["queue_cycles"] == 0
+
+
+def test_set_and_reset_link_faults_round_trip():
+    net, _envs = _lossy_pair(drop_rate=0.05)
+    net.set_link_faults("a", "b", drop_rate=0.5, corrupt_rate=0.25)
+    for src, dst in (("a", "b"), ("b", "a")):
+        lnk = net.link(src, dst)
+        assert lnk.drop_rate == 0.5
+        assert lnk.corrupt_rate == 0.25
+    net.reset_link_faults("a", "b")
+    for src, dst in (("a", "b"), ("b", "a")):
+        lnk = net.link(src, dst)
+        assert lnk.drop_rate == 0.05
+        assert lnk.corrupt_rate == 0.0
+
+
+def test_link_fault_overrides_need_an_armed_plan():
+    net, _envs = _pair()
+    with pytest.raises(ValueError):
+        net.set_link_faults("a", "b", drop_rate=0.5)
+    with pytest.raises(ValueError):
+        net.reset_link_faults("a", "b")
+
+
+def test_link_fault_plan_validation_and_env():
+    with pytest.raises(ValueError):
+        LinkFaultPlan("bad", drop_rate=1.5)
+    with pytest.raises(ValueError):
+        LinkFaultPlan("bad", reorder_rate=0.1, reorder_window=0)
+    with pytest.raises(ValueError):
+        LinkFaultPlan.named("no-such-plan")
+    assert LinkFaultPlan.from_env({"COPIER_LINK_FAULT_PLAN": ""}) is None
+    assert LinkFaultPlan.from_env({"COPIER_LINK_FAULT_PLAN": "off"}) is None
+    plan = LinkFaultPlan.from_env({"COPIER_LINK_FAULT_PLAN": "mixed",
+                                   "COPIER_LINK_FAULT_SEED": "9"})
+    assert plan.name == "mixed" and plan.seed == 9
+    assert plan.as_dict()["drop_rate"] > 0
+
+
+def test_lossy_rolls_are_seeded_per_link():
+    outcomes = []
+    for _run in range(2):
+        net, envs = _lossy_pair(seed=11, drop_rate=0.3, corrupt_rate=0.3)
+        got = []
+        for i in range(50):
+            net.transmit("a", "b", b"m%02d" % i, got.append)
+        envs["b"].step(max_cycles=1_000_000)
+        lnk = net.link("a", "b")
+        outcomes.append((got, lnk.lossy_dropped, lnk.corruptions))
+    assert outcomes[0] == outcomes[1]
